@@ -1,0 +1,278 @@
+// Benchmarks reproducing the paper's evaluation (§5): one benchmark per
+// result figure plus ablations of the design choices called out in
+// DESIGN.md. Each benchmark op measures the paper's timed window — from
+// the specification being given to the initiating host until every task
+// of the resulting workflow is allocated.
+//
+// The full parameter sweeps with per-path-length averages (the actual
+// figures) are produced by cmd/figures; the benchmarks here pin
+// representative grid points so `go test -bench` tracks them over time.
+//
+//	go test -bench=. -benchmem
+package openwf_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"openwf/internal/community"
+	"openwf/internal/core"
+	"openwf/internal/evalgen"
+)
+
+// benchPoint measures one (tasks, hosts, path length) grid point.
+func benchPoint(b *testing.B, cfg evalgen.ExperimentConfig, length int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sc, err := evalgen.Generate(cfg.Tasks, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sc.MaxPathLength() < length {
+		b.Skipf("supergraph max path %d < requested %d", sc.MaxPathLength(), length)
+	}
+	comm, hosts, err := evalgen.BuildCommunity(sc, cfg, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer comm.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, ok := sc.SamplePath(length, rng)
+		if !ok {
+			b.Skipf("no path of length %d", length)
+		}
+		comm.ResetSchedules()
+		b.StartTimer()
+		plan, err := comm.Initiate(hosts[0], s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Workflow.NumTasks() != length {
+			b.Fatalf("workflow has %d tasks, want %d", plan.Workflow.NumTasks(), length)
+		}
+	}
+}
+
+// BenchmarkFigure4 — simulation, 100 task nodes, community size 2–15:
+// time grows with path length and roughly linearly with host count.
+func BenchmarkFigure4(b *testing.B) {
+	for _, hosts := range []int{2, 3, 5, 10, 15} {
+		for _, length := range []int{4, 8, 12} {
+			b.Run(fmt.Sprintf("hosts=%d/pathlen=%d", hosts, length), func(b *testing.B) {
+				benchPoint(b, evalgen.ExperimentConfig{
+					Tasks: 100, Hosts: hosts, Seed: 1,
+				}, length)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5 — simulation, 2 hosts, supergraph size 25–500: the
+// growth rate in path length increases with the number of task nodes.
+func BenchmarkFigure5(b *testing.B) {
+	for _, tasks := range []int{25, 50, 100, 250, 500} {
+		for _, length := range []int{4, 8} {
+			b.Run(fmt.Sprintf("tasks=%d/pathlen=%d", tasks, length), func(b *testing.B) {
+				benchPoint(b, evalgen.ExperimentConfig{
+					Tasks: tasks, Hosts: 2, Seed: 1,
+				}, length)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6 — the empirical configuration: 4 hosts on a modeled
+// 802.11g ad hoc network (54 Mbit/s, ~1.2 ms per hop). One order of
+// magnitude slower than the zero-latency simulation, matching the paper's
+// Figure 5 → Figure 6 shift.
+func BenchmarkFigure6(b *testing.B) {
+	for _, tasks := range []int{25, 50, 100} {
+		for _, length := range []int{4, 8} {
+			b.Run(fmt.Sprintf("tasks=%d/pathlen=%d", tasks, length), func(b *testing.B) {
+				benchPoint(b, evalgen.ExperimentConfig{
+					Tasks: tasks, Hosts: 4, Seed: 1,
+					LinkModel: evalgen.Wireless80211g(),
+				}, length)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6TCP — the same grid over real loopback TCP sockets
+// (kernel networking instead of the latency model).
+func BenchmarkFigure6TCP(b *testing.B) {
+	for _, tasks := range []int{25, 100} {
+		b.Run(fmt.Sprintf("tasks=%d/pathlen=4", tasks), func(b *testing.B) {
+			benchPoint(b, evalgen.ExperimentConfig{
+				Tasks: tasks, Hosts: 4, Seed: 1,
+				Transport: community.TCP,
+			}, 4)
+		})
+	}
+}
+
+// BenchmarkAblationCollection — incremental (on-demand) fragment
+// collection vs gathering the community's entire knowledge up front
+// (§3.1's simplifying assumption). Incremental wins by transferring only
+// the fragments the colored region needs.
+func BenchmarkAblationCollection(b *testing.B) {
+	for _, incremental := range []bool{true, false} {
+		name := "incremental"
+		if !incremental {
+			name = "full-collection"
+		}
+		b.Run(name, func(b *testing.B) {
+			engCfg := evalgen.EvalEngineConfig()
+			engCfg.Incremental = incremental
+			benchPoint(b, evalgen.ExperimentConfig{
+				Tasks: 250, Hosts: 5, Seed: 1, Engine: &engCfg,
+			}, 8)
+		})
+	}
+}
+
+// BenchmarkAblationFeasibility — service-feasibility filtering during
+// construction on vs off (extra query rounds vs risk of replanning).
+func BenchmarkAblationFeasibility(b *testing.B) {
+	for _, feasibility := range []bool{true, false} {
+		name := "feasibility-on"
+		if !feasibility {
+			name = "feasibility-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			engCfg := evalgen.EvalEngineConfig()
+			engCfg.Feasibility = feasibility
+			benchPoint(b, evalgen.ExperimentConfig{
+				Tasks: 100, Hosts: 5, Seed: 1, Engine: &engCfg,
+			}, 8)
+		})
+	}
+}
+
+// BenchmarkAblationMarshal — gob-encoding every message on the simulated
+// network (realistic serialization cost) vs passing envelopes by value.
+func BenchmarkAblationMarshal(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "marshal-on"
+		if disable {
+			name = "marshal-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchPoint(b, evalgen.ExperimentConfig{
+				Tasks: 100, Hosts: 5, Seed: 1, DisableMarshal: disable,
+			}, 8)
+		})
+	}
+}
+
+// BenchmarkAblationQueryPattern — pairwise (sequential) community queries
+// vs broadcast (parallel). The paper remarks that even broadcast keeps the
+// initiator's response processing linear in the community size; the
+// wireless model makes the latency difference visible.
+func BenchmarkAblationQueryPattern(b *testing.B) {
+	for _, parallel := range []bool{false, true} {
+		name := "pairwise"
+		if parallel {
+			name = "broadcast"
+		}
+		b.Run(name, func(b *testing.B) {
+			engCfg := evalgen.EvalEngineConfig()
+			engCfg.ParallelQuery = parallel
+			benchPoint(b, evalgen.ExperimentConfig{
+				Tasks: 100, Hosts: 10, Seed: 1, Engine: &engCfg,
+				LinkModel: evalgen.Wireless80211g(),
+			}, 8)
+		})
+	}
+}
+
+// BenchmarkBaselineStaticWorkflow — the CiAN-style baseline: the workflow
+// is pre-specified (no knowledge discovery, no construction) and only
+// distributed allocation runs. The gap to BenchmarkFigure4 at the same
+// grid point is the price of dynamic construction.
+func BenchmarkBaselineStaticWorkflow(b *testing.B) {
+	for _, hosts := range []int{2, 5, 15} {
+		b.Run(fmt.Sprintf("hosts=%d/pathlen=8", hosts), func(b *testing.B) {
+			cfg := evalgen.ExperimentConfig{Tasks: 100, Hosts: hosts, Seed: 1}
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			sc, err := evalgen.Generate(cfg.Tasks, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			comm, hostAddrs, err := evalgen.BuildCommunity(sc, cfg, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer comm.Close()
+			initiator, ok := comm.Host(hostAddrs[0])
+			if !ok {
+				b.Fatal("no initiator")
+			}
+			// Pre-construct workflows outside the timed loop.
+			frags, err := sc.Fragments()
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := core.CollectAll(frags)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, ok := sc.SamplePath(8, rng)
+				if !ok {
+					b.Skip("no path of length 8")
+				}
+				res, err := core.Construct(g, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				comm.ResetSchedules()
+				b.StartTimer()
+				if _, err := initiator.Engine.AllocateWorkflow(res.Workflow, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConstructionAlgorithm — the pure coloring algorithm against a
+// fully assembled supergraph, no network: the algorithmic floor under the
+// figures above.
+func BenchmarkConstructionAlgorithm(b *testing.B) {
+	for _, tasks := range []int{25, 100, 500} {
+		b.Run(fmt.Sprintf("tasks=%d", tasks), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			sc, err := evalgen.Generate(tasks, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frags, err := sc.Fragments()
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := core.CollectAll(frags)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, ok := sc.SamplePath(6, rng)
+				if !ok {
+					b.Skip("no path of length 6")
+				}
+				b.StartTimer()
+				if _, err := core.Construct(g, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,388 @@
+package auction
+
+import (
+	"testing"
+	"time"
+
+	"openwf/internal/clock"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/schedule"
+	"openwf/internal/service"
+	"openwf/internal/space"
+)
+
+var t0 = time.Date(2026, 6, 11, 9, 0, 0, 0, time.UTC)
+
+func meta(task string) proto.TaskMeta {
+	return proto.TaskMeta{
+		Task:  model.TaskID(task),
+		Mode:  model.Conjunctive,
+		Start: t0.Add(time.Hour),
+		End:   t0.Add(2 * time.Hour),
+	}
+}
+
+func bid(task string, services int, spec float64, deadline time.Time) proto.Bid {
+	return proto.Bid{
+		Task: model.TaskID(task), ServicesOffered: services,
+		Specialization: spec, Deadline: deadline,
+	}
+}
+
+func members(ids ...string) []proto.Addr {
+	out := make([]proto.Addr, len(ids))
+	for i, id := range ids {
+		out[i] = proto.Addr(id)
+	}
+	return out
+}
+
+func TestNewAuctioneerValidation(t *testing.T) {
+	if _, err := NewAuctioneer(nil, []proto.TaskMeta{meta("t")}); err == nil {
+		t.Error("no members accepted")
+	}
+	if _, err := NewAuctioneer(members("a"), []proto.TaskMeta{meta("t"), meta("t")}); err == nil {
+		t.Error("duplicate task accepted")
+	}
+}
+
+func TestStartEmitsPairwiseCFBs(t *testing.T) {
+	a, err := NewAuctioneer(members("h1", "h2", "h3"), []proto.TaskMeta{meta("t1"), meta("t2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Start()
+	if len(out) != 6 {
+		t.Fatalf("Start emitted %d messages, want 6", len(out))
+	}
+	// Grouped by member: first two to h1, etc.
+	if out[0].To != "h1" || out[1].To != "h1" || out[2].To != "h2" {
+		t.Errorf("grouping wrong: %v %v %v", out[0].To, out[1].To, out[2].To)
+	}
+	for _, o := range out {
+		if _, ok := o.Body.(proto.CallForBids); !ok {
+			t.Errorf("body = %T", o.Body)
+		}
+	}
+}
+
+func TestDecideWhenAllResponded(t *testing.T) {
+	a, _ := NewAuctioneer(members("h1", "h2"), []proto.TaskMeta{meta("t")})
+	now := t0
+	deadline := t0.Add(time.Minute)
+	if ds := a.HandleBid("h1", bid("t", 3, 0.5, deadline), now); len(ds) != 0 {
+		t.Fatalf("decided before all responded: %v", ds)
+	}
+	ds := a.HandleDecline("h2", proto.Decline{Task: "t"}, now)
+	if len(ds) != 1 || ds[0].Winner != "h1" {
+		t.Fatalf("decisions = %+v", ds)
+	}
+	if !a.Done() || a.Open() != 0 {
+		t.Error("auction not done after decision")
+	}
+	if got := a.Allocations()["t"]; got != "h1" {
+		t.Errorf("Allocations = %v", a.Allocations())
+	}
+}
+
+func TestSelectionPrefersFewerServices(t *testing.T) {
+	a, _ := NewAuctioneer(members("h1", "h2", "h3"), []proto.TaskMeta{meta("t")})
+	now := t0
+	deadline := t0.Add(time.Minute)
+	a.HandleBid("h1", bid("t", 5, 0.9, deadline), now)
+	a.HandleBid("h2", bid("t", 2, 0.1, deadline), now)
+	ds := a.HandleBid("h3", bid("t", 4, 0.9, deadline), now)
+	if len(ds) != 1 || ds[0].Winner != "h2" {
+		t.Fatalf("winner = %+v, want h2 (fewest services)", ds)
+	}
+}
+
+func TestSelectionTieBreaksOnSpecialization(t *testing.T) {
+	a, _ := NewAuctioneer(members("h1", "h2"), []proto.TaskMeta{meta("t")})
+	now := t0
+	deadline := t0.Add(time.Minute)
+	a.HandleBid("h1", bid("t", 3, 0.3, deadline), now)
+	ds := a.HandleBid("h2", bid("t", 3, 0.8, deadline), now)
+	if len(ds) != 1 || ds[0].Winner != "h2" {
+		t.Fatalf("winner = %+v, want h2 (higher specialization)", ds)
+	}
+}
+
+func TestSelectionTieBreaksOnAddress(t *testing.T) {
+	a, _ := NewAuctioneer(members("h2", "h1"), []proto.TaskMeta{meta("t")})
+	now := t0
+	deadline := t0.Add(time.Minute)
+	a.HandleBid("h2", bid("t", 3, 0.5, deadline), now)
+	ds := a.HandleBid("h1", bid("t", 3, 0.5, deadline), now)
+	if len(ds) != 1 || ds[0].Winner != "h1" {
+		t.Fatalf("winner = %+v, want h1 (smaller address)", ds)
+	}
+}
+
+func TestAllDeclinedFails(t *testing.T) {
+	a, _ := NewAuctioneer(members("h1", "h2"), []proto.TaskMeta{meta("t")})
+	now := t0
+	a.HandleDecline("h1", proto.Decline{Task: "t"}, now)
+	ds := a.HandleDecline("h2", proto.Decline{Task: "t"}, now)
+	if len(ds) != 1 || !ds[0].Failed() {
+		t.Fatalf("decisions = %+v, want failed", ds)
+	}
+	failed := a.FailedTasks()
+	if len(failed) != 1 || failed[0] != "t" {
+		t.Errorf("FailedTasks = %v", failed)
+	}
+}
+
+func TestDeadlineForcesDecision(t *testing.T) {
+	// h2 never answers; the tentative winner's deadline forces the
+	// allocation ("the task is guaranteed to be allocated").
+	a, _ := NewAuctioneer(members("h1", "h2"), []proto.TaskMeta{meta("t")})
+	deadline := t0.Add(time.Minute)
+	if ds := a.HandleBid("h1", bid("t", 3, 0.5, deadline), t0); len(ds) != 0 {
+		t.Fatal("decided too early")
+	}
+	next, ok := a.NextDeadline()
+	if !ok || !next.Equal(deadline) {
+		t.Fatalf("NextDeadline = %v, %v", next, ok)
+	}
+	if ds := a.Tick(t0.Add(30 * time.Second)); len(ds) != 0 {
+		t.Fatal("Tick decided before deadline")
+	}
+	ds := a.Tick(deadline)
+	if len(ds) != 1 || ds[0].Winner != "h1" {
+		t.Fatalf("Tick decisions = %+v", ds)
+	}
+	if _, ok := a.NextDeadline(); ok {
+		t.Error("NextDeadline reports after all decided")
+	}
+}
+
+func TestBidAtOrAfterDeadlineDecidesImmediately(t *testing.T) {
+	a, _ := NewAuctioneer(members("h1", "h2"), []proto.TaskMeta{meta("t")})
+	deadline := t0.Add(time.Minute)
+	// The bid arrives when its deadline has already passed (slow net).
+	ds := a.HandleBid("h1", bid("t", 3, 0.5, deadline), deadline.Add(time.Second))
+	if len(ds) != 1 || ds[0].Winner != "h1" {
+		t.Fatalf("decisions = %+v", ds)
+	}
+}
+
+func TestDeadlineUpdateForcesEarlierDecision(t *testing.T) {
+	a, _ := NewAuctioneer(members("h1", "h2", "h3"), []proto.TaskMeta{meta("t")})
+	a.HandleBid("h1", bid("t", 3, 0.5, t0.Add(time.Hour)), t0)
+	// h1 re-bids with a much closer deadline, forcing a decision.
+	a.HandleBid("h1", bid("t", 3, 0.5, t0.Add(time.Second)), t0)
+	ds := a.Tick(t0.Add(2 * time.Second))
+	if len(ds) != 1 || ds[0].Winner != "h1" {
+		t.Fatalf("decisions = %+v", ds)
+	}
+}
+
+func TestLateBidIgnoredAfterDecision(t *testing.T) {
+	a, _ := NewAuctioneer(members("h1", "h2"), []proto.TaskMeta{meta("t")})
+	a.HandleBid("h1", bid("t", 3, 0.5, t0.Add(time.Minute)), t0)
+	a.HandleDecline("h2", proto.Decline{Task: "t"}, t0)
+	if ds := a.HandleBid("h2", bid("t", 1, 1, t0.Add(time.Minute)), t0); len(ds) != 0 {
+		t.Errorf("late bid produced decisions: %v", ds)
+	}
+	if a.Allocations()["t"] != "h1" {
+		t.Error("late bid changed the allocation")
+	}
+}
+
+func TestUnknownTaskMessagesIgnored(t *testing.T) {
+	a, _ := NewAuctioneer(members("h1"), []proto.TaskMeta{meta("t")})
+	if ds := a.HandleBid("h1", bid("zz", 1, 1, t0.Add(time.Minute)), t0); len(ds) != 0 {
+		t.Errorf("bid for unknown task decided: %v", ds)
+	}
+	if ds := a.HandleDecline("h1", proto.Decline{Task: "zz"}, t0); len(ds) != 0 {
+		t.Errorf("decline for unknown task decided: %v", ds)
+	}
+}
+
+func TestMultiTaskIndependence(t *testing.T) {
+	a, _ := NewAuctioneer(members("h1", "h2"), []proto.TaskMeta{meta("t1"), meta("t2")})
+	now := t0
+	dl := t0.Add(time.Minute)
+	a.HandleBid("h1", bid("t1", 1, 0.5, dl), now)
+	a.HandleBid("h2", bid("t1", 2, 0.5, dl), now) // decides t1 → h1
+	a.HandleDecline("h1", proto.Decline{Task: "t2"}, now)
+	a.HandleBid("h2", bid("t2", 2, 0.5, dl), now) // decides t2 → h2
+	if !a.Done() {
+		t.Fatal("not done")
+	}
+	al := a.Allocations()
+	if al["t1"] != "h1" || al["t2"] != "h2" {
+		t.Errorf("Allocations = %v", al)
+	}
+}
+
+// --- Participant tests ---
+
+func participant(prefs schedule.Preferences, regs ...service.Registration) (*Participant, *clock.Sim, *schedule.Manager) {
+	sim := clock.NewSim(t0)
+	services := service.NewManager(sim)
+	for _, r := range regs {
+		if err := services.Register(r); err != nil {
+			panic(err)
+		}
+	}
+	sched := schedule.NewManager(sim, nil, prefs)
+	return NewParticipant(sim, services, sched, 30*time.Second), sim, sched
+}
+
+func sreg(task string, spec float64) service.Registration {
+	return service.Registration{Descriptor: service.Descriptor{
+		Task: model.TaskID(task), Specialization: spec,
+	}}
+}
+
+func TestParticipantBidsWhenCapable(t *testing.T) {
+	p, _, sched := participant(schedule.Preferences{}, sreg("t", 0.7), sreg("u", 0.2))
+	resp := p.HandleCallForBids("wf", proto.CallForBids{Meta: meta("t")})
+	b, ok := resp.(proto.Bid)
+	if !ok {
+		t.Fatalf("response = %T, want Bid", resp)
+	}
+	if b.ServicesOffered != 2 || b.Specialization != 0.7 {
+		t.Errorf("bid = %+v", b)
+	}
+	if !b.Deadline.Equal(t0.Add(30 * time.Second)) {
+		t.Errorf("deadline = %v", b.Deadline)
+	}
+	if sched.Holds() != 1 {
+		t.Errorf("holds = %d, firm bid must reserve the slot", sched.Holds())
+	}
+}
+
+func TestParticipantDeclinesWithoutService(t *testing.T) {
+	p, _, sched := participant(schedule.Preferences{})
+	resp := p.HandleCallForBids("wf", proto.CallForBids{Meta: meta("t")})
+	if _, ok := resp.(proto.Decline); !ok {
+		t.Fatalf("response = %T, want Decline", resp)
+	}
+	if sched.Holds() != 0 {
+		t.Error("decline left a hold")
+	}
+}
+
+func TestParticipantDeclinesWhenUnwilling(t *testing.T) {
+	p, _, _ := participant(schedule.Preferences{
+		Willing: func(proto.TaskMeta) bool { return false },
+	}, sreg("t", 0.5))
+	resp := p.HandleCallForBids("wf", proto.CallForBids{Meta: meta("t")})
+	if _, ok := resp.(proto.Decline); !ok {
+		t.Fatalf("response = %T, want Decline", resp)
+	}
+}
+
+func TestParticipantRebidRefreshesDeadline(t *testing.T) {
+	p, sim, sched := participant(schedule.Preferences{}, sreg("t", 0.5))
+	first := p.HandleCallForBids("wf", proto.CallForBids{Meta: meta("t")})
+	if _, ok := first.(proto.Bid); !ok {
+		t.Fatalf("first response = %T", first)
+	}
+	sim.Advance(10 * time.Second)
+	second := p.HandleCallForBids("wf", proto.CallForBids{Meta: meta("t")})
+	b, ok := second.(proto.Bid)
+	if !ok {
+		t.Fatalf("second response = %T, want refreshed Bid", second)
+	}
+	if !b.Deadline.Equal(t0.Add(40 * time.Second)) {
+		t.Errorf("refreshed deadline = %v", b.Deadline)
+	}
+	if sched.Holds() != 1 {
+		t.Errorf("holds = %d", sched.Holds())
+	}
+}
+
+func TestParticipantAwardCommits(t *testing.T) {
+	p, _, sched := participant(schedule.Preferences{}, sreg("t", 0.5))
+	p.HandleCallForBids("wf", proto.CallForBids{Meta: meta("t")})
+	c, ack := p.HandleAward("wf", proto.Award{Meta: meta("t")})
+	if !ack.OK {
+		t.Fatalf("award refused: %s", ack.Reason)
+	}
+	if c.Task != "t" {
+		t.Errorf("commitment = %+v", c)
+	}
+	if sched.Holds() != 0 {
+		t.Error("hold not converted")
+	}
+	if _, ok := sched.Get("wf", "t"); !ok {
+		t.Error("commitment missing")
+	}
+}
+
+func TestParticipantAwardWithoutServiceRefused(t *testing.T) {
+	p, _, _ := participant(schedule.Preferences{})
+	_, ack := p.HandleAward("wf", proto.Award{Meta: meta("t")})
+	if ack.OK {
+		t.Error("award accepted without a service")
+	}
+}
+
+func TestParticipantAwardAfterExpiryMayStillCommit(t *testing.T) {
+	// The hold expired but the slot is still free: the fresh plan
+	// succeeds.
+	p, sim, sched := participant(schedule.Preferences{}, sreg("t", 0.5))
+	p.HandleCallForBids("wf", proto.CallForBids{Meta: meta("t")})
+	sim.Advance(time.Minute)
+	if n := p.ExpireHolds(); n != 1 {
+		t.Fatalf("ExpireHolds = %d", n)
+	}
+	_, ack := p.HandleAward("wf", proto.Award{Meta: meta("t")})
+	if !ack.OK {
+		t.Fatalf("award refused after expiry with free slot: %s", ack.Reason)
+	}
+	if sched.Holds() != 0 {
+		t.Error("stray hold")
+	}
+}
+
+func TestParticipantAwardConflictRefused(t *testing.T) {
+	p, _, sched := participant(schedule.Preferences{}, sreg("t", 0.5), sreg("u", 0.5))
+	// Another workflow already took the slot.
+	if _, err := sched.Commit("other", meta("u")); err != nil {
+		t.Fatal(err)
+	}
+	_, ack := p.HandleAward("wf", proto.Award{Meta: meta("t")})
+	if ack.OK {
+		t.Error("conflicting award accepted")
+	}
+}
+
+func TestParticipantCancel(t *testing.T) {
+	p, _, sched := participant(schedule.Preferences{}, sreg("t", 0.5))
+	p.HandleCallForBids("wf", proto.CallForBids{Meta: meta("t")})
+	if _, ack := p.HandleAward("wf", proto.Award{Meta: meta("t")}); !ack.OK {
+		t.Fatal("award refused")
+	}
+	p.HandleCancel("wf", proto.Cancel{Task: "t"})
+	if _, ok := sched.Get("wf", "t"); ok {
+		t.Error("cancel left the commitment")
+	}
+}
+
+func TestParticipantLocatedServiceImposesLocation(t *testing.T) {
+	p, _, _ := participant(schedule.Preferences{}, service.Registration{
+		Descriptor: service.Descriptor{
+			Task: "t", Specialization: 0.5,
+			Location: space.Point{X: 3, Y: 4}, HasLocation: true,
+		},
+	})
+	// Static host at origin cannot travel: the located service makes
+	// the commitment infeasible → decline.
+	resp := p.HandleCallForBids("wf", proto.CallForBids{Meta: meta("t")})
+	if _, ok := resp.(proto.Decline); !ok {
+		t.Fatalf("response = %T, want Decline (immobile host, remote service)", resp)
+	}
+}
+
+func TestParticipantBidWindowDefault(t *testing.T) {
+	p := NewParticipant(nil, service.NewManager(nil), schedule.NewManager(nil, nil, schedule.Preferences{}), 0)
+	if p.BidWindow() != DefaultBidWindow {
+		t.Errorf("BidWindow = %v", p.BidWindow())
+	}
+}

@@ -1,0 +1,247 @@
+// Package auction implements task allocation (§3.2): a CiAN-style auction
+// in which the workflow initiator acts as auction manager, soliciting firm
+// bids for every task from all community members. Participants bid only on
+// work they can commit to (capability, schedule, travel, willingness);
+// bids carry ranking information and a response deadline. The auction
+// manager keeps a tentative winner per task, re-evaluates as bids arrive,
+// and finalizes no later than the tentative winner's deadline — preferring
+// participants that offer fewer services, since scheduling a more capable
+// participant removes more services from the community's resource pool.
+//
+// The Auctioneer and Participant types are passive state machines: the
+// engine and host drive them with messages and clock ticks, which keeps
+// the protocol logic deterministic and testable without a network.
+package auction
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"openwf/internal/model"
+	"openwf/internal/proto"
+)
+
+// Outbound is a message the caller must transmit on the auctioneer's
+// behalf.
+type Outbound struct {
+	To   proto.Addr
+	Body proto.Body
+}
+
+// Decision finalizes one task's auction.
+type Decision struct {
+	Task model.TaskID
+	// Winner is the awarded host; empty when the auction failed (every
+	// member declined).
+	Winner proto.Addr
+	// Award is the message to send to the winner (zero when failed).
+	Award proto.Award
+}
+
+// Failed reports whether the decision is a failed allocation.
+func (d Decision) Failed() bool { return d.Winner == "" }
+
+// taskAuction tracks one task's in-flight auction.
+type taskAuction struct {
+	meta       proto.TaskMeta
+	responded  map[proto.Addr]struct{}
+	bestBid    proto.Bid
+	bestBidder proto.Addr
+	hasBest    bool
+	decided    bool
+	winner     proto.Addr
+}
+
+// Auctioneer allocates the tasks of one workflow. Not safe for concurrent
+// use; the engine serializes access per workspace.
+type Auctioneer struct {
+	members []proto.Addr
+	tasks   map[model.TaskID]*taskAuction
+	open    int
+}
+
+// NewAuctioneer prepares auctions for the given tasks among the given
+// community members (which include the initiating host itself — all hosts
+// may act as participants).
+func NewAuctioneer(members []proto.Addr, metas []proto.TaskMeta) (*Auctioneer, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("auction: no community members")
+	}
+	a := &Auctioneer{
+		members: append([]proto.Addr(nil), members...),
+		tasks:   make(map[model.TaskID]*taskAuction, len(metas)),
+	}
+	for _, meta := range metas {
+		if _, dup := a.tasks[meta.Task]; dup {
+			return nil, fmt.Errorf("auction: duplicate task %q", meta.Task)
+		}
+		a.tasks[meta.Task] = &taskAuction{
+			meta:      meta,
+			responded: make(map[proto.Addr]struct{}, len(members)),
+		}
+		a.open++
+	}
+	return a, nil
+}
+
+// Start returns the call-for-bids messages to send: one per (member, task)
+// pair, grouped by member so the engine can communicate pairwise with each
+// participant (the paper's linear-in-hosts communication pattern).
+func (a *Auctioneer) Start() []Outbound {
+	taskIDs := a.sortedTaskIDs()
+	out := make([]Outbound, 0, len(a.members)*len(taskIDs))
+	for _, m := range a.members {
+		for _, id := range taskIDs {
+			out = append(out, Outbound{To: m, Body: proto.CallForBids{Meta: a.tasks[id].meta}})
+		}
+	}
+	return out
+}
+
+func (a *Auctioneer) sortedTaskIDs() []model.TaskID {
+	ids := make([]model.TaskID, 0, len(a.tasks))
+	for id := range a.tasks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// HandleBid processes a firm bid. A repeated bid from the same host
+// updates the deadline of its earlier bid (the paper allows forcing a
+// decision this way). It returns any decisions that became final because
+// the whole community has now responded, evaluated at the given time.
+func (a *Auctioneer) HandleBid(from proto.Addr, bid proto.Bid, now time.Time) []Decision {
+	ta, ok := a.tasks[bid.Task]
+	if !ok || ta.decided {
+		return nil
+	}
+	ta.responded[from] = struct{}{}
+	if ta.hasBest && ta.bestBidder == from {
+		// Deadline update for an existing bid; ranking is unchanged
+		// because bids are firm.
+		ta.bestBid.Deadline = bid.Deadline
+	} else if !ta.hasBest || betterBid(bid, from, ta.bestBid, ta.bestBidder) {
+		// The tentative allocation is continually re-evaluated as new
+		// bids arrive.
+		ta.bestBid = bid
+		ta.bestBidder = from
+		ta.hasBest = true
+	}
+	return a.maybeFinalize(ta, now)
+}
+
+// HandleDecline processes an explicit decline. It returns any decisions
+// that became final.
+func (a *Auctioneer) HandleDecline(from proto.Addr, d proto.Decline, now time.Time) []Decision {
+	ta, ok := a.tasks[d.Task]
+	if !ok || ta.decided {
+		return nil
+	}
+	ta.responded[from] = struct{}{}
+	return a.maybeFinalize(ta, now)
+}
+
+// maybeFinalize decides a task when no better bid can arrive (everyone
+// responded) or the tentative winner's deadline has been reached.
+func (a *Auctioneer) maybeFinalize(ta *taskAuction, now time.Time) []Decision {
+	if ta.decided {
+		return nil
+	}
+	allResponded := len(ta.responded) >= len(a.members)
+	deadlineDue := ta.hasBest && !now.Before(ta.bestBid.Deadline)
+	if !allResponded && !deadlineDue {
+		return nil
+	}
+	if !ta.hasBest && !allResponded {
+		return nil
+	}
+	ta.decided = true
+	a.open--
+	if !ta.hasBest {
+		return []Decision{{Task: ta.meta.Task}}
+	}
+	ta.winner = ta.bestBidder
+	return []Decision{{
+		Task:   ta.meta.Task,
+		Winner: ta.bestBidder,
+		Award:  proto.Award{Meta: ta.meta},
+	}}
+}
+
+// Tick finalizes every undecided task whose tentative winner's deadline
+// has arrived. The engine calls it when NextDeadline fires.
+func (a *Auctioneer) Tick(now time.Time) []Decision {
+	var out []Decision
+	for _, id := range a.sortedTaskIDs() {
+		ta := a.tasks[id]
+		if ta.decided || !ta.hasBest {
+			continue
+		}
+		if !now.Before(ta.bestBid.Deadline) {
+			out = append(out, a.maybeFinalize(ta, now)...)
+		}
+	}
+	return out
+}
+
+// NextDeadline returns the earliest deadline among undecided tasks with a
+// tentative winner; ok is false when there is none.
+func (a *Auctioneer) NextDeadline() (time.Time, bool) {
+	var best time.Time
+	found := false
+	for _, ta := range a.tasks {
+		if ta.decided || !ta.hasBest {
+			continue
+		}
+		if !found || ta.bestBid.Deadline.Before(best) {
+			best = ta.bestBid.Deadline
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Done reports whether every task has been decided.
+func (a *Auctioneer) Done() bool { return a.open == 0 }
+
+// Open returns the number of undecided tasks.
+func (a *Auctioneer) Open() int { return a.open }
+
+// Allocations returns the winner of every decided-and-won task.
+func (a *Auctioneer) Allocations() map[model.TaskID]proto.Addr {
+	out := make(map[model.TaskID]proto.Addr)
+	for id, ta := range a.tasks {
+		if ta.decided && ta.winner != "" {
+			out[id] = ta.winner
+		}
+	}
+	return out
+}
+
+// FailedTasks returns the tasks whose auctions ended with no bid, sorted.
+func (a *Auctioneer) FailedTasks() []model.TaskID {
+	var out []model.TaskID
+	for id, ta := range a.tasks {
+		if ta.decided && ta.winner == "" {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// betterBid implements the selection criterion: prefer the participant
+// providing fewer services (preserving the community's resource pool),
+// then higher specialization, then the lexicographically smaller address
+// for determinism.
+func betterBid(b proto.Bid, bAddr proto.Addr, cur proto.Bid, curAddr proto.Addr) bool {
+	if b.ServicesOffered != cur.ServicesOffered {
+		return b.ServicesOffered < cur.ServicesOffered
+	}
+	if b.Specialization != cur.Specialization {
+		return b.Specialization > cur.Specialization
+	}
+	return bAddr < curAddr
+}

@@ -1,0 +1,130 @@
+package auction
+
+import (
+	"errors"
+	"time"
+
+	"openwf/internal/clock"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/schedule"
+	"openwf/internal/service"
+)
+
+// Participant is the Auction Participation Manager of the execution
+// subsystem (§4.2): it encapsulates the interactions and state tracking a
+// host needs to bid in task auctions. For every call for bids it compares
+// the task's required time, location, and service with the host's own
+// capabilities and availability; if the host can commit, it places a firm
+// bid and reserves the schedule slot until the bid's deadline.
+type Participant struct {
+	clk      clock.Clock
+	services *service.Manager
+	sched    *schedule.Manager
+	// bidWindow is how long the participant gives the auction manager
+	// to decide; its firm bid (and schedule reservation) expires after
+	// this window.
+	bidWindow time.Duration
+}
+
+// DefaultBidWindow is the deadline participants give auction managers when
+// none is configured.
+const DefaultBidWindow = 200 * time.Millisecond
+
+// NewParticipant wires a participant to its host's service and schedule
+// managers. bidWindow ≤ 0 selects DefaultBidWindow.
+func NewParticipant(clk clock.Clock, services *service.Manager, sched *schedule.Manager, bidWindow time.Duration) *Participant {
+	if clk == nil {
+		clk = clock.New()
+	}
+	if bidWindow <= 0 {
+		bidWindow = DefaultBidWindow
+	}
+	return &Participant{clk: clk, services: services, sched: sched, bidWindow: bidWindow}
+}
+
+// HandleCallForBids evaluates a call for bids and returns the reply body:
+// a firm Bid when the host can commit, a Decline otherwise. A bid reserves
+// the schedule slot (including travel time) until the bid's deadline.
+func (p *Participant) HandleCallForBids(workflow string, cfb proto.CallForBids) proto.Body {
+	meta := cfb.Meta
+	desc, ok := p.services.CanPerform(meta.Task)
+	if !ok {
+		return proto.Decline{Task: meta.Task}
+	}
+	// A service pinned to a location imposes it on the commitment when
+	// the task itself does not require one.
+	if !meta.HasLocation && desc.HasLocation {
+		meta.Location = desc.Location
+		meta.HasLocation = true
+	}
+	deadline := p.clk.Now().Add(p.bidWindow)
+	if _, err := p.sched.Hold(workflow, meta, deadline); err != nil {
+		// A repeated solicitation for a task we already reserved (the
+		// engine replanning) refreshes the firm bid's deadline.
+		if errors.Is(err, schedule.ErrAlreadyHeld) {
+			if _, rerr := p.sched.RefreshHold(workflow, meta.Task, deadline); rerr == nil {
+				return proto.Bid{
+					Task:            meta.Task,
+					ServicesOffered: p.services.Count(),
+					Specialization:  desc.Specialization,
+					Deadline:        deadline,
+				}
+			}
+		}
+		return proto.Decline{Task: meta.Task}
+	}
+	return proto.Bid{
+		Task:            meta.Task,
+		ServicesOffered: p.services.Count(),
+		Specialization:  desc.Specialization,
+		Deadline:        deadline,
+	}
+}
+
+// HandleAward converts the reservation into a commitment. It returns the
+// commitment (for execution registration) and the acknowledgment to send.
+// An award that can no longer be honored — the hold expired and the slot
+// was lost — is refused, and the engine replans.
+func (p *Participant) HandleAward(workflow string, award proto.Award) (schedule.Commitment, proto.AwardAck) {
+	meta := award.Meta
+	desc, ok := p.services.CanPerform(meta.Task)
+	if !ok {
+		return schedule.Commitment{}, proto.AwardAck{
+			Task: meta.Task, OK: false, Reason: "service no longer offered",
+		}
+	}
+	if !meta.HasLocation && desc.HasLocation {
+		meta.Location = desc.Location
+		meta.HasLocation = true
+	}
+	c, err := p.sched.Commit(workflow, meta)
+	if err != nil {
+		return schedule.Commitment{}, proto.AwardAck{
+			Task: meta.Task, OK: false, Reason: err.Error(),
+		}
+	}
+	return c, proto.AwardAck{Task: meta.Task, OK: true}
+}
+
+// HandleCancel revokes an awarded task (replanning compensation): the
+// commitment and any leftover hold are dropped.
+func (p *Participant) HandleCancel(workflow string, c proto.Cancel) {
+	p.sched.Release(workflow, c.Task)
+	p.sched.Remove(workflow, c.Task)
+}
+
+// ExpireHolds releases reservations whose deadlines have passed; hosts
+// call it periodically (or on a timer at each deadline).
+func (p *Participant) ExpireHolds() int {
+	return p.sched.ExpireHolds(p.clk.Now())
+}
+
+// ReleaseHold drops the reservation for one task (the host observed the
+// award going elsewhere).
+func (p *Participant) ReleaseHold(workflow string, task model.TaskID) {
+	p.sched.Release(workflow, task)
+}
+
+// BidWindow returns the configured bid window.
+func (p *Participant) BidWindow() time.Duration { return p.bidWindow }

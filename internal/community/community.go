@@ -1,0 +1,243 @@
+// Package community builds and operates a transient community of hosts for
+// simulations, examples, and tests: N participant devices joined by either
+// the simulated in-memory network or real TCP loopback sockets. It is the
+// programmatic equivalent of the paper's deployment steps (§4.1): install
+// the program on the users' devices, add knowhow (workflow fragments), add
+// service descriptions — after which any participant can pose a problem
+// specification.
+package community
+
+import (
+	"fmt"
+	"time"
+
+	"openwf/internal/clock"
+	"openwf/internal/engine"
+	"openwf/internal/host"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/schedule"
+	"openwf/internal/service"
+	"openwf/internal/space"
+	"openwf/internal/spec"
+	"openwf/internal/trace"
+	"openwf/internal/transport/inmem"
+	"openwf/internal/transport/tcpnet"
+)
+
+// Transport selects the communications substrate.
+type Transport int
+
+const (
+	// InMem is the simulated network (the paper's simulation setup).
+	InMem Transport = iota + 1
+	// TCP uses real loopback sockets (the empirical configuration).
+	TCP
+)
+
+// Options configure a community.
+type Options struct {
+	// Transport selects the substrate (default InMem).
+	Transport Transport
+	// Clock paces all hosts and the network (default: wall clock).
+	Clock clock.Clock
+	// LinkModel adds latency/loss to the in-memory network (ignored for
+	// TCP). Nil means instantaneous delivery.
+	LinkModel inmem.LinkModel
+	// Seed seeds the network's randomness (jitter, loss).
+	Seed int64
+	// DisableMarshal skips gob encoding on the in-memory network for
+	// maximum simulation throughput.
+	DisableMarshal bool
+	// StoreAndForward buffers messages across partitions on the
+	// in-memory network instead of losing them (delay-tolerant
+	// delivery; see inmem.WithStoreAndForward).
+	StoreAndForward bool
+	// Engine configures every host's workflow engine; the zero value
+	// selects engine.DefaultConfig.
+	Engine *engine.Config
+	// BidWindow overrides the participants' bid deadline window.
+	BidWindow time.Duration
+	// Trace, when non-nil, records every message every host sends or
+	// receives (one shared recorder across the community).
+	Trace trace.Recorder
+}
+
+// HostSpec describes one participant device.
+type HostSpec struct {
+	// ID is the host's community address.
+	ID proto.Addr
+	// Fragments is the device's knowhow.
+	Fragments []*model.Fragment
+	// Services are the device's capabilities.
+	Services []service.Registration
+	// Location places the host on the plane.
+	Location space.Point
+	// Speed, when positive, makes the host mobile (m/s).
+	Speed float64
+	// Prefs expresses scheduling willingness.
+	Prefs schedule.Preferences
+}
+
+// Community is a running set of hosts.
+type Community struct {
+	clk     clock.Clock
+	hosts   map[proto.Addr]*host.Host
+	order   []proto.Addr
+	network *inmem.Network
+	tcps    []*tcpnet.Transport
+}
+
+// New builds and starts a community.
+func New(opts Options, specs ...HostSpec) (*Community, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("community: no hosts")
+	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.New()
+	}
+	engCfg := engine.DefaultConfig()
+	if opts.Engine != nil {
+		engCfg = *opts.Engine
+	}
+	if opts.Transport == 0 {
+		opts.Transport = InMem
+	}
+
+	c := &Community{clk: clk, hosts: make(map[proto.Addr]*host.Host, len(specs))}
+	members := make([]proto.Addr, 0, len(specs))
+	for _, hs := range specs {
+		if _, dup := c.hosts[hs.ID]; dup {
+			return nil, fmt.Errorf("community: duplicate host %q", hs.ID)
+		}
+		var mobility space.Mobility
+		if hs.Speed > 0 {
+			mobility = space.NewMover(hs.Location, hs.Speed)
+		} else {
+			mobility = space.Static{P: hs.Location}
+		}
+		h, err := host.New(host.Config{
+			Addr:      hs.ID,
+			Clock:     clk,
+			Mobility:  mobility,
+			Prefs:     hs.Prefs,
+			BidWindow: opts.BidWindow,
+			Engine:    engCfg,
+			Fragments: hs.Fragments,
+			Services:  hs.Services,
+			Trace:     opts.Trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.hosts[hs.ID] = h
+		c.order = append(c.order, hs.ID)
+		members = append(members, hs.ID)
+	}
+
+	switch opts.Transport {
+	case InMem:
+		netOpts := []inmem.Option{
+			inmem.WithClock(clk),
+			inmem.WithSeed(opts.Seed),
+			inmem.WithMarshal(!opts.DisableMarshal),
+			inmem.WithStoreAndForward(opts.StoreAndForward),
+		}
+		if opts.LinkModel != nil {
+			netOpts = append(netOpts, inmem.WithLinkModel(opts.LinkModel))
+		}
+		c.network = inmem.NewNetwork(netOpts...)
+		for _, id := range c.order {
+			h := c.hosts[id]
+			ep, err := c.network.Endpoint(id, h.Handle)
+			if err != nil {
+				_ = c.Close()
+				return nil, err
+			}
+			h.Attach(ep)
+		}
+	case TCP:
+		registry := make(map[proto.Addr]string, len(specs))
+		for _, id := range c.order {
+			h := c.hosts[id]
+			tr, hostport, err := tcpnet.Listen(id, h.Handle)
+			if err != nil {
+				_ = c.Close()
+				return nil, err
+			}
+			c.tcps = append(c.tcps, tr)
+			registry[id] = hostport
+			h.Attach(tr)
+		}
+		for _, tr := range c.tcps {
+			tr.SetRegistry(registry)
+		}
+	default:
+		return nil, fmt.Errorf("community: unknown transport %d", opts.Transport)
+	}
+
+	for _, id := range c.order {
+		c.hosts[id].SetMembers(members)
+	}
+	return c, nil
+}
+
+// Host returns the host with the given address.
+func (c *Community) Host(id proto.Addr) (*host.Host, bool) {
+	h, ok := c.hosts[id]
+	return h, ok
+}
+
+// Members returns the community's addresses in creation order.
+func (c *Community) Members() []proto.Addr {
+	return append([]proto.Addr(nil), c.order...)
+}
+
+// Network returns the simulated network, or nil when running over TCP.
+func (c *Community) Network() *inmem.Network { return c.network }
+
+// Initiate poses a problem specification at the given host and returns
+// the allocated plan — the operation the evaluation times.
+func (c *Community) Initiate(id proto.Addr, s spec.Spec) (*engine.Plan, error) {
+	h, ok := c.hosts[id]
+	if !ok {
+		return nil, fmt.Errorf("community: no host %q", id)
+	}
+	return h.Engine.Initiate(s)
+}
+
+// Execute distributes and runs an allocated plan from its initiator,
+// waiting up to timeout for the community to finish.
+func (c *Community) Execute(id proto.Addr, plan *engine.Plan, triggers map[model.LabelID][]byte, timeout time.Duration) (*engine.Report, error) {
+	h, ok := c.hosts[id]
+	if !ok {
+		return nil, fmt.Errorf("community: no host %q", id)
+	}
+	return h.Engine.Execute(plan, triggers, timeout)
+}
+
+// ResetSchedules clears every host's calendar (commitments and holds).
+// The evaluation harness calls it between runs so that the thousands of
+// independent measurements do not compete for the same schedule slots.
+func (c *Community) ResetSchedules() {
+	for _, id := range c.order {
+		c.hosts[id].Schedule.Clear()
+	}
+}
+
+// Close shuts the community down.
+func (c *Community) Close() error {
+	var first error
+	for _, id := range c.order {
+		if err := c.hosts[id].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.network != nil {
+		if err := c.network.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"openwf/internal/model"
+	"openwf/internal/spec"
+)
+
+// ErrNoSolution is returned when no workflow satisfying the specification
+// can be composed from the available knowledge (ω is not reachable from ι).
+var ErrNoSolution = errors.New("no feasible workflow for the specification")
+
+// Result describes a successful construction.
+type Result struct {
+	// Workflow is the constructed workflow; it satisfies the spec.
+	Workflow *model.Workflow
+	// Explored is the number of supergraph nodes colored green during
+	// exploration — the size of the searched region (an evaluation
+	// metric: larger supergraphs make the search encounter more nodes).
+	Explored int
+	// SupergraphTasks is the number of task nodes in the supergraph at
+	// the end of construction.
+	SupergraphTasks int
+	// CollectionRounds is the number of community query rounds an
+	// incremental construction performed (0 for a local construction).
+	CollectionRounds int
+	// FragmentsCollected is the number of distinct fragments merged.
+	FragmentsCollected int
+}
+
+// Construct runs Algorithm 1 against an already-assembled supergraph:
+// exploration from ι, then pruning back from ω. On success the blue
+// subgraph is returned as a valid workflow satisfying s. The supergraph's
+// coloring state is reset first, so Construct may be called repeatedly
+// with different specifications against the same knowledge.
+func Construct(g *Supergraph, s spec.Spec) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g.ResetColoring()
+	explore(g, s)
+	if !goalsGreen(g, s) {
+		return nil, fmt.Errorf("%w: goals %v not reachable from triggers %v",
+			ErrNoSolution, missingGoals(g, s), s.Triggers)
+	}
+	if err := prune(g, s); err != nil {
+		return nil, err
+	}
+	w, err := extract(g)
+	if err != nil {
+		return nil, err
+	}
+	if !s.Satisfies(w) {
+		// This happens only in the corner case where one goal label
+		// feeds another goal's derivation, making it an interior node
+		// rather than a sink; the specification's strict W.out = ω
+		// cannot then hold (see DESIGN.md).
+		return nil, fmt.Errorf("%w: constructed workflow has outset %v, specification requires %v",
+			ErrNoSolution, w.Out(), s.Goals)
+	}
+	return &Result{
+		Workflow:           w,
+		Explored:           g.GreenCount(),
+		SupergraphTasks:    g.NumTasks(),
+		FragmentsCollected: g.NumFragments(),
+	}, nil
+}
+
+// explore runs the exploration phase: a monotone worklist relaxation that
+// colors nodes green with distances. It is idempotent and may be re-run
+// after fragments are merged; coloring only ever extends or improves.
+// Exploration stops early once every goal is green (the paper's "until
+// ω ⊆ greenNodes" guard); distances at that point still satisfy the
+// invariant needed by pruning (every green node has its required parents
+// green at strictly smaller distance).
+func explore(g *Supergraph, s spec.Spec) {
+	goalsLeft := 0
+	for _, l := range s.Goals {
+		if n, ok := g.labels[l]; !ok || n.color != Green {
+			goalsLeft++
+		}
+	}
+	if goalsLeft == 0 {
+		return
+	}
+
+	goalSet := s.GoalSet()
+	var queue []*node
+	enqueue := func(n *node) { queue = append(queue, n) }
+
+	// Seed: the triggering labels hold by assumption; color them green
+	// at distance 0 (creating their nodes if no fragment mentions them
+	// yet — the incremental variant queries for their consumers).
+	for _, l := range s.Triggers {
+		n := g.labelFor(l)
+		if n.color != Green {
+			n.color = Green
+			n.distance = 0
+			g.greenCount++
+			if _, isGoal := goalSet[n.label]; isGoal {
+				goalsLeft--
+			}
+		}
+		for _, c := range n.children {
+			enqueue(c)
+		}
+	}
+	// Re-seed the frontier of an earlier exploration pass: any child of
+	// a green node may have become colorable after a fragment merge.
+	for _, n := range g.sortedLabelNodes() {
+		if n.color == Green {
+			for _, c := range n.children {
+				enqueue(c)
+			}
+		}
+	}
+	for _, id := range sortedTaskIDs(g.tasks) {
+		if n := g.tasks[id]; n.color == Green {
+			for _, c := range n.children {
+				enqueue(c)
+			}
+		}
+	}
+
+	for len(queue) > 0 && goalsLeft > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.kind == taskNode && n.infeasible {
+			continue
+		}
+		d, ok := candidateDistance(n)
+		if !ok {
+			continue
+		}
+		if n.color == Uncolored || (n.color == Green && n.distance > d+1) {
+			if n.color == Uncolored {
+				g.greenCount++
+				if n.kind == labelNode {
+					if _, isGoal := goalSet[n.label]; isGoal {
+						goalsLeft--
+					}
+				}
+			}
+			n.color = Green
+			n.distance = d + 1
+			for _, c := range n.children {
+				enqueue(c)
+			}
+		}
+	}
+}
+
+// candidateDistance computes the distance a node would be assigned from
+// its green parents: the minimum green-parent distance for disjunctive
+// nodes, the maximum over all parents (which must all be green) for
+// conjunctive nodes. ok is false when the node is not yet colorable.
+func candidateDistance(n *node) (int, bool) {
+	if len(n.parents) == 0 {
+		return 0, false
+	}
+	if n.mode == model.Disjunctive {
+		best, found := 0, false
+		for _, p := range n.parents {
+			if p.color == Green || p.color == Purple || p.color == Blue {
+				if !found || p.distance < best {
+					best, found = p.distance, true
+				}
+			}
+		}
+		return best, found
+	}
+	// Conjunctive: all parents must be green.
+	worst := 0
+	for _, p := range n.parents {
+		if p.color == Uncolored {
+			return 0, false
+		}
+		if p.distance > worst {
+			worst = p.distance
+		}
+	}
+	return worst, true
+}
+
+// goalsGreen reports whether every goal label has been reached.
+func goalsGreen(g *Supergraph, s spec.Spec) bool {
+	for _, l := range s.Goals {
+		n, ok := g.labels[l]
+		if !ok || n.color == Uncolored {
+			return false
+		}
+	}
+	return true
+}
+
+func missingGoals(g *Supergraph, s spec.Spec) []model.LabelID {
+	var out []model.LabelID
+	for _, l := range s.Goals {
+		if n, ok := g.labels[l]; !ok || n.color == Uncolored {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// prune runs the pruning phase: working backwards from ω with purple
+// markers, it selects the minimum-distance green parent of each
+// disjunctive node and all parents of each conjunctive node, coloring the
+// selection blue. On return the blue nodes and blue (recorded) edges form
+// the constructed workflow.
+func prune(g *Supergraph, s spec.Spec) error {
+	var purple []*node
+	for _, l := range s.Goals {
+		n, ok := g.labels[l]
+		if !ok || n.color != Green {
+			return fmt.Errorf("%w: goal %q not reached", ErrNoSolution, l)
+		}
+		n.color = Purple
+		purple = append(purple, n)
+	}
+	for len(purple) > 0 {
+		n := purple[0]
+		purple = purple[1:]
+
+		var required []*node
+		switch {
+		case n.distance == 0:
+			// A triggering label: available by assumption, no
+			// prerequisites even if the supergraph knows producers.
+		case n.mode == model.Disjunctive:
+			p := minGreenParent(n)
+			if p == nil {
+				return fmt.Errorf("internal: purple node %s has no green parent", n.id())
+			}
+			required = []*node{p}
+		default: // conjunctive
+			required = n.parents
+		}
+		for _, p := range required {
+			n.blueParents = append(n.blueParents, p)
+			if p.color == Green {
+				p.color = Purple
+				purple = append(purple, p)
+			}
+		}
+		n.color = Blue
+	}
+	return nil
+}
+
+// minGreenParent returns the colored parent with minimum distance, ties
+// broken by node ID for determinism. (Purple/blue parents are earlier
+// selections; reusing them keeps the workflow small.)
+func minGreenParent(n *node) *node {
+	var best *node
+	for _, p := range n.parents {
+		if p.color == Uncolored {
+			continue
+		}
+		if p.kind == taskNode && p.infeasible {
+			continue
+		}
+		if best == nil || p.distance < best.distance ||
+			(p.distance == best.distance && p.id() < best.id()) {
+			best = p
+		}
+	}
+	return best
+}
+
+// extract converts the blue subgraph into a model.Workflow.
+func extract(g *Supergraph) (*model.Workflow, error) {
+	// Blue out-edges of tasks are recorded on the label side: a blue
+	// label's blueParents hold its chosen producer.
+	outEdges := make(map[model.TaskID][]model.LabelID)
+	for _, l := range g.sortedLabelNodes() {
+		if l.color != Blue {
+			continue
+		}
+		for _, p := range l.blueParents {
+			outEdges[p.task] = append(outEdges[p.task], l.label)
+		}
+	}
+	wg := model.NewGraph()
+	for _, id := range sortedTaskIDs(g.tasks) {
+		n := g.tasks[id]
+		if n.color != Blue {
+			continue
+		}
+		inputs := make([]model.LabelID, 0, len(n.blueParents))
+		for _, p := range n.blueParents {
+			inputs = append(inputs, p.label)
+		}
+		sort.Slice(inputs, func(i, j int) bool { return inputs[i] < inputs[j] })
+		outputs := outEdges[id]
+		sort.Slice(outputs, func(i, j int) bool { return outputs[i] < outputs[j] })
+		t := model.Task{ID: id, Mode: n.mode, Inputs: inputs, Outputs: outputs}
+		if err := wg.AddTask(t); err != nil {
+			return nil, fmt.Errorf("extracting workflow: %w", err)
+		}
+	}
+	w, err := model.NewWorkflow(wg)
+	if err != nil {
+		return nil, fmt.Errorf("extracting workflow: %w", err)
+	}
+	return w, nil
+}
+
+func sortedTaskIDs(m map[model.TaskID]*node) []model.TaskID {
+	ids := make([]model.TaskID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"openwf/internal/model"
+	"openwf/internal/spec"
+)
+
+// KnowledgeSource supplies workflow fragments on demand. During incremental
+// construction the engine queries the community only for fragments that can
+// extend the supergraph at the boundary of the colored region: fragments
+// containing a task that consumes one of the frontier labels.
+//
+// The community implementation issues Fragment Messages to every member's
+// Fragment Manager; tests use in-memory sources.
+type KnowledgeSource interface {
+	// FragmentsConsuming returns every known fragment containing at
+	// least one task that consumes at least one of the given labels.
+	// Returning a fragment more than once across calls is permitted;
+	// merging is idempotent.
+	FragmentsConsuming(labels []model.LabelID) ([]*model.Fragment, error)
+}
+
+// FeasibilityChecker answers service-feasibility queries: which of the
+// given tasks can no member of the community perform. Construction excludes
+// such tasks so that the workflow only contains allocatable work
+// (the Service Feasibility Messages of the paper's architecture, Fig. 3).
+type FeasibilityChecker interface {
+	// InfeasibleTasks returns the subset of tasks that no participant
+	// can perform.
+	InfeasibleTasks(tasks []model.TaskID) ([]model.TaskID, error)
+}
+
+// IncrementalOptions tune ConstructIncremental.
+type IncrementalOptions struct {
+	// Feasibility, when non-nil, filters tasks that nobody can perform.
+	Feasibility FeasibilityChecker
+	// Exclude lists tasks that must not be used (specification
+	// constraint §5.1); they are marked infeasible up front.
+	Exclude []model.TaskID
+	// MaxRounds bounds the number of collection rounds as a safety
+	// valve; 0 means unbounded.
+	MaxRounds int
+}
+
+// ConstructIncremental builds a workflow for s by pulling fragments from
+// src on demand, per the paper's incremental strategy: "we build the
+// supergraph incrementally, drawing from the community only the fragments
+// that we need to extend the supergraph along the boundaries of the
+// colored region."
+//
+// Each round explores as far as current knowledge allows, then queries for
+// consumers of green labels that have not been queried before. Once every
+// goal is green, service feasibility is checked (if configured); newly
+// infeasible tasks reset the coloring and the loop continues, possibly
+// collecting alternative fragments. The supergraph is returned alongside
+// the result for inspection and reuse (replanning).
+func ConstructIncremental(src KnowledgeSource, s spec.Spec, opts IncrementalOptions) (*Result, *Supergraph, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := NewSupergraph()
+	for _, t := range opts.Exclude {
+		g.MarkInfeasible(t)
+	}
+
+	queried := make(map[model.LabelID]struct{})
+	feasChecked := make(map[model.TaskID]struct{})
+	rounds := 0
+
+	for {
+		explore(g, s)
+
+		if goalsGreen(g, s) {
+			infeasible, err := checkFeasibility(g, opts.Feasibility, feasChecked)
+			if err != nil {
+				return nil, g, err
+			}
+			if infeasible == 0 {
+				break
+			}
+			// Coloring was reset by MarkInfeasible; explore again,
+			// and possibly collect alternative paths.
+			continue
+		}
+
+		frontier := frontierLabels(g, s, queried)
+		if len(frontier) == 0 {
+			return nil, g, fmt.Errorf("%w: community knowledge exhausted after %d rounds; goals %v unreachable",
+				ErrNoSolution, rounds, missingGoals(g, s))
+		}
+		rounds++
+		if opts.MaxRounds > 0 && rounds > opts.MaxRounds {
+			return nil, g, fmt.Errorf("%w: collection exceeded %d rounds", ErrNoSolution, opts.MaxRounds)
+		}
+		frags, err := src.FragmentsConsuming(frontier)
+		if err != nil {
+			return nil, g, fmt.Errorf("collecting fragments: %w", err)
+		}
+		for _, l := range frontier {
+			queried[l] = struct{}{}
+		}
+		for _, f := range frags {
+			if _, err := g.AddFragment(f); err != nil {
+				return nil, g, fmt.Errorf("merging collected fragment: %w", err)
+			}
+		}
+	}
+
+	if err := prune(g, s); err != nil {
+		return nil, g, err
+	}
+	w, err := extract(g)
+	if err != nil {
+		return nil, g, err
+	}
+	if !s.Satisfies(w) {
+		return nil, g, fmt.Errorf("%w: constructed workflow has outset %v, specification requires %v",
+			ErrNoSolution, w.Out(), s.Goals)
+	}
+	return &Result{
+		Workflow:           w,
+		Explored:           g.GreenCount(),
+		SupergraphTasks:    g.NumTasks(),
+		CollectionRounds:   rounds,
+		FragmentsCollected: g.NumFragments(),
+	}, g, nil
+}
+
+// frontierLabels returns the green labels not yet queried, sorted. The
+// triggering labels are green from the first exploration pass, so they are
+// part of the first frontier.
+func frontierLabels(g *Supergraph, s spec.Spec, queried map[model.LabelID]struct{}) []model.LabelID {
+	var out []model.LabelID
+	for _, n := range g.sortedLabelNodes() {
+		if n.color != Green && n.color != Purple && n.color != Blue {
+			continue
+		}
+		if _, done := queried[n.label]; done {
+			continue
+		}
+		out = append(out, n.label)
+	}
+	return out
+}
+
+// checkFeasibility queries the checker for green tasks not yet checked and
+// marks the infeasible ones. It returns how many tasks were newly marked.
+func checkFeasibility(g *Supergraph, checker FeasibilityChecker, checked map[model.TaskID]struct{}) (int, error) {
+	if checker == nil {
+		return 0, nil
+	}
+	var toCheck []model.TaskID
+	for _, id := range g.GreenTasks() {
+		if _, done := checked[id]; !done {
+			toCheck = append(toCheck, id)
+		}
+	}
+	if len(toCheck) == 0 {
+		return 0, nil
+	}
+	infeasible, err := checker.InfeasibleTasks(toCheck)
+	if err != nil {
+		return 0, fmt.Errorf("feasibility check: %w", err)
+	}
+	for _, id := range toCheck {
+		checked[id] = struct{}{}
+	}
+	for _, id := range infeasible {
+		g.MarkInfeasible(id)
+	}
+	return len(infeasible), nil
+}
+
+// SliceSource is a KnowledgeSource over an in-memory fragment list; it is
+// used by tests, examples, and the full-collection ablation.
+type SliceSource []*model.Fragment
+
+var _ KnowledgeSource = SliceSource(nil)
+
+// FragmentsConsuming implements KnowledgeSource.
+func (s SliceSource) FragmentsConsuming(labels []model.LabelID) ([]*model.Fragment, error) {
+	set := make(map[model.LabelID]struct{}, len(labels))
+	for _, l := range labels {
+		set[l] = struct{}{}
+	}
+	var out []*model.Fragment
+	for _, f := range s {
+		if f.ConsumesAny(set) {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// CollectAll merges every fragment of the source list into a fresh
+// supergraph — the non-incremental baseline in which the initiator first
+// gathers the community's entire knowledge (§3.1's simplifying assumption,
+// kept as an ablation).
+func CollectAll(frags []*model.Fragment) (*Supergraph, error) {
+	g := NewSupergraph()
+	for _, f := range frags {
+		if _, err := g.AddFragment(f); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

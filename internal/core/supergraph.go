@@ -1,0 +1,333 @@
+// Package core implements the open-workflow construction algorithm of
+// Thomas et al. (§3.1, Algorithm 1): workflow fragments gathered from the
+// community are merged into a *workflow supergraph* — a unified view of all
+// known actions that may contain cycles, multiply-produced labels, and
+// irrelevant branches — and a two-phase node-coloring process extracts a
+// valid workflow satisfying a specification from it.
+//
+//   - Exploration phase: starting from the triggering labels ι (distance
+//     0), nodes reachable from ι are colored green and annotated with a
+//     distance; a disjunctive node needs one green parent, a conjunctive
+//     node needs all parents green.
+//   - Pruning phase: starting from the goal labels ω (colored purple), the
+//     algorithm walks backwards, choosing the minimum-distance green parent
+//     for disjunctive nodes and all parents for conjunctive nodes, coloring
+//     chosen nodes and edges blue. The blue subgraph is the constructed
+//     workflow.
+//
+// The package also implements the incremental variant described in the
+// paper: because coloring requires only local knowledge, fragments are
+// pulled from the community on demand, only where needed to extend the
+// supergraph along the boundary of the colored region.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"openwf/internal/model"
+)
+
+// Color is the marking applied to supergraph nodes during construction.
+type Color uint8
+
+const (
+	// Uncolored nodes have not been reached by exploration.
+	Uncolored Color = iota
+	// Green marks nodes proven reachable from the triggering labels ι.
+	Green
+	// Purple marks nodes on the boundary of the blue region during the
+	// pruning phase: selected for the workflow but with prerequisites
+	// still to process.
+	Purple
+	// Blue marks nodes (and edges) selected into the final workflow.
+	Blue
+)
+
+// String returns the color name.
+func (c Color) String() string {
+	switch c {
+	case Uncolored:
+		return "uncolored"
+	case Green:
+		return "green"
+	case Purple:
+		return "purple"
+	case Blue:
+		return "blue"
+	default:
+		return fmt.Sprintf("Color(%d)", uint8(c))
+	}
+}
+
+// nodeKind distinguishes the two sides of the bipartite graph.
+type nodeKind uint8
+
+const (
+	labelNode nodeKind = iota + 1
+	taskNode
+)
+
+// infinity is the initial distance of every node.
+const infinity = math.MaxInt
+
+// node is a supergraph vertex. Label nodes are disjunctive (any producer
+// suffices); task nodes carry the task's own mode.
+type node struct {
+	kind  nodeKind
+	label model.LabelID // set for label nodes
+	task  model.TaskID  // set for task nodes
+	mode  model.Mode    // Disjunctive for labels; task mode for tasks
+
+	parents  []*node
+	children []*node
+
+	color    Color
+	distance int
+
+	// infeasible marks a task that no participant can perform (service
+	// feasibility filtering) or that a constraint excludes. Infeasible
+	// nodes are never colored.
+	infeasible bool
+	// placeholder marks a task node created by MarkInfeasible before
+	// any fragment defined the task; the first fragment mentioning it
+	// fills in the wiring (the infeasibility mark is kept).
+	placeholder bool
+
+	// blueParents records, after pruning, which parent edges were
+	// colored blue (the edges of the constructed workflow).
+	blueParents []*node
+}
+
+func (n *node) id() string {
+	if n.kind == labelNode {
+		return "L:" + string(n.label)
+	}
+	return "T:" + string(n.task)
+}
+
+// Supergraph is the union of collected workflow fragments plus the
+// coloring state of an in-progress construction. It is not safe for
+// concurrent use; the engine serializes access per workspace.
+type Supergraph struct {
+	labels map[model.LabelID]*node
+	tasks  map[model.TaskID]*node
+
+	// fragments records the names of merged fragments (dedup).
+	fragments map[string]struct{}
+
+	// greenCount tracks how many nodes are currently green; exposed for
+	// evaluation metrics ("nodes encountered during the search").
+	greenCount int
+}
+
+// NewSupergraph returns an empty supergraph.
+func NewSupergraph() *Supergraph {
+	return &Supergraph{
+		labels:    make(map[model.LabelID]*node),
+		tasks:     make(map[model.TaskID]*node),
+		fragments: make(map[string]struct{}),
+	}
+}
+
+// labelFor returns (creating if needed) the node for a label.
+func (g *Supergraph) labelFor(l model.LabelID) *node {
+	n, ok := g.labels[l]
+	if !ok {
+		n = &node{kind: labelNode, label: l, mode: model.Disjunctive, distance: infinity}
+		g.labels[l] = n
+	}
+	return n
+}
+
+// AddFragment merges a fragment into the supergraph. Fragments already
+// merged (by name) are skipped; tasks already present (by semantic ID)
+// merge by identity. It returns the number of new task nodes added, and an
+// error if a task ID arrives with a conflicting definition.
+func (g *Supergraph) AddFragment(f *model.Fragment) (int, error) {
+	if _, seen := g.fragments[f.Name]; seen {
+		return 0, nil
+	}
+	added := 0
+	for _, t := range f.Tasks {
+		n, err := g.addTask(t)
+		if err != nil {
+			return added, fmt.Errorf("fragment %q: %w", f.Name, err)
+		}
+		if n {
+			added++
+		}
+	}
+	g.fragments[f.Name] = struct{}{}
+	return added, nil
+}
+
+// addTask inserts one task node, wiring label parents/children. It reports
+// whether a new node was created.
+func (g *Supergraph) addTask(t model.Task) (bool, error) {
+	if err := t.Validate(); err != nil {
+		return false, err
+	}
+	if existing, ok := g.tasks[t.ID]; ok {
+		if !existing.placeholder {
+			if !sameTaskShape(existing, t) {
+				return false, fmt.Errorf("task %q already present with a different definition", t.ID)
+			}
+			return false, nil
+		}
+		existing.placeholder = false
+		existing.mode = t.Mode
+		g.wireTask(existing, t)
+		return true, nil
+	}
+	n := &node{kind: taskNode, task: t.ID, mode: t.Mode, distance: infinity}
+	g.tasks[t.ID] = n
+	g.wireTask(n, t)
+	return true, nil
+}
+
+// wireTask connects a task node to its input and output label nodes.
+func (g *Supergraph) wireTask(n *node, t model.Task) {
+	for _, in := range t.Inputs {
+		l := g.labelFor(in)
+		n.parents = append(n.parents, l)
+		l.children = append(l.children, n)
+	}
+	for _, out := range t.Outputs {
+		l := g.labelFor(out)
+		n.children = append(n.children, l)
+		l.parents = append(l.parents, n)
+	}
+}
+
+// sameTaskShape compares a task node's wiring against a task definition.
+func sameTaskShape(n *node, t model.Task) bool {
+	if n.mode != t.Mode {
+		return false
+	}
+	ins := make(map[model.LabelID]struct{}, len(n.parents))
+	for _, p := range n.parents {
+		ins[p.label] = struct{}{}
+	}
+	if len(ins) != len(t.Inputs) {
+		return false
+	}
+	for _, in := range t.Inputs {
+		if _, ok := ins[in]; !ok {
+			return false
+		}
+	}
+	outs := make(map[model.LabelID]struct{}, len(n.children))
+	for _, c := range n.children {
+		outs[c.label] = struct{}{}
+	}
+	if len(outs) != len(t.Outputs) {
+		return false
+	}
+	for _, out := range t.Outputs {
+		if _, ok := outs[out]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MarkInfeasible excludes a task from construction: it will never be
+// colored, as if no fragment had mentioned it. Used for service
+// feasibility filtering and for specification-level task exclusions.
+// Marking resets any coloring, since reachability may have depended on the
+// task; callers re-run exploration afterwards.
+func (g *Supergraph) MarkInfeasible(t model.TaskID) {
+	n, ok := g.tasks[t]
+	if !ok {
+		// Record the exclusion even before the task is collected; the
+		// first fragment defining the task fills in the wiring.
+		n = &node{kind: taskNode, task: t, mode: model.Conjunctive, distance: infinity, placeholder: true}
+		g.tasks[t] = n
+	}
+	if n.infeasible {
+		return
+	}
+	n.infeasible = true
+	g.ResetColoring()
+}
+
+// Infeasible reports whether a task is marked infeasible.
+func (g *Supergraph) Infeasible(t model.TaskID) bool {
+	n, ok := g.tasks[t]
+	return ok && n.infeasible
+}
+
+// ResetColoring clears all colors and distances, keeping the merged graph
+// and infeasibility marks.
+func (g *Supergraph) ResetColoring() {
+	for _, n := range g.labels {
+		n.color, n.distance, n.blueParents = Uncolored, infinity, nil
+	}
+	for _, n := range g.tasks {
+		n.color, n.distance, n.blueParents = Uncolored, infinity, nil
+	}
+	g.greenCount = 0
+}
+
+// NumTasks returns the number of task nodes (including infeasible ones).
+func (g *Supergraph) NumTasks() int { return len(g.tasks) }
+
+// NumLabels returns the number of label nodes.
+func (g *Supergraph) NumLabels() int { return len(g.labels) }
+
+// NumFragments returns the number of distinct fragments merged so far.
+func (g *Supergraph) NumFragments() int { return len(g.fragments) }
+
+// GreenCount returns the number of currently green nodes — the size of the
+// region explored by the last construction, an evaluation metric.
+func (g *Supergraph) GreenCount() int { return g.greenCount }
+
+// TaskColor returns the color of a task node.
+func (g *Supergraph) TaskColor(t model.TaskID) Color {
+	if n, ok := g.tasks[t]; ok {
+		return n.color
+	}
+	return Uncolored
+}
+
+// LabelColor returns the color of a label node.
+func (g *Supergraph) LabelColor(l model.LabelID) Color {
+	if n, ok := g.labels[l]; ok {
+		return n.color
+	}
+	return Uncolored
+}
+
+// LabelDistance returns the distance annotation of a label node and
+// whether the label exists and has been reached.
+func (g *Supergraph) LabelDistance(l model.LabelID) (int, bool) {
+	n, ok := g.labels[l]
+	if !ok || n.distance == infinity {
+		return 0, false
+	}
+	return n.distance, true
+}
+
+// GreenTasks returns the IDs of all green task nodes, sorted.
+func (g *Supergraph) GreenTasks() []model.TaskID {
+	var out []model.TaskID
+	for id, n := range g.tasks {
+		if n.color == Green || n.color == Purple || n.color == Blue {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedLabelNodes returns all label nodes in deterministic order.
+func (g *Supergraph) sortedLabelNodes() []*node {
+	out := make([]*node, 0, len(g.labels))
+	for _, n := range g.labels {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"openwf/internal/auction"
+	"openwf/internal/core"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/spec"
+)
+
+// allocate runs the auction for every task of the constructed workflow and
+// returns the plan plus any tasks that could not be allocated. postpone
+// shifts every execution window into the future (allocation retry).
+func (m *Manager) allocate(wfID string, s spec.Spec, res *core.Result, postpone time.Duration) (*Plan, []model.TaskID, error) {
+	w := res.Workflow
+	metas := m.taskMetas(w, postpone)
+	members := m.net.Members()
+
+	auc, err := auction.NewAuctioneer(members, metas)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var decisions []auction.Decision
+	record := func(ds []auction.Decision) { decisions = append(decisions, ds...) }
+
+	// Solicit bids pairwise from every member: the initiating host
+	// communicates with each participant in turn (§5: time linear in
+	// the number of hosts).
+	clk := m.net.Clock()
+	for _, out := range auc.Start() {
+		cfb, ok := out.Body.(proto.CallForBids)
+		if !ok {
+			return nil, nil, fmt.Errorf("auction emitted unexpected message %T", out.Body)
+		}
+		reply, err := m.net.Call(out.To, wfID, cfb, m.cfg.CallTimeout)
+		if err != nil {
+			continue // member unreachable: it simply does not bid
+		}
+		switch b := reply.(type) {
+		case proto.Bid:
+			record(auc.HandleBid(out.To, b, clk.Now()))
+		case proto.Decline:
+			record(auc.HandleDecline(out.To, b, clk.Now()))
+		default:
+			return nil, nil, fmt.Errorf("call for bids to %q: unexpected reply %T", out.To, reply)
+		}
+	}
+
+	// Undecided tasks (some member never answered) wait for the
+	// tentative winner's deadline: the auction manager waits as long as
+	// possible, but once some participant can do the task, the task is
+	// guaranteed to be allocated.
+	for !auc.Done() {
+		deadline, ok := auc.NextDeadline()
+		if !ok {
+			// No tentative winner anywhere and not everyone
+			// responded: the remaining tasks cannot be allocated.
+			break
+		}
+		if wait := deadline.Sub(clk.Now()); wait > 0 {
+			clk.Sleep(wait)
+		}
+		record(auc.Tick(clk.Now()))
+	}
+
+	plan := &Plan{
+		WorkflowID:   wfID,
+		Spec:         s,
+		Workflow:     w,
+		Allocations:  make(map[model.TaskID]proto.Addr, len(metas)),
+		Metas:        make(map[model.TaskID]proto.TaskMeta, len(metas)),
+		Construction: *res,
+	}
+	for _, meta := range metas {
+		plan.Metas[meta.Task] = meta
+	}
+
+	failedSet := make(map[model.TaskID]struct{})
+	for _, t := range auc.FailedTasks() {
+		failedSet[t] = struct{}{}
+	}
+	// Tasks never decided (no bid, missing responses) also count failed.
+	for _, meta := range metas {
+		if _, won := auc.Allocations()[meta.Task]; !won {
+			failedSet[meta.Task] = struct{}{}
+		}
+	}
+
+	// Award the winners; a refused award (expired hold) re-enters the
+	// failure set for replanning.
+	for _, d := range decisions {
+		if d.Failed() {
+			continue
+		}
+		reply, err := m.net.Call(d.Winner, wfID, d.Award, m.cfg.CallTimeout)
+		if err != nil {
+			failedSet[d.Task] = struct{}{}
+			continue
+		}
+		ack, ok := reply.(proto.AwardAck)
+		if !ok {
+			return nil, nil, fmt.Errorf("award to %q: unexpected reply %T", d.Winner, reply)
+		}
+		if !ack.OK {
+			failedSet[d.Task] = struct{}{}
+			continue
+		}
+		plan.Allocations[d.Task] = d.Winner
+	}
+
+	failed := make([]model.TaskID, 0, len(failedSet))
+	for t := range failedSet {
+		failed = append(failed, t)
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
+	return plan, failed, nil
+}
+
+// taskMetas computes the auction metadata for every task (§3.2: "the
+// auction manager begins the allocation phase by computing metadata for
+// each task used in allocating and executing the workflow"): data flow
+// from the workflow and execution windows staggered by topological order,
+// so data dependencies and single-host schedules are both satisfiable.
+func (m *Manager) taskMetas(w *model.Workflow, postpone time.Duration) []proto.TaskMeta {
+	base := m.net.Clock().Now().Add(m.cfg.StartDelay + postpone)
+	order := w.TopoOrder()
+	metas := make([]proto.TaskMeta, 0, len(order))
+	for i, id := range order {
+		t, _ := w.Task(id)
+		start := base.Add(time.Duration(i) * m.cfg.TaskWindow)
+		metas = append(metas, proto.TaskMeta{
+			Task:    t.ID,
+			Mode:    t.Mode,
+			Inputs:  t.Inputs,
+			Outputs: t.Outputs,
+			Start:   start,
+			End:     start.Add(m.cfg.TaskWindow),
+		})
+	}
+	return metas
+}
+
+// compensate cancels every award of a failed allocation attempt so the
+// winners release their commitments before replanning.
+func (m *Manager) compensate(wfID string, plan *Plan) {
+	ids := make([]model.TaskID, 0, len(plan.Allocations))
+	for t := range plan.Allocations {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, t := range ids {
+		_ = m.net.Send(plan.Allocations[t], wfID, proto.Cancel{Task: t})
+	}
+}

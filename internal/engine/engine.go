@@ -1,0 +1,426 @@
+// Package engine implements the construction subsystem (§4): the Workflow
+// Initiator and Workflow Manager. The Workflow Manager maintains one
+// workspace per open workflow, issues queries to discover knowhow
+// (Fragment Messages) and capabilities (Service Feasibility Messages),
+// constructs the workflow with the coloring algorithm of internal/core,
+// delegates allocation to the Auction Manager, and — once every task is
+// allocated — distributes the routing plan that lets execution proceed in
+// a fully decentralized manner.
+//
+// The engine also implements the failure feedback loop sketched in §5.1:
+// when a task cannot be allocated, it is marked infeasible, awarded tasks
+// are compensated (canceled), and the workflow is reconstructed from the
+// remaining knowledge.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"openwf/internal/clock"
+	"openwf/internal/core"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/spec"
+)
+
+// Messenger is what the engine needs from its host: identity, the current
+// community view, and request/response messaging through the abstract
+// communications layer. internal/host provides the implementation.
+type Messenger interface {
+	// Self returns this host's address.
+	Self() proto.Addr
+	// Members returns the current community view, including self.
+	Members() []proto.Addr
+	// Call sends a request and waits for the correlated reply.
+	Call(to proto.Addr, workflow string, body proto.Body, timeout time.Duration) (proto.Body, error)
+	// Send transmits a one-way message.
+	Send(to proto.Addr, workflow string, body proto.Body) error
+	// Clock returns the host clock.
+	Clock() clock.Clock
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Incremental selects on-demand fragment collection (the paper's
+	// implementation strategy). When false, the engine gathers every
+	// fragment in the community up front (§3.1's simplifying
+	// assumption, kept as an ablation baseline).
+	Incremental bool
+	// Feasibility enables service-feasibility filtering during
+	// construction (tasks nobody can perform are excluded).
+	Feasibility bool
+	// ParallelQuery issues community queries to all members at once
+	// instead of pairwise in turn. The paper observes that processing
+	// the responses still costs time linear in the community size; the
+	// ablation benchmark quantifies how much of the pairwise latency is
+	// recovered.
+	ParallelQuery bool
+	// CallTimeout bounds each community query; hosts that do not answer
+	// in time are treated as unreachable for that query.
+	CallTimeout time.Duration
+	// StartDelay is how far in the future the first execution window is
+	// placed, leaving time for allocation to finish.
+	StartDelay time.Duration
+	// TaskWindow is the length of each task's execution window; windows
+	// are staggered by topological order so one host can serve several
+	// tasks of the same workflow.
+	TaskWindow time.Duration
+	// MaxReplans bounds the failure-feedback loop.
+	MaxReplans int
+	// WindowRetries is how many times a failed allocation is retried
+	// with postponed execution windows before the engine gives up on
+	// the task and reconstructs. Concurrent workflows compete for the
+	// same hosts' schedules (§4.2); a task that cannot be scheduled now
+	// may fit a later window.
+	WindowRetries int
+	// Constraints are the richer specification options (§5.1) applied
+	// to every construction from this engine.
+	Constraints spec.Constraints
+}
+
+// DefaultConfig returns the configuration used by the evaluation: the
+// incremental strategy with feasibility filtering.
+func DefaultConfig() Config {
+	return Config{
+		Incremental:   true,
+		Feasibility:   true,
+		CallTimeout:   5 * time.Second,
+		StartDelay:    time.Second,
+		TaskWindow:    time.Second,
+		MaxReplans:    3,
+		WindowRetries: 2,
+	}
+}
+
+// Plan is the outcome of Initiate: the constructed workflow and the
+// allocation of each of its tasks (the paper's measured unit of work ends
+// here — "all tasks of the resulting workflow have been successfully
+// allocated to some host").
+type Plan struct {
+	// WorkflowID identifies the open-workflow instance.
+	WorkflowID string
+	// Spec is the specification that was satisfied.
+	Spec spec.Spec
+	// Workflow is the constructed workflow.
+	Workflow *model.Workflow
+	// Allocations maps every task to its awarded host.
+	Allocations map[model.TaskID]proto.Addr
+	// Metas holds the auction metadata per task (windows, locations).
+	Metas map[model.TaskID]proto.TaskMeta
+	// Construction carries the construction metrics.
+	Construction core.Result
+	// Replans is how many failure-feedback iterations were needed.
+	Replans int
+}
+
+// ErrAllocationFailed is wrapped in errors returned when allocation could
+// not complete even after replanning.
+var ErrAllocationFailed = errors.New("allocation failed")
+
+// Manager is a host's workflow engine (Workflow Manager + Initiator).
+type Manager struct {
+	net Messenger
+	cfg Config
+
+	mu         sync.Mutex
+	seq        int
+	executions map[string]*execution
+}
+
+// execution tracks an in-flight Execute call on the initiator.
+type execution struct {
+	plan      *Plan
+	remaining map[model.TaskID]struct{}
+	goals     map[model.LabelID][]byte
+	goalWant  int
+	failures  []string
+	done      chan struct{}
+	finished  bool
+	completed bool
+}
+
+// NewManager returns an engine bound to its host messenger.
+func NewManager(net Messenger, cfg Config) *Manager {
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = DefaultConfig().CallTimeout
+	}
+	if cfg.StartDelay <= 0 {
+		cfg.StartDelay = DefaultConfig().StartDelay
+	}
+	if cfg.TaskWindow <= 0 {
+		cfg.TaskWindow = DefaultConfig().TaskWindow
+	}
+	return &Manager{net: net, cfg: cfg, executions: make(map[string]*execution)}
+}
+
+// Config returns the engine configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// newWorkflowID mints a unique workspace identifier.
+func (m *Manager) newWorkflowID() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	return string(m.net.Self()) + "/" + strconv.Itoa(m.seq)
+}
+
+// Initiate runs the full construction-and-allocation pipeline for a new
+// problem specification and returns the allocated plan. This is the
+// operation the paper's evaluation times.
+func (m *Manager) Initiate(s spec.Spec) (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	wfID := m.newWorkflowID()
+	excluded := append([]model.TaskID(nil), m.cfg.Constraints.ExcludeTasks...)
+
+	for attempt := 0; ; attempt++ {
+		res, err := m.construct(wfID, s, excluded)
+		if err != nil {
+			return nil, err
+		}
+		if m.cfg.Constraints.MaxTasks > 0 {
+			if err := m.cfg.Constraints.Check(res.Workflow); err != nil {
+				return nil, fmt.Errorf("%w: %v", core.ErrNoSolution, err)
+			}
+		}
+		// A failed allocation is first retried with postponed windows:
+		// the task's only providers may simply be busy with another
+		// workflow's commitments right now.
+		var plan *Plan
+		var failed []model.TaskID
+		for try := 0; ; try++ {
+			postpone := time.Duration(try) * m.cfg.StartDelay
+			plan, failed, err = m.allocate(wfID, s, res, postpone)
+			if err != nil {
+				return nil, err
+			}
+			if len(failed) == 0 {
+				plan.Replans = attempt
+				return plan, nil
+			}
+			m.compensate(wfID, plan)
+			if try >= m.cfg.WindowRetries {
+				break
+			}
+		}
+		// Failure feedback (§5.1): the tasks stayed unallocatable;
+		// exclude them and reconstruct from the remaining knowledge.
+		excluded = append(excluded, failed...)
+		if attempt >= m.cfg.MaxReplans {
+			return nil, fmt.Errorf("%w: tasks %v unallocatable after %d replans",
+				ErrAllocationFailed, failed, attempt)
+		}
+	}
+}
+
+// AllocateWorkflow allocates a pre-specified workflow without any
+// construction — the classical (CiAN-style) mode in which a thoughtfully
+// designed workflow already exists and only distributed allocation and
+// execution remain. It serves as the baseline that isolates the cost of
+// dynamic construction, and lets the engine double as a conventional
+// MANET workflow engine.
+func (m *Manager) AllocateWorkflow(w *model.Workflow, s spec.Spec) (*Plan, error) {
+	if w == nil || w.NumTasks() == 0 {
+		return nil, fmt.Errorf("empty workflow")
+	}
+	wfID := m.newWorkflowID()
+	res := &core.Result{Workflow: w}
+	for try := 0; ; try++ {
+		postpone := time.Duration(try) * m.cfg.StartDelay
+		plan, failed, err := m.allocate(wfID, s, res, postpone)
+		if err != nil {
+			return nil, err
+		}
+		if len(failed) == 0 {
+			return plan, nil
+		}
+		m.compensate(wfID, plan)
+		if try >= m.cfg.WindowRetries {
+			return nil, fmt.Errorf("%w: tasks %v unallocatable", ErrAllocationFailed, failed)
+		}
+	}
+}
+
+// construct builds the workflow, either incrementally (querying the
+// community round by round) or from a full collection.
+func (m *Manager) construct(wfID string, s spec.Spec, excluded []model.TaskID) (*core.Result, error) {
+	var checker core.FeasibilityChecker
+	if m.cfg.Feasibility {
+		checker = &communityFeasibility{m: m, wfID: wfID}
+	}
+	opts := core.IncrementalOptions{
+		Feasibility: checker,
+		Exclude:     excluded,
+	}
+	if m.cfg.Incremental {
+		src := &communityKnowledge{m: m, wfID: wfID}
+		res, _, err := core.ConstructIncremental(src, s, opts)
+		return res, err
+	}
+	// Full collection: one query for every label any member knows.
+	frags, err := m.collectAll(wfID)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.CollectAll(frags)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range excluded {
+		g.MarkInfeasible(t)
+	}
+	res, err := core.Construct(g, s)
+	if err != nil {
+		return nil, err
+	}
+	if checker != nil {
+		infeasible, ferr := checker.InfeasibleTasks(res.Workflow.TaskIDs())
+		if ferr != nil {
+			return nil, ferr
+		}
+		if len(infeasible) > 0 {
+			for _, t := range infeasible {
+				g.MarkInfeasible(t)
+			}
+			res, err = core.Construct(g, s)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// communityKnowledge implements core.KnowledgeSource by querying every
+// member's Fragment Manager pairwise (the initiating host communicates
+// with each member of the community in turn — time linear in hosts).
+type communityKnowledge struct {
+	m    *Manager
+	wfID string
+}
+
+var _ core.KnowledgeSource = (*communityKnowledge)(nil)
+
+// FragmentsConsuming implements core.KnowledgeSource.
+func (ck *communityKnowledge) FragmentsConsuming(labels []model.LabelID) ([]*model.Fragment, error) {
+	var out []*model.Fragment
+	query := proto.FragmentQuery{Labels: labels}
+	replies, err := ck.m.queryAll(ck.wfID, query)
+	if err != nil {
+		return nil, err
+	}
+	for _, reply := range replies {
+		fr, ok := reply.body.(proto.FragmentReply)
+		if !ok {
+			return nil, fmt.Errorf("fragment query to %q: unexpected reply %T", reply.from, reply.body)
+		}
+		out = append(out, fr.Fragments...)
+	}
+	return out, nil
+}
+
+// memberReply pairs a community reply with its sender.
+type memberReply struct {
+	from proto.Addr
+	body proto.Body
+}
+
+// queryAll sends one query to every member and gathers the replies —
+// pairwise in turn by default, or all at once with ParallelQuery.
+// Unreachable members are skipped; their knowledge and capabilities are
+// simply unavailable to this construction.
+func (m *Manager) queryAll(wfID string, query proto.Body) ([]memberReply, error) {
+	members := m.net.Members()
+	if !m.cfg.ParallelQuery {
+		replies := make([]memberReply, 0, len(members))
+		for _, member := range members {
+			reply, err := m.net.Call(member, wfID, query, m.cfg.CallTimeout)
+			if err != nil {
+				continue
+			}
+			replies = append(replies, memberReply{from: member, body: reply})
+		}
+		return replies, nil
+	}
+	results := make([]memberReply, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, member := range members {
+		wg.Add(1)
+		go func(i int, member proto.Addr) {
+			defer wg.Done()
+			reply, err := m.net.Call(member, wfID, query, m.cfg.CallTimeout)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = memberReply{from: member, body: reply}
+		}(i, member)
+	}
+	wg.Wait()
+	replies := make([]memberReply, 0, len(members))
+	for i := range results {
+		if errs[i] == nil {
+			replies = append(replies, results[i])
+		}
+	}
+	return replies, nil
+}
+
+// collectAll gathers every fragment of every member (ablation baseline).
+// It queries with a nil label filter, which Fragment Managers treat as
+// "everything" via the host dispatch (see internal/host).
+func (m *Manager) collectAll(wfID string) ([]*model.Fragment, error) {
+	var out []*model.Fragment
+	replies, err := m.queryAll(wfID, proto.FragmentQuery{Labels: nil})
+	if err != nil {
+		return nil, err
+	}
+	for _, reply := range replies {
+		fr, ok := reply.body.(proto.FragmentReply)
+		if !ok {
+			return nil, fmt.Errorf("fragment query to %q: unexpected reply %T", reply.from, reply.body)
+		}
+		out = append(out, fr.Fragments...)
+	}
+	return out, nil
+}
+
+// communityFeasibility implements core.FeasibilityChecker with Service
+// Feasibility Messages to every member.
+type communityFeasibility struct {
+	m    *Manager
+	wfID string
+}
+
+var _ core.FeasibilityChecker = (*communityFeasibility)(nil)
+
+// InfeasibleTasks implements core.FeasibilityChecker.
+func (cf *communityFeasibility) InfeasibleTasks(tasks []model.TaskID) ([]model.TaskID, error) {
+	capable := make(map[model.TaskID]struct{}, len(tasks))
+	replies, err := cf.m.queryAll(cf.wfID, proto.FeasibilityQuery{Tasks: tasks})
+	if err != nil {
+		return nil, err
+	}
+	for _, reply := range replies {
+		fr, ok := reply.body.(proto.FeasibilityReply)
+		if !ok {
+			return nil, fmt.Errorf("feasibility query to %q: unexpected reply %T", reply.from, reply.body)
+		}
+		for _, t := range fr.Capable {
+			capable[t] = struct{}{}
+		}
+	}
+	var infeasible []model.TaskID
+	for _, t := range tasks {
+		if _, ok := capable[t]; !ok {
+			infeasible = append(infeasible, t)
+		}
+	}
+	return infeasible, nil
+}

@@ -1,0 +1,630 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"openwf/internal/clock"
+	"openwf/internal/core"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/spec"
+)
+
+func lbl(ls ...string) []model.LabelID {
+	out := make([]model.LabelID, len(ls))
+	for i, l := range ls {
+		out[i] = model.LabelID(l)
+	}
+	return out
+}
+
+func mkFrag(t *testing.T, name, in, out string) *model.Fragment {
+	t.Helper()
+	f, err := model.NewFragment(name, model.Task{
+		ID: model.TaskID(name), Mode: model.Conjunctive,
+		Inputs: lbl(in), Outputs: lbl(out),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// fakeMember scripts one community member's behavior.
+type fakeMember struct {
+	fragments []*model.Fragment
+	capable   map[model.TaskID]bool
+	// declineAll makes the member decline every call for bids.
+	declineAll bool
+	// refuseAward makes the member nack awards.
+	refuseAward bool
+	services    int
+}
+
+// fakeNet implements Messenger over scripted members, with no transport.
+type fakeNet struct {
+	self    proto.Addr
+	clk     clock.Clock
+	members map[proto.Addr]*fakeMember
+	order   []proto.Addr
+
+	mu    sync.Mutex
+	sent  []proto.Body
+	calls int
+}
+
+func newFakeNet(self proto.Addr) *fakeNet {
+	return &fakeNet{
+		self:    self,
+		clk:     clock.New(),
+		members: make(map[proto.Addr]*fakeMember),
+	}
+}
+
+func (f *fakeNet) add(addr proto.Addr, m *fakeMember) {
+	if m.capable == nil {
+		m.capable = make(map[model.TaskID]bool)
+	}
+	f.members[addr] = m
+	f.order = append(f.order, addr)
+}
+
+func (f *fakeNet) Self() proto.Addr   { return f.self }
+func (f *fakeNet) Clock() clock.Clock { return f.clk }
+func (f *fakeNet) Members() []proto.Addr {
+	return append([]proto.Addr(nil), f.order...)
+}
+
+func (f *fakeNet) Send(to proto.Addr, workflow string, body proto.Body) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sent = append(f.sent, body)
+	return nil
+}
+
+func (f *fakeNet) Call(to proto.Addr, workflow string, body proto.Body, timeout time.Duration) (proto.Body, error) {
+	f.mu.Lock()
+	f.calls++
+	f.mu.Unlock()
+	m, ok := f.members[to]
+	if !ok {
+		return nil, fmt.Errorf("unreachable %q", to)
+	}
+	switch b := body.(type) {
+	case proto.FragmentQuery:
+		var out []*model.Fragment
+		if b.Labels == nil {
+			out = m.fragments
+		} else {
+			set := make(map[model.LabelID]struct{}, len(b.Labels))
+			for _, l := range b.Labels {
+				set[l] = struct{}{}
+			}
+			for _, fr := range m.fragments {
+				if fr.ConsumesAny(set) {
+					out = append(out, fr)
+				}
+			}
+		}
+		return proto.FragmentReply{Fragments: out}, nil
+	case proto.FeasibilityQuery:
+		var capable []model.TaskID
+		for _, task := range b.Tasks {
+			if m.capable[task] {
+				capable = append(capable, task)
+			}
+		}
+		return proto.FeasibilityReply{Capable: capable}, nil
+	case proto.CallForBids:
+		if m.declineAll || !m.capable[b.Meta.Task] {
+			return proto.Decline{Task: b.Meta.Task}, nil
+		}
+		return proto.Bid{
+			Task:            b.Meta.Task,
+			ServicesOffered: m.services,
+			Specialization:  0.5,
+			Deadline:        f.clk.Now().Add(time.Second),
+		}, nil
+	case proto.Award:
+		if m.refuseAward {
+			return proto.AwardAck{Task: b.Meta.Task, OK: false, Reason: "scripted refusal"}, nil
+		}
+		return proto.AwardAck{Task: b.Meta.Task, OK: true}, nil
+	case proto.PlanSegment:
+		return proto.Ack{}, nil
+	default:
+		return nil, fmt.Errorf("unexpected call body %T", body)
+	}
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CallTimeout = time.Second
+	cfg.StartDelay = 50 * time.Millisecond
+	cfg.TaskWindow = 20 * time.Millisecond
+	return cfg
+}
+
+// chainNet scripts a two-member community knowing a → t1 → m → t2 → g.
+func chainNet(t *testing.T) *fakeNet {
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	net.add("peer", &fakeMember{
+		fragments: []*model.Fragment{
+			mkFrag(t, "t1", "a", "m"),
+			mkFrag(t, "t2", "m", "g"),
+		},
+		capable:  map[model.TaskID]bool{"t1": true, "t2": true},
+		services: 2,
+	})
+	return net
+}
+
+func TestInitiateHappyPath(t *testing.T) {
+	net := chainNet(t)
+	m := NewManager(net, testConfig())
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Workflow.NumTasks() != 2 {
+		t.Fatalf("workflow:\n%v", plan.Workflow)
+	}
+	if plan.Allocations["t1"] != "peer" || plan.Allocations["t2"] != "peer" {
+		t.Errorf("Allocations = %v", plan.Allocations)
+	}
+	if plan.Replans != 0 {
+		t.Errorf("Replans = %d", plan.Replans)
+	}
+	// Windows staggered by topological order.
+	if !plan.Metas["t1"].Start.Before(plan.Metas["t2"].Start) {
+		t.Errorf("windows not staggered: %v vs %v",
+			plan.Metas["t1"].Start, plan.Metas["t2"].Start)
+	}
+	if plan.WorkflowID == "" {
+		t.Error("empty workflow ID")
+	}
+}
+
+func TestInitiateInvalidSpec(t *testing.T) {
+	m := NewManager(chainNet(t), testConfig())
+	if _, err := m.Initiate(spec.Spec{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestInitiateNoKnowledge(t *testing.T) {
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	m := NewManager(net, testConfig())
+	_, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if !errors.Is(err, core.ErrNoSolution) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInitiateFeasibilityFiltersPath(t *testing.T) {
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	net.add("peer", &fakeMember{
+		fragments: []*model.Fragment{
+			mkFrag(t, "short", "a", "g"), // nobody can perform it
+			mkFrag(t, "long1", "a", "m"),
+			mkFrag(t, "long2", "m", "g"),
+		},
+		capable:  map[model.TaskID]bool{"long1": true, "long2": true},
+		services: 2,
+	})
+	m := NewManager(net, testConfig())
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.Workflow.Task("short"); ok {
+		t.Error("infeasible short path selected")
+	}
+	if plan.Workflow.NumTasks() != 2 {
+		t.Errorf("workflow:\n%v", plan.Workflow)
+	}
+}
+
+func TestInitiateReplansWhenBidsFail(t *testing.T) {
+	// Feasibility off: capability exists on paper, but the only capable
+	// host declines every call for bids. The engine retries windows,
+	// then excludes the task and takes the alternative.
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	net.add("flaky", &fakeMember{
+		fragments:  []*model.Fragment{mkFrag(t, "short", "a", "g")},
+		capable:    map[model.TaskID]bool{"short": true},
+		declineAll: true,
+		services:   1,
+	})
+	net.add("steady", &fakeMember{
+		fragments: []*model.Fragment{
+			mkFrag(t, "long1", "a", "m"),
+			mkFrag(t, "long2", "m", "g"),
+		},
+		capable:  map[model.TaskID]bool{"long1": true, "long2": true},
+		services: 2,
+	})
+	cfg := testConfig()
+	cfg.Feasibility = false
+	cfg.WindowRetries = 0
+	m := NewManager(net, cfg)
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.Workflow.Task("short"); ok {
+		t.Error("unallocatable short path kept")
+	}
+	if plan.Replans == 0 {
+		t.Error("Replans = 0, expected at least one replan")
+	}
+}
+
+func TestInitiateReplansOnRefusedAward(t *testing.T) {
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	net.add("liar", &fakeMember{
+		fragments:   []*model.Fragment{mkFrag(t, "short", "a", "g")},
+		capable:     map[model.TaskID]bool{"short": true},
+		refuseAward: true,
+		services:    1,
+	})
+	net.add("steady", &fakeMember{
+		fragments: []*model.Fragment{
+			mkFrag(t, "long1", "a", "m"),
+			mkFrag(t, "long2", "m", "g"),
+		},
+		capable:  map[model.TaskID]bool{"long1": true, "long2": true},
+		services: 2,
+	})
+	cfg := testConfig()
+	cfg.WindowRetries = 0
+	m := NewManager(net, cfg)
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.Workflow.Task("short"); ok {
+		t.Error("refused-award path kept")
+	}
+	// Compensation cancels were sent for the refused attempt's awards.
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	for _, b := range net.sent {
+		if _, ok := b.(proto.Cancel); ok {
+			return
+		}
+	}
+	// No cancels is fine too if no award succeeded in the failed
+	// attempt; the liar refused its only award.
+}
+
+func TestInitiateFailsAfterMaxReplans(t *testing.T) {
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	net.add("flaky", &fakeMember{
+		fragments:  []*model.Fragment{mkFrag(t, "only", "a", "g")},
+		capable:    map[model.TaskID]bool{"only": true},
+		declineAll: true,
+		services:   1,
+	})
+	cfg := testConfig()
+	cfg.Feasibility = false
+	cfg.WindowRetries = 0
+	cfg.MaxReplans = 1
+	m := NewManager(net, cfg)
+	_, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err == nil {
+		t.Fatal("Initiate succeeded with an unallocatable only path")
+	}
+	// Either the reconstruction fails (task excluded → no solution) or
+	// replanning is exhausted; both are acceptable failures.
+	if !errors.Is(err, core.ErrNoSolution) && !errors.Is(err, ErrAllocationFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInitiateConstraintsMaxTasks(t *testing.T) {
+	net := chainNet(t)
+	cfg := testConfig()
+	cfg.Constraints = spec.Constraints{MaxTasks: 1}
+	m := NewManager(net, cfg)
+	_, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if !errors.Is(err, core.ErrNoSolution) {
+		t.Fatalf("err = %v, want constraint violation as no-solution", err)
+	}
+}
+
+func TestInitiateConstraintsExcludeTasks(t *testing.T) {
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	net.add("peer", &fakeMember{
+		fragments: []*model.Fragment{
+			mkFrag(t, "short", "a", "g"),
+			mkFrag(t, "alt1", "a", "m"),
+			mkFrag(t, "alt2", "m", "g"),
+		},
+		capable:  map[model.TaskID]bool{"short": true, "alt1": true, "alt2": true},
+		services: 3,
+	})
+	cfg := testConfig()
+	cfg.Constraints = spec.Constraints{ExcludeTasks: []model.TaskID{"short"}}
+	m := NewManager(net, cfg)
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.Workflow.Task("short"); ok {
+		t.Error("excluded task selected")
+	}
+}
+
+func TestInitiateFullCollectionMode(t *testing.T) {
+	net := chainNet(t)
+	cfg := testConfig()
+	cfg.Incremental = false
+	m := NewManager(net, cfg)
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Workflow.NumTasks() != 2 {
+		t.Fatalf("workflow:\n%v", plan.Workflow)
+	}
+}
+
+func TestInitiateFullCollectionFeasibility(t *testing.T) {
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	net.add("peer", &fakeMember{
+		fragments: []*model.Fragment{
+			mkFrag(t, "short", "a", "g"),
+			mkFrag(t, "alt1", "a", "m"),
+			mkFrag(t, "alt2", "m", "g"),
+		},
+		capable:  map[model.TaskID]bool{"alt1": true, "alt2": true},
+		services: 2,
+	})
+	cfg := testConfig()
+	cfg.Incremental = false
+	m := NewManager(net, cfg)
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.Workflow.Task("short"); ok {
+		t.Error("infeasible task selected in full-collection mode")
+	}
+}
+
+func TestExecuteRejectsPartialPlan(t *testing.T) {
+	net := chainNet(t)
+	m := NewManager(net, testConfig())
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(plan.Allocations, "t1")
+	if _, err := m.Execute(plan, nil, time.Second); err == nil {
+		t.Fatal("partial plan executed")
+	}
+}
+
+func TestExecuteCompletion(t *testing.T) {
+	net := chainNet(t)
+	m := NewManager(net, testConfig())
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed completion events while Execute waits.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		m.OnTaskDone(plan.WorkflowID, proto.TaskDone{Task: "t1"})
+		m.OnTaskDone(plan.WorkflowID, proto.TaskDone{Task: "t2"})
+		m.OnLabelTransfer(plan.WorkflowID, proto.LabelTransfer{Label: "g", Data: []byte("done")})
+	}()
+	report, err := m.Execute(plan, map[model.LabelID][]byte{"a": []byte("go")}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Completed {
+		t.Fatalf("report = %+v", report)
+	}
+	if string(report.Goals["g"]) != "done" {
+		t.Errorf("goal data = %q", report.Goals["g"])
+	}
+	if report.TasksDone != 2 {
+		t.Errorf("TasksDone = %d", report.TasksDone)
+	}
+}
+
+func TestExecuteTaskFailureFinishesEarly(t *testing.T) {
+	net := chainNet(t)
+	m := NewManager(net, testConfig())
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		m.OnTaskDone(plan.WorkflowID, proto.TaskDone{Task: "t1", Err: "exploded"})
+	}()
+	report, err := m.Execute(plan, nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed {
+		t.Error("failed execution reported as completed")
+	}
+	if len(report.Failures) != 1 || !strings.Contains(report.Failures[0], "exploded") {
+		t.Errorf("Failures = %v", report.Failures)
+	}
+}
+
+func TestExecuteTimeout(t *testing.T) {
+	net := chainNet(t)
+	m := NewManager(net, testConfig())
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := m.Execute(plan, nil, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed {
+		t.Error("timed-out execution reported as completed")
+	}
+}
+
+func TestExecuteDuplicateRejected(t *testing.T) {
+	net := chainNet(t)
+	m := NewManager(net, testConfig())
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_, _ = m.Execute(plan, nil, 200*time.Millisecond)
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond)
+	if _, err := m.Execute(plan, nil, time.Second); err == nil {
+		t.Error("duplicate Execute accepted")
+	}
+}
+
+func TestStaleExecutionEventsIgnored(t *testing.T) {
+	net := chainNet(t)
+	m := NewManager(net, testConfig())
+	// Events for unknown workflows must be ignored quietly.
+	m.OnTaskDone("nope", proto.TaskDone{Task: "t1"})
+	m.OnLabelTransfer("nope", proto.LabelTransfer{Label: "g"})
+}
+
+func TestPlanSegmentsRouting(t *testing.T) {
+	net := chainNet(t)
+	m := NewManager(net, testConfig())
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := m.planSegments(plan)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	byTask := make(map[model.TaskID]proto.PlanSegment, len(segs))
+	for _, s := range segs {
+		byTask[s.Task] = s
+	}
+	// t1's input a comes from the initiator (trigger); its output m
+	// goes to t2's executor.
+	if got := byTask["t1"].InputSources["a"]; got != "init" {
+		t.Errorf("t1 input source = %v", got)
+	}
+	if got := byTask["t1"].OutputSinks["m"]; len(got) != 1 || got[0] != "peer" {
+		t.Errorf("t1 output sinks = %v", got)
+	}
+	// t2's goal output g returns to the initiator.
+	foundInit := false
+	for _, sink := range byTask["t2"].OutputSinks["g"] {
+		if sink == "init" {
+			foundInit = true
+		}
+	}
+	if !foundInit {
+		t.Errorf("goal not routed to initiator: %v", byTask["t2"].OutputSinks["g"])
+	}
+	if byTask["t1"].Initiator != "init" || byTask["t2"].Initiator != "init" {
+		t.Error("initiator missing from segments")
+	}
+}
+
+func TestInitiateParallelQuery(t *testing.T) {
+	net := chainNet(t)
+	cfg := testConfig()
+	cfg.ParallelQuery = true
+	m := NewManager(net, cfg)
+	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Workflow.NumTasks() != 2 {
+		t.Fatalf("workflow:\n%v", plan.Workflow)
+	}
+}
+
+// TestInitiateUnreachableMemberSkipped: a member that errors on every call
+// simply contributes nothing; construction succeeds from the rest.
+func TestInitiateUnreachableMemberSkipped(t *testing.T) {
+	net := chainNet(t)
+	net.order = append(net.order, "ghost") // listed but not scripted → Call errors
+	for _, parallel := range []bool{false, true} {
+		cfg := testConfig()
+		cfg.ParallelQuery = parallel
+		m := NewManager(net, cfg)
+		plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+		if err != nil {
+			t.Fatalf("parallel=%v: %v", parallel, err)
+		}
+		if plan.Workflow.NumTasks() != 2 {
+			t.Fatalf("parallel=%v workflow:\n%v", parallel, plan.Workflow)
+		}
+	}
+}
+
+func TestAllocateWorkflowStaticBaseline(t *testing.T) {
+	net := chainNet(t)
+	m := NewManager(net, testConfig())
+	// Pre-specified workflow (the CiAN-style mode): build it locally.
+	g := model.NewGraph()
+	if err := g.AddTask(model.Task{ID: "t1", Mode: model.Conjunctive, Inputs: lbl("a"), Outputs: lbl("m")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddTask(model.Task{ID: "t2", Mode: model.Conjunctive, Inputs: lbl("m"), Outputs: lbl("g")}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := model.NewWorkflow(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := m.AllocateWorkflow(w, spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Allocations) != 2 {
+		t.Fatalf("Allocations = %v", plan.Allocations)
+	}
+	if _, err := m.AllocateWorkflow(nil, spec.Must(lbl("a"), lbl("g"))); err == nil {
+		t.Error("nil workflow accepted")
+	}
+}
+
+func TestAllocateWorkflowFailsWithoutProviders(t *testing.T) {
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	m := NewManager(net, testConfig())
+	g := model.NewGraph()
+	if err := g.AddTask(model.Task{ID: "t1", Mode: model.Conjunctive, Inputs: lbl("a"), Outputs: lbl("g")}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := model.NewWorkflow(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocateWorkflow(w, spec.Must(lbl("a"), lbl("g"))); !errors.Is(err, ErrAllocationFailed) {
+		t.Fatalf("err = %v, want ErrAllocationFailed", err)
+	}
+}

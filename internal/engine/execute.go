@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"openwf/internal/model"
+	"openwf/internal/proto"
+)
+
+// Report summarizes one workflow execution observed from the initiator.
+type Report struct {
+	// Completed is true when every task finished and every goal label
+	// reached the initiator.
+	Completed bool
+	// Goals holds the data attached to each goal label.
+	Goals map[model.LabelID][]byte
+	// TasksDone is how many task-completion notifications arrived.
+	TasksDone int
+	// Failures lists task failure messages, if any.
+	Failures []string
+	// Elapsed is the time from plan distribution to completion (or
+	// timeout).
+	Elapsed time.Duration
+}
+
+// Execute distributes the routing plan for an allocated workflow, injects
+// the triggering labels, and waits for the community to execute it: every
+// commitment is met in a decentralized fashion, outputs flow directly
+// between executors, and the goal labels (plus per-task completion
+// notifications) flow back to the initiator.
+//
+// triggers optionally attaches data to triggering labels (nil data is
+// fine — labels are conditions first, data second). timeout bounds the
+// wait; the paper's timing window ends at allocation, so Execute is
+// measured separately.
+func (m *Manager) Execute(plan *Plan, triggers map[model.LabelID][]byte, timeout time.Duration) (*Report, error) {
+	if len(plan.Allocations) != plan.Workflow.NumTasks() {
+		return nil, fmt.Errorf("plan is not fully allocated: %d of %d tasks",
+			len(plan.Allocations), plan.Workflow.NumTasks())
+	}
+	w := plan.Workflow
+	goalWant := len(w.Out())
+
+	ex := &execution{
+		plan:      plan,
+		remaining: make(map[model.TaskID]struct{}, w.NumTasks()),
+		goals:     make(map[model.LabelID][]byte, goalWant),
+		goalWant:  goalWant,
+		done:      make(chan struct{}),
+	}
+	for _, id := range w.TaskIDs() {
+		ex.remaining[id] = struct{}{}
+	}
+	m.mu.Lock()
+	if _, dup := m.executions[plan.WorkflowID]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("workflow %q is already executing", plan.WorkflowID)
+	}
+	m.executions[plan.WorkflowID] = ex
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.executions, plan.WorkflowID)
+		m.mu.Unlock()
+	}()
+
+	start := m.net.Clock().Now()
+
+	// Distribute routing segments to every executor.
+	for _, seg := range m.planSegments(plan) {
+		to := plan.Allocations[seg.Task]
+		reply, err := m.net.Call(to, plan.WorkflowID, seg, m.cfg.CallTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("distributing plan segment for %q to %q: %w", seg.Task, to, err)
+		}
+		if _, ok := reply.(proto.Ack); !ok {
+			return nil, fmt.Errorf("plan segment to %q: unexpected reply %T", to, reply)
+		}
+	}
+
+	// Inject the triggering conditions: the initiator supplies each
+	// workflow source label to the executors that consume it.
+	for _, l := range w.In() {
+		data := triggers[l]
+		sent := make(map[proto.Addr]struct{})
+		for _, consumer := range w.Consumers(l) {
+			host := plan.Allocations[consumer]
+			if _, dup := sent[host]; dup {
+				continue
+			}
+			sent[host] = struct{}{}
+			lt := proto.LabelTransfer{Label: l, Data: data, Producer: m.net.Self()}
+			if err := m.net.Send(host, plan.WorkflowID, lt); err != nil {
+				return nil, fmt.Errorf("injecting trigger %q: %w", l, err)
+			}
+		}
+	}
+
+	// Wait for completion (all tasks done and all goals delivered).
+	var timedOut bool
+	if timeout > 0 {
+		select {
+		case <-ex.done:
+		case <-m.net.Clock().After(timeout):
+			timedOut = true
+		}
+	} else {
+		<-ex.done
+	}
+
+	m.mu.Lock()
+	report := &Report{
+		Completed: ex.completed && !timedOut,
+		Goals:     ex.goals,
+		TasksDone: plan.Workflow.NumTasks() - len(ex.remaining),
+		Failures:  append([]string(nil), ex.failures...),
+		Elapsed:   m.net.Clock().Since(start),
+	}
+	m.mu.Unlock()
+	return report, nil
+}
+
+// planSegments derives each task's routing information from the workflow
+// structure and the allocation: inputs come from the producer's executor
+// (or the initiator for triggering labels); outputs go to every consumer's
+// executor, and goal labels also return to the initiator.
+func (m *Manager) planSegments(plan *Plan) []proto.PlanSegment {
+	w := plan.Workflow
+	self := m.net.Self()
+	goalSet := make(map[model.LabelID]struct{})
+	for _, g := range w.Out() {
+		goalSet[g] = struct{}{}
+	}
+	segs := make([]proto.PlanSegment, 0, w.NumTasks())
+	for _, id := range w.TaskIDs() {
+		t, _ := w.Task(id)
+		seg := proto.PlanSegment{
+			Task:         id,
+			Initiator:    self,
+			InputSources: make(map[model.LabelID]proto.Addr, len(t.Inputs)),
+			OutputSinks:  make(map[model.LabelID][]proto.Addr, len(t.Outputs)),
+		}
+		for _, in := range t.Inputs {
+			if producer, ok := w.Producer(in); ok {
+				seg.InputSources[in] = plan.Allocations[producer]
+			} else {
+				seg.InputSources[in] = self // triggering label
+			}
+		}
+		for _, out := range t.Outputs {
+			var sinks []proto.Addr
+			seen := make(map[proto.Addr]struct{})
+			for _, consumer := range w.Consumers(out) {
+				host := plan.Allocations[consumer]
+				if _, dup := seen[host]; !dup {
+					seen[host] = struct{}{}
+					sinks = append(sinks, host)
+				}
+			}
+			if _, isGoal := goalSet[out]; isGoal {
+				if _, dup := seen[self]; !dup {
+					sinks = append(sinks, self)
+				}
+			}
+			sort.Slice(sinks, func(i, j int) bool { return sinks[i] < sinks[j] })
+			seg.OutputSinks[out] = sinks
+		}
+		segs = append(segs, seg)
+	}
+	return segs
+}
+
+// OnTaskDone records a task-completion notification; the host dispatches
+// inbound TaskDone messages here.
+func (m *Manager) OnTaskDone(workflow string, td proto.TaskDone) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ex, ok := m.executions[workflow]
+	if !ok || ex.finished {
+		return
+	}
+	if td.Err != "" {
+		ex.failures = append(ex.failures, fmt.Sprintf("%s: %s", td.Task, td.Err))
+		// A failed task means the goals can never be produced; finish
+		// the wait immediately, reporting the failure.
+		ex.finishLocked(false)
+		return
+	}
+	delete(ex.remaining, td.Task)
+	ex.maybeCompleteLocked()
+}
+
+// OnLabelTransfer records goal labels arriving at the initiator; the host
+// dispatches inbound LabelTransfer messages here (in addition to the
+// execution manager).
+func (m *Manager) OnLabelTransfer(workflow string, lt proto.LabelTransfer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ex, ok := m.executions[workflow]
+	if !ok || ex.finished {
+		return
+	}
+	for _, g := range ex.plan.Workflow.Out() {
+		if g == lt.Label {
+			if _, dup := ex.goals[lt.Label]; !dup {
+				ex.goals[lt.Label] = lt.Data
+			}
+			break
+		}
+	}
+	ex.maybeCompleteLocked()
+}
+
+func (ex *execution) maybeCompleteLocked() {
+	if len(ex.remaining) == 0 && len(ex.goals) == ex.goalWant {
+		ex.finishLocked(true)
+	}
+}
+
+func (ex *execution) finishLocked(ok bool) {
+	if ex.finished {
+		return
+	}
+	ex.finished = true
+	ex.completed = ok
+	close(ex.done)
+}

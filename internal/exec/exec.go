@@ -1,0 +1,316 @@
+// Package exec implements the Execution Manager of the execution subsystem
+// (§4.2): it monitors the input-message and time conditions required for
+// each scheduled service invocation, triggers service execution once the
+// conditions are met, and publishes the outputs to the executors of
+// dependent tasks — the fully decentralized, distributed execution phase
+// of §3.2. To meet a commitment the participant (1) acquires the required
+// inputs from the executors of preceding tasks, (2) travels to the
+// required location, and (3) executes the service at the required time.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"openwf/internal/clock"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/schedule"
+	"openwf/internal/service"
+	"openwf/internal/space"
+)
+
+// locationEps is how close (meters) a host must be to a commitment's
+// location to execute it.
+const locationEps = 0.5
+
+// SendFunc transmits an envelope; the host injects its endpoint.
+type SendFunc func(to proto.Addr, env proto.Envelope) error
+
+// Manager drives the execution of this host's commitments. It is safe for
+// concurrent use.
+type Manager struct {
+	self     proto.Addr
+	clk      clock.Clock
+	services *service.Manager
+	sched    *schedule.Manager
+	send     SendFunc
+
+	mu   sync.Mutex
+	runs map[runKey]*run
+	// labels buffers label data per workflow, including labels arriving
+	// before the consuming commitment is registered.
+	labels map[string]map[model.LabelID][]byte
+}
+
+type runKey struct {
+	workflow string
+	task     model.TaskID
+}
+
+type run struct {
+	commitment schedule.Commitment
+	seg        proto.PlanSegment
+	hasSeg     bool
+	traveling  bool
+	started    bool
+	timers     []clock.Timer
+}
+
+// NewManager returns an execution manager for one host.
+func NewManager(self proto.Addr, clk clock.Clock, services *service.Manager, sched *schedule.Manager, send SendFunc) *Manager {
+	if clk == nil {
+		clk = clock.New()
+	}
+	return &Manager{
+		self:     self,
+		clk:      clk,
+		services: services,
+		sched:    sched,
+		send:     send,
+		runs:     make(map[runKey]*run),
+		labels:   make(map[string]map[model.LabelID][]byte),
+	}
+}
+
+// Register records an awarded commitment. Execution additionally needs the
+// routing plan (SetPlan); conditions are monitored from then on.
+func (m *Manager) Register(workflow string, c schedule.Commitment) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := runKey{workflow, c.Task}
+	if _, dup := m.runs[k]; dup {
+		return
+	}
+	m.runs[k] = &run{commitment: c}
+}
+
+// SetPlan attaches the routing information for a commitment and arms the
+// travel and start timers. Unknown (never registered) segments are kept so
+// that plan and award may arrive in either order.
+func (m *Manager) SetPlan(workflow string, seg proto.PlanSegment) {
+	m.mu.Lock()
+	k := runKey{workflow, seg.Task}
+	r, ok := m.runs[k]
+	if !ok {
+		// Award not seen yet (messages may reorder across links);
+		// synthesize the run from the schedule manager's commitment
+		// when it exists, else drop — the engine re-sends plans on
+		// replanning.
+		if c, exists := m.sched.Get(workflow, seg.Task); exists {
+			r = &run{commitment: c}
+			m.runs[k] = r
+		} else {
+			m.mu.Unlock()
+			return
+		}
+	}
+	r.seg = seg
+	r.hasSeg = true
+	m.armTimersLocked(workflow, r)
+	m.mu.Unlock()
+	m.tryStart(workflow, seg.Task)
+}
+
+// armTimersLocked schedules travel and readiness checks for a run.
+func (m *Manager) armTimersLocked(workflow string, r *run) {
+	now := m.clk.Now()
+	c := r.commitment
+	if c.HasLocation && c.TravelStart.After(now) {
+		t := m.clk.AfterFunc(c.TravelStart.Sub(now), func() {
+			m.beginTravel(workflow, c.Task)
+		})
+		r.timers = append(r.timers, t)
+	} else if c.HasLocation {
+		m.beginTravelLocked(r)
+	}
+	if c.Start.After(now) {
+		task := c.Task
+		t := m.clk.AfterFunc(c.Start.Sub(now), func() {
+			m.tryStart(workflow, task)
+		})
+		r.timers = append(r.timers, t)
+	}
+}
+
+// beginTravel starts the journey to a commitment's location.
+func (m *Manager) beginTravel(workflow string, task model.TaskID) {
+	m.mu.Lock()
+	r, ok := m.runs[runKey{workflow, task}]
+	if ok {
+		m.beginTravelLocked(r)
+	}
+	m.mu.Unlock()
+	m.tryStart(workflow, task)
+}
+
+func (m *Manager) beginTravelLocked(r *run) {
+	if r.traveling || r.started {
+		return
+	}
+	r.traveling = true
+	m.sched.Mobility().Travel(m.clk.Now(), r.commitment.Location)
+}
+
+// OnLabel receives a label transfer (an inter-service message). The data
+// is buffered per workflow and any run waiting on it is re-checked.
+func (m *Manager) OnLabel(workflow string, lt proto.LabelTransfer) {
+	m.mu.Lock()
+	wf, ok := m.labels[workflow]
+	if !ok {
+		wf = make(map[model.LabelID][]byte)
+		m.labels[workflow] = wf
+	}
+	if _, dup := wf[lt.Label]; !dup {
+		wf[lt.Label] = lt.Data
+	}
+	var waiting []model.TaskID
+	for k, r := range m.runs {
+		if k.workflow != workflow || r.started {
+			continue
+		}
+		for _, in := range r.commitment.Meta.Inputs {
+			if in == lt.Label {
+				waiting = append(waiting, k.task)
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, task := range waiting {
+		m.tryStart(workflow, task)
+	}
+}
+
+// Cancel drops a run (replanning compensation), stopping its timers.
+func (m *Manager) Cancel(workflow string, task model.TaskID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := runKey{workflow, task}
+	if r, ok := m.runs[k]; ok && !r.started {
+		for _, t := range r.timers {
+			t.Stop()
+		}
+		delete(m.runs, k)
+	}
+}
+
+// ClearWorkflow drops all state for a workflow (after completion).
+func (m *Manager) ClearWorkflow(workflow string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, r := range m.runs {
+		if k.workflow == workflow {
+			for _, t := range r.timers {
+				t.Stop()
+			}
+			delete(m.runs, k)
+		}
+	}
+	delete(m.labels, workflow)
+}
+
+// Pending returns how many registered runs have not started yet.
+func (m *Manager) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, r := range m.runs {
+		if !r.started {
+			n++
+		}
+	}
+	return n
+}
+
+// tryStart checks a run's conditions — plan present, all inputs received,
+// window open, location reached — and launches the service invocation in
+// its own goroutine when they all hold.
+func (m *Manager) tryStart(workflow string, task model.TaskID) {
+	m.mu.Lock()
+	k := runKey{workflow, task}
+	r, ok := m.runs[k]
+	if !ok || r.started || !r.hasSeg {
+		m.mu.Unlock()
+		return
+	}
+	now := m.clk.Now()
+	c := r.commitment
+	if now.Before(c.Start) {
+		m.mu.Unlock()
+		return
+	}
+	wf := m.labels[workflow]
+	inputs := make(service.Inputs, len(c.Meta.Inputs))
+	for _, in := range c.Meta.Inputs {
+		data, have := wf[in]
+		if !have {
+			m.mu.Unlock()
+			return
+		}
+		inputs[in] = data
+	}
+	if c.HasLocation {
+		pos := m.sched.Mobility().Position(now)
+		if !space.Near(pos, c.Location, locationEps) {
+			// Still under way: re-check on arrival.
+			eta := space.TravelTime(pos, c.Location, m.sched.Mobility().Speed())
+			if eta > 0 && eta < 1<<62 {
+				t := m.clk.AfterFunc(eta, func() { m.tryStart(workflow, task) })
+				r.timers = append(r.timers, t)
+			}
+			m.mu.Unlock()
+			return
+		}
+	}
+	r.started = true
+	seg := r.seg
+	m.mu.Unlock()
+
+	go m.invoke(workflow, c, seg, inputs)
+}
+
+// invoke performs the service and publishes its results.
+func (m *Manager) invoke(workflow string, c schedule.Commitment, seg proto.PlanSegment, inputs service.Inputs) {
+	inv := service.Invocation{
+		Task:     c.Task,
+		Workflow: workflow,
+		Inputs:   inputs,
+		Now:      m.clk.Now(),
+	}
+	outputs, err := m.services.Invoke(inv, c.Meta.Outputs)
+	if err != nil {
+		m.notifyDone(workflow, seg, fmt.Errorf("executing %q: %w", c.Task, err))
+		return
+	}
+	// Communicate the outputs to every participant that requires them
+	// (§3.2: the participant's final responsibility).
+	for _, out := range c.Meta.Outputs {
+		for _, sink := range seg.OutputSinks[out] {
+			env := proto.Envelope{
+				Workflow: workflow,
+				Body: proto.LabelTransfer{
+					Label:    out,
+					Data:     outputs[out],
+					Producer: m.self,
+				},
+			}
+			if sendErr := m.send(sink, env); sendErr != nil {
+				m.notifyDone(workflow, seg, fmt.Errorf("publishing %q: %w", out, sendErr))
+				return
+			}
+		}
+	}
+	m.notifyDone(workflow, seg, nil)
+}
+
+func (m *Manager) notifyDone(workflow string, seg proto.PlanSegment, err error) {
+	if seg.Initiator == "" {
+		return
+	}
+	body := proto.TaskDone{Task: seg.Task}
+	if err != nil {
+		body.Err = err.Error()
+	}
+	_ = m.send(seg.Initiator, proto.Envelope{Workflow: workflow, Body: body})
+}

@@ -1,0 +1,315 @@
+// Package host assembles one participant device: it wires the fragment,
+// service, schedule, auction-participation, and execution managers of the
+// execution subsystem together with the workflow engine of the
+// construction subsystem, all behind a single transport endpoint. Per the
+// paper's design principles (§4.2), every component — local or remote —
+// is reached uniformly through the communications layer, and a host
+// carries only the components appropriate to its capabilities (a host
+// with no fragments or services simply answers queries with empty
+// results).
+package host
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"openwf/internal/auction"
+	"openwf/internal/clock"
+	"openwf/internal/engine"
+	"openwf/internal/exec"
+	"openwf/internal/fragment"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/schedule"
+	"openwf/internal/service"
+	"openwf/internal/space"
+	"openwf/internal/trace"
+	"openwf/internal/transport"
+)
+
+// Config describes one host.
+type Config struct {
+	// Addr is the host's community address.
+	Addr proto.Addr
+	// Clock paces the host (default: wall clock).
+	Clock clock.Clock
+	// Mobility is the host's movement model (default: static at origin).
+	Mobility space.Mobility
+	// Prefs expresses scheduling willingness.
+	Prefs schedule.Preferences
+	// BidWindow is the deadline the host gives auction managers
+	// (default auction.DefaultBidWindow).
+	BidWindow time.Duration
+	// Engine configures this host's workflow engine (used when the host
+	// initiates workflows).
+	Engine engine.Config
+	// Fragments is the host's initial knowhow.
+	Fragments []*model.Fragment
+	// Services are the host's initial capabilities.
+	Services []service.Registration
+	// Trace, when non-nil, records every message the host sends or
+	// receives.
+	Trace trace.Recorder
+}
+
+// Host is one participant device.
+type Host struct {
+	addr  proto.Addr
+	clk   clock.Clock
+	trace trace.Recorder
+
+	Fragments   *fragment.Manager
+	Services    *service.Manager
+	Schedule    *schedule.Manager
+	Exec        *exec.Manager
+	Participant *auction.Participant
+	Engine      *engine.Manager
+
+	mu       sync.Mutex
+	endpoint transport.Endpoint
+	members  []proto.Addr
+	nextReq  uint64
+	pending  map[uint64]chan proto.Envelope
+	closed   bool
+}
+
+// New builds a host from its configuration. The host is inert until
+// Attach connects it to a transport endpoint.
+func New(cfg Config) (*Host, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("host: empty address")
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.New()
+	}
+	h := &Host{
+		addr:      cfg.Addr,
+		clk:       clk,
+		trace:     cfg.Trace,
+		Fragments: fragment.NewManager(),
+		Services:  service.NewManager(clk),
+		pending:   make(map[uint64]chan proto.Envelope),
+	}
+	h.Schedule = schedule.NewManager(clk, cfg.Mobility, cfg.Prefs)
+	h.Participant = auction.NewParticipant(clk, h.Services, h.Schedule, cfg.BidWindow)
+	h.Exec = exec.NewManager(cfg.Addr, clk, h.Services, h.Schedule, h.sendEnvelope)
+	h.Engine = engine.NewManager(h, cfg.Engine)
+
+	for _, f := range cfg.Fragments {
+		if err := h.Fragments.Add(f); err != nil {
+			return nil, fmt.Errorf("host %q: %w", cfg.Addr, err)
+		}
+	}
+	for _, reg := range cfg.Services {
+		if err := h.Services.Register(reg); err != nil {
+			return nil, fmt.Errorf("host %q: %w", cfg.Addr, err)
+		}
+	}
+	return h, nil
+}
+
+// Attach connects the host to its transport endpoint. The endpoint must
+// have been created with h.Handle as its handler.
+func (h *Host) Attach(ep transport.Endpoint) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.endpoint = ep
+}
+
+// SetMembers installs the community view (all hosts, including self).
+// The paper assumes a stable, mutually reachable community during one
+// construction; membership changes take effect on the next query.
+func (h *Host) SetMembers(members []proto.Addr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.members = append([]proto.Addr(nil), members...)
+}
+
+// Close detaches the host, failing outstanding calls.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	ep := h.endpoint
+	for id, ch := range h.pending {
+		close(ch)
+		delete(h.pending, id)
+	}
+	h.mu.Unlock()
+	if ep != nil {
+		return ep.Close()
+	}
+	return nil
+}
+
+// --- engine.Messenger implementation ---
+
+var _ engine.Messenger = (*Host)(nil)
+
+// Self implements engine.Messenger.
+func (h *Host) Self() proto.Addr { return h.addr }
+
+// Clock implements engine.Messenger.
+func (h *Host) Clock() clock.Clock { return h.clk }
+
+// Members implements engine.Messenger.
+func (h *Host) Members() []proto.Addr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.members) > 0 {
+		return append([]proto.Addr(nil), h.members...)
+	}
+	return []proto.Addr{h.addr}
+}
+
+// Send implements engine.Messenger (one-way message).
+func (h *Host) Send(to proto.Addr, workflow string, body proto.Body) error {
+	return h.sendEnvelope(to, proto.Envelope{Workflow: workflow, Body: body})
+}
+
+func (h *Host) sendEnvelope(to proto.Addr, env proto.Envelope) error {
+	h.mu.Lock()
+	ep := h.endpoint
+	closed := h.closed
+	h.mu.Unlock()
+	if closed || ep == nil {
+		return fmt.Errorf("host %q: not attached", h.addr)
+	}
+	h.record(trace.Send, to, env)
+	return ep.Send(to, env)
+}
+
+// record emits a trace event if tracing is enabled.
+func (h *Host) record(dir trace.Dir, peer proto.Addr, env proto.Envelope) {
+	if h.trace == nil {
+		return
+	}
+	h.trace.Record(trace.Event{
+		At:       h.clk.Now(),
+		Host:     h.addr,
+		Dir:      dir,
+		Peer:     peer,
+		Kind:     env.Body.Kind(),
+		Workflow: env.Workflow,
+	})
+}
+
+// Call implements engine.Messenger: request/response with correlation.
+func (h *Host) Call(to proto.Addr, workflow string, body proto.Body, timeout time.Duration) (proto.Body, error) {
+	h.mu.Lock()
+	if h.closed || h.endpoint == nil {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("host %q: not attached", h.addr)
+	}
+	h.nextReq++
+	id := h.nextReq
+	ch := make(chan proto.Envelope, 1)
+	h.pending[id] = ch
+	ep := h.endpoint
+	h.mu.Unlock()
+
+	cleanup := func() {
+		h.mu.Lock()
+		delete(h.pending, id)
+		h.mu.Unlock()
+	}
+	env := proto.Envelope{ReqID: id, Workflow: workflow, Body: body}
+	if err := ep.Send(to, env); err != nil {
+		cleanup()
+		return nil, err
+	}
+	select {
+	case reply, ok := <-ch:
+		cleanup()
+		if !ok {
+			return nil, fmt.Errorf("host %q: closed while calling %q", h.addr, to)
+		}
+		return reply.Body, nil
+	case <-h.clk.After(timeout):
+		cleanup()
+		return nil, fmt.Errorf("call to %q (%s) timed out after %v", to, body.Kind(), timeout)
+	}
+}
+
+// Handle is the host's transport handler: it serves queries, routes
+// replies to waiting calls, and feeds one-way messages to the execution
+// subsystem. The transport invokes it sequentially, like a device
+// processing one message at a time.
+func (h *Host) Handle(env proto.Envelope) {
+	h.record(trace.Recv, env.From, env)
+	switch b := env.Body.(type) {
+	case proto.FragmentQuery:
+		var frags []*model.Fragment
+		if b.Labels == nil {
+			frags = h.Fragments.All() // full-collection baseline
+		} else {
+			frags = h.Fragments.Consuming(b.Labels)
+		}
+		h.reply(env, proto.FragmentReply{Fragments: frags})
+
+	case proto.FeasibilityQuery:
+		h.reply(env, proto.FeasibilityReply{Capable: h.Services.Capable(b.Tasks)})
+
+	case proto.CallForBids:
+		resp := h.Participant.HandleCallForBids(env.Workflow, b)
+		if bid, ok := resp.(proto.Bid); ok {
+			// Release the reservation if no award arrives in time.
+			window := bid.Deadline.Sub(h.clk.Now()) + 10*time.Millisecond
+			h.clk.AfterFunc(window, func() { h.Participant.ExpireHolds() })
+		}
+		h.reply(env, resp)
+
+	case proto.Award:
+		c, ack := h.Participant.HandleAward(env.Workflow, b)
+		if ack.OK {
+			h.Exec.Register(env.Workflow, c)
+		}
+		h.reply(env, ack)
+
+	case proto.Cancel:
+		h.Participant.HandleCancel(env.Workflow, b)
+		h.Exec.Cancel(env.Workflow, b.Task)
+
+	case proto.PlanSegment:
+		h.Exec.SetPlan(env.Workflow, b)
+		h.reply(env, proto.Ack{})
+
+	case proto.LabelTransfer:
+		h.Exec.OnLabel(env.Workflow, b)
+		h.Engine.OnLabelTransfer(env.Workflow, b)
+
+	case proto.TaskDone:
+		h.Engine.OnTaskDone(env.Workflow, b)
+
+	case proto.FragmentReply, proto.FeasibilityReply, proto.Bid,
+		proto.Decline, proto.AwardAck, proto.Ack:
+		h.routeReply(env)
+	}
+}
+
+// reply echoes the request's correlation ID back to the sender.
+func (h *Host) reply(req proto.Envelope, body proto.Body) {
+	env := proto.Envelope{ReqID: req.ReqID, Workflow: req.Workflow, Body: body}
+	_ = h.sendEnvelope(req.From, env)
+}
+
+// routeReply delivers a correlated reply to its waiting Call.
+func (h *Host) routeReply(env proto.Envelope) {
+	if env.ReqID == 0 {
+		return
+	}
+	h.mu.Lock()
+	ch, ok := h.pending[env.ReqID]
+	if ok {
+		delete(h.pending, env.ReqID)
+	}
+	h.mu.Unlock()
+	if ok {
+		ch <- env
+	}
+}

@@ -1,0 +1,326 @@
+package host
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/service"
+	"openwf/internal/transport/inmem"
+)
+
+func lbl(ls ...string) []model.LabelID {
+	out := make([]model.LabelID, len(ls))
+	for i, l := range ls {
+		out[i] = model.LabelID(l)
+	}
+	return out
+}
+
+func mkFrag(t *testing.T, name, in, out string) *model.Fragment {
+	t.Helper()
+	f, err := model.NewFragment(name, model.Task{
+		ID: model.TaskID("task-" + name), Mode: model.Conjunctive,
+		Inputs: lbl(in), Outputs: lbl(out),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// pair starts two attached hosts on a fresh in-memory network.
+func pair(t *testing.T, cfgA, cfgB Config) (*Host, *Host) {
+	t.Helper()
+	net := inmem.NewNetwork()
+	t.Cleanup(func() { _ = net.Close() })
+	a, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epA, err := net.Endpoint(cfgA.Addr, a.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := net.Endpoint(cfgB.Addr, b.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Attach(epA)
+	b.Attach(epB)
+	members := []proto.Addr{cfgA.Addr, cfgB.Addr}
+	a.SetMembers(members)
+	b.SetMembers(members)
+	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
+	return a, b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty address accepted")
+	}
+	if _, err := New(Config{Addr: "h", Fragments: []*model.Fragment{{Name: "bad"}}}); err == nil {
+		t.Error("invalid fragment accepted")
+	}
+	if _, err := New(Config{Addr: "h", Services: []service.Registration{{}}}); err == nil {
+		t.Error("invalid service accepted")
+	}
+}
+
+func TestCallFragmentQuery(t *testing.T) {
+	a, _ := pair(t,
+		Config{Addr: "a"},
+		Config{Addr: "b", Fragments: []*model.Fragment{mkFrag(t, "f", "x", "y")}},
+	)
+	reply, err := a.Call("b", "wf", proto.FragmentQuery{Labels: lbl("x")}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, ok := reply.(proto.FragmentReply)
+	if !ok || len(fr.Fragments) != 1 || fr.Fragments[0].Name != "f" {
+		t.Fatalf("reply = %#v", reply)
+	}
+	// Non-matching query returns empty.
+	reply, err = a.Call("b", "wf", proto.FragmentQuery{Labels: lbl("zzz")}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr := reply.(proto.FragmentReply); len(fr.Fragments) != 0 {
+		t.Fatalf("reply = %#v", fr)
+	}
+}
+
+func TestCallFragmentQueryNilMeansAll(t *testing.T) {
+	a, _ := pair(t,
+		Config{Addr: "a"},
+		Config{Addr: "b", Fragments: []*model.Fragment{
+			mkFrag(t, "f1", "x", "y"), mkFrag(t, "f2", "p", "q"),
+		}},
+	)
+	reply, err := a.Call("b", "wf", proto.FragmentQuery{Labels: nil}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr := reply.(proto.FragmentReply); len(fr.Fragments) != 2 {
+		t.Fatalf("full-collection reply = %d fragments", len(fr.Fragments))
+	}
+}
+
+func TestCallFeasibilityQuery(t *testing.T) {
+	a, _ := pair(t,
+		Config{Addr: "a"},
+		Config{Addr: "b", Services: []service.Registration{
+			{Descriptor: service.Descriptor{Task: "cook", Specialization: 0.5}},
+		}},
+	)
+	reply, err := a.Call("b", "wf", proto.FeasibilityQuery{Tasks: []model.TaskID{"cook", "fly"}}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := reply.(proto.FeasibilityReply)
+	if len(fr.Capable) != 1 || fr.Capable[0] != "cook" {
+		t.Fatalf("Capable = %v", fr.Capable)
+	}
+}
+
+func TestCallForBidsAndAward(t *testing.T) {
+	a, b := pair(t,
+		Config{Addr: "a"},
+		Config{Addr: "b", Services: []service.Registration{
+			{Descriptor: service.Descriptor{Task: "cook", Specialization: 0.5}},
+		}},
+	)
+	meta := proto.TaskMeta{
+		Task: "cook", Mode: model.Conjunctive,
+		Inputs: lbl("in"), Outputs: lbl("out"),
+		Start: time.Now().Add(time.Hour), End: time.Now().Add(2 * time.Hour),
+	}
+	reply, err := a.Call("b", "wf", proto.CallForBids{Meta: meta}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid, ok := reply.(proto.Bid)
+	if !ok {
+		t.Fatalf("reply = %#v, want Bid", reply)
+	}
+	if bid.ServicesOffered != 1 {
+		t.Errorf("ServicesOffered = %d", bid.ServicesOffered)
+	}
+	reply, err = a.Call("b", "wf", proto.Award{Meta: meta}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := reply.(proto.AwardAck)
+	if !ack.OK {
+		t.Fatalf("award refused: %s", ack.Reason)
+	}
+	if _, ok := b.Schedule.Get("wf", "cook"); !ok {
+		t.Error("award did not create a commitment")
+	}
+	if b.Exec.Pending() != 1 {
+		t.Errorf("Exec.Pending = %d", b.Exec.Pending())
+	}
+	// Cancel is one-way.
+	if err := a.Send("b", "wf", proto.Cancel{Task: "cook"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		if _, ok := b.Schedule.Get("wf", "cook"); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancel never processed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCallForBidsDecline(t *testing.T) {
+	a, _ := pair(t, Config{Addr: "a"}, Config{Addr: "b"})
+	meta := proto.TaskMeta{
+		Task: "cook", Mode: model.Conjunctive,
+		Inputs: lbl("in"), Outputs: lbl("out"),
+		Start: time.Now().Add(time.Hour), End: time.Now().Add(2 * time.Hour),
+	}
+	reply, err := a.Call("b", "wf", proto.CallForBids{Meta: meta}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reply.(proto.Decline); !ok {
+		t.Fatalf("reply = %#v, want Decline", reply)
+	}
+}
+
+func TestHoldExpiryTimerReleasesSlot(t *testing.T) {
+	a, b := pair(t,
+		Config{Addr: "a", BidWindow: 20 * time.Millisecond},
+		Config{Addr: "b", BidWindow: 20 * time.Millisecond, Services: []service.Registration{
+			{Descriptor: service.Descriptor{Task: "cook", Specialization: 0.5}},
+		}},
+	)
+	meta := proto.TaskMeta{
+		Task: "cook", Mode: model.Conjunctive,
+		Inputs: lbl("in"), Outputs: lbl("out"),
+		Start: time.Now().Add(time.Hour), End: time.Now().Add(2 * time.Hour),
+	}
+	if _, err := a.Call("b", "wf", proto.CallForBids{Meta: meta}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if b.Schedule.Holds() != 1 {
+		t.Fatalf("Holds = %d after bid", b.Schedule.Holds())
+	}
+	deadline := time.Now().Add(time.Second)
+	for b.Schedule.Holds() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hold never expired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	a, _ := pair(t, Config{Addr: "a"}, Config{Addr: "b"})
+	_, err := a.Call("ghost", "wf", proto.FragmentQuery{Labels: lbl("x")}, 30*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestCallSelf(t *testing.T) {
+	a, _ := pair(t,
+		Config{Addr: "a", Fragments: []*model.Fragment{mkFrag(t, "own", "x", "y")}},
+		Config{Addr: "b"},
+	)
+	reply, err := a.Call("a", "wf", proto.FragmentQuery{Labels: lbl("x")}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr := reply.(proto.FragmentReply); len(fr.Fragments) != 1 {
+		t.Fatalf("self-call reply = %#v", fr)
+	}
+}
+
+func TestCloseFailsPendingCalls(t *testing.T) {
+	a, _ := pair(t, Config{Addr: "a"}, Config{Addr: "b"})
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Call("ghost", "wf", proto.FragmentQuery{}, time.Minute)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("pending call succeeded after Close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pending call never failed")
+	}
+	// Calls and sends after close error out.
+	if _, err := a.Call("b", "wf", proto.FragmentQuery{}, time.Second); err == nil {
+		t.Error("Call after Close succeeded")
+	}
+	if err := a.Send("b", "wf", proto.Decline{}); err == nil {
+		t.Error("Send after Close succeeded")
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestMembersDefaultsToSelf(t *testing.T) {
+	h, err := New(Config{Addr: "solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := h.Members()
+	if len(ms) != 1 || ms[0] != "solo" {
+		t.Errorf("Members = %v", ms)
+	}
+	if h.Self() != "solo" {
+		t.Errorf("Self = %v", h.Self())
+	}
+	if h.Clock() == nil {
+		t.Error("Clock is nil")
+	}
+}
+
+func TestUnattachedHostErrors(t *testing.T) {
+	h, err := New(Config{Addr: "solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Call("x", "wf", proto.FragmentQuery{}, time.Second); err == nil {
+		t.Error("Call on unattached host succeeded")
+	}
+	if err := h.Send("x", "wf", proto.Decline{}); err == nil {
+		t.Error("Send on unattached host succeeded")
+	}
+	if err := h.Close(); err != nil {
+		t.Errorf("Close unattached: %v", err)
+	}
+}
+
+func TestStrayReplyIgnored(t *testing.T) {
+	a, b := pair(t, Config{Addr: "a"}, Config{Addr: "b"})
+	// b sends an uncorrelated reply; a must not crash or route it.
+	if err := b.Send("a", "wf", proto.Bid{Task: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	// A real call still works afterwards.
+	if _, err := a.Call("b", "wf", proto.FeasibilityQuery{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package model
+
+import "fmt"
+
+// Compose merges two workflows per §2.2: identical sinks of one workflow
+// merge with the corresponding sources of the other, and identical sources
+// merge with each other. With semantic node identity this is graph union
+// followed by re-validation. The inputs are unchanged.
+//
+// Two workflows are composable if and only if Compose succeeds: the union
+// might give a label two producers or introduce a cycle, in which case an
+// error describes the conflict.
+func Compose(a, b *Workflow) (*Workflow, error) {
+	g := a.Graph()
+	if err := g.Union(b.Graph()); err != nil {
+		return nil, fmt.Errorf("compose: %w", err)
+	}
+	w, err := NewWorkflow(g)
+	if err != nil {
+		return nil, fmt.Errorf("compose: not composable: %w", err)
+	}
+	return w, nil
+}
+
+// Composable reports whether a and b can be composed into a valid workflow.
+func Composable(a, b *Workflow) bool {
+	_, err := Compose(a, b)
+	return err == nil
+}
+
+// ComposeFragments merges a set of fragments into one graph (the workflow
+// supergraph of §3.1). The result is generally not a valid workflow: it may
+// contain cycles and multiply-produced labels. Construction (internal/core)
+// extracts a valid workflow from it by coloring.
+func ComposeFragments(frags []*Fragment) (*Graph, error) {
+	g := NewGraph()
+	for _, f := range frags {
+		fg, err := f.Graph()
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Union(fg); err != nil {
+			return nil, fmt.Errorf("merging fragment %q: %w", f.Name, err)
+		}
+	}
+	return g, nil
+}

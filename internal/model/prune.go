@@ -1,0 +1,116 @@
+package model
+
+import "fmt"
+
+// Pruning (§2.2): composing fragments may produce a workflow that fails a
+// specification only because of extra sinks or sources. The three pruning
+// operations below remove unnecessary data flows while preserving workflow
+// validity:
+//
+//  1. a task output that is a sink may be pruned so long as the task keeps
+//     at least one output;
+//  2. a task input that is a source may be pruned for a *disjunctive* task
+//     so long as the task keeps at least one input;
+//  3. a task may be pruned so long as any of its inputs that are sources
+//     and any of its outputs that are sinks are pruned with it.
+//
+// Each operation takes and returns a Workflow; the input is unchanged.
+
+// PruneSinkOutput removes output label l from task id (operation 1).
+func PruneSinkOutput(w *Workflow, id TaskID, l LabelID) (*Workflow, error) {
+	g := w.Graph()
+	t, ok := g.Task(id)
+	if !ok {
+		return nil, fmt.Errorf("prune output: no task %q", id)
+	}
+	if !t.HasOutput(l) {
+		return nil, fmt.Errorf("prune output: task %q does not produce %q", id, l)
+	}
+	if !isSink(g, l) {
+		return nil, fmt.Errorf("prune output: label %q is not a sink", l)
+	}
+	if len(t.Outputs) == 1 {
+		return nil, fmt.Errorf("prune output: task %q would lose its last output", id)
+	}
+	t.Outputs = removeLabel(t.Outputs, l)
+	g.RemoveTask(id)
+	if err := g.AddTask(t); err != nil {
+		return nil, err
+	}
+	return NewWorkflow(g)
+}
+
+// PruneSourceInput removes input label l from disjunctive task id
+// (operation 2).
+func PruneSourceInput(w *Workflow, id TaskID, l LabelID) (*Workflow, error) {
+	g := w.Graph()
+	t, ok := g.Task(id)
+	if !ok {
+		return nil, fmt.Errorf("prune input: no task %q", id)
+	}
+	if t.Mode != Disjunctive {
+		return nil, fmt.Errorf("prune input: task %q is conjunctive; all inputs are required", id)
+	}
+	if !t.HasInput(l) {
+		return nil, fmt.Errorf("prune input: task %q does not consume %q", id, l)
+	}
+	if !isSource(g, l) {
+		return nil, fmt.Errorf("prune input: label %q is not a source", l)
+	}
+	if len(t.Inputs) == 1 {
+		return nil, fmt.Errorf("prune input: task %q would lose its last input", id)
+	}
+	t.Inputs = removeLabel(t.Inputs, l)
+	g.RemoveTask(id)
+	if err := g.AddTask(t); err != nil {
+		return nil, err
+	}
+	return NewWorkflow(g)
+}
+
+// PruneTask removes task id entirely (operation 3). The constraint — any
+// source inputs and sink outputs of the task must be pruned with it — is
+// satisfied automatically because labels are implicit: labels referenced
+// only by the removed task vanish from the graph. The operation fails if
+// removing the task would leave an empty or invalid workflow, or if one of
+// the task's outputs is consumed elsewhere (the label would lose its only
+// producer yet remain required — that flow is not "unnecessary").
+func PruneTask(w *Workflow, id TaskID) (*Workflow, error) {
+	g := w.Graph()
+	t, ok := g.Task(id)
+	if !ok {
+		return nil, fmt.Errorf("prune task: no task %q", id)
+	}
+	for _, out := range t.Outputs {
+		consumers := g.Consumers(out)
+		for _, c := range consumers {
+			if c != id {
+				return nil, fmt.Errorf("prune task: output %q of %q is consumed by %q", out, id, c)
+			}
+		}
+	}
+	g.RemoveTask(id)
+	w2, err := NewWorkflow(g)
+	if err != nil {
+		return nil, fmt.Errorf("prune task %q: %w", id, err)
+	}
+	return w2, nil
+}
+
+func isSink(g *Graph, l LabelID) bool {
+	return len(g.Consumers(l)) == 0
+}
+
+func isSource(g *Graph, l LabelID) bool {
+	return len(g.Producers(l)) == 0
+}
+
+func removeLabel(ls []LabelID, l LabelID) []LabelID {
+	out := make([]LabelID, 0, len(ls)-1)
+	for _, x := range ls {
+		if x != l {
+			out = append(out, x)
+		}
+	}
+	return out
+}

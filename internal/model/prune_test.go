@@ -1,0 +1,153 @@
+package model
+
+import "testing"
+
+// pruneFixture builds:
+//
+//	a -> t1 -> b, x      (x is a sink)
+//	b -> t2(disj, also s) -> c
+//	d -> t3 -> e         (independent branch, e is a sink)
+func pruneFixture(t *testing.T) *Workflow {
+	t.Helper()
+	g := NewGraph()
+	mustAdd(t, g, task("t1", Conjunctive, labels("a"), labels("b", "x")))
+	mustAdd(t, g, Task{ID: "t2", Mode: Disjunctive, Inputs: labels("b", "s"), Outputs: labels("c")})
+	mustAdd(t, g, task("t3", Conjunctive, labels("d"), labels("e")))
+	w, err := NewWorkflow(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPruneSinkOutput(t *testing.T) {
+	w := pruneFixture(t)
+	w2, err := PruneSinkOutput(w, "t1", "x")
+	if err != nil {
+		t.Fatalf("PruneSinkOutput: %v", err)
+	}
+	tk, _ := w2.Task("t1")
+	if tk.HasOutput("x") {
+		t.Error("x still produced after pruning")
+	}
+	// The original is unchanged.
+	tk0, _ := w.Task("t1")
+	if !tk0.HasOutput("x") {
+		t.Error("original workflow mutated")
+	}
+}
+
+func TestPruneSinkOutputErrors(t *testing.T) {
+	w := pruneFixture(t)
+	if _, err := PruneSinkOutput(w, "zz", "x"); err == nil {
+		t.Error("pruning unknown task succeeded")
+	}
+	if _, err := PruneSinkOutput(w, "t1", "zz"); err == nil {
+		t.Error("pruning label the task does not produce succeeded")
+	}
+	// b is consumed by t2, not a sink.
+	if _, err := PruneSinkOutput(w, "t1", "b"); err == nil {
+		t.Error("pruning a non-sink output succeeded")
+	}
+	// t3's only output.
+	if _, err := PruneSinkOutput(w, "t3", "e"); err == nil {
+		t.Error("pruning a task's last output succeeded")
+	}
+}
+
+func TestPruneSourceInput(t *testing.T) {
+	w := pruneFixture(t)
+	w2, err := PruneSourceInput(w, "t2", "s")
+	if err != nil {
+		t.Fatalf("PruneSourceInput: %v", err)
+	}
+	tk, _ := w2.Task("t2")
+	if tk.HasInput("s") {
+		t.Error("s still consumed after pruning")
+	}
+}
+
+func TestPruneSourceInputErrors(t *testing.T) {
+	w := pruneFixture(t)
+	// t1 is conjunctive: all inputs required.
+	if _, err := PruneSourceInput(w, "t1", "a"); err == nil {
+		t.Error("pruning input of conjunctive task succeeded")
+	}
+	// b is not a source (produced by t1).
+	if _, err := PruneSourceInput(w, "t2", "b"); err == nil {
+		t.Error("pruning non-source input succeeded")
+	}
+	if _, err := PruneSourceInput(w, "zz", "s"); err == nil {
+		t.Error("pruning unknown task succeeded")
+	}
+	if _, err := PruneSourceInput(w, "t2", "zz"); err == nil {
+		t.Error("pruning label the task does not consume succeeded")
+	}
+	// Last input: build a single-input disjunctive task.
+	g := NewGraph()
+	mustAdd(t, g, Task{ID: "d1", Mode: Disjunctive, Inputs: labels("a"), Outputs: labels("b")})
+	wd, _ := NewWorkflow(g)
+	if _, err := PruneSourceInput(wd, "d1", "a"); err == nil {
+		t.Error("pruning a task's last input succeeded")
+	}
+}
+
+func TestPruneTask(t *testing.T) {
+	w := pruneFixture(t)
+	// t3 is independent: its outputs are sinks, safe to prune.
+	w2, err := PruneTask(w, "t3")
+	if err != nil {
+		t.Fatalf("PruneTask: %v", err)
+	}
+	if _, ok := w2.Task("t3"); ok {
+		t.Error("t3 still present")
+	}
+	// Labels d and e vanished with it.
+	lbls := w2.Graph().Labels()
+	if _, ok := lbls["d"]; ok {
+		t.Error("label d survived pruning of its only task")
+	}
+	if _, ok := lbls["e"]; ok {
+		t.Error("label e survived pruning of its only task")
+	}
+}
+
+func TestPruneTaskErrors(t *testing.T) {
+	w := pruneFixture(t)
+	// t1's output b is consumed by t2 — not an unnecessary flow.
+	if _, err := PruneTask(w, "t1"); err == nil {
+		t.Error("pruning a task with consumed outputs succeeded")
+	}
+	if _, err := PruneTask(w, "zz"); err == nil {
+		t.Error("pruning unknown task succeeded")
+	}
+	// Pruning the only task would leave an empty workflow.
+	g := NewGraph()
+	mustAdd(t, g, task("only", Conjunctive, labels("a"), labels("b")))
+	w1, _ := NewWorkflow(g)
+	if _, err := PruneTask(w1, "only"); err == nil {
+		t.Error("pruning the last task succeeded")
+	}
+}
+
+// TestPrunePreservesValidity: every successful pruning operation yields a
+// workflow that still validates (guaranteed by construction, asserted
+// explicitly here).
+func TestPrunePreservesValidity(t *testing.T) {
+	w := pruneFixture(t)
+	if w2, err := PruneSinkOutput(w, "t1", "x"); err == nil {
+		if err := w2.Graph().Validate(); err != nil {
+			t.Errorf("after PruneSinkOutput: %v", err)
+		}
+	}
+	if w2, err := PruneSourceInput(w, "t2", "s"); err == nil {
+		if err := w2.Graph().Validate(); err != nil {
+			t.Errorf("after PruneSourceInput: %v", err)
+		}
+	}
+	if w2, err := PruneTask(w, "t3"); err == nil {
+		if err := w2.Graph().Validate(); err != nil {
+			t.Errorf("after PruneTask: %v", err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Workflow is a Graph that has been checked against the validity conditions
+// of §2.2. Construct one with NewWorkflow; the zero value is not valid.
+//
+// A Workflow is immutable through its public API: accessors return copies.
+type Workflow struct {
+	g *Graph
+}
+
+// NewWorkflow validates g and wraps it as a workflow. The graph is cloned;
+// later changes to g do not affect the workflow.
+func NewWorkflow(g *Graph) (*Workflow, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid workflow: %w", err)
+	}
+	return &Workflow{g: g.Clone()}, nil
+}
+
+// Graph returns a copy of the underlying graph.
+func (w *Workflow) Graph() *Graph { return w.g.Clone() }
+
+// In returns the workflow's inset W.in: its source labels, sorted.
+func (w *Workflow) In() []LabelID { return w.g.Sources() }
+
+// Out returns the workflow's outset W.out: its sink labels, sorted.
+func (w *Workflow) Out() []LabelID { return w.g.Sinks() }
+
+// Tasks returns copies of all tasks in lexicographic ID order.
+func (w *Workflow) Tasks() []Task { return w.g.Tasks() }
+
+// TaskIDs returns all task identifiers in lexicographic order.
+func (w *Workflow) TaskIDs() []TaskID { return w.g.TaskIDs() }
+
+// Task returns a copy of the task with the given ID.
+func (w *Workflow) Task(id TaskID) (Task, bool) { return w.g.Task(id) }
+
+// NumTasks returns the number of tasks in the workflow.
+func (w *Workflow) NumTasks() int { return w.g.NumTasks() }
+
+// Producer returns the task producing label l, if any. Workflow validity
+// guarantees there is at most one.
+func (w *Workflow) Producer(l LabelID) (TaskID, bool) {
+	ps := w.g.Producers(l)
+	if len(ps) == 0 {
+		return "", false
+	}
+	return ps[0], true
+}
+
+// Consumers returns the tasks consuming label l, sorted.
+func (w *Workflow) Consumers(l LabelID) []TaskID { return w.g.Consumers(l) }
+
+// Depths returns, for every task, its depth in the workflow DAG: tasks all
+// of whose inputs are workflow sources have depth 0; otherwise a task's
+// depth is one more than the maximum depth of the tasks producing its
+// inputs. Depths give a topological order used to assign execution windows.
+func (w *Workflow) Depths() map[TaskID]int {
+	producerOf := w.g.producerIndex()
+	depth := make(map[TaskID]int, w.g.NumTasks())
+	var compute func(id TaskID) int
+	compute = func(id TaskID) int {
+		if d, ok := depth[id]; ok {
+			return d
+		}
+		// Mark to guard against cycles (cannot happen in a valid
+		// workflow, but keep the function total).
+		depth[id] = 0
+		t := w.g.tasks[id]
+		d := 0
+		for _, in := range t.Inputs {
+			for _, p := range producerOf[in] {
+				if p == id {
+					continue
+				}
+				if pd := compute(p) + 1; pd > d {
+					d = pd
+				}
+			}
+		}
+		depth[id] = d
+		return d
+	}
+	for _, id := range w.g.TaskIDs() {
+		compute(id)
+	}
+	return depth
+}
+
+// TopoOrder returns the task IDs sorted by depth, ties broken by ID. The
+// result is a valid topological order of the workflow DAG.
+func (w *Workflow) TopoOrder() []TaskID {
+	depth := w.Depths()
+	ids := w.g.TaskIDs()
+	sort.SliceStable(ids, func(i, j int) bool {
+		if depth[ids[i]] != depth[ids[j]] {
+			return depth[ids[i]] < depth[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// String renders the workflow one task per line.
+func (w *Workflow) String() string { return w.g.String() }
+
+// Equal reports whether two workflows have identical task sets.
+func (w *Workflow) Equal(o *Workflow) bool {
+	if w.NumTasks() != o.NumTasks() {
+		return false
+	}
+	for _, t := range w.Tasks() {
+		ot, ok := o.Task(t.ID)
+		if !ok || !sameTask(t, ot) {
+			return false
+		}
+	}
+	return true
+}

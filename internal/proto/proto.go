@@ -1,0 +1,255 @@
+// Package proto defines the wire protocol of the open workflow management
+// system: the message bodies exchanged between hosts over the abstract
+// communications layer (the Fragment Messages, Service Feasibility
+// Messages, Auction Messages, and Inter-service Messages of the paper's
+// architecture, Fig. 3), plus the envelope framing and gob codec shared by
+// every transport.
+package proto
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"openwf/internal/model"
+	"openwf/internal/space"
+)
+
+// Addr identifies a host (participant device) in the community. With the
+// in-memory transport it is an opaque name; with the TCP transport a
+// registry maps it to a socket address.
+type Addr string
+
+// Envelope frames one message: routing metadata plus a typed body.
+type Envelope struct {
+	// From and To are the sending and receiving hosts.
+	From, To Addr
+	// ReqID correlates a reply with its request. Requests carry a
+	// nonzero ReqID chosen by the caller; replies echo it.
+	ReqID uint64
+	// Workflow identifies the open-workflow instance (workspace) the
+	// message belongs to; empty for messages outside any workflow.
+	Workflow string
+	// Body is the typed payload; exactly one of the message structs
+	// below.
+	Body Body
+}
+
+// Body is implemented by every message body.
+type Body interface {
+	// Kind returns a short name for logging and dispatch.
+	Kind() string
+}
+
+// --- Fragment Messages (knowhow discovery) ---
+
+// FragmentQuery asks a host's Fragment Manager for fragments containing a
+// task that consumes any of the given labels (the exploration frontier).
+type FragmentQuery struct {
+	Labels []model.LabelID
+}
+
+// Kind implements Body.
+func (FragmentQuery) Kind() string { return "fragment-query" }
+
+// FragmentReply returns the matching fragments.
+type FragmentReply struct {
+	Fragments []*model.Fragment
+}
+
+// Kind implements Body.
+func (FragmentReply) Kind() string { return "fragment-reply" }
+
+// --- Service Feasibility Messages (capability discovery) ---
+
+// FeasibilityQuery asks a host's Service Manager which of the given tasks
+// it offers a service for.
+type FeasibilityQuery struct {
+	Tasks []model.TaskID
+}
+
+// Kind implements Body.
+func (FeasibilityQuery) Kind() string { return "feasibility-query" }
+
+// FeasibilityReply lists the tasks the replying host can perform.
+type FeasibilityReply struct {
+	Capable []model.TaskID
+}
+
+// Kind implements Body.
+func (FeasibilityReply) Kind() string { return "feasibility-reply" }
+
+// --- Auction Messages (allocation) ---
+
+// TaskMeta is the per-task metadata the auction manager computes for
+// allocating and executing a workflow task (§3.2): identity, data flow,
+// execution window, and required location.
+type TaskMeta struct {
+	Task    model.TaskID
+	Mode    model.Mode
+	Inputs  []model.LabelID
+	Outputs []model.LabelID
+	// Start and End bound the execution window.
+	Start, End time.Time
+	// Location is the place the service must be performed, if any.
+	Location    space.Point
+	HasLocation bool
+}
+
+// CallForBids solicits bids for one task from a participant.
+type CallForBids struct {
+	Meta TaskMeta
+}
+
+// Kind implements Body.
+func (CallForBids) Kind() string { return "call-for-bids" }
+
+// Bid is a firm commitment offer for a task. Firm means the bidder must
+// honor the bid if awarded before Deadline; it reserves the necessary
+// schedule slot until then.
+type Bid struct {
+	Task model.TaskID
+	// ServicesOffered is how many services the bidder offers in total;
+	// the auctioneer prefers hosts offering fewer, preserving the
+	// community's resource pool.
+	ServicesOffered int
+	// Specialization ranks how specialized the bidder is for this task
+	// (higher is better); a tiebreaker after ServicesOffered.
+	Specialization float64
+	// Deadline is when the bidder needs a decision by; the auctioneer
+	// finalizes the allocation no later than the tentative winner's
+	// deadline.
+	Deadline time.Time
+}
+
+// Kind implements Body.
+func (Bid) Kind() string { return "bid" }
+
+// Decline tells the auctioneer the participant will not bid on a task.
+// (The paper's participants simply stay silent; an explicit decline lets
+// the auctioneer finalize as soon as the whole community has answered,
+// which never changes the outcome — no further bids can arrive.)
+type Decline struct {
+	Task model.TaskID
+}
+
+// Kind implements Body.
+func (Decline) Kind() string { return "decline" }
+
+// Award allocates a task to the winning bidder, who converts its
+// reservation into a commitment.
+type Award struct {
+	Meta TaskMeta
+}
+
+// Kind implements Body.
+func (Award) Kind() string { return "award" }
+
+// AwardAck confirms (or refuses) an award. Refusal happens only if the
+// bid's deadline passed before the award arrived.
+type AwardAck struct {
+	Task   model.TaskID
+	OK     bool
+	Reason string
+}
+
+// Kind implements Body.
+func (AwardAck) Kind() string { return "award-ack" }
+
+// Cancel revokes a previously awarded task (compensation during
+// replanning after a failure).
+type Cancel struct {
+	Task model.TaskID
+}
+
+// Kind implements Body.
+func (Cancel) Kind() string { return "cancel" }
+
+// --- Plan distribution and Inter-service Messages (execution) ---
+
+// PlanSegment gives an awarded host the routing information for one of its
+// commitments: where each input comes from and where each output must go.
+// The initiator distributes segments once allocation completes.
+type PlanSegment struct {
+	Task model.TaskID
+	// Initiator is the host coordinating the workflow; executors send
+	// it TaskDone notifications.
+	Initiator Addr
+	// InputSources maps each required input label to the host that will
+	// produce it (the initiator itself for triggering labels).
+	InputSources map[model.LabelID]Addr
+	// OutputSinks maps each output label to the hosts that need it
+	// (consumer executors, plus the initiator for goal labels).
+	OutputSinks map[model.LabelID][]Addr
+}
+
+// Kind implements Body.
+func (PlanSegment) Kind() string { return "plan-segment" }
+
+// LabelTransfer carries a produced label (condition plus optional data)
+// from the executor of a producing task to the executor of a consuming
+// task — the fully decentralized data flow of the execution phase.
+type LabelTransfer struct {
+	Label model.LabelID
+	Data  []byte
+	// Producer is the host whose service produced the label.
+	Producer Addr
+}
+
+// Kind implements Body.
+func (LabelTransfer) Kind() string { return "label-transfer" }
+
+// TaskDone notifies the initiator that a committed task finished (or
+// failed, with Err set).
+type TaskDone struct {
+	Task model.TaskID
+	Err  string
+}
+
+// Kind implements Body.
+func (TaskDone) Kind() string { return "task-done" }
+
+// Ack is the generic acknowledgment for requests with no richer reply
+// (plan segments).
+type Ack struct{}
+
+// Kind implements Body.
+func (Ack) Kind() string { return "ack" }
+
+// bodies lists every concrete message type for gob registration.
+var bodies = []Body{
+	FragmentQuery{}, FragmentReply{},
+	FeasibilityQuery{}, FeasibilityReply{},
+	CallForBids{}, Bid{}, Decline{}, Award{}, AwardAck{}, Cancel{},
+	PlanSegment{}, LabelTransfer{}, TaskDone{}, Ack{},
+}
+
+func init() {
+	// gob requires concrete types carried in interface fields to be
+	// registered; an encoding registry is the conventional use of init.
+	for _, b := range bodies {
+		gob.Register(b)
+	}
+}
+
+// Encode serializes an envelope with gob.
+func Encode(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return nil, fmt.Errorf("encoding %s envelope: %w", env.Body.Kind(), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes an envelope encoded by Encode.
+func Decode(data []byte) (Envelope, error) {
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("decoding envelope: %w", err)
+	}
+	if env.Body == nil {
+		return Envelope{}, fmt.Errorf("decoded envelope has no body")
+	}
+	return env, nil
+}

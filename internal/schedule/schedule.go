@@ -1,0 +1,335 @@
+// Package schedule implements the Schedule Manager, the keystone component
+// of the execution subsystem (§4.2): it manages a host's availability by
+// tracking its location, schedule, and scheduling preferences, and
+// maintains the database of commitments — scheduled service invocations
+// with their location and travel-time details — that drives both
+// allocation (can this host bid?) and execution (when must it travel?).
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"openwf/internal/clock"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/space"
+)
+
+// Commitment is a promise to perform one service invocation: the task, its
+// execution window, the location, and the travel block preceding it. Once
+// made, a commitment is the host's responsibility; the host is free to
+// roam but must meet it (§3.2).
+type Commitment struct {
+	// Workflow and Task identify the committed work.
+	Workflow string
+	Task     model.TaskID
+	// Start and End bound the service execution window.
+	Start, End time.Time
+	// Location is where the service must be performed.
+	Location    space.Point
+	HasLocation bool
+	// TravelStart is when the host must begin traveling to reach
+	// Location by Start (equal to Start when no travel is needed).
+	TravelStart time.Time
+	// Meta retains the full task metadata from the award.
+	Meta proto.TaskMeta
+}
+
+// key identifies a commitment or hold.
+type key struct {
+	workflow string
+	task     model.TaskID
+}
+
+// Preferences expresses a participant's willingness (§3.2, condition 5):
+// hosts only bid on work they are willing to do.
+type Preferences struct {
+	// Willing, when non-nil, is consulted per task; returning false
+	// declines the work.
+	Willing func(meta proto.TaskMeta) bool
+	// MaxCommitments, when positive, caps concurrent commitments plus
+	// holds (a simple workload preference).
+	MaxCommitments int
+}
+
+// Manager tracks one host's calendar and position. It is safe for
+// concurrent use.
+type Manager struct {
+	clk      clock.Clock
+	mobility space.Mobility
+	prefs    Preferences
+
+	mu          sync.Mutex
+	commitments map[key]Commitment
+	holds       map[key]Commitment // firm-bid reservations awaiting award
+	holdExpiry  map[key]time.Time
+}
+
+// NewManager returns a schedule manager for a host with the given mobility
+// model and preferences. A nil mobility means a static host at the origin.
+func NewManager(clk clock.Clock, mobility space.Mobility, prefs Preferences) *Manager {
+	if clk == nil {
+		clk = clock.New()
+	}
+	if mobility == nil {
+		mobility = space.Static{}
+	}
+	return &Manager{
+		clk:         clk,
+		mobility:    mobility,
+		prefs:       prefs,
+		commitments: make(map[key]Commitment),
+		holds:       make(map[key]Commitment),
+		holdExpiry:  make(map[key]time.Time),
+	}
+}
+
+// Mobility returns the host's mobility model.
+func (m *Manager) Mobility() space.Mobility { return m.mobility }
+
+// Position returns the host's current position.
+func (m *Manager) Position() space.Point { return m.mobility.Position(m.clk.Now()) }
+
+// CanCommit evaluates whether the host could commit to the task described
+// by meta (§3.2 conditions 2–5: time available, travel feasible, inputs/
+// outputs deliverable, willing). On success it returns the planned
+// commitment (with its travel block). It does not reserve anything.
+func (m *Manager) CanCommit(meta proto.TaskMeta) (Commitment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.planLocked(meta)
+}
+
+func (m *Manager) planLocked(meta proto.TaskMeta) (Commitment, error) {
+	if m.prefs.Willing != nil && !m.prefs.Willing(meta) {
+		return Commitment{}, fmt.Errorf("unwilling to perform %q", meta.Task)
+	}
+	if m.prefs.MaxCommitments > 0 &&
+		len(m.commitments)+len(m.holds) >= m.prefs.MaxCommitments {
+		return Commitment{}, fmt.Errorf("at commitment capacity (%d)", m.prefs.MaxCommitments)
+	}
+	if !meta.End.After(meta.Start) {
+		return Commitment{}, fmt.Errorf("task %q has an empty execution window", meta.Task)
+	}
+
+	c := Commitment{
+		Workflow:    "", // set by caller wrappers
+		Task:        meta.Task,
+		Start:       meta.Start,
+		End:         meta.End,
+		Location:    meta.Location,
+		HasLocation: meta.HasLocation,
+		TravelStart: meta.Start,
+		Meta:        meta,
+	}
+
+	if meta.HasLocation {
+		from, depart := m.originForLocked(meta.Start)
+		travel := space.TravelTime(from, meta.Location, m.mobility.Speed())
+		if travel == time.Duration(1<<63-1) { // immobile and not already there
+			if !space.Near(from, meta.Location, 1e-9) {
+				return Commitment{}, fmt.Errorf("cannot travel to %v for %q", meta.Location, meta.Task)
+			}
+			travel = 0
+		}
+		c.TravelStart = meta.Start.Add(-travel)
+		if c.TravelStart.Before(depart) {
+			return Commitment{}, fmt.Errorf(
+				"cannot reach %v by %v for %q (need to leave at %v, free at %v)",
+				meta.Location, meta.Start, meta.Task, c.TravelStart, depart)
+		}
+		if c.TravelStart.Before(m.clk.Now()) {
+			return Commitment{}, fmt.Errorf("too late to travel for %q", meta.Task)
+		}
+	} else if meta.Start.Before(m.clk.Now()) {
+		return Commitment{}, fmt.Errorf("execution window for %q already started", meta.Task)
+	}
+
+	// The busy interval is [TravelStart, End); it must not overlap any
+	// existing commitment or hold.
+	for _, existing := range m.allBusyLocked() {
+		if overlaps(c.TravelStart, c.End, existing.TravelStart, existing.End) {
+			return Commitment{}, fmt.Errorf("task %q conflicts with committed %q (%v–%v)",
+				meta.Task, existing.Task, existing.TravelStart, existing.End)
+		}
+	}
+	return c, nil
+}
+
+// originForLocked determines where the host will be (and from when it is
+// free to leave) just before a window starting at t: the location of its
+// latest commitment ending at or before t, or its current position.
+func (m *Manager) originForLocked(t time.Time) (space.Point, time.Time) {
+	origin := m.mobility.Position(m.clk.Now())
+	free := m.clk.Now()
+	for _, c := range m.allBusyLocked() {
+		if !c.End.After(t) && c.End.After(free) && c.HasLocation {
+			origin = c.Location
+			free = c.End
+		}
+	}
+	return origin, free
+}
+
+func (m *Manager) allBusyLocked() []Commitment {
+	out := make([]Commitment, 0, len(m.commitments)+len(m.holds))
+	for _, c := range m.commitments {
+		out = append(out, c)
+	}
+	for _, c := range m.holds {
+		out = append(out, c)
+	}
+	return out
+}
+
+func overlaps(aStart, aEnd, bStart, bEnd time.Time) bool {
+	return aStart.Before(bEnd) && bStart.Before(aEnd)
+}
+
+// ErrAlreadyHeld is returned by Hold when the slot for the same
+// (workflow, task) is already reserved; the caller may refresh the
+// reservation's deadline with RefreshHold and bid again.
+var ErrAlreadyHeld = errors.New("schedule: already holding this task")
+
+// Hold reserves the schedule slot for a firm bid until deadline: the
+// bidder must be able to honor an award that arrives before then. The
+// reservation is released by Release, converted by Commit, or expired by
+// ExpireHolds.
+func (m *Manager) Hold(workflow string, meta proto.TaskMeta, deadline time.Time) (Commitment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key{workflow, meta.Task}
+	if _, dup := m.holds[k]; dup {
+		return Commitment{}, fmt.Errorf("%w: %q in workflow %q", ErrAlreadyHeld, meta.Task, workflow)
+	}
+	if _, dup := m.commitments[k]; dup {
+		return Commitment{}, fmt.Errorf("already committed to %q in workflow %q", meta.Task, workflow)
+	}
+	c, err := m.planLocked(meta)
+	if err != nil {
+		return Commitment{}, err
+	}
+	c.Workflow = workflow
+	m.holds[k] = c
+	m.holdExpiry[k] = deadline
+	return c, nil
+}
+
+// RefreshHold extends an existing reservation's deadline and returns the
+// held commitment. It fails if no hold exists.
+func (m *Manager) RefreshHold(workflow string, task model.TaskID, deadline time.Time) (Commitment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key{workflow, task}
+	c, ok := m.holds[k]
+	if !ok {
+		return Commitment{}, fmt.Errorf("no hold for %q in workflow %q", task, workflow)
+	}
+	m.holdExpiry[k] = deadline
+	return c, nil
+}
+
+// Commit converts a hold into a firm commitment (on award). Committing
+// without a prior hold plans the commitment fresh, failing if the slot is
+// no longer available.
+func (m *Manager) Commit(workflow string, meta proto.TaskMeta) (Commitment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key{workflow, meta.Task}
+	if held, ok := m.holds[k]; ok {
+		delete(m.holds, k)
+		delete(m.holdExpiry, k)
+		m.commitments[k] = held
+		return held, nil
+	}
+	c, err := m.planLocked(meta)
+	if err != nil {
+		return Commitment{}, err
+	}
+	c.Workflow = workflow
+	m.commitments[k] = c
+	return c, nil
+}
+
+// Release drops a hold without committing (the auction was lost).
+func (m *Manager) Release(workflow string, task model.TaskID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key{workflow, task}
+	delete(m.holds, k)
+	delete(m.holdExpiry, k)
+}
+
+// ExpireHolds releases every hold whose deadline has passed and returns
+// how many were released.
+func (m *Manager) ExpireHolds(now time.Time) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for k, deadline := range m.holdExpiry {
+		if now.After(deadline) {
+			delete(m.holds, k)
+			delete(m.holdExpiry, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Remove cancels a commitment (compensation during replanning). It
+// reports whether the commitment existed.
+func (m *Manager) Remove(workflow string, task model.TaskID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key{workflow, task}
+	if _, ok := m.commitments[k]; !ok {
+		return false
+	}
+	delete(m.commitments, k)
+	return true
+}
+
+// Get returns the commitment for a task, if any.
+func (m *Manager) Get(workflow string, task model.TaskID) (Commitment, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.commitments[key{workflow, task}]
+	return c, ok
+}
+
+// Commitments returns all commitments ordered by start time (then task).
+func (m *Manager) Commitments() []Commitment {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Commitment, 0, len(m.commitments))
+	for _, c := range m.commitments {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Task < out[j].Task
+	})
+	return out
+}
+
+// Holds returns the number of outstanding firm-bid reservations.
+func (m *Manager) Holds() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.holds)
+}
+
+// Clear removes every commitment and hold (used between evaluation runs).
+func (m *Manager) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.commitments = make(map[key]Commitment)
+	m.holds = make(map[key]Commitment)
+	m.holdExpiry = make(map[key]time.Time)
+}

@@ -1,0 +1,302 @@
+package schedule
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"openwf/internal/clock"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/space"
+)
+
+var t0 = time.Date(2026, 6, 11, 9, 0, 0, 0, time.UTC)
+
+func meta(task string, start, end time.Time) proto.TaskMeta {
+	return proto.TaskMeta{
+		Task:  model.TaskID(task),
+		Mode:  model.Conjunctive,
+		Start: start,
+		End:   end,
+	}
+}
+
+func locMeta(task string, start, end time.Time, at space.Point) proto.TaskMeta {
+	m := meta(task, start, end)
+	m.Location = at
+	m.HasLocation = true
+	return m
+}
+
+func newManager(prefs Preferences, mobility space.Mobility) (*Manager, *clock.Sim) {
+	sim := clock.NewSim(t0)
+	return NewManager(sim, mobility, prefs), sim
+}
+
+func TestCanCommitBasics(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	c, err := m.CanCommit(meta("t", t0.Add(time.Hour), t0.Add(2*time.Hour)))
+	if err != nil {
+		t.Fatalf("CanCommit: %v", err)
+	}
+	if !c.TravelStart.Equal(c.Start) {
+		t.Errorf("no-location commitment has travel: %v vs %v", c.TravelStart, c.Start)
+	}
+}
+
+func TestCanCommitRejectsEmptyWindow(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	if _, err := m.CanCommit(meta("t", t0.Add(time.Hour), t0.Add(time.Hour))); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestCanCommitRejectsPastWindow(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	if _, err := m.CanCommit(meta("t", t0.Add(-time.Hour), t0.Add(time.Hour))); err == nil {
+		t.Error("already-started window accepted")
+	}
+}
+
+func TestCanCommitWillingness(t *testing.T) {
+	m, _ := newManager(Preferences{
+		Willing: func(meta proto.TaskMeta) bool { return meta.Task != "dirty" },
+	}, nil)
+	if _, err := m.CanCommit(meta("dirty", t0.Add(time.Hour), t0.Add(2*time.Hour))); err == nil {
+		t.Error("unwilling task accepted")
+	}
+	if _, err := m.CanCommit(meta("clean", t0.Add(time.Hour), t0.Add(2*time.Hour))); err != nil {
+		t.Errorf("willing task rejected: %v", err)
+	}
+}
+
+func TestCanCommitCapacity(t *testing.T) {
+	m, _ := newManager(Preferences{MaxCommitments: 1}, nil)
+	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CanCommit(meta("b", t0.Add(3*time.Hour), t0.Add(4*time.Hour))); err == nil {
+		t.Error("over-capacity commitment accepted")
+	}
+}
+
+func TestCommitConflictDetection(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping window conflicts.
+	if _, err := m.CanCommit(meta("b", t0.Add(90*time.Minute), t0.Add(3*time.Hour))); err == nil {
+		t.Error("overlapping commitment accepted")
+	}
+	// Adjacent window is fine.
+	if _, err := m.CanCommit(meta("c", t0.Add(2*time.Hour), t0.Add(3*time.Hour))); err != nil {
+		t.Errorf("adjacent commitment rejected: %v", err)
+	}
+}
+
+func TestTravelTimeBlocking(t *testing.T) {
+	// Host at origin, speed 1 m/s; task 60 m away starting in 2 min:
+	// travel takes 1 min, so TravelStart is 1 min before Start.
+	mobility := space.NewMover(space.Point{}, 1)
+	m, _ := newManager(Preferences{}, mobility)
+	c, err := m.CanCommit(locMeta("far", t0.Add(2*time.Minute), t0.Add(3*time.Minute), space.Point{X: 60}))
+	if err != nil {
+		t.Fatalf("CanCommit: %v", err)
+	}
+	wantTravelStart := t0.Add(time.Minute)
+	if !c.TravelStart.Equal(wantTravelStart) {
+		t.Errorf("TravelStart = %v, want %v", c.TravelStart, wantTravelStart)
+	}
+}
+
+func TestTravelInfeasibleTooFar(t *testing.T) {
+	mobility := space.NewMover(space.Point{}, 1)
+	m, _ := newManager(Preferences{}, mobility)
+	// 3600 m away, starting in 2 minutes: cannot arrive.
+	_, err := m.CanCommit(locMeta("far", t0.Add(2*time.Minute), t0.Add(time.Hour), space.Point{X: 3600}))
+	if err == nil {
+		t.Error("unreachable commitment accepted")
+	}
+}
+
+func TestTravelImmobileHost(t *testing.T) {
+	m, _ := newManager(Preferences{}, space.Static{P: space.Point{X: 5}})
+	// Task at the host's own position: fine.
+	if _, err := m.CanCommit(locMeta("here", t0.Add(time.Hour), t0.Add(2*time.Hour), space.Point{X: 5})); err != nil {
+		t.Errorf("in-place task rejected: %v", err)
+	}
+	// Task elsewhere: impossible.
+	if _, err := m.CanCommit(locMeta("there", t0.Add(time.Hour), t0.Add(2*time.Hour), space.Point{X: 6})); err == nil {
+		t.Error("travel accepted for immobile host")
+	}
+}
+
+func TestTravelChainsFromPreviousCommitment(t *testing.T) {
+	// After a task at x=60, the host must travel from there (not from
+	// the origin) to the next location.
+	mobility := space.NewMover(space.Point{}, 1)
+	m, _ := newManager(Preferences{}, mobility)
+	if _, err := m.Commit("wf", locMeta("first", t0.Add(2*time.Minute), t0.Add(3*time.Minute), space.Point{X: 60})); err != nil {
+		t.Fatal(err)
+	}
+	// Second task back at the origin 30 s after the first ends: travel
+	// from x=60 takes 60 s — infeasible.
+	_, err := m.CanCommit(locMeta("second", t0.Add(3*time.Minute+30*time.Second), t0.Add(5*time.Minute), space.Point{}))
+	if err == nil {
+		t.Error("infeasible chained travel accepted")
+	}
+	// 90 s after: feasible.
+	if _, err := m.CanCommit(locMeta("third", t0.Add(4*time.Minute+30*time.Second), t0.Add(6*time.Minute), space.Point{})); err != nil {
+		t.Errorf("feasible chained travel rejected: %v", err)
+	}
+}
+
+func TestHoldLifecycle(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	md := meta("t", t0.Add(time.Hour), t0.Add(2*time.Hour))
+	deadline := t0.Add(time.Minute)
+
+	if _, err := m.Hold("wf", md, deadline); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holds() != 1 {
+		t.Errorf("Holds = %d", m.Holds())
+	}
+	// Duplicate hold: ErrAlreadyHeld.
+	if _, err := m.Hold("wf", md, deadline); !errors.Is(err, ErrAlreadyHeld) {
+		t.Errorf("duplicate Hold = %v, want ErrAlreadyHeld", err)
+	}
+	// The hold blocks conflicting work.
+	if _, err := m.CanCommit(meta("other", t0.Add(90*time.Minute), t0.Add(3*time.Hour))); err == nil {
+		t.Error("hold did not reserve the slot")
+	}
+	// Refresh extends the deadline.
+	if _, err := m.RefreshHold("wf", "t", t0.Add(2*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RefreshHold("wf", "missing", deadline); err == nil {
+		t.Error("RefreshHold of missing hold succeeded")
+	}
+	// Expiry after the refreshed deadline.
+	if n := m.ExpireHolds(t0.Add(90 * time.Second)); n != 0 {
+		t.Errorf("ExpireHolds before deadline released %d", n)
+	}
+	if n := m.ExpireHolds(t0.Add(3 * time.Minute)); n != 1 {
+		t.Errorf("ExpireHolds after deadline released %d", n)
+	}
+	if m.Holds() != 0 {
+		t.Errorf("Holds = %d after expiry", m.Holds())
+	}
+}
+
+func TestCommitConvertsHold(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	md := meta("t", t0.Add(time.Hour), t0.Add(2*time.Hour))
+	if _, err := m.Hold("wf", md, t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Commit("wf", md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Task != "t" || m.Holds() != 0 {
+		t.Errorf("Commit did not convert hold: %+v holds=%d", c, m.Holds())
+	}
+	if _, ok := m.Get("wf", "t"); !ok {
+		t.Error("commitment not stored")
+	}
+}
+
+func TestCommitWithoutHoldPlansFresh(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	md := meta("t", t0.Add(time.Hour), t0.Add(2*time.Hour))
+	if _, err := m.Commit("wf", md); err != nil {
+		t.Fatal(err)
+	}
+	// A second, conflicting fresh commit fails.
+	if _, err := m.Commit("wf2", meta("u", t0.Add(time.Hour), t0.Add(2*time.Hour))); err == nil {
+		t.Error("conflicting fresh commit accepted")
+	}
+}
+
+func TestReleaseAndRemove(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	md := meta("t", t0.Add(time.Hour), t0.Add(2*time.Hour))
+	if _, err := m.Hold("wf", md, t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	m.Release("wf", "t")
+	if m.Holds() != 0 {
+		t.Error("Release did not drop hold")
+	}
+	if _, err := m.Commit("wf", md); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Remove("wf", "t") {
+		t.Error("Remove returned false for existing commitment")
+	}
+	if m.Remove("wf", "t") {
+		t.Error("Remove returned true for missing commitment")
+	}
+}
+
+func TestCommitmentsSorted(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	if _, err := m.Commit("wf", meta("b", t0.Add(3*time.Hour), t0.Add(4*time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	cs := m.Commitments()
+	if len(cs) != 2 || cs[0].Task != "a" || cs[1].Task != "b" {
+		t.Errorf("Commitments = %+v", cs)
+	}
+}
+
+func TestClear(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Hold("wf", meta("b", t0.Add(5*time.Hour), t0.Add(6*time.Hour)), t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	m.Clear()
+	if len(m.Commitments()) != 0 || m.Holds() != 0 {
+		t.Error("Clear left state behind")
+	}
+}
+
+func TestPosition(t *testing.T) {
+	m, sim := newManager(Preferences{}, space.NewMover(space.Point{X: 1}, 2))
+	if p := m.Position(); p != (space.Point{X: 1}) {
+		t.Errorf("Position = %v", p)
+	}
+	m.Mobility().Travel(sim.Now(), space.Point{X: 5})
+	sim.Advance(2 * time.Second)
+	if p := m.Position(); p != (space.Point{X: 5}) {
+		t.Errorf("Position after travel = %v", p)
+	}
+}
+
+// TestNoOverlappingCommitmentsInvariant: whatever sequence of holds,
+// commits, and releases happens, committed busy intervals never overlap.
+func TestNoOverlappingCommitmentsInvariant(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	for i := 0; i < 40; i++ {
+		start := t0.Add(time.Duration(i%13) * 20 * time.Minute).Add(time.Hour)
+		md := meta(string(rune('a'+i)), start, start.Add(30*time.Minute))
+		_, _ = m.Commit("wf", md)
+	}
+	cs := m.Commitments()
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			if overlaps(cs[i].TravelStart, cs[i].End, cs[j].TravelStart, cs[j].End) {
+				t.Fatalf("commitments overlap: %+v and %+v", cs[i], cs[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,496 @@
+// Package inmem implements the simulated network used by the paper's
+// simulation experiments (§5): every host runs in one process and
+// communicates solely through this in-memory transport. The network can
+// model an ad hoc wireless medium: per-message latency (propagation plus
+// serialization at a configured bandwidth), jitter, random loss, and
+// community partitions. Delivery is FIFO per directed link, and each
+// endpoint processes messages sequentially, like a single device.
+package inmem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openwf/internal/clock"
+	"openwf/internal/proto"
+	"openwf/internal/transport"
+)
+
+// LinkModel computes the behavior of one message on a directed link:
+// the delivery latency and whether the medium drops the message. size is
+// the encoded message size in bytes (0 when marshaling is disabled). The
+// model is called with the network's lock held; it must not block.
+type LinkModel func(from, to proto.Addr, size int, rng *rand.Rand) (latency time.Duration, drop bool)
+
+// FixedLatency returns a LinkModel with constant latency and no loss.
+func FixedLatency(d time.Duration) LinkModel {
+	return func(_, _ proto.Addr, _ int, _ *rand.Rand) (time.Duration, bool) {
+		return d, false
+	}
+}
+
+// Wireless models an 802.11-style shared medium: each message takes
+// base latency (MAC + propagation) plus its serialization time at the
+// given bandwidth, plus uniform jitter in [0, jitter).
+//
+// The paper's empirical configuration used 802.11g at 54 Mbit/s;
+// Wireless(1200*time.Microsecond, 400*time.Microsecond, 54e6) approximates
+// the per-hop behavior of that medium for small control messages.
+func Wireless(base, jitter time.Duration, bandwidthBps float64) LinkModel {
+	return func(_, _ proto.Addr, size int, rng *rand.Rand) (time.Duration, bool) {
+		lat := base
+		if bandwidthBps > 0 {
+			lat += time.Duration(float64(size*8) / bandwidthBps * float64(time.Second))
+		}
+		if jitter > 0 {
+			lat += time.Duration(rng.Int63n(int64(jitter)))
+		}
+		return lat, false
+	}
+}
+
+// Lossy wraps a model with uniform random loss probability p.
+func Lossy(p float64, inner LinkModel) LinkModel {
+	return func(from, to proto.Addr, size int, rng *rand.Rand) (time.Duration, bool) {
+		if rng.Float64() < p {
+			return 0, true
+		}
+		if inner == nil {
+			return 0, false
+		}
+		return inner(from, to, size, rng)
+	}
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithClock sets the clock used for latency sleeps (default: wall clock).
+func WithClock(c clock.Clock) Option { return func(n *Network) { n.clock = c } }
+
+// WithLinkModel sets the latency/loss model (default: instantaneous,
+// lossless delivery).
+func WithLinkModel(m LinkModel) Option { return func(n *Network) { n.model = m } }
+
+// WithMarshal controls whether envelopes are gob-encoded on send and
+// decoded on delivery (default true). Marshaling isolates endpoints from
+// shared mutable state and charges realistic serialization cost; disabling
+// it passes envelopes by value for maximum simulation throughput.
+func WithMarshal(enabled bool) Option { return func(n *Network) { n.marshal = enabled } }
+
+// WithSeed seeds the network's random source (jitter, loss). Default 1.
+func WithSeed(seed int64) Option { return func(n *Network) { n.seed = seed } }
+
+// WithStoreAndForward buffers messages addressed to unreachable hosts
+// (partitioned or not yet attached) and delivers them, in order, once the
+// recipient becomes reachable again — the store-carry-forward behavior of
+// delay-tolerant MANET routing that the paper points to for accommodating
+// transient connectivity (its reference [3]). Without it, unreachable
+// recipients lose messages silently like a plain wireless medium.
+func WithStoreAndForward(enabled bool) Option {
+	return func(n *Network) { n.storeAndForward = enabled }
+}
+
+// Network is a simulated broadcast domain connecting endpoints. Create
+// endpoints with Endpoint; close the network to tear everything down.
+type Network struct {
+	clock           clock.Clock
+	model           LinkModel
+	marshal         bool
+	seed            int64
+	storeAndForward bool
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[proto.Addr]*endpoint
+	links     map[linkKey]*link
+	partition map[proto.Addr]int
+	// stored holds store-and-forward messages awaiting reachability,
+	// in arrival order per (from, to) pair.
+	stored map[linkKey][]delivery
+	closed bool
+
+	sent      atomic.Int64
+	delivered atomic.Int64
+	dropped   atomic.Int64
+	bytes     atomic.Int64
+}
+
+type linkKey struct{ from, to proto.Addr }
+
+// NewNetwork returns an empty simulated network.
+func NewNetwork(opts ...Option) *Network {
+	n := &Network{
+		clock:     clock.New(),
+		marshal:   true,
+		seed:      1,
+		endpoints: make(map[proto.Addr]*endpoint),
+		links:     make(map[linkKey]*link),
+		stored:    make(map[linkKey][]delivery),
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	n.rng = rand.New(rand.NewSource(n.seed))
+	return n
+}
+
+// Endpoint attaches a host to the network. The handler is invoked
+// sequentially from a dedicated goroutine for every delivered message.
+func (n *Network) Endpoint(addr proto.Addr, handler transport.Handler) (transport.Endpoint, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("inmem: nil handler for %q", addr)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("inmem: network closed")
+	}
+	if _, dup := n.endpoints[addr]; dup {
+		return nil, fmt.Errorf("inmem: address %q already in use", addr)
+	}
+	ep := &endpoint{net: n, addr: addr, handler: handler, box: newMailbox()}
+	n.endpoints[addr] = ep
+	go ep.pump()
+	// A late joiner may have store-and-forward traffic waiting.
+	flush := n.collectFlushableLocked()
+	n.deliverStored(flush)
+	return ep, nil
+}
+
+// SetPartition splits the community into isolated groups: hosts may only
+// reach hosts in their own group. Hosts not listed in any group are
+// isolated entirely. Pass no groups to heal the partition. With
+// store-and-forward enabled, buffered messages whose recipients became
+// reachable are flushed in order.
+func (n *Network) SetPartition(groups ...[]proto.Addr) {
+	n.mu.Lock()
+	if len(groups) == 0 {
+		n.partition = nil
+	} else {
+		n.partition = make(map[proto.Addr]int)
+		for i, g := range groups {
+			for _, a := range g {
+				n.partition[a] = i + 1
+			}
+		}
+	}
+	flush := n.collectFlushableLocked()
+	n.mu.Unlock()
+	n.deliverStored(flush)
+}
+
+// storedDelivery pairs a buffered message with its resolved target.
+type storedDelivery struct {
+	target *endpoint
+	d      delivery
+}
+
+// collectFlushableLocked removes and returns every stored message whose
+// recipient is now reachable.
+func (n *Network) collectFlushableLocked() []storedDelivery {
+	if !n.storeAndForward || len(n.stored) == 0 {
+		return nil
+	}
+	var out []storedDelivery
+	for key, msgs := range n.stored {
+		target, ok := n.endpoints[key.to]
+		if !ok || !n.reachableLocked(key.from, key.to) {
+			continue
+		}
+		for _, d := range msgs {
+			out = append(out, storedDelivery{target: target, d: d})
+		}
+		delete(n.stored, key)
+	}
+	return out
+}
+
+// deliverStored hands flushed messages to their targets.
+func (n *Network) deliverStored(flush []storedDelivery) {
+	for _, sd := range flush {
+		if !sd.target.box.push(sd.d) {
+			n.dropped.Add(1)
+		}
+	}
+}
+
+// Stored returns how many messages are currently buffered awaiting
+// reachability (store-and-forward mode only).
+func (n *Network) Stored() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, msgs := range n.stored {
+		total += len(msgs)
+	}
+	return total
+}
+
+// Messages returns the number of envelopes accepted for transmission.
+func (n *Network) Messages() int64 { return n.sent.Load() }
+
+// Delivered returns the number of envelopes handed to handlers.
+func (n *Network) Delivered() int64 { return n.delivered.Load() }
+
+// Dropped returns the number of envelopes lost (partition, loss model, or
+// missing/closed recipient).
+func (n *Network) Dropped() int64 { return n.dropped.Load() }
+
+// Bytes returns the total encoded payload bytes transmitted (0 when
+// marshaling is disabled).
+func (n *Network) Bytes() int64 { return n.bytes.Load() }
+
+// ResetCounters zeroes the traffic counters (between evaluation runs).
+func (n *Network) ResetCounters() {
+	n.sent.Store(0)
+	n.delivered.Store(0)
+	n.dropped.Store(0)
+	n.bytes.Store(0)
+}
+
+// Close tears down the network and all endpoints.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.closeLocal()
+	}
+	for _, l := range links {
+		l.box.close()
+	}
+	return nil
+}
+
+// send implements the delivery decision for one envelope.
+func (n *Network) send(from *endpoint, to proto.Addr, env proto.Envelope) error {
+	env.From = from.addr
+	env.To = to
+
+	var payload []byte
+	size := 0
+	if n.marshal {
+		data, err := proto.Encode(env)
+		if err != nil {
+			return err
+		}
+		payload = data
+		size = len(data)
+	}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("inmem: network closed")
+	}
+	n.sent.Add(1)
+	n.bytes.Add(int64(size))
+
+	target, ok := n.endpoints[to]
+	if !ok || !n.reachableLocked(from.addr, to) {
+		if n.storeAndForward {
+			key := linkKey{from.addr, to}
+			n.stored[key] = append(n.stored[key], delivery{
+				env: env, payload: payload, due: n.clock.Now(),
+			})
+			n.mu.Unlock()
+			return nil
+		}
+		n.mu.Unlock()
+		n.dropped.Add(1)
+		return nil // silent loss, like a wireless medium
+	}
+	var latency time.Duration
+	if n.model != nil {
+		var drop bool
+		latency, drop = n.model(from.addr, to, size, n.rng)
+		if drop {
+			n.mu.Unlock()
+			n.dropped.Add(1)
+			return nil
+		}
+	}
+	d := delivery{env: env, payload: payload, due: n.clock.Now().Add(latency)}
+	if latency <= 0 {
+		n.mu.Unlock()
+		if !target.box.push(d) {
+			n.dropped.Add(1)
+		}
+		return nil
+	}
+	l := n.linkLocked(from.addr, to, target)
+	n.mu.Unlock()
+	if !l.box.push(d) {
+		n.dropped.Add(1)
+	}
+	return nil
+}
+
+func (n *Network) reachableLocked(from, to proto.Addr) bool {
+	if n.partition == nil || from == to {
+		return true
+	}
+	gf, okf := n.partition[from]
+	gt, okt := n.partition[to]
+	return okf && okt && gf == gt
+}
+
+// linkLocked returns (creating on first use) the FIFO delay line for a
+// directed link. Each link has a goroutine that holds messages until
+// their due time, preserving per-link ordering while letting latencies
+// overlap (propagation is concurrent; ordering is not violated because
+// every message on a link has the same base model).
+func (n *Network) linkLocked(from, to proto.Addr, target *endpoint) *link {
+	key := linkKey{from, to}
+	l, ok := n.links[key]
+	if !ok {
+		l = &link{net: n, target: target, box: newMailbox()}
+		n.links[key] = l
+		go l.pump()
+	}
+	return l
+}
+
+type link struct {
+	net    *Network
+	target *endpoint
+	box    *mailbox
+}
+
+func (l *link) pump() {
+	for {
+		d, ok := l.box.pop()
+		if !ok {
+			return
+		}
+		if wait := d.due.Sub(l.net.clock.Now()); wait > 0 {
+			l.net.clock.Sleep(wait)
+		}
+		if !l.target.box.push(d) {
+			l.net.dropped.Add(1)
+		}
+	}
+}
+
+type delivery struct {
+	env     proto.Envelope
+	payload []byte
+	due     time.Time
+}
+
+// endpoint implements transport.Endpoint.
+type endpoint struct {
+	net     *Network
+	addr    proto.Addr
+	handler transport.Handler
+	box     *mailbox
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)
+
+// Addr implements transport.Endpoint.
+func (e *endpoint) Addr() proto.Addr { return e.addr }
+
+// Send implements transport.Endpoint.
+func (e *endpoint) Send(to proto.Addr, env proto.Envelope) error {
+	return e.net.send(e, to, env)
+}
+
+// Close implements transport.Endpoint.
+func (e *endpoint) Close() error {
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.addr)
+	e.net.mu.Unlock()
+	e.closeLocal()
+	return nil
+}
+
+func (e *endpoint) closeLocal() { e.box.close() }
+
+// pump delivers queued messages to the handler, one at a time.
+func (e *endpoint) pump() {
+	for {
+		d, ok := e.box.pop()
+		if !ok {
+			return
+		}
+		env := d.env
+		if e.net.marshal {
+			decoded, err := proto.Decode(d.payload)
+			if err != nil {
+				e.net.dropped.Add(1)
+				continue
+			}
+			env = decoded
+		}
+		e.net.delivered.Add(1)
+		e.handler(env)
+	}
+}
+
+// mailbox is an unbounded FIFO queue; push never blocks, pop blocks until
+// an item arrives or the mailbox closes.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []delivery
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push enqueues an item; it reports false if the mailbox is closed.
+func (m *mailbox) push(d delivery) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.items = append(m.items, d)
+	m.cond.Signal()
+	return true
+}
+
+// pop dequeues the oldest item, blocking as needed; ok is false once the
+// mailbox is closed and drained.
+func (m *mailbox) pop() (delivery, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		return delivery{}, false
+	}
+	d := m.items[0]
+	m.items = m.items[1:]
+	return d, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.items = nil
+	m.cond.Broadcast()
+}

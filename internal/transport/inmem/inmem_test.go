@@ -1,0 +1,449 @@
+package inmem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"openwf/internal/proto"
+	"openwf/internal/transport"
+)
+
+// collector accumulates received envelopes.
+type collector struct {
+	mu   sync.Mutex
+	got  []proto.Envelope
+	cond *sync.Cond
+}
+
+func newCollector() *collector {
+	c := &collector{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *collector) handler(env proto.Envelope) {
+	c.mu.Lock()
+	c.got = append(c.got, env)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// waitN blocks until n messages arrived or the timeout expires.
+func (c *collector) waitN(t *testing.T, n int, timeout time.Duration) []proto.Envelope {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.got) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: got %d messages, want %d", len(c.got), n)
+		}
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		c.mu.Lock()
+	}
+	return append([]proto.Envelope(nil), c.got...)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func ping(n int) proto.Envelope {
+	return proto.Envelope{ReqID: uint64(n), Body: proto.Decline{Task: "t"}}
+}
+
+func TestBasicDelivery(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	col := newCollector()
+	a, err := net.Endpoint("a", func(proto.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Endpoint("b", col.handler); err != nil {
+		t.Fatal(err)
+	}
+	if a.Addr() != "a" {
+		t.Errorf("Addr = %q", a.Addr())
+	}
+	if err := a.Send("b", ping(1)); err != nil {
+		t.Fatal(err)
+	}
+	got := col.waitN(t, 1, time.Second)
+	if got[0].From != "a" || got[0].To != "b" || got[0].ReqID != 1 {
+		t.Errorf("envelope = %+v", got[0])
+	}
+	if got[0].Body.Kind() != "decline" {
+		t.Errorf("body kind = %q", got[0].Body.Kind())
+	}
+	if net.Messages() != 1 || net.Delivered() != 1 || net.Dropped() != 0 {
+		t.Errorf("counters = %d/%d/%d", net.Messages(), net.Delivered(), net.Dropped())
+	}
+}
+
+func TestFIFOOrderPerLink(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	col := newCollector()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	if _, err := net.Endpoint("b", col.handler); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := col.waitN(t, n, 5*time.Second)
+	for i, env := range got {
+		if env.ReqID != uint64(i) {
+			t.Fatalf("message %d has ReqID %d: order violated", i, env.ReqID)
+		}
+	}
+}
+
+func TestFIFOOrderWithLatency(t *testing.T) {
+	net := NewNetwork(WithLinkModel(FixedLatency(2 * time.Millisecond)))
+	defer net.Close()
+	col := newCollector()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	if _, err := net.Endpoint("b", col.handler); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := col.waitN(t, n, 5*time.Second)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("delivery faster than link latency: %v", elapsed)
+	}
+	for i, env := range got {
+		if env.ReqID != uint64(i) {
+			t.Fatalf("message %d has ReqID %d: order violated under latency", i, env.ReqID)
+		}
+	}
+}
+
+func TestUnknownRecipientSilentDrop(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	if err := a.Send("ghost", ping(1)); err != nil {
+		t.Fatalf("Send to unknown host errored: %v", err)
+	}
+	if net.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", net.Dropped())
+	}
+}
+
+func TestPartition(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	colB := newCollector()
+	colC := newCollector()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	if _, err := net.Endpoint("b", colB.handler); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Endpoint("c", colC.handler); err != nil {
+		t.Fatal(err)
+	}
+	net.SetPartition([]proto.Addr{"a", "b"}, []proto.Addr{"c"})
+	if err := a.Send("b", ping(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("c", ping(2)); err != nil {
+		t.Fatal(err)
+	}
+	colB.waitN(t, 1, time.Second)
+	time.Sleep(10 * time.Millisecond)
+	if colC.count() != 0 {
+		t.Error("message crossed the partition")
+	}
+	// Heal and retry.
+	net.SetPartition()
+	if err := a.Send("c", ping(3)); err != nil {
+		t.Fatal(err)
+	}
+	colC.waitN(t, 1, time.Second)
+}
+
+func TestPartitionIsolatesUnlistedHosts(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	col := newCollector()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	if _, err := net.Endpoint("b", col.handler); err != nil {
+		t.Fatal(err)
+	}
+	net.SetPartition([]proto.Addr{"a"}) // b unlisted → isolated
+	if err := a.Send("b", ping(1)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if col.count() != 0 {
+		t.Error("unlisted host received message during partition")
+	}
+}
+
+func TestLossyModel(t *testing.T) {
+	net := NewNetwork(WithLinkModel(Lossy(1.0, nil)), WithSeed(7))
+	defer net.Close()
+	col := newCollector()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	if _, err := net.Endpoint("b", col.handler); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(10 * time.Millisecond)
+	if col.count() != 0 {
+		t.Errorf("lossy(1.0) delivered %d messages", col.count())
+	}
+	if net.Dropped() != 10 {
+		t.Errorf("Dropped = %d, want 10", net.Dropped())
+	}
+}
+
+func TestWirelessModelLatencyScalesWithSize(t *testing.T) {
+	model := Wireless(time.Millisecond, 0, 1e6) // 1 Mbit/s
+	small, _ := model("a", "b", 125, nil)       // 1000 bits → 1ms serialization
+	big, _ := model("a", "b", 1250, nil)        // 10000 bits → 10ms
+	if small != 2*time.Millisecond {
+		t.Errorf("small latency = %v, want 2ms", small)
+	}
+	if big != 11*time.Millisecond {
+		t.Errorf("big latency = %v, want 11ms", big)
+	}
+}
+
+func TestDuplicateAddressRejected(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	if _, err := net.Endpoint("a", func(proto.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Endpoint("a", func(proto.Envelope) {}); err == nil {
+		t.Error("duplicate address accepted")
+	}
+	if _, err := net.Endpoint("b", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestSendAfterNetworkClose(t *testing.T) {
+	net := NewNetwork()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("a", ping(1)); err == nil {
+		t.Error("Send on closed network succeeded")
+	}
+	if _, err := net.Endpoint("x", func(proto.Envelope) {}); err == nil {
+		t.Error("Endpoint on closed network succeeded")
+	}
+	// Double close is fine.
+	if err := net.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestEndpointClose(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	col := newCollector()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	b, _ := net.Endpoint("b", col.handler)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", ping(1)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if col.count() != 0 {
+		t.Error("closed endpoint received message")
+	}
+	if net.Dropped() == 0 {
+		t.Error("drop not counted for closed endpoint")
+	}
+}
+
+func TestMarshalDisabled(t *testing.T) {
+	net := NewNetwork(WithMarshal(false))
+	defer net.Close()
+	col := newCollector()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	if _, err := net.Endpoint("b", col.handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", ping(9)); err != nil {
+		t.Fatal(err)
+	}
+	got := col.waitN(t, 1, time.Second)
+	if got[0].ReqID != 9 {
+		t.Errorf("ReqID = %d", got[0].ReqID)
+	}
+	if net.Bytes() != 0 {
+		t.Errorf("Bytes = %d with marshal disabled", net.Bytes())
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	col := newCollector()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	if _, err := net.Endpoint("b", col.handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", ping(1)); err != nil {
+		t.Fatal(err)
+	}
+	col.waitN(t, 1, time.Second)
+	net.ResetCounters()
+	if net.Messages() != 0 || net.Delivered() != 0 || net.Bytes() != 0 {
+		t.Error("counters not reset")
+	}
+}
+
+func TestHandlerMaySend(t *testing.T) {
+	// A handler that replies must not deadlock.
+	net := NewNetwork()
+	defer net.Close()
+	col := newCollector()
+	var b transport.Endpoint
+	a, err := net.Endpoint("a", col.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = net.Endpoint("b", func(env proto.Envelope) {
+		_ = b.Send(env.From, proto.Envelope{ReqID: env.ReqID + 1, Body: proto.Decline{Task: "t"}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", ping(1)); err != nil {
+		t.Fatal(err)
+	}
+	got := col.waitN(t, 1, time.Second)
+	if got[0].ReqID != 2 {
+		t.Errorf("reply ReqID = %d, want 2", got[0].ReqID)
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	col := newCollector()
+	if _, err := net.Endpoint("sink", col.handler); err != nil {
+		t.Fatal(err)
+	}
+	const senders, each = 8, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		ep, err := net.Endpoint(proto.Addr(fmt.Sprintf("s%d", s)), func(proto.Envelope) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(ep transport.Endpoint) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := ep.Send("sink", ping(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(ep)
+	}
+	wg.Wait()
+	col.waitN(t, senders*each, 5*time.Second)
+}
+
+func TestStoreAndForwardAcrossPartition(t *testing.T) {
+	net := NewNetwork(WithStoreAndForward(true))
+	defer net.Close()
+	col := newCollector()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	if _, err := net.Endpoint("b", col.handler); err != nil {
+		t.Fatal(err)
+	}
+	net.SetPartition([]proto.Addr{"a"}, []proto.Addr{"b"})
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(10 * time.Millisecond)
+	if col.count() != 0 {
+		t.Fatal("messages crossed an active partition")
+	}
+	if net.Stored() != 5 {
+		t.Fatalf("Stored = %d, want 5", net.Stored())
+	}
+	if net.Dropped() != 0 {
+		t.Fatalf("Dropped = %d with store-and-forward", net.Dropped())
+	}
+	// Heal: buffered messages arrive, in order.
+	net.SetPartition()
+	got := col.waitN(t, 5, time.Second)
+	for i, env := range got {
+		if env.ReqID != uint64(i) {
+			t.Fatalf("message %d has ReqID %d: order lost across partition", i, env.ReqID)
+		}
+	}
+	if net.Stored() != 0 {
+		t.Errorf("Stored = %d after heal", net.Stored())
+	}
+}
+
+func TestStoreAndForwardLateJoiner(t *testing.T) {
+	net := NewNetwork(WithStoreAndForward(true))
+	defer net.Close()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	// b does not exist yet.
+	if err := a.Send("b", ping(7)); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stored() != 1 {
+		t.Fatalf("Stored = %d", net.Stored())
+	}
+	col := newCollector()
+	if _, err := net.Endpoint("b", col.handler); err != nil {
+		t.Fatal(err)
+	}
+	got := col.waitN(t, 1, time.Second)
+	if got[0].ReqID != 7 {
+		t.Errorf("ReqID = %d", got[0].ReqID)
+	}
+}
+
+func TestStoreAndForwardDisabledByDefault(t *testing.T) {
+	net := NewNetwork()
+	defer net.Close()
+	a, _ := net.Endpoint("a", func(proto.Envelope) {})
+	if err := a.Send("ghost", ping(1)); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stored() != 0 {
+		t.Errorf("Stored = %d without store-and-forward", net.Stored())
+	}
+	if net.Dropped() != 1 {
+		t.Errorf("Dropped = %d", net.Dropped())
+	}
+}

@@ -1,0 +1,242 @@
+// Package tcpnet implements the communications layer over real TCP
+// sockets. It stands in for the paper's empirical configuration (four
+// laptops on an 802.11g ad hoc network): every host binds a loopback
+// listener, a registry maps community addresses to socket addresses, and
+// envelopes travel as length-prefixed gob frames. Unlike the simulated
+// network it exercises real kernel sockets, framing, and scheduling.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"openwf/internal/proto"
+	"openwf/internal/transport"
+)
+
+// maxFrame bounds a single message frame (16 MiB) to fail fast on
+// corrupted length prefixes.
+const maxFrame = 16 << 20
+
+// Transport is one host's TCP endpoint. Create with Listen, then provide
+// the community registry with SetRegistry before sending.
+type Transport struct {
+	addr     proto.Addr
+	handler  transport.Handler
+	listener net.Listener
+
+	mu       sync.Mutex
+	registry map[proto.Addr]string
+	conns    map[proto.Addr]net.Conn
+	inbound  map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Transport)(nil)
+
+// Listen binds a listener on 127.0.0.1 (an OS-assigned port) for the given
+// community address and starts accepting. It returns the transport and the
+// socket address other hosts must register to reach it.
+func Listen(addr proto.Addr, handler transport.Handler) (*Transport, string, error) {
+	if handler == nil {
+		return nil, "", fmt.Errorf("tcpnet: nil handler for %q", addr)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", fmt.Errorf("tcpnet: listen: %w", err)
+	}
+	t := &Transport{
+		addr:     addr,
+		handler:  handler,
+		listener: ln,
+		registry: make(map[proto.Addr]string),
+		conns:    make(map[proto.Addr]net.Conn),
+		inbound:  make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, ln.Addr().String(), nil
+}
+
+// SetRegistry installs the community address book (host → "ip:port").
+// It replaces any previous registry.
+func (t *Transport) SetRegistry(reg map[proto.Addr]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.registry = make(map[proto.Addr]string, len(reg))
+	for a, hp := range reg {
+		t.registry[a] = hp
+	}
+}
+
+// Addr implements transport.Endpoint.
+func (t *Transport) Addr() proto.Addr { return t.addr }
+
+// Send implements transport.Endpoint. Unknown or unreachable recipients
+// lose the message silently, matching the wireless semantics of the
+// abstract layer; local failures (closed transport, encoding) error.
+func (t *Transport) Send(to proto.Addr, env proto.Envelope) error {
+	env.From = t.addr
+	env.To = to
+	data, err := proto.Encode(env)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(frame, uint32(len(data)))
+	copy(frame[4:], data)
+
+	// Two attempts: a cached connection may have gone stale.
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := t.conn(to)
+		if err != nil {
+			if errors.Is(err, errClosed) {
+				return err
+			}
+			return nil // unreachable: silent loss
+		}
+		if _, err := conn.Write(frame); err == nil {
+			return nil
+		}
+		t.dropConn(to, conn)
+	}
+	return nil
+}
+
+var errClosed = errors.New("tcpnet: transport closed")
+
+// conn returns a cached or freshly dialed connection to a peer.
+func (t *Transport) conn(to proto.Addr) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	hostport, ok := t.registry[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: no registry entry for %q", to)
+	}
+	c, err := net.Dial("tcp", hostport)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %q: %w", to, err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = c.Close()
+		return nil, errClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Raced with another sender; keep the existing connection.
+		t.mu.Unlock()
+		_ = c.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	t.mu.Unlock()
+	return c, nil
+}
+
+func (t *Transport) dropConn(to proto.Addr, c net.Conn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	_ = c.Close()
+}
+
+// Close implements transport.Endpoint.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns)+len(t.inbound))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.conns = make(map[proto.Addr]net.Conn)
+	t.inbound = make(map[net.Conn]struct{})
+	t.mu.Unlock()
+
+	err := t.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames off an inbound connection and dispatches them to
+// the handler sequentially (per-connection FIFO, matching TCP ordering).
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+		_ = conn.Close()
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		env, err := proto.Decode(data)
+		if err != nil {
+			continue // corrupt frame: drop, keep the connection
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		t.handler(env)
+	}
+}

@@ -1,0 +1,231 @@
+package tcpnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"openwf/internal/proto"
+)
+
+type collector struct {
+	mu  sync.Mutex
+	got []proto.Envelope
+}
+
+func (c *collector) handler(env proto.Envelope) {
+	c.mu.Lock()
+	c.got = append(c.got, env)
+	c.mu.Unlock()
+}
+
+func (c *collector) waitN(t *testing.T, n int, timeout time.Duration) []proto.Envelope {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		if len(c.got) >= n {
+			out := append([]proto.Envelope(nil), c.got...)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		if time.Now().After(deadline) {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			t.Fatalf("timeout: got %d messages, want %d", len(c.got), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func ping(n int) proto.Envelope {
+	return proto.Envelope{ReqID: uint64(n), Body: proto.Decline{Task: "t"}}
+}
+
+// pair builds two connected transports with registries installed.
+func pair(t *testing.T) (*Transport, *Transport, *collector, *collector) {
+	t.Helper()
+	colA, colB := &collector{}, &collector{}
+	ta, hpA, err := Listen("a", colA.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, hpB, err := Listen("b", colB.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := map[proto.Addr]string{"a": hpA, "b": hpB}
+	ta.SetRegistry(reg)
+	tb.SetRegistry(reg)
+	t.Cleanup(func() {
+		_ = ta.Close()
+		_ = tb.Close()
+	})
+	return ta, tb, colA, colB
+}
+
+func TestRoundTrip(t *testing.T) {
+	ta, tb, colA, colB := pair(t)
+	if ta.Addr() != "a" || tb.Addr() != "b" {
+		t.Fatal("bad addrs")
+	}
+	if err := ta.Send("b", ping(1)); err != nil {
+		t.Fatal(err)
+	}
+	got := colB.waitN(t, 1, 2*time.Second)
+	if got[0].From != "a" || got[0].To != "b" || got[0].ReqID != 1 {
+		t.Errorf("envelope = %+v", got[0])
+	}
+	// Reply path.
+	if err := tb.Send("a", ping(2)); err != nil {
+		t.Fatal(err)
+	}
+	gotA := colA.waitN(t, 1, 2*time.Second)
+	if gotA[0].ReqID != 2 {
+		t.Errorf("reply = %+v", gotA[0])
+	}
+}
+
+func TestOrderPreservedPerSender(t *testing.T) {
+	ta, _, _, colB := pair(t)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := ta.Send("b", ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := colB.waitN(t, n, 5*time.Second)
+	for i, env := range got {
+		if env.ReqID != uint64(i) {
+			t.Fatalf("message %d has ReqID %d", i, env.ReqID)
+		}
+	}
+}
+
+func TestUnknownRecipientSilentLoss(t *testing.T) {
+	ta, _, _, _ := pair(t)
+	if err := ta.Send("ghost", ping(1)); err != nil {
+		t.Errorf("Send to unregistered host errored: %v", err)
+	}
+}
+
+func TestDeadPeerSilentLoss(t *testing.T) {
+	ta, tb, _, _ := pair(t)
+	if err := tb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the OS a moment to tear the listener down.
+	time.Sleep(10 * time.Millisecond)
+	if err := ta.Send("b", ping(1)); err != nil {
+		t.Errorf("Send to dead peer errored: %v", err)
+	}
+}
+
+func TestSendAfterCloseErrors(t *testing.T) {
+	ta, _, _, _ := pair(t)
+	if err := ta.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Send("b", ping(1)); err == nil {
+		t.Error("Send on closed transport succeeded")
+	}
+	// Double close is fine.
+	if err := ta.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestStaleConnectionRetried(t *testing.T) {
+	colA := &collector{}
+	ta, hpA, err := Listen("a", colA.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+
+	colB := &collector{}
+	tb, hpB, err := Listen("b", colB.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := map[proto.Addr]string{"a": hpA, "b": hpB}
+	ta.SetRegistry(reg)
+	tb.SetRegistry(reg)
+
+	if err := ta.Send("b", ping(1)); err != nil {
+		t.Fatal(err)
+	}
+	colB.waitN(t, 1, 2*time.Second)
+
+	// Restart b on a new port; a's cached connection is now stale.
+	if err := tb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	colB2 := &collector{}
+	tb2, hpB2, err := Listen("b", colB2.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb2.Close()
+	reg["b"] = hpB2
+	ta.SetRegistry(reg)
+
+	// First send may hit the stale socket; the retry must succeed —
+	// allow the kernel a few tries to surface the broken pipe.
+	deadline := time.Now().Add(2 * time.Second)
+	for colB2.count() == 0 && time.Now().Before(deadline) {
+		if err := ta.Send("b", ping(2)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if colB2.count() == 0 {
+		t.Fatal("message never reached restarted peer")
+	}
+}
+
+func TestConcurrentSendersOneReceiver(t *testing.T) {
+	colSink := &collector{}
+	sink, hpSink, err := Listen("sink", colSink.handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	reg := map[proto.Addr]string{"sink": hpSink}
+
+	const senders, each = 4, 25
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		tr, _, err := Listen(proto.Addr(rune('A'+s)), func(proto.Envelope) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		tr.SetRegistry(reg)
+		wg.Add(1)
+		go func(tr *Transport) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := tr.Send("sink", ping(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(tr)
+	}
+	wg.Wait()
+	colSink.waitN(t, senders*each, 5*time.Second)
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	if _, _, err := Listen("x", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}

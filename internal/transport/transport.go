@@ -1,0 +1,32 @@
+// Package transport defines the abstract communications layer of the open
+// workflow management system. Per the paper's second design principle
+// (§4.2), the highly variable details of transports, protocols, and
+// caching are hidden behind this interface; all components — local or
+// remote — exchange proto.Envelopes through it uniformly.
+//
+// Two implementations ship with the system: inmem (a simulated network
+// with configurable latency, loss, and partitions, used for simulation
+// experiments) and tcpnet (real TCP sockets, used for the empirical
+// configuration).
+package transport
+
+import "openwf/internal/proto"
+
+// Handler receives inbound envelopes. Each endpoint invokes its handler
+// sequentially from a single goroutine (a device processes one message at
+// a time); handlers may call Send freely.
+type Handler func(env proto.Envelope)
+
+// Endpoint is one host's attachment to the network.
+type Endpoint interface {
+	// Addr returns this endpoint's address.
+	Addr() proto.Addr
+	// Send transmits an envelope to another host. Delivery is
+	// asynchronous; like a wireless medium, Send does not report
+	// whether the recipient received the message (a partitioned or
+	// absent recipient loses it silently). An error indicates a local
+	// failure such as a closed endpoint.
+	Send(to proto.Addr, env proto.Envelope) error
+	// Close detaches the endpoint; pending deliveries are dropped.
+	Close() error
+}

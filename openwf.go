@@ -1,0 +1,231 @@
+// Package openwf is an open workflow management system: a Go
+// implementation of "Achieving Coordination Through Dynamic Construction
+// of Open Workflows" (Thomas, Wilson, Roman, Gill — WUCSE-2009-14,
+// MIDDLEWARE 2009).
+//
+// Open workflows invert the classical workflow paradigm: instead of
+// executing a handcrafted static graph, a transient community of mobile
+// hosts dynamically constructs a custom workflow from workflow fragments
+// (knowhow) scattered across its members, allocates the workflow's tasks
+// by auction against each member's capabilities, schedule, and location,
+// and executes it in a fully decentralized fashion.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - the workflow model (labels, tasks, fragments, composition, pruning),
+//   - the construction algorithm (supergraph coloring, Algorithm 1),
+//   - the communications layer (simulated network and TCP),
+//   - the execution subsystem (fragment/service/schedule/execution
+//     managers, auction participation), and
+//   - the construction subsystem (workflow manager, auction manager).
+//
+// # Quickstart
+//
+//	com, err := openwf.NewCommunity(openwf.Options{},
+//	    openwf.HostSpec{
+//	        ID:        "requester",
+//	    },
+//	    openwf.HostSpec{
+//	        ID:        "worker",
+//	        Fragments: []*openwf.Fragment{openwf.MustFragment("know",
+//	            openwf.Task{ID: "do it", Mode: openwf.Conjunctive,
+//	                Inputs:  []openwf.LabelID{"need"},
+//	                Outputs: []openwf.LabelID{"done"}})},
+//	        Services: []openwf.ServiceRegistration{openwf.SimpleService("do it")},
+//	    },
+//	)
+//	plan, err := com.Initiate("requester", openwf.MustSpec(
+//	    []openwf.LabelID{"need"}, []openwf.LabelID{"done"}))
+//	report, err := com.Execute("requester", plan, nil, 10*time.Second)
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the reproduction of the
+// paper's evaluation.
+package openwf
+
+import (
+	"time"
+
+	"openwf/internal/community"
+	"openwf/internal/core"
+	"openwf/internal/engine"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/schedule"
+	"openwf/internal/service"
+	"openwf/internal/space"
+	"openwf/internal/spec"
+	"openwf/internal/transport/inmem"
+)
+
+// Core model types.
+type (
+	// LabelID is the semantic identifier of a label (condition/data).
+	LabelID = model.LabelID
+	// TaskID is the semantic identifier of an abstract task.
+	TaskID = model.TaskID
+	// Task is a single abstract behavior with labeled pre/postconditions.
+	Task = model.Task
+	// Mode states how a task consumes inputs (Conjunctive/Disjunctive).
+	Mode = model.Mode
+	// Fragment is a small workflow encoding one participant's knowhow.
+	Fragment = model.Fragment
+	// Workflow is a validated bipartite task/label DAG.
+	Workflow = model.Workflow
+	// Graph is a possibly-invalid workflow graph (e.g. a supergraph).
+	Graph = model.Graph
+	// Spec is a problem specification: triggers ι and goals ω.
+	Spec = spec.Spec
+	// Constraints are the richer specification options of §5.1.
+	Constraints = spec.Constraints
+)
+
+// Task modes.
+const (
+	// Conjunctive tasks require all of their inputs.
+	Conjunctive = model.Conjunctive
+	// Disjunctive tasks require exactly one of their inputs.
+	Disjunctive = model.Disjunctive
+)
+
+// Community and host types.
+type (
+	// Addr identifies a host in the community.
+	Addr = proto.Addr
+	// Community is a running set of participant hosts.
+	Community = community.Community
+	// Options configure a community (transport, latency model, engine).
+	Options = community.Options
+	// HostSpec describes one participant device.
+	HostSpec = community.HostSpec
+	// Transport selects the communications substrate.
+	Transport = community.Transport
+	// EngineConfig tunes the workflow engine.
+	EngineConfig = engine.Config
+	// Plan is a constructed and fully allocated workflow.
+	Plan = engine.Plan
+	// Report summarizes one workflow execution.
+	Report = engine.Report
+	// Preferences expresses a host's scheduling willingness.
+	Preferences = schedule.Preferences
+	// Commitment is a scheduled service invocation.
+	Commitment = schedule.Commitment
+	// TaskMeta is per-task auction/execution metadata.
+	TaskMeta = proto.TaskMeta
+)
+
+// Transports.
+const (
+	// InMem is the simulated network (the paper's simulation setup).
+	InMem = community.InMem
+	// TCP uses real loopback sockets (the empirical configuration).
+	TCP = community.TCP
+)
+
+// Service types.
+type (
+	// ServiceRegistration couples a service descriptor with its body.
+	ServiceRegistration = service.Registration
+	// ServiceDescriptor declares one service a host offers.
+	ServiceDescriptor = service.Descriptor
+	// ServiceFunc is a computational service body.
+	ServiceFunc = service.Func
+	// Invocation is what a service sees when executed.
+	Invocation = service.Invocation
+	// Outputs carries the labels a service produced.
+	Outputs = service.Outputs
+	// Point is a position on the plane (meters).
+	Point = space.Point
+)
+
+// LinkModel shapes the simulated network's latency and loss.
+type LinkModel = inmem.LinkModel
+
+// NewFragment builds and validates a workflow fragment.
+func NewFragment(name string, tasks ...Task) (*Fragment, error) {
+	return model.NewFragment(name, tasks...)
+}
+
+// MustFragment is NewFragment that panics on invalid input; intended for
+// statically known fragment literals.
+func MustFragment(name string, tasks ...Task) *Fragment {
+	return model.MustFragment(name, tasks...)
+}
+
+// NewSpec builds and validates a problem specification.
+func NewSpec(triggers, goals []LabelID) (Spec, error) {
+	return spec.New(triggers, goals)
+}
+
+// MustSpec is NewSpec that panics on invalid input.
+func MustSpec(triggers, goals []LabelID) Spec {
+	return spec.Must(triggers, goals)
+}
+
+// NewCommunity builds and starts a community of hosts.
+func NewCommunity(opts Options, hosts ...HostSpec) (*Community, error) {
+	return community.New(opts, hosts...)
+}
+
+// DefaultEngineConfig returns the engine configuration the evaluation
+// uses: incremental fragment collection with feasibility filtering.
+func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
+
+// SimpleService registers a zero-duration service for a task — enough for
+// simulations and condition-only workflows.
+func SimpleService(task TaskID) ServiceRegistration {
+	return ServiceRegistration{
+		Descriptor: ServiceDescriptor{Task: task, Specialization: 0.5},
+	}
+}
+
+// TimedService registers a service that takes the given duration, with an
+// optional computational body.
+func TimedService(task TaskID, duration time.Duration, fn ServiceFunc) ServiceRegistration {
+	return ServiceRegistration{
+		Descriptor: ServiceDescriptor{Task: task, Specialization: 0.5, Duration: duration},
+		Fn:         fn,
+	}
+}
+
+// LocatedService registers a service pinned to a location: commitments to
+// it include the travel time to get there.
+func LocatedService(task TaskID, at Point, duration time.Duration, fn ServiceFunc) ServiceRegistration {
+	return ServiceRegistration{
+		Descriptor: ServiceDescriptor{
+			Task: task, Specialization: 0.5, Duration: duration,
+			Location: at, HasLocation: true,
+		},
+		Fn: fn,
+	}
+}
+
+// ConstructWorkflow runs the construction algorithm locally over a set of
+// fragments, without any community: it merges the fragments into a
+// supergraph and extracts a workflow satisfying the specification. Useful
+// for testing knowhow before deployment.
+func ConstructWorkflow(frags []*Fragment, s Spec) (*Workflow, error) {
+	g, err := core.CollectAll(frags)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Construct(g, s)
+	if err != nil {
+		return nil, err
+	}
+	return res.Workflow, nil
+}
+
+// WirelessLinkModel models an 802.11-style medium for the simulated
+// network: per-message base latency plus serialization at the bandwidth,
+// plus uniform jitter. Wireless80211g below matches the paper's empirical
+// setup.
+func WirelessLinkModel(base, jitter time.Duration, bandwidthBps float64) LinkModel {
+	return inmem.Wireless(base, jitter, bandwidthBps)
+}
+
+// Wireless80211g is the link model for the paper's empirical
+// configuration: 802.11g at 54 Mbit/s with ~0.5 ms per-hop MAC overhead.
+func Wireless80211g() LinkModel {
+	return inmem.Wireless(500*time.Microsecond, 200*time.Microsecond, 54e6)
+}

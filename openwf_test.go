@@ -1,0 +1,110 @@
+package openwf_test
+
+import (
+	"testing"
+	"time"
+
+	"openwf"
+)
+
+func lbl(ls ...string) []openwf.LabelID {
+	out := make([]openwf.LabelID, len(ls))
+	for i, l := range ls {
+		out[i] = openwf.LabelID(l)
+	}
+	return out
+}
+
+func TestConstructWorkflowLocal(t *testing.T) {
+	frags := []*openwf.Fragment{
+		openwf.MustFragment("f1", openwf.Task{
+			ID: "t1", Mode: openwf.Conjunctive, Inputs: lbl("a"), Outputs: lbl("m"),
+		}),
+		openwf.MustFragment("f2", openwf.Task{
+			ID: "t2", Mode: openwf.Conjunctive, Inputs: lbl("m"), Outputs: lbl("g"),
+		}),
+	}
+	w, err := openwf.ConstructWorkflow(frags, openwf.MustSpec(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumTasks() != 2 {
+		t.Fatalf("workflow:\n%v", w)
+	}
+	if _, err := openwf.ConstructWorkflow(frags, openwf.MustSpec(lbl("a"), lbl("nothing"))); err == nil {
+		t.Fatal("unsatisfiable spec constructed")
+	}
+}
+
+func TestServiceHelpers(t *testing.T) {
+	s := openwf.SimpleService("t")
+	if s.Descriptor.Task != "t" || s.Descriptor.Duration != 0 {
+		t.Errorf("SimpleService = %+v", s.Descriptor)
+	}
+	ts := openwf.TimedService("t", time.Second, nil)
+	if ts.Descriptor.Duration != time.Second {
+		t.Errorf("TimedService = %+v", ts.Descriptor)
+	}
+	ls := openwf.LocatedService("t", openwf.Point{X: 1, Y: 2}, time.Second, nil)
+	if !ls.Descriptor.HasLocation || ls.Descriptor.Location.X != 1 {
+		t.Errorf("LocatedService = %+v", ls.Descriptor)
+	}
+}
+
+func TestLinkModels(t *testing.T) {
+	m := openwf.WirelessLinkModel(time.Millisecond, 0, 1e6)
+	lat, drop := m("a", "b", 125, nil)
+	if drop || lat != 2*time.Millisecond {
+		t.Errorf("wireless model = %v, %v", lat, drop)
+	}
+	if openwf.Wireless80211g() == nil {
+		t.Error("Wireless80211g returned nil")
+	}
+}
+
+// TestFacadeEndToEnd runs the complete pipeline through the public API
+// only: community, construction, allocation, execution, goal data.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := openwf.DefaultEngineConfig()
+	cfg.StartDelay = 200 * time.Millisecond
+	cfg.TaskWindow = 30 * time.Millisecond
+	com, err := openwf.NewCommunity(openwf.Options{Engine: &cfg},
+		openwf.HostSpec{ID: "asker"},
+		openwf.HostSpec{
+			ID: "knower",
+			Fragments: []*openwf.Fragment{
+				openwf.MustFragment("know", openwf.Task{
+					ID: "answer", Mode: openwf.Conjunctive,
+					Inputs: lbl("question"), Outputs: lbl("answered"),
+				}),
+			},
+			Services: []openwf.ServiceRegistration{
+				openwf.TimedService("answer", time.Millisecond,
+					func(inv openwf.Invocation) (openwf.Outputs, error) {
+						return openwf.Outputs{"answered": []byte("42")}, nil
+					}),
+			},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer com.Close()
+
+	plan, err := com.Initiate("asker", openwf.MustSpec(lbl("question"), lbl("answered")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Allocations["answer"]; got != "knower" {
+		t.Fatalf("Allocations = %v", plan.Allocations)
+	}
+	report, err := com.Execute("asker", plan, map[openwf.LabelID][]byte{
+		"question": []byte("meaning of life"),
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Completed || string(report.Goals["answered"]) != "42" {
+		t.Fatalf("report = %+v", report)
+	}
+}
