@@ -1,0 +1,167 @@
+// Command benchjson runs the pinned performance grid points with
+// testing.Benchmark and emits them as JSON, seeding the repo's perf
+// trajectory: each PR that touches a hot path records its numbers
+// (ns/op, B/op, allocs/op) in a BENCH_PR<n>.json at the repo root, so
+// regressions are visible in review without re-running the full sweep.
+//
+//	go run ./cmd/benchjson -o BENCH_PR1.json
+//
+// The grid points mirror the root bench_test.go benchmarks that the
+// paper's evaluation (§5) pins: the pure construction algorithm at
+// supergraph sizes 25–500 and the per-envelope marshal cost.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"openwf/internal/core"
+	"openwf/internal/evalgen"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+)
+
+// result is one benchmark grid point.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the emitted file.
+type report struct {
+	GoVersion  string   `json:"go_version"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR1.json", "output file (- for stdout)")
+	flag.Parse()
+
+	var results []result
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		results = append(results, result{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-40s %10d iters %14.0f ns/op %10d B/op %8d allocs/op\n",
+			name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	// The pure coloring algorithm against a fully assembled supergraph
+	// (BenchmarkConstructionAlgorithm's grid).
+	for _, tasks := range []int{25, 100, 500} {
+		tasks := tasks
+		run(fmt.Sprintf("ConstructionAlgorithm/tasks=%d", tasks), func(b *testing.B) {
+			b.ReportAllocs()
+			rng := rand.New(rand.NewSource(1))
+			sc, err := evalgen.Generate(tasks, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frags, err := sc.Fragments()
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := core.CollectAll(frags)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, ok := sc.SamplePath(6, rng)
+				if !ok {
+					b.Skip("no path of length 6")
+				}
+				b.StartTimer()
+				if _, err := core.Construct(g, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// O(1) reset: must stay flat in graph size.
+	for _, tasks := range []int{100, 500} {
+		tasks := tasks
+		run(fmt.Sprintf("ResetColoring/tasks=%d", tasks), func(b *testing.B) {
+			b.ReportAllocs()
+			rng := rand.New(rand.NewSource(1))
+			sc, err := evalgen.Generate(tasks, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frags, err := sc.Fragments()
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := core.CollectAll(frags)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.ResetColoring()
+			}
+		})
+	}
+
+	// Per-envelope marshal cost on the transports' pooled path.
+	run("EncodeToPooled", func(b *testing.B) {
+		b.ReportAllocs()
+		env := proto.Envelope{
+			From: "host-a", To: "host-b", ReqID: 42, Workflow: "wf-1",
+			Body: proto.FragmentQuery{Labels: []model.LabelID{
+				"breakfast ingredients", "lunch ingredients", "omelet bar setup",
+			}},
+		}
+		pool := sync.Pool{New: func() any { return new(bytes.Buffer) }}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf := pool.Get().(*bytes.Buffer)
+			buf.Reset()
+			if err := proto.EncodeTo(buf, env); err != nil {
+				b.Fatal(err)
+			}
+			pool.Put(buf)
+		}
+	})
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

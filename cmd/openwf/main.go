@@ -111,7 +111,13 @@ func run() error {
 		return nil
 	}
 	fmt.Println("\nexecuting...")
-	report, err := com.Execute(proto.Addr(*initiator), plan, nil, *timeout)
+	// The triggering labels hold by assumption; without payloads for
+	// them no task's inputs ever materialize and execution stalls.
+	trigData := make(map[model.LabelID][]byte, len(s.Triggers))
+	for _, l := range s.Triggers {
+		trigData[l] = []byte("<" + string(l) + ">")
+	}
+	report, err := com.Execute(proto.Addr(*initiator), plan, trigData, *timeout)
 	if err != nil {
 		return fmt.Errorf("execution: %w", err)
 	}

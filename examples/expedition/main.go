@@ -6,14 +6,16 @@
 //
 //   - several problems posed in sequence against the same community,
 //     competing for the same specialists' schedules;
+//
 //   - a network partition in the middle of an execution, survived thanks
 //     to the simulated network's store-and-forward (delay-tolerant)
 //     delivery; and
+//
 //   - allocation preferring the less versatile participant (the paper's
 //     fewest-services selection criterion), visible in who gets the
 //     sampling work.
 //
-//	go run ./examples/expedition
+//     go run ./examples/expedition
 package main
 
 import (

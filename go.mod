@@ -1,0 +1,3 @@
+module openwf
+
+go 1.24

@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"openwf/internal/model"
 	"openwf/internal/spec"
@@ -34,8 +34,9 @@ type Result struct {
 // Construct runs Algorithm 1 against an already-assembled supergraph:
 // exploration from ι, then pruning back from ω. On success the blue
 // subgraph is returned as a valid workflow satisfying s. The supergraph's
-// coloring state is reset first, so Construct may be called repeatedly
-// with different specifications against the same knowledge.
+// coloring state is reset first (an O(1) epoch bump), so Construct may be
+// called repeatedly with different specifications against the same
+// knowledge without paying for the graph's size.
 func Construct(g *Supergraph, s spec.Spec) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -76,10 +77,16 @@ func Construct(g *Supergraph, s spec.Spec) (*Result, error) {
 // ω ⊆ greenNodes" guard); distances at that point still satisfy the
 // invariant needed by pruning (every green node has its required parents
 // green at strictly smaller distance).
+//
+// The frontier is re-seeded from the supergraph's green list — the region
+// explored by earlier passes of this epoch — so an incremental round after
+// a fragment merge walks only previously-green nodes, never the whole
+// graph. The worklist reuses the supergraph's scratch buffer.
 func explore(g *Supergraph, s spec.Spec) {
+	e := g.epoch
 	goalsLeft := 0
 	for _, l := range s.Goals {
-		if n, ok := g.labels[l]; !ok || n.color != Green {
+		if n, ok := g.labels[l]; !ok || n.colorAt(e) != Green {
 			goalsLeft++
 		}
 	}
@@ -88,56 +95,47 @@ func explore(g *Supergraph, s spec.Spec) {
 	}
 
 	goalSet := s.GoalSet()
-	var queue []*node
-	enqueue := func(n *node) { queue = append(queue, n) }
 
 	// Seed: the triggering labels hold by assumption; color them green
 	// at distance 0 (creating their nodes if no fragment mentions them
 	// yet — the incremental variant queries for their consumers).
 	for _, l := range s.Triggers {
 		n := g.labelFor(l)
+		n.stamp(e)
 		if n.color != Green {
 			n.color = Green
 			n.distance = 0
-			g.greenCount++
+			g.green = append(g.green, n)
 			if _, isGoal := goalSet[n.label]; isGoal {
 				goalsLeft--
 			}
 		}
+	}
+	// Re-seed the frontier: any child of a green node may have become
+	// colorable after a fragment merge. The green list holds exactly the
+	// triggers seeded above plus the region explored by earlier passes
+	// of this epoch.
+	queue, head := g.work[:0], 0
+	for _, n := range g.green {
 		for _, c := range n.children {
-			enqueue(c)
-		}
-	}
-	// Re-seed the frontier of an earlier exploration pass: any child of
-	// a green node may have become colorable after a fragment merge.
-	for _, n := range g.sortedLabelNodes() {
-		if n.color == Green {
-			for _, c := range n.children {
-				enqueue(c)
-			}
-		}
-	}
-	for _, id := range sortedTaskIDs(g.tasks) {
-		if n := g.tasks[id]; n.color == Green {
-			for _, c := range n.children {
-				enqueue(c)
-			}
+			queue = append(queue, c)
 		}
 	}
 
-	for len(queue) > 0 && goalsLeft > 0 {
-		n := queue[0]
-		queue = queue[1:]
+	for head < len(queue) && goalsLeft > 0 {
+		n := queue[head]
+		head++
 		if n.kind == taskNode && n.infeasible {
 			continue
 		}
-		d, ok := candidateDistance(n)
+		d, ok := g.candidateDistance(n)
 		if !ok {
 			continue
 		}
+		n.stamp(e)
 		if n.color == Uncolored || (n.color == Green && n.distance > d+1) {
 			if n.color == Uncolored {
-				g.greenCount++
+				g.green = append(g.green, n)
 				if n.kind == labelNode {
 					if _, isGoal := goalSet[n.label]; isGoal {
 						goalsLeft--
@@ -147,24 +145,26 @@ func explore(g *Supergraph, s spec.Spec) {
 			n.color = Green
 			n.distance = d + 1
 			for _, c := range n.children {
-				enqueue(c)
+				queue = append(queue, c)
 			}
 		}
 	}
+	g.work = queue[:0] // retain the grown backing array for reuse
 }
 
 // candidateDistance computes the distance a node would be assigned from
 // its green parents: the minimum green-parent distance for disjunctive
 // nodes, the maximum over all parents (which must all be green) for
 // conjunctive nodes. ok is false when the node is not yet colorable.
-func candidateDistance(n *node) (int, bool) {
+func (g *Supergraph) candidateDistance(n *node) (int, bool) {
 	if len(n.parents) == 0 {
 		return 0, false
 	}
+	e := g.epoch
 	if n.mode == model.Disjunctive {
 		best, found := 0, false
 		for _, p := range n.parents {
-			if p.color == Green || p.color == Purple || p.color == Blue {
+			if p.colorAt(e) != Uncolored {
 				if !found || p.distance < best {
 					best, found = p.distance, true
 				}
@@ -175,7 +175,7 @@ func candidateDistance(n *node) (int, bool) {
 	// Conjunctive: all parents must be green.
 	worst := 0
 	for _, p := range n.parents {
-		if p.color == Uncolored {
+		if p.colorAt(e) == Uncolored {
 			return 0, false
 		}
 		if p.distance > worst {
@@ -189,7 +189,7 @@ func candidateDistance(n *node) (int, bool) {
 func goalsGreen(g *Supergraph, s spec.Spec) bool {
 	for _, l := range s.Goals {
 		n, ok := g.labels[l]
-		if !ok || n.color == Uncolored {
+		if !ok || n.colorAt(g.epoch) == Uncolored {
 			return false
 		}
 	}
@@ -199,7 +199,7 @@ func goalsGreen(g *Supergraph, s spec.Spec) bool {
 func missingGoals(g *Supergraph, s spec.Spec) []model.LabelID {
 	var out []model.LabelID
 	for _, l := range s.Goals {
-		if n, ok := g.labels[l]; !ok || n.color == Uncolored {
+		if n, ok := g.labels[l]; !ok || n.colorAt(g.epoch) == Uncolored {
 			out = append(out, l)
 		}
 	}
@@ -210,54 +210,59 @@ func missingGoals(g *Supergraph, s spec.Spec) []model.LabelID {
 // markers, it selects the minimum-distance green parent of each
 // disjunctive node and all parents of each conjunctive node, coloring the
 // selection blue. On return the blue nodes and blue (recorded) edges form
-// the constructed workflow.
+// the constructed workflow. Every node prune touches is green (stamped in
+// the current epoch), so no epoch checks are needed past the goal seeds;
+// the worklist reuses the supergraph's scratch buffer.
 func prune(g *Supergraph, s spec.Spec) error {
-	var purple []*node
+	queue, head := g.work[:0], 0
 	for _, l := range s.Goals {
 		n, ok := g.labels[l]
-		if !ok || n.color != Green {
+		if !ok || n.colorAt(g.epoch) != Green {
 			return fmt.Errorf("%w: goal %q not reached", ErrNoSolution, l)
 		}
 		n.color = Purple
-		purple = append(purple, n)
+		queue = append(queue, n)
 	}
-	for len(purple) > 0 {
-		n := purple[0]
-		purple = purple[1:]
+	for head < len(queue) {
+		n := queue[head]
+		head++
 
-		var required []*node
+		selectParent := func(p *node) {
+			n.blueParents = append(n.blueParents, p)
+			if p.color == Green {
+				p.color = Purple
+				queue = append(queue, p)
+			}
+		}
 		switch {
 		case n.distance == 0:
 			// A triggering label: available by assumption, no
 			// prerequisites even if the supergraph knows producers.
 		case n.mode == model.Disjunctive:
-			p := minGreenParent(n)
+			p := g.minGreenParent(n)
 			if p == nil {
 				return fmt.Errorf("internal: purple node %s has no green parent", n.id())
 			}
-			required = []*node{p}
+			selectParent(p)
 		default: // conjunctive
-			required = n.parents
-		}
-		for _, p := range required {
-			n.blueParents = append(n.blueParents, p)
-			if p.color == Green {
-				p.color = Purple
-				purple = append(purple, p)
+			for _, p := range n.parents {
+				selectParent(p)
 			}
 		}
 		n.color = Blue
 	}
+	g.work = queue[:0]
 	return nil
 }
 
 // minGreenParent returns the colored parent with minimum distance, ties
 // broken by node ID for determinism. (Purple/blue parents are earlier
 // selections; reusing them keeps the workflow small.)
-func minGreenParent(n *node) *node {
+func (g *Supergraph) minGreenParent(n *node) *node {
+	e := g.epoch
 	var best *node
 	for _, p := range n.parents {
-		if p.color == Uncolored {
+		if p.colorAt(e) == Uncolored {
 			continue
 		}
 		if p.kind == taskNode && p.infeasible {
@@ -271,49 +276,43 @@ func minGreenParent(n *node) *node {
 	return best
 }
 
-// extract converts the blue subgraph into a model.Workflow.
+// extract converts the blue subgraph into a model.Workflow. Blue nodes are
+// a subset of the green list (selection never leaves the explored region),
+// so extraction walks the green list, not the whole supergraph.
 func extract(g *Supergraph) (*model.Workflow, error) {
 	// Blue out-edges of tasks are recorded on the label side: a blue
 	// label's blueParents hold its chosen producer.
 	outEdges := make(map[model.TaskID][]model.LabelID)
-	for _, l := range g.sortedLabelNodes() {
-		if l.color != Blue {
+	for _, n := range g.green {
+		if n.kind != labelNode || n.color != Blue {
 			continue
 		}
-		for _, p := range l.blueParents {
-			outEdges[p.task] = append(outEdges[p.task], l.label)
+		for _, p := range n.blueParents {
+			outEdges[p.task] = append(outEdges[p.task], n.label)
 		}
 	}
 	wg := model.NewGraph()
-	for _, id := range sortedTaskIDs(g.tasks) {
-		n := g.tasks[id]
-		if n.color != Blue {
+	for _, n := range g.green {
+		if n.kind != taskNode || n.color != Blue {
 			continue
 		}
 		inputs := make([]model.LabelID, 0, len(n.blueParents))
 		for _, p := range n.blueParents {
 			inputs = append(inputs, p.label)
 		}
-		sort.Slice(inputs, func(i, j int) bool { return inputs[i] < inputs[j] })
-		outputs := outEdges[id]
-		sort.Slice(outputs, func(i, j int) bool { return outputs[i] < outputs[j] })
-		t := model.Task{ID: id, Mode: n.mode, Inputs: inputs, Outputs: outputs}
+		slices.Sort(inputs)
+		outputs := outEdges[n.task]
+		slices.Sort(outputs)
+		t := model.Task{ID: n.task, Mode: n.mode, Inputs: inputs, Outputs: outputs}
 		if err := wg.AddTask(t); err != nil {
 			return nil, fmt.Errorf("extracting workflow: %w", err)
 		}
 	}
-	w, err := model.NewWorkflow(wg)
+	// The graph was built solely for this workflow; transfer ownership
+	// instead of cloning.
+	w, err := model.NewWorkflowOwning(wg)
 	if err != nil {
 		return nil, fmt.Errorf("extracting workflow: %w", err)
 	}
 	return w, nil
-}
-
-func sortedTaskIDs(m map[model.TaskID]*node) []model.TaskID {
-	ids := make([]model.TaskID, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
 }

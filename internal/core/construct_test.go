@@ -447,13 +447,13 @@ func TestConstructDistanceInvariant(t *testing.T) {
 	if _, err := Construct(g, s); err != nil {
 		t.Fatal(err)
 	}
-	for _, n := range g.sortedLabelNodes() {
-		if n.color == Uncolored || n.distance == 0 {
+	for _, n := range g.labelOrder {
+		if n.colorAt(g.epoch) == Uncolored || n.distance == 0 {
 			continue
 		}
 		ok := false
 		for _, p := range n.parents {
-			if p.color != Uncolored && p.distance < n.distance {
+			if p.colorAt(g.epoch) != Uncolored && p.distance < n.distance {
 				ok = true
 				break
 			}

@@ -128,13 +128,15 @@ func ConstructIncremental(src KnowledgeSource, s spec.Spec, opts IncrementalOpti
 	}, g, nil
 }
 
-// frontierLabels returns the green labels not yet queried, sorted. The
-// triggering labels are green from the first exploration pass, so they are
-// part of the first frontier.
+// frontierLabels returns the green labels not yet queried, in coloring
+// order (deterministic for a deterministic merge sequence). The triggering
+// labels are green from the first exploration pass, so they are part of
+// the first frontier. Walking the supergraph's green list keeps the
+// boundary scan proportional to the explored region, not the graph.
 func frontierLabels(g *Supergraph, s spec.Spec, queried map[model.LabelID]struct{}) []model.LabelID {
 	var out []model.LabelID
-	for _, n := range g.sortedLabelNodes() {
-		if n.color != Green && n.color != Purple && n.color != Blue {
+	for _, n := range g.green {
+		if n.kind != labelNode {
 			continue
 		}
 		if _, done := queried[n.label]; done {

@@ -19,6 +19,11 @@
 // paper: because coloring requires only local knowledge, fragments are
 // pulled from the community on demand, only where needed to extend the
 // supergraph along the boundary of the colored region.
+//
+// Coloring state is epoch-stamped (see DESIGN.md): resetting between
+// constructions is an O(1) epoch bump, and every phase of a construction
+// walks only the explored (green) region, so repeated constructions
+// against a long-lived supergraph cost O(explored), not O(graph).
 package core
 
 import (
@@ -83,6 +88,11 @@ type node struct {
 	parents  []*node
 	children []*node
 
+	// epoch stamps the coloring state below: color, distance, and
+	// blueParents are only meaningful while epoch matches the
+	// supergraph's current epoch. A lagging node reads as
+	// Uncolored/infinity without ever being visited by a reset.
+	epoch    uint64
 	color    Color
 	distance int
 
@@ -96,7 +106,8 @@ type node struct {
 	placeholder bool
 
 	// blueParents records, after pruning, which parent edges were
-	// colored blue (the edges of the constructed workflow).
+	// colored blue (the edges of the constructed workflow). The backing
+	// array is retained across epochs and reused.
 	blueParents []*node
 }
 
@@ -107,6 +118,37 @@ func (n *node) id() string {
 	return "T:" + string(n.task)
 }
 
+// colorAt returns the node's color as of epoch e: a node whose stamp lags
+// the supergraph's epoch has not been touched since the last reset and
+// reads as Uncolored.
+func (n *node) colorAt(e uint64) Color {
+	if n.epoch != e {
+		return Uncolored
+	}
+	return n.color
+}
+
+// distanceAt returns the node's distance as of epoch e (infinity when the
+// node's stamp lags).
+func (n *node) distanceAt(e uint64) int {
+	if n.epoch != e {
+		return infinity
+	}
+	return n.distance
+}
+
+// stamp brings the node into epoch e, lazily clearing coloring state left
+// over from earlier epochs. The blueParents backing array is kept so the
+// pruning phase of later constructions appends without allocating.
+func (n *node) stamp(e uint64) {
+	if n.epoch != e {
+		n.epoch = e
+		n.color = Uncolored
+		n.distance = infinity
+		n.blueParents = n.blueParents[:0]
+	}
+}
+
 // Supergraph is the union of collected workflow fragments plus the
 // coloring state of an in-progress construction. It is not safe for
 // concurrent use; the engine serializes access per workspace.
@@ -114,12 +156,38 @@ type Supergraph struct {
 	labels map[model.LabelID]*node
 	tasks  map[model.TaskID]*node
 
+	// labelOrder and taskOrder hold the nodes in insertion order. They
+	// replace per-construction map-iteration-plus-sort: insertion order
+	// is deterministic for a deterministic merge sequence, so every
+	// full-graph walk (wraparound sweeps, invariant checks) iterates
+	// them directly without allocating.
+	labelOrder []*node
+	taskOrder  []*node
+
 	// fragments records the names of merged fragments (dedup).
 	fragments map[string]struct{}
 
-	// greenCount tracks how many nodes are currently green; exposed for
-	// evaluation metrics ("nodes encountered during the search").
-	greenCount int
+	// epoch is the current coloring generation. Node coloring state is
+	// valid only when the node's stamp matches; bumping the epoch
+	// invalidates every node at once. Epoch 0 is reserved as the
+	// "never stamped" value so fresh nodes always read Uncolored.
+	epoch uint64
+
+	// green lists the nodes colored green in the current epoch, in
+	// coloring order. It is the explored region: frontier re-seeding,
+	// feasibility checks, and workflow extraction walk this list
+	// instead of the whole graph. Truncated (O(1)) on reset.
+	green []*node
+
+	// work is the scratch worklist shared by the exploration and
+	// pruning phases; its backing array is reused across constructions.
+	work []*node
+
+	// resets counts ResetColoring calls; fullSweeps counts the rare
+	// epoch-wraparound sweeps among them. resets-fullSweeps is the
+	// number of O(1) resets, asserted by tests.
+	resets     uint64
+	fullSweeps uint64
 }
 
 // NewSupergraph returns an empty supergraph.
@@ -128,6 +196,7 @@ func NewSupergraph() *Supergraph {
 		labels:    make(map[model.LabelID]*node),
 		tasks:     make(map[model.TaskID]*node),
 		fragments: make(map[string]struct{}),
+		epoch:     1,
 	}
 }
 
@@ -137,6 +206,7 @@ func (g *Supergraph) labelFor(l model.LabelID) *node {
 	if !ok {
 		n = &node{kind: labelNode, label: l, mode: model.Disjunctive, distance: infinity}
 		g.labels[l] = n
+		g.labelOrder = append(g.labelOrder, n)
 	}
 	return n
 }
@@ -183,6 +253,7 @@ func (g *Supergraph) addTask(t model.Task) (bool, error) {
 	}
 	n := &node{kind: taskNode, task: t.ID, mode: t.Mode, distance: infinity}
 	g.tasks[t.ID] = n
+	g.taskOrder = append(g.taskOrder, n)
 	g.wireTask(n, t)
 	return true, nil
 }
@@ -245,6 +316,7 @@ func (g *Supergraph) MarkInfeasible(t model.TaskID) {
 		// first fragment defining the task fills in the wiring.
 		n = &node{kind: taskNode, task: t, mode: model.Conjunctive, distance: infinity, placeholder: true}
 		g.tasks[t] = n
+		g.taskOrder = append(g.taskOrder, n)
 	}
 	if n.infeasible {
 		return
@@ -260,15 +332,32 @@ func (g *Supergraph) Infeasible(t model.TaskID) bool {
 }
 
 // ResetColoring clears all colors and distances, keeping the merged graph
-// and infeasibility marks.
+// and infeasibility marks. On the common path this is an O(1) epoch bump:
+// nodes stamped with an older epoch read as Uncolored/infinity and are
+// re-initialized lazily when exploration touches them. Only when the
+// 64-bit epoch counter wraps around does a full sweep run, pushing every
+// node back to the reserved never-stamped epoch 0.
 func (g *Supergraph) ResetColoring() {
-	for _, n := range g.labels {
-		n.color, n.distance, n.blueParents = Uncolored, infinity, nil
+	g.green = g.green[:0]
+	g.resets++
+	g.epoch++
+	if g.epoch == 0 { // wrapped: re-base every node stamp
+		g.fullSweeps++
+		for _, n := range g.labelOrder {
+			n.epoch, n.color, n.distance, n.blueParents = 0, Uncolored, infinity, n.blueParents[:0]
+		}
+		for _, n := range g.taskOrder {
+			n.epoch, n.color, n.distance, n.blueParents = 0, Uncolored, infinity, n.blueParents[:0]
+		}
+		g.epoch = 1
 	}
-	for _, n := range g.tasks {
-		n.color, n.distance, n.blueParents = Uncolored, infinity, nil
-	}
-	g.greenCount = 0
+}
+
+// ResetStats reports how many times the coloring was reset and how many of
+// those resets required a full wraparound sweep; the difference is the
+// number of O(1) epoch bumps. Exposed for tests and evaluation metrics.
+func (g *Supergraph) ResetStats() (resets, fullSweeps uint64) {
+	return g.resets, g.fullSweeps
 }
 
 // NumTasks returns the number of task nodes (including infeasible ones).
@@ -282,12 +371,12 @@ func (g *Supergraph) NumFragments() int { return len(g.fragments) }
 
 // GreenCount returns the number of currently green nodes — the size of the
 // region explored by the last construction, an evaluation metric.
-func (g *Supergraph) GreenCount() int { return g.greenCount }
+func (g *Supergraph) GreenCount() int { return len(g.green) }
 
 // TaskColor returns the color of a task node.
 func (g *Supergraph) TaskColor(t model.TaskID) Color {
 	if n, ok := g.tasks[t]; ok {
-		return n.color
+		return n.colorAt(g.epoch)
 	}
 	return Uncolored
 }
@@ -295,7 +384,7 @@ func (g *Supergraph) TaskColor(t model.TaskID) Color {
 // LabelColor returns the color of a label node.
 func (g *Supergraph) LabelColor(l model.LabelID) Color {
 	if n, ok := g.labels[l]; ok {
-		return n.color
+		return n.colorAt(g.epoch)
 	}
 	return Uncolored
 }
@@ -304,30 +393,25 @@ func (g *Supergraph) LabelColor(l model.LabelID) Color {
 // whether the label exists and has been reached.
 func (g *Supergraph) LabelDistance(l model.LabelID) (int, bool) {
 	n, ok := g.labels[l]
-	if !ok || n.distance == infinity {
+	if !ok {
 		return 0, false
 	}
-	return n.distance, true
+	d := n.distanceAt(g.epoch)
+	if d == infinity {
+		return 0, false
+	}
+	return d, true
 }
 
-// GreenTasks returns the IDs of all green task nodes, sorted.
+// GreenTasks returns the IDs of all green task nodes, sorted. (Purple and
+// blue nodes were green before selection and still count.)
 func (g *Supergraph) GreenTasks() []model.TaskID {
 	var out []model.TaskID
-	for id, n := range g.tasks {
-		if n.color == Green || n.color == Purple || n.color == Blue {
-			out = append(out, id)
+	for _, n := range g.green {
+		if n.kind == taskNode {
+			out = append(out, n.task)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// sortedLabelNodes returns all label nodes in deterministic order.
-func (g *Supergraph) sortedLabelNodes() []*node {
-	out := make([]*node, 0, len(g.labels))
-	for _, n := range g.labels {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
 	return out
 }

@@ -2,7 +2,7 @@ package model
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -84,7 +84,7 @@ func (g *Graph) TaskIDs() []TaskID {
 	for id := range g.tasks {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -122,7 +122,7 @@ func (g *Graph) Producers(l LabelID) []TaskID {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -134,7 +134,7 @@ func (g *Graph) Consumers(l LabelID) []TaskID {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -202,14 +202,21 @@ func (g *Graph) Union(other *Graph) error {
 // Because every edge either enters or leaves a task, it suffices to check
 // the task-to-task reachability relation induced by shared labels.
 func (g *Graph) IsAcyclic() bool {
-	// successors of a task = consumers of its outputs.
+	// successors of a task = consumers of its outputs. The traversal
+	// order does not affect the boolean result, so the consumer index
+	// is built unsorted and the task map is iterated directly.
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
 	color := make(map[TaskID]int, len(g.tasks))
-	consumersOf := g.consumerIndex()
+	consumersOf := make(map[LabelID][]TaskID)
+	for id, t := range g.tasks {
+		for _, in := range t.Inputs {
+			consumersOf[in] = append(consumersOf[in], id)
+		}
+	}
 
 	var visit func(id TaskID) bool
 	visit = func(id TaskID) bool {
@@ -229,7 +236,7 @@ func (g *Graph) IsAcyclic() bool {
 		color[id] = black
 		return true
 	}
-	for _, id := range g.TaskIDs() {
+	for id := range g.tasks {
 		if color[id] == white {
 			if !visit(id) {
 				return false
@@ -237,21 +244,6 @@ func (g *Graph) IsAcyclic() bool {
 		}
 	}
 	return true
-}
-
-// consumerIndex returns, for every label, the sorted list of tasks that
-// consume it.
-func (g *Graph) consumerIndex() map[LabelID][]TaskID {
-	idx := make(map[LabelID][]TaskID)
-	for id, t := range g.tasks {
-		for _, in := range t.Inputs {
-			idx[in] = append(idx[in], id)
-		}
-	}
-	for l := range idx {
-		sort.Slice(idx[l], func(i, j int) bool { return idx[l][i] < idx[l][j] })
-	}
-	return idx
 }
 
 // producerIndex returns, for every label, the sorted list of tasks that
@@ -264,7 +256,7 @@ func (g *Graph) producerIndex() map[LabelID][]TaskID {
 		}
 	}
 	for l := range idx {
-		sort.Slice(idx[l], func(i, j int) bool { return idx[l][i] < idx[l][j] })
+		slices.Sort(idx[l])
 	}
 	return idx
 }
@@ -278,10 +270,17 @@ func (g *Graph) Validate() error {
 	if len(g.tasks) == 0 {
 		return fmt.Errorf("empty graph is not a workflow")
 	}
-	for id, producers := range g.producerIndex() {
-		if len(producers) > 1 {
-			return fmt.Errorf("label %q has %d producers (%v); a label may have at most one incoming edge",
-				id, len(producers), producers)
+	// Single pass over outputs: the full producer index (per-label
+	// sorted slices) is not needed to detect a duplicate producer.
+	producer := make(map[LabelID]TaskID, len(g.tasks))
+	for id, t := range g.tasks {
+		for _, out := range t.Outputs {
+			if _, dup := producer[out]; dup {
+				ps := g.Producers(out)
+				return fmt.Errorf("label %q has %d producers (%v); a label may have at most one incoming edge",
+					out, len(ps), ps)
+			}
+			producer[out] = id
 		}
 	}
 	if !g.IsAcyclic() {

@@ -21,7 +21,7 @@ package model
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -176,7 +176,7 @@ func SortedLabelIDs(set map[LabelID]struct{}) []LabelID {
 	for l := range set {
 		out = append(out, l)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -186,6 +186,6 @@ func SortedTaskIDs(set map[TaskID]struct{}) []TaskID {
 	for t := range set {
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

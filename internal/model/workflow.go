@@ -22,6 +22,17 @@ func NewWorkflow(g *Graph) (*Workflow, error) {
 	return &Workflow{g: g.Clone()}, nil
 }
 
+// NewWorkflowOwning validates g and wraps it as a workflow without
+// cloning, taking ownership: the caller must not retain or mutate g
+// afterwards. Used on hot paths (workflow extraction) where the graph was
+// built solely to become the workflow.
+func NewWorkflowOwning(g *Graph) (*Workflow, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid workflow: %w", err)
+	}
+	return &Workflow{g: g}, nil
+}
+
 // Graph returns a copy of the underlying graph.
 func (w *Workflow) Graph() *Graph { return w.g.Clone() }
 

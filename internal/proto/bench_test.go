@@ -1,0 +1,61 @@
+package proto
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"openwf/internal/model"
+)
+
+func benchEnvelope() Envelope {
+	return Envelope{
+		From: "host-a", To: "host-b", ReqID: 42, Workflow: "wf-1",
+		Body: FragmentQuery{Labels: []model.LabelID{
+			"breakfast ingredients", "lunch ingredients", "omelet bar setup",
+		}},
+	}
+}
+
+// BenchmarkEncode is the unpooled per-envelope marshal cost.
+func BenchmarkEncode(b *testing.B) {
+	env := benchEnvelope()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeToPooled is the transports' marshal path: a pooled buffer
+// whose grown backing array is reused across envelopes.
+func BenchmarkEncodeToPooled(b *testing.B) {
+	env := benchEnvelope()
+	pool := sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := pool.Get().(*bytes.Buffer)
+		buf.Reset()
+		if err := EncodeTo(buf, env); err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(buf)
+	}
+}
+
+// BenchmarkRoundTrip encodes and decodes, the full per-message codec cost
+// on the simulated network.
+func BenchmarkRoundTrip(b *testing.B) {
+	env := benchEnvelope()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := Encode(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

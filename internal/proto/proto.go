@@ -236,10 +236,21 @@ func init() {
 // Encode serializes an envelope with gob.
 func Encode(env Envelope) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
-		return nil, fmt.Errorf("encoding %s envelope: %w", env.Body.Kind(), err)
+	if err := EncodeTo(&buf, env); err != nil {
+		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// EncodeTo appends the gob encoding of env to buf. Transports that pool
+// encode buffers (a fresh gob stream per message, so encoders themselves
+// cannot be reused) call this with a recycled buffer to avoid the
+// per-envelope buffer growth of Encode.
+func EncodeTo(buf *bytes.Buffer, env Envelope) error {
+	if err := gob.NewEncoder(buf).Encode(env); err != nil {
+		return fmt.Errorf("encoding %s envelope: %w", env.Body.Kind(), err)
+	}
+	return nil
 }
 
 // Decode deserializes an envelope encoded by Encode.

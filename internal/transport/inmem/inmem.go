@@ -8,6 +8,7 @@
 package inmem
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -278,6 +279,12 @@ func (n *Network) Close() error {
 	return nil
 }
 
+// encPool recycles gob encode buffers across sends: the payload must be
+// copied out (it is retained until delivery), but the pooled buffer's
+// grown backing array is reused, so steady-state broadcast traffic stops
+// churning the GC with per-envelope buffer growth.
+var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // send implements the delivery decision for one envelope.
 func (n *Network) send(from *endpoint, to proto.Addr, env proto.Envelope) error {
 	env.From = from.addr
@@ -286,12 +293,15 @@ func (n *Network) send(from *endpoint, to proto.Addr, env proto.Envelope) error 
 	var payload []byte
 	size := 0
 	if n.marshal {
-		data, err := proto.Encode(env)
-		if err != nil {
+		buf := encPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		if err := proto.EncodeTo(buf, env); err != nil {
+			encPool.Put(buf)
 			return err
 		}
-		payload = data
-		size = len(data)
+		payload = append(make([]byte, 0, buf.Len()), buf.Bytes()...)
+		size = len(payload)
+		encPool.Put(buf)
 	}
 
 	n.mu.Lock()

@@ -7,6 +7,7 @@
 package tcpnet
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -78,19 +79,29 @@ func (t *Transport) SetRegistry(reg map[proto.Addr]string) {
 // Addr implements transport.Endpoint.
 func (t *Transport) Addr() proto.Addr { return t.addr }
 
+// encPool recycles frame buffers across sends; the frame is written to
+// the socket before the buffer returns to the pool, so no per-envelope
+// byte slice escapes.
+var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Send implements transport.Endpoint. Unknown or unreachable recipients
 // lose the message silently, matching the wireless semantics of the
 // abstract layer; local failures (closed transport, encoding) error.
 func (t *Transport) Send(to proto.Addr, env proto.Envelope) error {
 	env.From = t.addr
 	env.To = to
-	data, err := proto.Encode(env)
-	if err != nil {
+	buf := encPool.Get().(*bytes.Buffer)
+	defer encPool.Put(buf)
+	buf.Reset()
+	// Reserve the frame's 4-byte length prefix, patched in after
+	// encoding.
+	var prefix [4]byte
+	buf.Write(prefix[:])
+	if err := proto.EncodeTo(buf, env); err != nil {
 		return err
 	}
-	frame := make([]byte, 4+len(data))
-	binary.BigEndian.PutUint32(frame, uint32(len(data)))
-	copy(frame[4:], data)
+	frame := buf.Bytes()
+	binary.BigEndian.PutUint32(frame, uint32(len(frame)-4))
 
 	// Two attempts: a cached connection may have gone stale.
 	for attempt := 0; attempt < 2; attempt++ {
