@@ -12,8 +12,10 @@
 package openwf_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"openwf/internal/community"
@@ -47,7 +49,7 @@ func benchPoint(b *testing.B, cfg evalgen.ExperimentConfig, length int) {
 		}
 		comm.ResetSchedules()
 		b.StartTimer()
-		plan, err := comm.Initiate(hosts[0], s)
+		plan, err := comm.Initiate(context.Background(), hosts[0], s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -234,10 +236,41 @@ func BenchmarkBaselineStaticWorkflow(b *testing.B) {
 				}
 				comm.ResetSchedules()
 				b.StartTimer()
-				if _, err := initiator.Engine.AllocateWorkflow(res.Workflow, s); err != nil {
+				if _, err := initiator.Engine.AllocateWorkflow(context.Background(), res.Workflow, s); err != nil {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkConcurrentConstruct — N goroutines constructing against one
+// shared immutable fragment store through a workspace pool (the PR 2
+// Planner architecture). Aggregate throughput should scale with
+// GOMAXPROCS because the store is never written and every goroutine owns
+// its workspace's coloring scratch:
+//
+//	go test -bench=ConcurrentConstruct -cpu=1,2,4,8 .
+func BenchmarkConcurrentConstruct(b *testing.B) {
+	for _, tasks := range []int{100, 500} {
+		b.Run(fmt.Sprintf("tasks=%d", tasks), func(b *testing.B) {
+			pool, specs, err := evalgen.ConcurrentConstructSetup(tasks, 256, 6, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					s := specs[next.Add(1)%uint64(len(specs))]
+					if _, err := pool.Construct(ctx, s); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
 		})
 	}
 }

@@ -4,15 +4,18 @@
 // (ns/op, B/op, allocs/op) in a BENCH_PR<n>.json at the repo root, so
 // regressions are visible in review without re-running the full sweep.
 //
-//	go run ./cmd/benchjson -o BENCH_PR1.json
+//	go run ./cmd/benchjson -o BENCH_PR2.json
 //
 // The grid points mirror the root bench_test.go benchmarks that the
 // paper's evaluation (§5) pins: the pure construction algorithm at
-// supergraph sizes 25–500 and the per-envelope marshal cost.
+// supergraph sizes 25–500, the per-envelope marshal cost, the cached
+// workflow accessors (PR 2), and the concurrent-construction grid
+// (goroutines × supergraph size) against a shared fragment store.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"openwf/internal/core"
@@ -42,11 +46,35 @@ type report struct {
 	GoVersion  string   `json:"go_version"`
 	GOARCH     string   `json:"goarch"`
 	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
 	Benchmarks []result `json:"benchmarks"`
 }
 
+// chainWorkflow builds a valid n-task chain workflow for the cached
+// accessor grid point.
+func chainWorkflow(b *testing.B, n int) *model.Workflow {
+	b.Helper()
+	g := model.NewGraph()
+	for i := 0; i < n; i++ {
+		t := model.Task{
+			ID:      model.TaskID(fmt.Sprintf("t%04d", i)),
+			Mode:    model.Conjunctive,
+			Inputs:  []model.LabelID{model.LabelID(fmt.Sprintf("l%04d", i))},
+			Outputs: []model.LabelID{model.LabelID(fmt.Sprintf("l%04d", i+1))},
+		}
+		if err := g.AddTask(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w, err := model.NewWorkflow(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR1.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR2.json", "output file (- for stdout)")
 	flag.Parse()
 
 	var results []result
@@ -122,6 +150,59 @@ func main() {
 		})
 	}
 
+	// Concurrent construction against a shared immutable fragment store
+	// (the PR 2 Planner architecture): goroutines × supergraph size.
+	// ns/op is wall time per construction across all goroutines; on a
+	// multi-core host it drops as goroutines rise (the store is
+	// read-only and every goroutine owns its workspace scratch), while
+	// on a single-core host it stays flat apart from scheduling
+	// overhead.
+	for _, tasks := range []int{100, 500} {
+		for _, goroutines := range []int{1, 2, 4, 8} {
+			tasks, goroutines := tasks, goroutines
+			run(fmt.Sprintf("ConcurrentConstruct/goroutines=%d/tasks=%d", goroutines, tasks), func(b *testing.B) {
+				b.ReportAllocs()
+				pool, specs, err := evalgen.ConcurrentConstructSetup(tasks, 256, 6, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := context.Background()
+				var next atomic.Uint64
+				// RunParallel spawns GOMAXPROCS*p goroutines and
+				// SetParallelism cannot go below GOMAXPROCS, so pin
+				// GOMAXPROCS itself to make each row run exactly its
+				// labeled goroutine count regardless of the host.
+				prev := runtime.GOMAXPROCS(goroutines)
+				defer runtime.GOMAXPROCS(prev)
+				b.SetParallelism(1)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						s := specs[next.Add(1)%uint64(len(specs))]
+						if _, err := pool.Construct(ctx, s); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+
+	// Cached workflow accessors (PR 2): TopoOrder on a 500-task chain
+	// was ~384µs/op when recomputed per call, ~3µs/op served from the
+	// construction-time cache.
+	run("WorkflowTopoOrder/tasks=500", func(b *testing.B) {
+		b.ReportAllocs()
+		w := chainWorkflow(b, 500)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := w.TopoOrder(); len(got) != 500 {
+				b.Fatalf("len = %d", len(got))
+			}
+		}
+	})
+
 	// Per-envelope marshal cost on the transports' pooled path.
 	run("EncodeToPooled", func(b *testing.B) {
 		b.ReportAllocs()
@@ -145,6 +226,7 @@ func main() {
 
 	rep := report{
 		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		Benchmarks: results,

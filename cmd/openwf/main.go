@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -89,7 +91,7 @@ func run() error {
 	fmt.Printf("problem:   %s\n", s)
 
 	start := time.Now()
-	plan, err := com.Initiate(proto.Addr(*initiator), s)
+	plan, err := com.Initiate(context.Background(), proto.Addr(*initiator), s)
 	if err != nil {
 		return fmt.Errorf("construction/allocation: %w", err)
 	}
@@ -117,8 +119,10 @@ func run() error {
 	for _, l := range s.Triggers {
 		trigData[l] = []byte("<" + string(l) + ">")
 	}
-	report, err := com.Execute(proto.Addr(*initiator), plan, trigData, *timeout)
-	if err != nil {
+	execCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	report, err := com.Execute(execCtx, proto.Addr(*initiator), plan, trigData)
+	if err != nil && (report == nil || !errors.Is(err, context.DeadlineExceeded)) {
 		return fmt.Errorf("execution: %w", err)
 	}
 	fmt.Printf("completed: %v (%d/%d tasks, %v)\n",

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -130,11 +131,14 @@ func runScenario(title string, chefPresent, waitersPresent bool, execute bool) {
 	cfg := openwf.DefaultEngineConfig()
 	cfg.StartDelay = 200 * time.Millisecond
 	cfg.TaskWindow = 50 * time.Millisecond
-	com, err := openwf.NewCommunity(openwf.Options{Engine: &cfg}, hosts...)
+	com, err := openwf.NewCommunity(hosts, openwf.WithEngineConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer com.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
 
 	// The executive assistant requested breakfast and lunch; the
 	// manager adds the request on her device.
@@ -142,7 +146,7 @@ func runScenario(title string, chefPresent, waitersPresent bool, execute bool) {
 		lbl("breakfast ingredients", "lunch ingredients"),
 		lbl("breakfast served", "lunch served"),
 	)
-	plan, err := com.Initiate("manager", request)
+	plan, err := com.Initiate(ctx, "manager", request)
 	if err != nil {
 		log.Fatalf("constructing: %v", err)
 	}
@@ -155,7 +159,7 @@ func runScenario(title string, chefPresent, waitersPresent bool, execute bool) {
 	if !execute {
 		return
 	}
-	report, err := com.Execute("manager", plan, nil, 15*time.Second)
+	report, err := com.Execute(ctx, "manager", plan, nil)
 	if err != nil {
 		log.Fatalf("executing: %v", err)
 	}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -96,18 +97,22 @@ func main() {
 	cfg := openwf.DefaultEngineConfig()
 	cfg.StartDelay = 250 * time.Millisecond
 	cfg.TaskWindow = 40 * time.Millisecond
-	com, err := openwf.NewCommunity(openwf.Options{
-		Engine:          &cfg,
-		StoreAndForward: true, // the camp's radios buffer across outages
-	}, leader, geologist, technician, radio)
+	com, err := openwf.NewCommunity(
+		[]openwf.HostSpec{leader, geologist, technician, radio},
+		openwf.WithEngineConfig(cfg),
+		openwf.WithStoreAndForward(), // the camp's radios buffer across outages
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer com.Close()
 
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// Problem 1: the day's science tasking, end to end.
 	fmt.Println("=== problem 1: survey, sample, and report ===")
-	plan1, err := com.Initiate("leader", openwf.MustSpec(
+	plan1, err := com.Initiate(ctx, "leader", openwf.MustSpec(
 		lbl("area assigned"), lbl("findings transmitted")))
 	if err != nil {
 		log.Fatal(err)
@@ -133,9 +138,9 @@ func main() {
 		fmt.Println("  -- link restored --")
 		com.Network().SetPartition()
 	}()
-	report1, err := com.Execute("leader", plan1, map[openwf.LabelID][]byte{
+	report1, err := com.Execute(ctx, "leader", plan1, map[openwf.LabelID][]byte{
 		"area assigned": []byte("ridge north of camp"),
-	}, 30*time.Second)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -146,12 +151,12 @@ func main() {
 	// Only the technician can fix it; the engine finds a window that
 	// does not collide with the technician's surveying commitment.
 	fmt.Println("=== problem 2: unexpected repair, same community ===")
-	plan2, err := com.Initiate("radio-op", openwf.MustSpec(
+	plan2, err := com.Initiate(ctx, "radio-op", openwf.MustSpec(
 		lbl("antenna damaged"), lbl("antenna working")))
 	if err != nil {
 		log.Fatal(err)
 	}
-	report2, err := com.Execute("radio-op", plan2, nil, 30*time.Second)
+	report2, err := com.Execute(ctx, "radio-op", plan2, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,9 +19,9 @@ func main() {
 	// A tiny field team: a coordinator with no skills of its own, a
 	// scout who knows how to survey a site, and an operator who knows
 	// how to file the report the survey enables.
-	com, err := openwf.NewCommunity(openwf.Options{Engine: engineConfig()},
-		openwf.HostSpec{ID: "coordinator"},
-		openwf.HostSpec{
+	com, err := openwf.NewCommunity([]openwf.HostSpec{
+		{ID: "coordinator"},
+		{
 			ID: "scout",
 			Fragments: []*openwf.Fragment{
 				openwf.MustFragment("survey-knowhow", openwf.Task{
@@ -39,7 +40,7 @@ func main() {
 					}),
 			},
 		},
-		openwf.HostSpec{
+		{
 			ID: "operator",
 			Fragments: []*openwf.Fragment{
 				openwf.MustFragment("report-knowhow", openwf.Task{
@@ -57,11 +58,16 @@ func main() {
 					}),
 			},
 		},
-	)
+	}, openwf.WithEngineConfig(engineConfig()))
 	if err != nil {
 		log.Fatalf("building community: %v", err)
 	}
 	defer com.Close()
+
+	// One context bounds the whole request: construction, allocation,
+	// and execution.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
 
 	// The coordinator identifies a need: a site was assigned, and a
 	// filed report is the goal. Nobody wrote this workflow; the engine
@@ -70,7 +76,7 @@ func main() {
 		[]openwf.LabelID{"site assigned"},
 		[]openwf.LabelID{"report filed"},
 	)
-	plan, err := com.Initiate("coordinator", problem)
+	plan, err := com.Initiate(ctx, "coordinator", problem)
 	if err != nil {
 		log.Fatalf("constructing workflow: %v", err)
 	}
@@ -79,9 +85,9 @@ func main() {
 		fmt.Printf("  %s   → allocated to %s\n", t, plan.Allocations[t.ID])
 	}
 
-	report, err := com.Execute("coordinator", plan, map[openwf.LabelID][]byte{
+	report, err := com.Execute(ctx, "coordinator", plan, map[openwf.LabelID][]byte{
 		"site assigned": []byte("sector 7"),
-	}, 10*time.Second)
+	})
 	if err != nil {
 		log.Fatalf("executing workflow: %v", err)
 	}
@@ -90,9 +96,9 @@ func main() {
 	fmt.Printf("goal %q = %s\n", "report filed", report.Goals["report filed"])
 }
 
-func engineConfig() *openwf.EngineConfig {
+func engineConfig() openwf.EngineConfig {
 	cfg := openwf.DefaultEngineConfig()
 	cfg.StartDelay = 200 * time.Millisecond
 	cfg.TaskWindow = 50 * time.Millisecond
-	return &cfg
+	return cfg
 }

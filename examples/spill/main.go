@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -107,16 +108,20 @@ func main() {
 	// journey fits in the ~3 s of headroom before each window.
 	cfg.StartDelay = 3 * time.Second
 	cfg.TaskWindow = 3 * time.Second
-	com, err := openwf.NewCommunity(openwf.Options{Engine: &cfg},
-		worker, supervisor, chiefEngineer, hazmatCrew)
+	com, err := openwf.NewCommunity(
+		[]openwf.HostSpec{worker, supervisor, chiefEngineer, hazmatCrew},
+		openwf.WithEngineConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer com.Close()
 
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
 	// The worker reports the spill; the goal is a contained spill.
 	problem := openwf.MustSpec(lbl("mercury spill reported"), lbl("spill contained"))
-	plan, err := com.Initiate("worker", problem)
+	plan, err := com.Initiate(ctx, "worker", problem)
 	if err != nil {
 		log.Fatalf("constructing response: %v", err)
 	}
@@ -145,9 +150,9 @@ func main() {
 		}
 	}
 
-	report, err := com.Execute("worker", plan, map[openwf.LabelID][]byte{
+	report, err := com.Execute(ctx, "worker", plan, map[openwf.LabelID][]byte{
 		"mercury spill reported": []byte("north hall, ~200ml, spreading"),
-	}, 5*time.Minute)
+	})
 	if err != nil {
 		log.Fatalf("executing response: %v", err)
 	}

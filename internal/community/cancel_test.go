@@ -1,0 +1,113 @@
+package community
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"openwf/internal/model"
+	"openwf/internal/service"
+	"openwf/internal/spec"
+	"openwf/internal/transport/inmem"
+)
+
+// checkGoroutines records the goroutine count and, at cleanup, waits for
+// the count to return to (near) the baseline — the leak check the ctx
+// redesign is accountable to.
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			now := runtime.NumGoroutine()
+			// A little slack for runtime/test-framework goroutines.
+			if now <= base+3 {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutines leaked: %d at start, %d after close\n%s", base, now, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// TestInitiateCanceledPromptly: cancellation mid-construction (the
+// latency model makes every community query slow) returns
+// context.Canceled in well under the query latency, and closing the
+// community afterwards leaks no goroutines.
+func TestInitiateCanceledPromptly(t *testing.T) {
+	checkGoroutines(t)
+	c, err := New(Options{
+		Engine:    testEngineConfig(),
+		LinkModel: inmem.FixedLatency(2 * time.Second),
+	}, cateringSpecs(t, true, true)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.Initiate(ctx, "manager", cateringSpec)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cancellation took %v; the 2s link latency leaked into the wait", elapsed)
+	}
+}
+
+// TestExecuteCanceledPromptly: cancellation mid-execution (a service
+// that takes far longer than the test) returns context.Canceled at once;
+// closing the community interrupts the in-flight invocation, so no
+// goroutine is left sleeping out the hour.
+func TestExecuteCanceledPromptly(t *testing.T) {
+	checkGoroutines(t)
+	specs := []HostSpec{
+		{ID: "manager"},
+		{
+			ID: "worker",
+			Fragments: []*model.Fragment{
+				frag(t, "slow-know", ctask("slow work", lbl("go"), lbl("done"))),
+			},
+			Services: []service.Registration{svc("slow work", time.Hour)},
+		},
+	}
+	c, err := New(Options{Engine: testEngineConfig()}, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	plan, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("go"), lbl("done")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	report, err := c.Execute(ctx, "manager", plan, map[model.LabelID][]byte{"go": nil})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("cancellation took %v", time.Since(start))
+	}
+	if report == nil || report.Completed {
+		t.Fatalf("report = %+v, want incomplete partial report", report)
+	}
+}

@@ -8,10 +8,12 @@
 package community
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"openwf/internal/clock"
+	"openwf/internal/core"
 	"openwf/internal/engine"
 	"openwf/internal/host"
 	"openwf/internal/model"
@@ -198,23 +200,42 @@ func (c *Community) Members() []proto.Addr {
 func (c *Community) Network() *inmem.Network { return c.network }
 
 // Initiate poses a problem specification at the given host and returns
-// the allocated plan — the operation the evaluation times.
-func (c *Community) Initiate(id proto.Addr, s spec.Spec) (*engine.Plan, error) {
+// the allocated plan — the operation the evaluation times. The context
+// cancels community queries and auction waits promptly.
+func (c *Community) Initiate(ctx context.Context, id proto.Addr, s spec.Spec) (*engine.Plan, error) {
 	h, ok := c.hosts[id]
 	if !ok {
 		return nil, fmt.Errorf("community: no host %q", id)
 	}
-	return h.Engine.Initiate(s)
+	return h.Engine.Initiate(ctx, s)
 }
 
 // Execute distributes and runs an allocated plan from its initiator,
-// waiting up to timeout for the community to finish.
-func (c *Community) Execute(id proto.Addr, plan *engine.Plan, triggers map[model.LabelID][]byte, timeout time.Duration) (*engine.Report, error) {
+// waiting for the community to finish. The context bounds the wait (use
+// context.WithTimeout for the old timeout behavior); on cancellation it
+// returns ctx.Err() alongside a partial report.
+func (c *Community) Execute(ctx context.Context, id proto.Addr, plan *engine.Plan, triggers map[model.LabelID][]byte) (*engine.Report, error) {
 	h, ok := c.hosts[id]
 	if !ok {
 		return nil, fmt.Errorf("community: no host %q", id)
 	}
-	return h.Engine.Execute(plan, triggers, timeout)
+	return h.Engine.Execute(ctx, plan, triggers)
+}
+
+// CollectKnowhow gathers every fragment known to any reachable member
+// into an immutable fragment store — the snapshot from which an
+// openwf.Planner constructs many workflows locally and concurrently,
+// without further community traffic.
+func (c *Community) CollectKnowhow(ctx context.Context, id proto.Addr) (*core.Store, error) {
+	h, ok := c.hosts[id]
+	if !ok {
+		return nil, fmt.Errorf("community: no host %q", id)
+	}
+	frags, err := h.Engine.CollectKnowhow(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewStore(frags...)
 }
 
 // ResetSchedules clears every host's calendar (commitments and holds).

@@ -1,6 +1,7 @@
 package community
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -40,6 +41,14 @@ func svc(task string, dur time.Duration) service.Registration {
 	return service.Registration{
 		Descriptor: service.Descriptor{Task: model.TaskID(task), Duration: dur, Specialization: 0.5},
 	}
+}
+
+// ctxTimeout returns a context bounded by d, canceled at test cleanup.
+func ctxTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
 }
 
 // testEngineConfig keeps integration tests fast: short windows, prompt
@@ -123,7 +132,7 @@ func TestCateringEndToEnd(t *testing.T) {
 	}
 	defer c.Close()
 
-	plan, err := c.Initiate("manager", cateringSpec)
+	plan, err := c.Initiate(context.Background(), "manager", cateringSpec)
 	if err != nil {
 		t.Fatalf("Initiate: %v", err)
 	}
@@ -144,7 +153,7 @@ func TestCateringEndToEnd(t *testing.T) {
 		}
 	}
 
-	report, err := c.Execute("manager", plan, nil, 10*time.Second)
+	report, err := c.Execute(ctxTimeout(t, 10*time.Second), "manager", plan, nil)
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -168,7 +177,7 @@ func TestCateringChefAbsent(t *testing.T) {
 	}
 	defer c.Close()
 
-	plan, err := c.Initiate("manager", cateringSpec)
+	plan, err := c.Initiate(context.Background(), "manager", cateringSpec)
 	if err != nil {
 		t.Fatalf("Initiate: %v", err)
 	}
@@ -190,7 +199,7 @@ func TestCateringWaitStaffAbsent(t *testing.T) {
 	}
 	defer c.Close()
 
-	plan, err := c.Initiate("manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
+	plan, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
 	if err != nil {
 		t.Fatalf("Initiate: %v", err)
 	}
@@ -209,7 +218,7 @@ func TestInitiateNoSolution(t *testing.T) {
 	}
 	defer c.Close()
 
-	_, err = c.Initiate("manager", spec.Must(lbl("breakfast ingredients"), lbl("world peace")))
+	_, err = c.Initiate(context.Background(), "manager", spec.Must(lbl("breakfast ingredients"), lbl("world peace")))
 	if err == nil {
 		t.Fatal("Initiate succeeded for unreachable goal")
 	}
@@ -221,10 +230,10 @@ func TestInitiateUnknownHost(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Initiate("ghost", cateringSpec); err == nil {
+	if _, err := c.Initiate(context.Background(), "ghost", cateringSpec); err == nil {
 		t.Fatal("Initiate at unknown host succeeded")
 	}
-	if _, err := c.Execute("ghost", &engine.Plan{}, nil, time.Second); err == nil {
+	if _, err := c.Execute(ctxTimeout(t, time.Second), "ghost", &engine.Plan{}, nil); err == nil {
 		t.Fatal("Execute at unknown host succeeded")
 	}
 }
@@ -236,7 +245,7 @@ func TestAnyParticipantMayInitiate(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	plan, err := c.Initiate("chef", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
+	plan, err := c.Initiate(context.Background(), "chef", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
 	if err != nil {
 		t.Fatalf("Initiate from chef: %v", err)
 	}
@@ -263,11 +272,11 @@ func TestConcurrentWorkflows(t *testing.T) {
 	ch1 := make(chan result, 1)
 	ch2 := make(chan result, 1)
 	go func() {
-		p, err := c.Initiate("manager", breakfast)
+		p, err := c.Initiate(context.Background(), "manager", breakfast)
 		ch1 <- result{p, err}
 	}()
 	go func() {
-		p, err := c.Initiate("chef", lunch)
+		p, err := c.Initiate(context.Background(), "chef", lunch)
 		ch2 <- result{p, err}
 	}()
 	r1, r2 := <-ch1, <-ch2
@@ -304,7 +313,7 @@ func TestReplanAfterUnallocatableTask(t *testing.T) {
 	}
 	defer c.Close()
 
-	plan, err := c.Initiate("manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
+	plan, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
 	if err != nil {
 		t.Fatalf("Initiate: %v", err)
 	}
@@ -331,7 +340,7 @@ func TestAllocationFailsWhenTrulyImpossible(t *testing.T) {
 	}
 	defer c.Close()
 
-	_, err = c.Initiate("manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
+	_, err = c.Initiate(context.Background(), "manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
 	if err == nil {
 		t.Fatal("Initiate succeeded although every host is unwilling")
 	}
@@ -348,11 +357,11 @@ func TestTCPCommunity(t *testing.T) {
 	}
 	defer c.Close()
 
-	plan, err := c.Initiate("manager", cateringSpec)
+	plan, err := c.Initiate(context.Background(), "manager", cateringSpec)
 	if err != nil {
 		t.Fatalf("Initiate over TCP: %v", err)
 	}
-	report, err := c.Execute("manager", plan, nil, 10*time.Second)
+	report, err := c.Execute(ctxTimeout(t, 10*time.Second), "manager", plan, nil)
 	if err != nil {
 		t.Fatalf("Execute over TCP: %v", err)
 	}
@@ -381,13 +390,13 @@ func TestTriggersCarryData(t *testing.T) {
 	defer c.Close()
 
 	s := spec.Must(lbl("lunch ingredients"), lbl("lunch served"))
-	plan, err := c.Initiate("manager", s)
+	plan, err := c.Initiate(context.Background(), "manager", s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := c.Execute("manager", plan, map[model.LabelID][]byte{
+	report, err := c.Execute(ctxTimeout(t, 10*time.Second), "manager", plan, map[model.LabelID][]byte{
 		"lunch ingredients": []byte("12 boxes of greens"),
-	}, 10*time.Second)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +426,7 @@ func TestPartitionedHostKnowledgeUnavailable(t *testing.T) {
 		[]proto.Addr{"manager", "kitchen", "waiter"},
 		[]proto.Addr{"chef"},
 	)
-	plan, err := c.Initiate("manager", spec.Must(lbl("breakfast ingredients"), lbl("breakfast served")))
+	plan, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("breakfast ingredients"), lbl("breakfast served")))
 	if err != nil {
 		t.Fatalf("Initiate with partition: %v", err)
 	}
@@ -430,7 +439,7 @@ func TestPartitionedHostKnowledgeUnavailable(t *testing.T) {
 
 	// Heal the partition: the omelet path is available again.
 	c.Network().SetPartition()
-	plan2, err := c.Initiate("manager", spec.Must(lbl("breakfast ingredients"), lbl("breakfast served")))
+	plan2, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("breakfast ingredients"), lbl("breakfast served")))
 	if err != nil {
 		t.Fatalf("Initiate after heal: %v", err)
 	}
@@ -449,7 +458,7 @@ func TestParallelQueryCommunity(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	plan, err := c.Initiate("manager", cateringSpec)
+	plan, err := c.Initiate(context.Background(), "manager", cateringSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -470,7 +479,7 @@ func TestInitiateOverLatentNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	plan, err := c.Initiate("manager", cateringSpec)
+	plan, err := c.Initiate(context.Background(), "manager", cateringSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -489,7 +498,7 @@ func TestFullCollectionCommunity(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	plan, err := c.Initiate("manager", cateringSpec)
+	plan, err := c.Initiate(context.Background(), "manager", cateringSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -524,11 +533,11 @@ func TestExecutionFailureReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	plan, err := c.Initiate("manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
+	plan, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := c.Execute("manager", plan, nil, 10*time.Second)
+	report, err := c.Execute(ctxTimeout(t, 10*time.Second), "manager", plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -591,14 +600,14 @@ func TestConjunctiveFanInAcrossHosts(t *testing.T) {
 	}
 	defer c.Close()
 
-	plan, err := c.Initiate("asker", spec.Must(lbl("seed"), lbl("combined")))
+	plan, err := c.Initiate(context.Background(), "asker", spec.Must(lbl("seed"), lbl("combined")))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if plan.Workflow.NumTasks() != 3 {
 		t.Fatalf("workflow:\n%v", plan.Workflow)
 	}
-	report, err := c.Execute("asker", plan, nil, 10*time.Second)
+	report, err := c.Execute(ctxTimeout(t, 10*time.Second), "asker", plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -620,7 +629,7 @@ func TestTraceRecordsConversation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Initiate("manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served"))); err != nil {
+	if _, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served"))); err != nil {
 		t.Fatal(err)
 	}
 	for _, kind := range []string{"fragment-query", "fragment-reply", "feasibility-query", "call-for-bids", "award"} {
@@ -649,7 +658,7 @@ func TestExecutionSurvivesTransientPartition(t *testing.T) {
 	}
 	defer c.Close()
 
-	plan, err := c.Initiate("manager", spec.Must(lbl("breakfast ingredients"), lbl("breakfast served")))
+	plan, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("breakfast ingredients"), lbl("breakfast served")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -665,7 +674,7 @@ func TestExecutionSurvivesTransientPartition(t *testing.T) {
 		c.Network().SetPartition()
 		close(healed)
 	}()
-	report, err := c.Execute("manager", plan, nil, 15*time.Second)
+	report, err := c.Execute(ctxTimeout(t, 15*time.Second), "manager", plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -177,7 +178,7 @@ func TestEpochWraparound(t *testing.T) {
 func TestEpochIncrementalRounds(t *testing.T) {
 	frags := cateringFragments(t)
 	s := spec.Must(lbl("breakfast ingredients", "lunch ingredients"), lbl("breakfast served", "lunch served"))
-	res, g, err := ConstructIncremental(SliceSource(frags), s, IncrementalOptions{})
+	res, g, err := ConstructIncremental(context.Background(), SliceSource(frags), s, IncrementalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

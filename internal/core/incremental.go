@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"openwf/internal/model"
@@ -18,8 +19,9 @@ type KnowledgeSource interface {
 	// FragmentsConsuming returns every known fragment containing at
 	// least one task that consumes at least one of the given labels.
 	// Returning a fragment more than once across calls is permitted;
-	// merging is idempotent.
-	FragmentsConsuming(labels []model.LabelID) ([]*model.Fragment, error)
+	// merging is idempotent. The context cancels in-flight community
+	// queries.
+	FragmentsConsuming(ctx context.Context, labels []model.LabelID) ([]*model.Fragment, error)
 }
 
 // FeasibilityChecker answers service-feasibility queries: which of the
@@ -28,8 +30,8 @@ type KnowledgeSource interface {
 // (the Service Feasibility Messages of the paper's architecture, Fig. 3).
 type FeasibilityChecker interface {
 	// InfeasibleTasks returns the subset of tasks that no participant
-	// can perform.
-	InfeasibleTasks(tasks []model.TaskID) ([]model.TaskID, error)
+	// can perform. The context cancels in-flight community queries.
+	InfeasibleTasks(ctx context.Context, tasks []model.TaskID) ([]model.TaskID, error)
 }
 
 // IncrementalOptions tune ConstructIncremental.
@@ -55,8 +57,9 @@ type IncrementalOptions struct {
 // goal is green, service feasibility is checked (if configured); newly
 // infeasible tasks reset the coloring and the loop continues, possibly
 // collecting alternative fragments. The supergraph is returned alongside
-// the result for inspection and reuse (replanning).
-func ConstructIncremental(src KnowledgeSource, s spec.Spec, opts IncrementalOptions) (*Result, *Supergraph, error) {
+// the result for inspection and reuse (replanning). Cancellation of ctx
+// stops the collection loop between rounds with ctx.Err().
+func ConstructIncremental(ctx context.Context, src KnowledgeSource, s spec.Spec, opts IncrementalOptions) (*Result, *Supergraph, error) {
 	if err := s.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -70,10 +73,13 @@ func ConstructIncremental(src KnowledgeSource, s spec.Spec, opts IncrementalOpti
 	rounds := 0
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, g, err
+		}
 		explore(g, s)
 
 		if goalsGreen(g, s) {
-			infeasible, err := checkFeasibility(g, opts.Feasibility, feasChecked)
+			infeasible, err := checkFeasibility(ctx, g, opts.Feasibility, feasChecked)
 			if err != nil {
 				return nil, g, err
 			}
@@ -94,7 +100,7 @@ func ConstructIncremental(src KnowledgeSource, s spec.Spec, opts IncrementalOpti
 		if opts.MaxRounds > 0 && rounds > opts.MaxRounds {
 			return nil, g, fmt.Errorf("%w: collection exceeded %d rounds", ErrNoSolution, opts.MaxRounds)
 		}
-		frags, err := src.FragmentsConsuming(frontier)
+		frags, err := src.FragmentsConsuming(ctx, frontier)
 		if err != nil {
 			return nil, g, fmt.Errorf("collecting fragments: %w", err)
 		}
@@ -149,7 +155,7 @@ func frontierLabels(g *Supergraph, s spec.Spec, queried map[model.LabelID]struct
 
 // checkFeasibility queries the checker for green tasks not yet checked and
 // marks the infeasible ones. It returns how many tasks were newly marked.
-func checkFeasibility(g *Supergraph, checker FeasibilityChecker, checked map[model.TaskID]struct{}) (int, error) {
+func checkFeasibility(ctx context.Context, g *Supergraph, checker FeasibilityChecker, checked map[model.TaskID]struct{}) (int, error) {
 	if checker == nil {
 		return 0, nil
 	}
@@ -162,7 +168,7 @@ func checkFeasibility(g *Supergraph, checker FeasibilityChecker, checked map[mod
 	if len(toCheck) == 0 {
 		return 0, nil
 	}
-	infeasible, err := checker.InfeasibleTasks(toCheck)
+	infeasible, err := checker.InfeasibleTasks(ctx, toCheck)
 	if err != nil {
 		return 0, fmt.Errorf("feasibility check: %w", err)
 	}
@@ -182,7 +188,7 @@ type SliceSource []*model.Fragment
 var _ KnowledgeSource = SliceSource(nil)
 
 // FragmentsConsuming implements KnowledgeSource.
-func (s SliceSource) FragmentsConsuming(labels []model.LabelID) ([]*model.Fragment, error) {
+func (s SliceSource) FragmentsConsuming(_ context.Context, labels []model.LabelID) ([]*model.Fragment, error) {
 	set := make(map[model.LabelID]struct{}, len(labels))
 	for _, l := range labels {
 		set[l] = struct{}{}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -15,15 +16,15 @@ type countingSource struct {
 	rounds [][]model.LabelID
 }
 
-func (c *countingSource) FragmentsConsuming(labels []model.LabelID) ([]*model.Fragment, error) {
+func (c *countingSource) FragmentsConsuming(ctx context.Context, labels []model.LabelID) ([]*model.Fragment, error) {
 	c.rounds = append(c.rounds, append([]model.LabelID(nil), labels...))
-	return c.src.FragmentsConsuming(labels)
+	return c.src.FragmentsConsuming(ctx, labels)
 }
 
 func TestConstructIncrementalCatering(t *testing.T) {
 	src := &countingSource{src: SliceSource(cateringFragments(t))}
 	s := spec.Must(lbl("breakfast ingredients", "lunch ingredients"), lbl("breakfast served", "lunch served"))
-	res, g, err := ConstructIncremental(src, s, IncrementalOptions{})
+	res, g, err := ConstructIncremental(context.Background(), src, s, IncrementalOptions{})
 	if err != nil {
 		t.Fatalf("ConstructIncremental: %v", err)
 	}
@@ -54,7 +55,7 @@ func TestConstructIncrementalMatchesFullCollection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	incRes, _, err := ConstructIncremental(SliceSource(frags), s, IncrementalOptions{})
+	incRes, _, err := ConstructIncremental(context.Background(), SliceSource(frags), s, IncrementalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestConstructIncrementalMatchesFullCollection(t *testing.T) {
 func TestConstructIncrementalNoSolution(t *testing.T) {
 	src := SliceSource(cateringFragments(t))
 	s := spec.Must(lbl("breakfast ingredients"), lbl("lunch served"))
-	_, _, err := ConstructIncremental(src, s, IncrementalOptions{})
+	_, _, err := ConstructIncremental(context.Background(), src, s, IncrementalOptions{})
 	if !errors.Is(err, ErrNoSolution) {
 		t.Fatalf("err = %v, want ErrNoSolution", err)
 	}
@@ -89,11 +90,11 @@ func TestConstructIncrementalMaxRounds(t *testing.T) {
 				lbl(fmt.Sprintf("l%d", i)), lbl(fmt.Sprintf("l%d", i+1)))))
 	}
 	s := spec.Must(lbl("l0"), lbl("l10"))
-	_, _, err := ConstructIncremental(SliceSource(frags), s, IncrementalOptions{MaxRounds: 3})
+	_, _, err := ConstructIncremental(context.Background(), SliceSource(frags), s, IncrementalOptions{MaxRounds: 3})
 	if !errors.Is(err, ErrNoSolution) {
 		t.Fatalf("err = %v, want ErrNoSolution via MaxRounds", err)
 	}
-	res, _, err := ConstructIncremental(SliceSource(frags), s, IncrementalOptions{})
+	res, _, err := ConstructIncremental(context.Background(), SliceSource(frags), s, IncrementalOptions{})
 	if err != nil {
 		t.Fatalf("unbounded: %v", err)
 	}
@@ -108,7 +109,7 @@ type fakeFeasibility struct {
 	queries    int
 }
 
-func (f *fakeFeasibility) InfeasibleTasks(tasks []model.TaskID) ([]model.TaskID, error) {
+func (f *fakeFeasibility) InfeasibleTasks(_ context.Context, tasks []model.TaskID) ([]model.TaskID, error) {
 	f.queries++
 	var out []model.TaskID
 	for _, id := range tasks {
@@ -126,7 +127,7 @@ func TestConstructIncrementalFeasibility(t *testing.T) {
 	src := SliceSource(cateringFragments(t))
 	s := spec.Must(lbl("lunch ingredients"), lbl("lunch served"))
 	checker := &fakeFeasibility{infeasible: map[model.TaskID]bool{"serve tables": true}}
-	res, _, err := ConstructIncremental(src, s, IncrementalOptions{Feasibility: checker})
+	res, _, err := ConstructIncremental(context.Background(), src, s, IncrementalOptions{Feasibility: checker})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestConstructIncrementalFeasibilityAllInfeasible(t *testing.T) {
 	checker := &fakeFeasibility{infeasible: map[model.TaskID]bool{
 		"serve tables": true, "serve buffet": true,
 	}}
-	_, _, err := ConstructIncremental(src, s, IncrementalOptions{Feasibility: checker})
+	_, _, err := ConstructIncremental(context.Background(), src, s, IncrementalOptions{Feasibility: checker})
 	if !errors.Is(err, ErrNoSolution) {
 		t.Fatalf("err = %v, want ErrNoSolution", err)
 	}
@@ -158,7 +159,7 @@ func TestConstructIncrementalFeasibilityAllInfeasible(t *testing.T) {
 func TestConstructIncrementalExclude(t *testing.T) {
 	src := SliceSource(cateringFragments(t))
 	s := spec.Must(lbl("lunch ingredients"), lbl("lunch served"))
-	res, _, err := ConstructIncremental(src, s, IncrementalOptions{
+	res, _, err := ConstructIncremental(context.Background(), src, s, IncrementalOptions{
 		Exclude: []model.TaskID{"serve buffet"},
 	})
 	if err != nil {
@@ -174,13 +175,13 @@ func TestConstructIncrementalExclude(t *testing.T) {
 
 type errorSource struct{}
 
-func (errorSource) FragmentsConsuming([]model.LabelID) ([]*model.Fragment, error) {
+func (errorSource) FragmentsConsuming(context.Context, []model.LabelID) ([]*model.Fragment, error) {
 	return nil, errors.New("network down")
 }
 
 func TestConstructIncrementalSourceError(t *testing.T) {
 	s := spec.Must(lbl("a"), lbl("b"))
-	_, _, err := ConstructIncremental(errorSource{}, s, IncrementalOptions{})
+	_, _, err := ConstructIncremental(context.Background(), errorSource{}, s, IncrementalOptions{})
 	if err == nil || errors.Is(err, ErrNoSolution) {
 		t.Fatalf("err = %v, want propagation of source error", err)
 	}
@@ -189,7 +190,7 @@ func TestConstructIncrementalSourceError(t *testing.T) {
 func TestSliceSourceFiltering(t *testing.T) {
 	frags := cateringFragments(t)
 	src := SliceSource(frags)
-	got, err := src.FragmentsConsuming(lbl("lunch prepared"))
+	got, err := src.FragmentsConsuming(context.Background(), lbl("lunch prepared"))
 	if err != nil {
 		t.Fatal(err)
 	}

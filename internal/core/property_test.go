@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -218,7 +219,7 @@ func TestPropIncrementalAgreesWithFull(t *testing.T) {
 			return false
 		}
 		_, fullErr := Construct(g, s)
-		_, _, incErr := ConstructIncremental(SliceSource(frags), s, IncrementalOptions{})
+		_, _, incErr := ConstructIncremental(context.Background(), SliceSource(frags), s, IncrementalOptions{})
 		return (fullErr == nil) == (incErr == nil)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

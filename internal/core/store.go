@@ -1,0 +1,224 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"openwf/internal/model"
+	"openwf/internal/spec"
+)
+
+// Store is an immutable, shareable snapshot of collected knowhow: a set
+// of workflow fragments plus a consumer index for frontier queries. Once
+// built, a Store never changes — any number of goroutines may construct
+// workflows against it concurrently through Workspaces. Extension is
+// copy-on-write: With returns a new Store sharing the existing fragment
+// pointers (fragments themselves are immutable), leaving every previous
+// snapshot — and every workspace checked out from one — untouched.
+type Store struct {
+	frags []*model.Fragment
+	names map[string]struct{}
+	// consumers indexes fragments by consumed label, the store-local
+	// equivalent of the community's Fragment Managers answering a
+	// FragmentsConsuming query.
+	consumers map[model.LabelID][]*model.Fragment
+}
+
+// NewStore builds a store snapshot from the given fragments. Fragments
+// are deduplicated by name (the same rule the supergraph merge applies);
+// the fragments are retained by reference and must not be mutated.
+func NewStore(frags ...*model.Fragment) (*Store, error) {
+	s := &Store{
+		names:     make(map[string]struct{}, len(frags)),
+		consumers: make(map[model.LabelID][]*model.Fragment),
+	}
+	if err := s.add(frags); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// add appends fragments, skipping names already present.
+func (s *Store) add(frags []*model.Fragment) error {
+	for _, f := range frags {
+		if f == nil {
+			return fmt.Errorf("core: nil fragment in store")
+		}
+		if _, dup := s.names[f.Name]; dup {
+			continue
+		}
+		s.names[f.Name] = struct{}{}
+		s.frags = append(s.frags, f)
+		seen := make(map[model.LabelID]struct{})
+		for _, t := range f.Tasks {
+			for _, in := range t.Inputs {
+				if _, done := seen[in]; done {
+					continue
+				}
+				seen[in] = struct{}{}
+				s.consumers[in] = append(s.consumers[in], f)
+			}
+		}
+	}
+	return nil
+}
+
+// With returns a new snapshot extended by the given fragments (names
+// already present are skipped). The receiver is unchanged; the two
+// stores share fragment pointers, so the copy costs O(existing) pointer
+// moves, not a deep clone.
+func (s *Store) With(frags ...*model.Fragment) (*Store, error) {
+	c := &Store{
+		frags:     append(make([]*model.Fragment, 0, len(s.frags)+len(frags)), s.frags...),
+		names:     make(map[string]struct{}, len(s.names)+len(frags)),
+		consumers: make(map[model.LabelID][]*model.Fragment, len(s.consumers)),
+	}
+	for name := range s.names {
+		c.names[name] = struct{}{}
+	}
+	for l, fs := range s.consumers {
+		c.consumers[l] = append([]*model.Fragment(nil), fs...)
+	}
+	if err := c.add(frags); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Fragments returns a copy of the snapshot's fragment list.
+func (s *Store) Fragments() []*model.Fragment {
+	return append([]*model.Fragment(nil), s.frags...)
+}
+
+// NumFragments returns how many distinct fragments the snapshot holds.
+func (s *Store) NumFragments() int { return len(s.frags) }
+
+var _ KnowledgeSource = (*Store)(nil)
+
+// FragmentsConsuming implements KnowledgeSource over the snapshot's
+// consumer index, so a Store can stand in for the community during
+// incremental construction.
+func (s *Store) FragmentsConsuming(_ context.Context, labels []model.LabelID) ([]*model.Fragment, error) {
+	var out []*model.Fragment
+	seen := make(map[string]struct{})
+	for _, l := range labels {
+		for _, f := range s.consumers[l] {
+			if _, dup := seen[f.Name]; dup {
+				continue
+			}
+			seen[f.Name] = struct{}{}
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// Workspace is one construction session's private scratch: a supergraph
+// merged from a store snapshot plus the epoch-stamped coloring state of
+// PR 1. The shared Store is never written; all mutable state (colors,
+// distances, worklists, infeasibility marks) lives here, owned by
+// exactly one goroutine at a time. Check workspaces out of a
+// WorkspacePool to construct many specifications in parallel against
+// one snapshot.
+type Workspace struct {
+	store *Store
+	graph *Supergraph
+	// marks are the per-construct infeasibility marks to undo before
+	// the workspace is reused (the store's knowledge is shared; one
+	// request's exclusions must not leak into the next).
+	marks []model.TaskID
+}
+
+// NewWorkspace merges the snapshot into a fresh supergraph. The merge is
+// paid once per workspace; afterwards every construction is an O(1)
+// epoch reset plus an O(explored region) walk.
+func (s *Store) NewWorkspace() (*Workspace, error) {
+	g := NewSupergraph()
+	for _, f := range s.frags {
+		if _, err := g.AddFragment(f); err != nil {
+			return nil, fmt.Errorf("core: merging store fragment: %w", err)
+		}
+	}
+	return &Workspace{store: s, graph: g}, nil
+}
+
+// Store returns the snapshot this workspace was checked out from.
+func (w *Workspace) Store() *Store { return w.store }
+
+// Graph exposes the workspace's supergraph for inspection (tests,
+// metrics). The caller must own the workspace.
+func (w *Workspace) Graph() *Supergraph { return w.graph }
+
+// Construct runs Algorithm 1 in this workspace: exclude marks the given
+// tasks infeasible for this construction only (specification-level
+// exclusions, §5.1); the marks are undone before returning so the next
+// checkout sees the full knowledge again.
+func (w *Workspace) Construct(sp spec.Spec, exclude ...model.TaskID) (*Result, error) {
+	for _, t := range exclude {
+		if !w.graph.Infeasible(t) {
+			w.graph.MarkInfeasible(t)
+			w.marks = append(w.marks, t)
+		}
+	}
+	res, err := Construct(w.graph, sp)
+	if len(w.marks) > 0 {
+		for _, t := range w.marks {
+			w.graph.MarkFeasible(t)
+		}
+		w.marks = w.marks[:0]
+	}
+	return res, err
+}
+
+// WorkspacePool shares one immutable store snapshot among N concurrent
+// construction sessions: each Construct checks a workspace out (reusing
+// a pooled one, or merging a fresh one on first use under load), runs
+// the coloring algorithm in it, and returns it. Safe for concurrent use.
+type WorkspacePool struct {
+	store *Store
+	pool  sync.Pool
+}
+
+// NewWorkspacePool returns a pool of workspaces over the snapshot.
+func NewWorkspacePool(store *Store) *WorkspacePool {
+	return &WorkspacePool{store: store}
+}
+
+// Store returns the pool's snapshot.
+func (p *WorkspacePool) Store() *Store { return p.store }
+
+// Checkout hands the caller a workspace for exclusive use; pair with
+// Release. Pooled workspaces keep their merged supergraph, so a warm
+// checkout costs nothing but the epoch bump inside Construct.
+func (p *WorkspacePool) Checkout() (*Workspace, error) {
+	if ws, ok := p.pool.Get().(*Workspace); ok {
+		return ws, nil
+	}
+	return p.store.NewWorkspace()
+}
+
+// Release returns a workspace to the pool for reuse.
+func (p *WorkspacePool) Release(ws *Workspace) {
+	if ws == nil || ws.store != p.store {
+		return
+	}
+	p.pool.Put(ws)
+}
+
+// Construct checks a workspace out, constructs a workflow satisfying sp,
+// and releases the workspace. The context is consulted before the (pure
+// CPU, microsecond-scale) construction begins; many Construct calls may
+// run concurrently against the same pool.
+func (p *WorkspacePool) Construct(ctx context.Context, sp spec.Spec, exclude ...model.TaskID) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ws, err := p.Checkout()
+	if err != nil {
+		return nil, err
+	}
+	res, err := ws.Construct(sp, exclude...)
+	p.Release(ws)
+	return res, err
+}

@@ -325,6 +325,21 @@ func (g *Supergraph) MarkInfeasible(t model.TaskID) {
 	g.ResetColoring()
 }
 
+// MarkFeasible undoes MarkInfeasible: the task may be colored again.
+// Like marking, clearing resets the coloring (reachability may change),
+// an O(1) epoch bump. Workspaces use it to undo per-construction
+// exclusions before returning to their pool. A placeholder node created
+// by a premature MarkInfeasible keeps its (empty) wiring; with no
+// parents it remains uncolorable until a fragment defines the task.
+func (g *Supergraph) MarkFeasible(t model.TaskID) {
+	n, ok := g.tasks[t]
+	if !ok || !n.infeasible {
+		return
+	}
+	n.infeasible = false
+	g.ResetColoring()
+}
+
 // Infeasible reports whether a task is marked infeasible.
 func (g *Supergraph) Infeasible(t model.TaskID) bool {
 	n, ok := g.tasks[t]

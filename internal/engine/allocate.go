@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -15,7 +16,9 @@ import (
 // allocate runs the auction for every task of the constructed workflow and
 // returns the plan plus any tasks that could not be allocated. postpone
 // shifts every execution window into the future (allocation retry).
-func (m *Manager) allocate(wfID string, s spec.Spec, res *core.Result, postpone time.Duration) (*Plan, []model.TaskID, error) {
+// Context cancellation aborts bid solicitation and deadline waits
+// promptly with ctx.Err().
+func (m *Manager) allocate(ctx context.Context, wfID string, s spec.Spec, res *core.Result, postpone time.Duration) (*Plan, []model.TaskID, error) {
 	w := res.Workflow
 	metas := m.taskMetas(w, postpone)
 	members := m.net.Members()
@@ -37,8 +40,11 @@ func (m *Manager) allocate(wfID string, s spec.Spec, res *core.Result, postpone 
 		if !ok {
 			return nil, nil, fmt.Errorf("auction emitted unexpected message %T", out.Body)
 		}
-		reply, err := m.net.Call(out.To, wfID, cfb, m.cfg.CallTimeout)
+		reply, err := m.net.Call(ctx, out.To, wfID, cfb, m.cfg.CallTimeout)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
 			continue // member unreachable: it simply does not bid
 		}
 		switch b := reply.(type) {
@@ -63,7 +69,11 @@ func (m *Manager) allocate(wfID string, s spec.Spec, res *core.Result, postpone 
 			break
 		}
 		if wait := deadline.Sub(clk.Now()); wait > 0 {
-			clk.Sleep(wait)
+			select {
+			case <-clk.After(wait):
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
 		}
 		record(auc.Tick(clk.Now()))
 	}
@@ -95,11 +105,23 @@ func (m *Manager) allocate(wfID string, s spec.Spec, res *core.Result, postpone 
 	// failure set for replanning.
 	for _, d := range decisions {
 		if d.Failed() {
+			m.cfg.Observer.taskDecided(wfID, d.Task, "")
 			continue
 		}
-		reply, err := m.net.Call(d.Winner, wfID, d.Award, m.cfg.CallTimeout)
+		reply, err := m.net.Call(ctx, d.Winner, wfID, d.Award, m.cfg.CallTimeout)
 		if err != nil {
+			if ctx.Err() != nil {
+				// Canceled mid-award: release what was already won so
+				// the winners' schedules do not keep dead commitments.
+				// The interrupted award itself may have reached its
+				// winner even though the ack never came back, so it is
+				// canceled too.
+				plan.Allocations[d.Task] = d.Winner
+				m.compensate(wfID, plan)
+				return nil, nil, ctx.Err()
+			}
 			failedSet[d.Task] = struct{}{}
+			m.cfg.Observer.taskDecided(wfID, d.Task, "")
 			continue
 		}
 		ack, ok := reply.(proto.AwardAck)
@@ -108,9 +130,11 @@ func (m *Manager) allocate(wfID string, s spec.Spec, res *core.Result, postpone 
 		}
 		if !ack.OK {
 			failedSet[d.Task] = struct{}{}
+			m.cfg.Observer.taskDecided(wfID, d.Task, "")
 			continue
 		}
 		plan.Allocations[d.Task] = d.Winner
+		m.cfg.Observer.taskDecided(wfID, d.Task, d.Winner)
 	}
 
 	failed := make([]model.TaskID, 0, len(failedSet))
@@ -146,7 +170,9 @@ func (m *Manager) taskMetas(w *model.Workflow, postpone time.Duration) []proto.T
 }
 
 // compensate cancels every award of a failed allocation attempt so the
-// winners release their commitments before replanning.
+// winners release their commitments before replanning. It runs under a
+// fresh context: compensation must go out even when the initiating
+// request was canceled.
 func (m *Manager) compensate(wfID string, plan *Plan) {
 	ids := make([]model.TaskID, 0, len(plan.Allocations))
 	for t := range plan.Allocations {
@@ -154,6 +180,6 @@ func (m *Manager) compensate(wfID string, plan *Plan) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, t := range ids {
-		_ = m.net.Send(plan.Allocations[t], wfID, proto.Cancel{Task: t})
+		_ = m.net.Send(context.Background(), plan.Allocations[t], wfID, proto.Cancel{Task: t})
 	}
 }

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -35,12 +36,53 @@ type Messenger interface {
 	Self() proto.Addr
 	// Members returns the current community view, including self.
 	Members() []proto.Addr
-	// Call sends a request and waits for the correlated reply.
-	Call(to proto.Addr, workflow string, body proto.Body, timeout time.Duration) (proto.Body, error)
+	// Call sends a request and waits for the correlated reply. The
+	// context cancels the wait promptly; timeout is the clock-paced
+	// reply bound (meaningful under simulated clocks).
+	Call(ctx context.Context, to proto.Addr, workflow string, body proto.Body, timeout time.Duration) (proto.Body, error)
 	// Send transmits a one-way message.
-	Send(to proto.Addr, workflow string, body proto.Body) error
+	Send(ctx context.Context, to proto.Addr, workflow string, body proto.Body) error
 	// Clock returns the host clock.
 	Clock() clock.Clock
+}
+
+// Observer receives construction and auction events from the engine (and
+// from openwf.Planner for local constructions). Every field is optional;
+// nil callbacks are skipped. Callbacks run synchronously on the engine's
+// goroutine and must be fast and non-blocking; they may be invoked from
+// several construction goroutines at once and must be safe for concurrent
+// use.
+type Observer struct {
+	// ConstructionDone fires after each successful construction with the
+	// construction metrics (explored region, collection rounds, …).
+	ConstructionDone func(workflowID string, result core.Result)
+	// TaskDecided fires when a task's auction concludes. An empty winner
+	// means the auction failed (nobody could take the task).
+	TaskDecided func(workflowID string, task model.TaskID, winner proto.Addr)
+	// Replanned fires when allocation failure feedback (§5.1) excludes
+	// tasks and reconstructs; attempt counts from 1.
+	Replanned func(workflowID string, attempt int, excluded []model.TaskID)
+}
+
+// constructionDone invokes the callback when set.
+func (o Observer) constructionDone(wfID string, res core.Result) {
+	if o.ConstructionDone != nil {
+		o.ConstructionDone(wfID, res)
+	}
+}
+
+// taskDecided invokes the callback when set.
+func (o Observer) taskDecided(wfID string, task model.TaskID, winner proto.Addr) {
+	if o.TaskDecided != nil {
+		o.TaskDecided(wfID, task, winner)
+	}
+}
+
+// replanned invokes the callback when set.
+func (o Observer) replanned(wfID string, attempt int, excluded []model.TaskID) {
+	if o.Replanned != nil {
+		o.Replanned(wfID, attempt, excluded)
+	}
 }
 
 // Config tunes the engine.
@@ -80,6 +122,8 @@ type Config struct {
 	// Constraints are the richer specification options (§5.1) applied
 	// to every construction from this engine.
 	Constraints spec.Constraints
+	// Observer receives construction and auction events.
+	Observer Observer
 }
 
 // DefaultConfig returns the configuration used by the evaluation: the
@@ -170,8 +214,10 @@ func (m *Manager) newWorkflowID() string {
 
 // Initiate runs the full construction-and-allocation pipeline for a new
 // problem specification and returns the allocated plan. This is the
-// operation the paper's evaluation times.
-func (m *Manager) Initiate(s spec.Spec) (*Plan, error) {
+// operation the paper's evaluation times. Cancellation of ctx aborts
+// community queries, bid solicitation, and auction deadline waits
+// promptly, returning ctx.Err().
+func (m *Manager) Initiate(ctx context.Context, s spec.Spec) (*Plan, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -179,7 +225,7 @@ func (m *Manager) Initiate(s spec.Spec) (*Plan, error) {
 	excluded := append([]model.TaskID(nil), m.cfg.Constraints.ExcludeTasks...)
 
 	for attempt := 0; ; attempt++ {
-		res, err := m.construct(wfID, s, excluded)
+		res, err := m.construct(ctx, wfID, s, excluded)
 		if err != nil {
 			return nil, err
 		}
@@ -188,6 +234,7 @@ func (m *Manager) Initiate(s spec.Spec) (*Plan, error) {
 				return nil, fmt.Errorf("%w: %v", core.ErrNoSolution, err)
 			}
 		}
+		m.cfg.Observer.constructionDone(wfID, *res)
 		// A failed allocation is first retried with postponed windows:
 		// the task's only providers may simply be busy with another
 		// workflow's commitments right now.
@@ -195,7 +242,7 @@ func (m *Manager) Initiate(s spec.Spec) (*Plan, error) {
 		var failed []model.TaskID
 		for try := 0; ; try++ {
 			postpone := time.Duration(try) * m.cfg.StartDelay
-			plan, failed, err = m.allocate(wfID, s, res, postpone)
+			plan, failed, err = m.allocate(ctx, wfID, s, res, postpone)
 			if err != nil {
 				return nil, err
 			}
@@ -215,6 +262,7 @@ func (m *Manager) Initiate(s spec.Spec) (*Plan, error) {
 			return nil, fmt.Errorf("%w: tasks %v unallocatable after %d replans",
 				ErrAllocationFailed, failed, attempt)
 		}
+		m.cfg.Observer.replanned(wfID, attempt+1, failed)
 	}
 }
 
@@ -224,7 +272,7 @@ func (m *Manager) Initiate(s spec.Spec) (*Plan, error) {
 // execution remain. It serves as the baseline that isolates the cost of
 // dynamic construction, and lets the engine double as a conventional
 // MANET workflow engine.
-func (m *Manager) AllocateWorkflow(w *model.Workflow, s spec.Spec) (*Plan, error) {
+func (m *Manager) AllocateWorkflow(ctx context.Context, w *model.Workflow, s spec.Spec) (*Plan, error) {
 	if w == nil || w.NumTasks() == 0 {
 		return nil, fmt.Errorf("empty workflow")
 	}
@@ -232,7 +280,7 @@ func (m *Manager) AllocateWorkflow(w *model.Workflow, s spec.Spec) (*Plan, error
 	res := &core.Result{Workflow: w}
 	for try := 0; ; try++ {
 		postpone := time.Duration(try) * m.cfg.StartDelay
-		plan, failed, err := m.allocate(wfID, s, res, postpone)
+		plan, failed, err := m.allocate(ctx, wfID, s, res, postpone)
 		if err != nil {
 			return nil, err
 		}
@@ -248,7 +296,7 @@ func (m *Manager) AllocateWorkflow(w *model.Workflow, s spec.Spec) (*Plan, error
 
 // construct builds the workflow, either incrementally (querying the
 // community round by round) or from a full collection.
-func (m *Manager) construct(wfID string, s spec.Spec, excluded []model.TaskID) (*core.Result, error) {
+func (m *Manager) construct(ctx context.Context, wfID string, s spec.Spec, excluded []model.TaskID) (*core.Result, error) {
 	var checker core.FeasibilityChecker
 	if m.cfg.Feasibility {
 		checker = &communityFeasibility{m: m, wfID: wfID}
@@ -259,11 +307,11 @@ func (m *Manager) construct(wfID string, s spec.Spec, excluded []model.TaskID) (
 	}
 	if m.cfg.Incremental {
 		src := &communityKnowledge{m: m, wfID: wfID}
-		res, _, err := core.ConstructIncremental(src, s, opts)
+		res, _, err := core.ConstructIncremental(ctx, src, s, opts)
 		return res, err
 	}
 	// Full collection: one query for every label any member knows.
-	frags, err := m.collectAll(wfID)
+	frags, err := m.collectAll(ctx, wfID)
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +327,7 @@ func (m *Manager) construct(wfID string, s spec.Spec, excluded []model.TaskID) (
 		return nil, err
 	}
 	if checker != nil {
-		infeasible, ferr := checker.InfeasibleTasks(res.Workflow.TaskIDs())
+		infeasible, ferr := checker.InfeasibleTasks(ctx, res.Workflow.TaskIDs())
 		if ferr != nil {
 			return nil, ferr
 		}
@@ -307,10 +355,10 @@ type communityKnowledge struct {
 var _ core.KnowledgeSource = (*communityKnowledge)(nil)
 
 // FragmentsConsuming implements core.KnowledgeSource.
-func (ck *communityKnowledge) FragmentsConsuming(labels []model.LabelID) ([]*model.Fragment, error) {
+func (ck *communityKnowledge) FragmentsConsuming(ctx context.Context, labels []model.LabelID) ([]*model.Fragment, error) {
 	var out []*model.Fragment
 	query := proto.FragmentQuery{Labels: labels}
-	replies, err := ck.m.queryAll(ck.wfID, query)
+	replies, err := ck.m.queryAll(ctx, ck.wfID, query)
 	if err != nil {
 		return nil, err
 	}
@@ -333,14 +381,19 @@ type memberReply struct {
 // queryAll sends one query to every member and gathers the replies —
 // pairwise in turn by default, or all at once with ParallelQuery.
 // Unreachable members are skipped; their knowledge and capabilities are
-// simply unavailable to this construction.
-func (m *Manager) queryAll(wfID string, query proto.Body) ([]memberReply, error) {
+// simply unavailable to this construction. Context cancellation aborts
+// the round and is returned (a canceled requester must not mistake "no
+// replies" for "no knowledge").
+func (m *Manager) queryAll(ctx context.Context, wfID string, query proto.Body) ([]memberReply, error) {
 	members := m.net.Members()
 	if !m.cfg.ParallelQuery {
 		replies := make([]memberReply, 0, len(members))
 		for _, member := range members {
-			reply, err := m.net.Call(member, wfID, query, m.cfg.CallTimeout)
+			reply, err := m.net.Call(ctx, member, wfID, query, m.cfg.CallTimeout)
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
 				continue
 			}
 			replies = append(replies, memberReply{from: member, body: reply})
@@ -354,7 +407,7 @@ func (m *Manager) queryAll(wfID string, query proto.Body) ([]memberReply, error)
 		wg.Add(1)
 		go func(i int, member proto.Addr) {
 			defer wg.Done()
-			reply, err := m.net.Call(member, wfID, query, m.cfg.CallTimeout)
+			reply, err := m.net.Call(ctx, member, wfID, query, m.cfg.CallTimeout)
 			if err != nil {
 				errs[i] = err
 				return
@@ -363,6 +416,9 @@ func (m *Manager) queryAll(wfID string, query proto.Body) ([]memberReply, error)
 		}(i, member)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	replies := make([]memberReply, 0, len(members))
 	for i := range results {
 		if errs[i] == nil {
@@ -375,9 +431,9 @@ func (m *Manager) queryAll(wfID string, query proto.Body) ([]memberReply, error)
 // collectAll gathers every fragment of every member (ablation baseline).
 // It queries with a nil label filter, which Fragment Managers treat as
 // "everything" via the host dispatch (see internal/host).
-func (m *Manager) collectAll(wfID string) ([]*model.Fragment, error) {
+func (m *Manager) collectAll(ctx context.Context, wfID string) ([]*model.Fragment, error) {
 	var out []*model.Fragment
-	replies, err := m.queryAll(wfID, proto.FragmentQuery{Labels: nil})
+	replies, err := m.queryAll(ctx, wfID, proto.FragmentQuery{Labels: nil})
 	if err != nil {
 		return nil, err
 	}
@@ -391,6 +447,14 @@ func (m *Manager) collectAll(wfID string) ([]*model.Fragment, error) {
 	return out, nil
 }
 
+// CollectKnowhow gathers every fragment of every reachable member — the
+// raw material for a shared fragment-store snapshot from which many
+// constructions can then proceed locally and concurrently (see
+// openwf.Planner).
+func (m *Manager) CollectKnowhow(ctx context.Context) ([]*model.Fragment, error) {
+	return m.collectAll(ctx, m.newWorkflowID())
+}
+
 // communityFeasibility implements core.FeasibilityChecker with Service
 // Feasibility Messages to every member.
 type communityFeasibility struct {
@@ -401,9 +465,9 @@ type communityFeasibility struct {
 var _ core.FeasibilityChecker = (*communityFeasibility)(nil)
 
 // InfeasibleTasks implements core.FeasibilityChecker.
-func (cf *communityFeasibility) InfeasibleTasks(tasks []model.TaskID) ([]model.TaskID, error) {
+func (cf *communityFeasibility) InfeasibleTasks(ctx context.Context, tasks []model.TaskID) ([]model.TaskID, error) {
 	capable := make(map[model.TaskID]struct{}, len(tasks))
-	replies, err := cf.m.queryAll(cf.wfID, proto.FeasibilityQuery{Tasks: tasks})
+	replies, err := cf.m.queryAll(ctx, cf.wfID, proto.FeasibilityQuery{Tasks: tasks})
 	if err != nil {
 		return nil, err
 	}

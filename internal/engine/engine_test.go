@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -52,6 +53,9 @@ type fakeNet struct {
 	clk     clock.Clock
 	members map[proto.Addr]*fakeMember
 	order   []proto.Addr
+	// bidDeadline overrides how far in the future members' bids expire
+	// (default one second).
+	bidDeadline time.Duration
 
 	mu    sync.Mutex
 	sent  []proto.Body
@@ -80,14 +84,17 @@ func (f *fakeNet) Members() []proto.Addr {
 	return append([]proto.Addr(nil), f.order...)
 }
 
-func (f *fakeNet) Send(to proto.Addr, workflow string, body proto.Body) error {
+func (f *fakeNet) Send(_ context.Context, to proto.Addr, workflow string, body proto.Body) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.sent = append(f.sent, body)
 	return nil
 }
 
-func (f *fakeNet) Call(to proto.Addr, workflow string, body proto.Body, timeout time.Duration) (proto.Body, error) {
+func (f *fakeNet) Call(ctx context.Context, to proto.Addr, workflow string, body proto.Body, timeout time.Duration) (proto.Body, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f.mu.Lock()
 	f.calls++
 	f.mu.Unlock()
@@ -124,11 +131,15 @@ func (f *fakeNet) Call(to proto.Addr, workflow string, body proto.Body, timeout 
 		if m.declineAll || !m.capable[b.Meta.Task] {
 			return proto.Decline{Task: b.Meta.Task}, nil
 		}
+		window := f.bidDeadline
+		if window <= 0 {
+			window = time.Second
+		}
 		return proto.Bid{
 			Task:            b.Meta.Task,
 			ServicesOffered: m.services,
 			Specialization:  0.5,
-			Deadline:        f.clk.Now().Add(time.Second),
+			Deadline:        f.clk.Now().Add(window),
 		}, nil
 	case proto.Award:
 		if m.refuseAward {
@@ -168,7 +179,7 @@ func chainNet(t *testing.T) *fakeNet {
 func TestInitiateHappyPath(t *testing.T) {
 	net := chainNet(t)
 	m := NewManager(net, testConfig())
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +204,7 @@ func TestInitiateHappyPath(t *testing.T) {
 
 func TestInitiateInvalidSpec(t *testing.T) {
 	m := NewManager(chainNet(t), testConfig())
-	if _, err := m.Initiate(spec.Spec{}); err == nil {
+	if _, err := m.Initiate(context.Background(), spec.Spec{}); err == nil {
 		t.Fatal("invalid spec accepted")
 	}
 }
@@ -202,7 +213,7 @@ func TestInitiateNoKnowledge(t *testing.T) {
 	net := newFakeNet("init")
 	net.add("init", &fakeMember{})
 	m := NewManager(net, testConfig())
-	_, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	_, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if !errors.Is(err, core.ErrNoSolution) {
 		t.Fatalf("err = %v", err)
 	}
@@ -221,7 +232,7 @@ func TestInitiateFeasibilityFiltersPath(t *testing.T) {
 		services: 2,
 	})
 	m := NewManager(net, testConfig())
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +268,7 @@ func TestInitiateReplansWhenBidsFail(t *testing.T) {
 	cfg.Feasibility = false
 	cfg.WindowRetries = 0
 	m := NewManager(net, cfg)
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +300,7 @@ func TestInitiateReplansOnRefusedAward(t *testing.T) {
 	cfg := testConfig()
 	cfg.WindowRetries = 0
 	m := NewManager(net, cfg)
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +333,7 @@ func TestInitiateFailsAfterMaxReplans(t *testing.T) {
 	cfg.WindowRetries = 0
 	cfg.MaxReplans = 1
 	m := NewManager(net, cfg)
-	_, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	_, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err == nil {
 		t.Fatal("Initiate succeeded with an unallocatable only path")
 	}
@@ -338,7 +349,7 @@ func TestInitiateConstraintsMaxTasks(t *testing.T) {
 	cfg := testConfig()
 	cfg.Constraints = spec.Constraints{MaxTasks: 1}
 	m := NewManager(net, cfg)
-	_, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	_, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if !errors.Is(err, core.ErrNoSolution) {
 		t.Fatalf("err = %v, want constraint violation as no-solution", err)
 	}
@@ -359,7 +370,7 @@ func TestInitiateConstraintsExcludeTasks(t *testing.T) {
 	cfg := testConfig()
 	cfg.Constraints = spec.Constraints{ExcludeTasks: []model.TaskID{"short"}}
 	m := NewManager(net, cfg)
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +384,7 @@ func TestInitiateFullCollectionMode(t *testing.T) {
 	cfg := testConfig()
 	cfg.Incremental = false
 	m := NewManager(net, cfg)
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +408,7 @@ func TestInitiateFullCollectionFeasibility(t *testing.T) {
 	cfg := testConfig()
 	cfg.Incremental = false
 	m := NewManager(net, cfg)
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,12 +420,12 @@ func TestInitiateFullCollectionFeasibility(t *testing.T) {
 func TestExecuteRejectsPartialPlan(t *testing.T) {
 	net := chainNet(t)
 	m := NewManager(net, testConfig())
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
 	delete(plan.Allocations, "t1")
-	if _, err := m.Execute(plan, nil, time.Second); err == nil {
+	if _, err := m.Execute(context.Background(), plan, nil); err == nil {
 		t.Fatal("partial plan executed")
 	}
 }
@@ -422,7 +433,7 @@ func TestExecuteRejectsPartialPlan(t *testing.T) {
 func TestExecuteCompletion(t *testing.T) {
 	net := chainNet(t)
 	m := NewManager(net, testConfig())
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +444,7 @@ func TestExecuteCompletion(t *testing.T) {
 		m.OnTaskDone(plan.WorkflowID, proto.TaskDone{Task: "t2"})
 		m.OnLabelTransfer(plan.WorkflowID, proto.LabelTransfer{Label: "g", Data: []byte("done")})
 	}()
-	report, err := m.Execute(plan, map[model.LabelID][]byte{"a": []byte("go")}, 5*time.Second)
+	report, err := m.Execute(context.Background(), plan, map[model.LabelID][]byte{"a": []byte("go")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +462,7 @@ func TestExecuteCompletion(t *testing.T) {
 func TestExecuteTaskFailureFinishesEarly(t *testing.T) {
 	net := chainNet(t)
 	m := NewManager(net, testConfig())
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +470,7 @@ func TestExecuteTaskFailureFinishesEarly(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 		m.OnTaskDone(plan.WorkflowID, proto.TaskDone{Task: "t1", Err: "exploded"})
 	}()
-	report, err := m.Execute(plan, nil, 5*time.Second)
+	report, err := m.Execute(context.Background(), plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -474,34 +485,38 @@ func TestExecuteTaskFailureFinishesEarly(t *testing.T) {
 func TestExecuteTimeout(t *testing.T) {
 	net := chainNet(t)
 	m := NewManager(net, testConfig())
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := m.Execute(plan, nil, 30*time.Millisecond)
-	if err != nil {
-		t.Fatal(err)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	report, err := m.Execute(ctx, plan, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
-	if report.Completed {
-		t.Error("timed-out execution reported as completed")
+	if report == nil || report.Completed {
+		t.Errorf("timed-out execution report = %+v", report)
 	}
 }
 
 func TestExecuteDuplicateRejected(t *testing.T) {
 	net := chainNet(t)
 	m := NewManager(net, testConfig())
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
 	started := make(chan struct{})
 	go func() {
 		close(started)
-		_, _ = m.Execute(plan, nil, 200*time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		_, _ = m.Execute(ctx, plan, nil)
 	}()
 	<-started
 	time.Sleep(20 * time.Millisecond)
-	if _, err := m.Execute(plan, nil, time.Second); err == nil {
+	if _, err := m.Execute(context.Background(), plan, nil); err == nil {
 		t.Error("duplicate Execute accepted")
 	}
 }
@@ -517,7 +532,7 @@ func TestStaleExecutionEventsIgnored(t *testing.T) {
 func TestPlanSegmentsRouting(t *testing.T) {
 	net := chainNet(t)
 	m := NewManager(net, testConfig())
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -557,7 +572,7 @@ func TestInitiateParallelQuery(t *testing.T) {
 	cfg := testConfig()
 	cfg.ParallelQuery = true
 	m := NewManager(net, cfg)
-	plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -575,7 +590,7 @@ func TestInitiateUnreachableMemberSkipped(t *testing.T) {
 		cfg := testConfig()
 		cfg.ParallelQuery = parallel
 		m := NewManager(net, cfg)
-		plan, err := m.Initiate(spec.Must(lbl("a"), lbl("g")))
+		plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
 		if err != nil {
 			t.Fatalf("parallel=%v: %v", parallel, err)
 		}
@@ -600,14 +615,14 @@ func TestAllocateWorkflowStaticBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := m.AllocateWorkflow(w, spec.Must(lbl("a"), lbl("g")))
+	plan, err := m.AllocateWorkflow(context.Background(), w, spec.Must(lbl("a"), lbl("g")))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(plan.Allocations) != 2 {
 		t.Fatalf("Allocations = %v", plan.Allocations)
 	}
-	if _, err := m.AllocateWorkflow(nil, spec.Must(lbl("a"), lbl("g"))); err == nil {
+	if _, err := m.AllocateWorkflow(context.Background(), nil, spec.Must(lbl("a"), lbl("g"))); err == nil {
 		t.Error("nil workflow accepted")
 	}
 }
@@ -624,7 +639,7 @@ func TestAllocateWorkflowFailsWithoutProviders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.AllocateWorkflow(w, spec.Must(lbl("a"), lbl("g"))); !errors.Is(err, ErrAllocationFailed) {
+	if _, err := m.AllocateWorkflow(context.Background(), w, spec.Must(lbl("a"), lbl("g"))); !errors.Is(err, ErrAllocationFailed) {
 		t.Fatalf("err = %v, want ErrAllocationFailed", err)
 	}
 }

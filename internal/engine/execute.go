@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -32,10 +33,12 @@ type Report struct {
 // notifications) flow back to the initiator.
 //
 // triggers optionally attaches data to triggering labels (nil data is
-// fine — labels are conditions first, data second). timeout bounds the
-// wait; the paper's timing window ends at allocation, so Execute is
-// measured separately.
-func (m *Manager) Execute(plan *Plan, triggers map[model.LabelID][]byte, timeout time.Duration) (*Report, error) {
+// fine — labels are conditions first, data second). The context bounds
+// the wait: on cancellation or deadline Execute returns ctx.Err()
+// together with a partial report of the progress observed so far. The
+// paper's timing window ends at allocation, so Execute is measured
+// separately.
+func (m *Manager) Execute(ctx context.Context, plan *Plan, triggers map[model.LabelID][]byte) (*Report, error) {
 	if len(plan.Allocations) != plan.Workflow.NumTasks() {
 		return nil, fmt.Errorf("plan is not fully allocated: %d of %d tasks",
 			len(plan.Allocations), plan.Workflow.NumTasks())
@@ -71,8 +74,11 @@ func (m *Manager) Execute(plan *Plan, triggers map[model.LabelID][]byte, timeout
 	// Distribute routing segments to every executor.
 	for _, seg := range m.planSegments(plan) {
 		to := plan.Allocations[seg.Task]
-		reply, err := m.net.Call(to, plan.WorkflowID, seg, m.cfg.CallTimeout)
+		reply, err := m.net.Call(ctx, to, plan.WorkflowID, seg, m.cfg.CallTimeout)
 		if err != nil {
+			if ctx.Err() != nil {
+				return m.executionReport(ex, plan, start, ctx.Err()), ctx.Err()
+			}
 			return nil, fmt.Errorf("distributing plan segment for %q to %q: %w", seg.Task, to, err)
 		}
 		if _, ok := reply.(proto.Ack); !ok {
@@ -92,34 +98,44 @@ func (m *Manager) Execute(plan *Plan, triggers map[model.LabelID][]byte, timeout
 			}
 			sent[host] = struct{}{}
 			lt := proto.LabelTransfer{Label: l, Data: data, Producer: m.net.Self()}
-			if err := m.net.Send(host, plan.WorkflowID, lt); err != nil {
+			if err := m.net.Send(ctx, host, plan.WorkflowID, lt); err != nil {
+				if ctx.Err() != nil {
+					return m.executionReport(ex, plan, start, ctx.Err()), ctx.Err()
+				}
 				return nil, fmt.Errorf("injecting trigger %q: %w", l, err)
 			}
 		}
 	}
 
-	// Wait for completion (all tasks done and all goals delivered).
-	var timedOut bool
-	if timeout > 0 {
-		select {
-		case <-ex.done:
-		case <-m.net.Clock().After(timeout):
-			timedOut = true
-		}
-	} else {
-		<-ex.done
+	// Wait for completion (all tasks done and all goals delivered) or
+	// cancellation, whichever comes first.
+	var ctxErr error
+	select {
+	case <-ex.done:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
 	}
+	return m.executionReport(ex, plan, start, ctxErr), ctxErr
+}
 
+// executionReport snapshots an execution's progress. The goals map is
+// copied under the lock: on cancellation the execution is still live and
+// a straggling goal label could otherwise mutate the map the caller is
+// reading.
+func (m *Manager) executionReport(ex *execution, plan *Plan, start time.Time, ctxErr error) *Report {
 	m.mu.Lock()
-	report := &Report{
-		Completed: ex.completed && !timedOut,
-		Goals:     ex.goals,
+	defer m.mu.Unlock()
+	goals := make(map[model.LabelID][]byte, len(ex.goals))
+	for l, data := range ex.goals {
+		goals[l] = data
+	}
+	return &Report{
+		Completed: ex.completed && ctxErr == nil,
+		Goals:     goals,
 		TasksDone: plan.Workflow.NumTasks() - len(ex.remaining),
 		Failures:  append([]string(nil), ex.failures...),
 		Elapsed:   m.net.Clock().Since(start),
 	}
-	m.mu.Unlock()
-	return report, nil
 }
 
 // planSegments derives each task's routing information from the workflow

@@ -1,6 +1,7 @@
 package evalgen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -96,7 +97,7 @@ func RunExperiment(cfg ExperimentConfig, seriesName string) (*ExperimentResult, 
 				continue
 			}
 			start := time.Now()
-			plan, err := comm.Initiate(initiator, s)
+			plan, err := comm.Initiate(context.Background(), initiator, s)
 			elapsed := time.Since(start)
 			if err != nil {
 				return nil, fmt.Errorf("length %d run %d: %w", length, run, err)

@@ -1,6 +1,7 @@
 package evalgen
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestPropPipelineOnRandomScenarios(t *testing.T) {
 				continue
 			}
 			initiator := addrs[rng.Intn(len(addrs))]
-			plan, err := comm.Initiate(initiator, s)
+			plan, err := comm.Initiate(context.Background(), initiator, s)
 			if err != nil {
 				t.Fatalf("seed=%d run=%d: %v", seed, run, err)
 			}

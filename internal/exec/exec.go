@@ -9,6 +9,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -25,7 +26,7 @@ import (
 const locationEps = 0.5
 
 // SendFunc transmits an envelope; the host injects its endpoint.
-type SendFunc func(to proto.Addr, env proto.Envelope) error
+type SendFunc func(ctx context.Context, to proto.Addr, env proto.Envelope) error
 
 // Manager drives the execution of this host's commitments. It is safe for
 // concurrent use.
@@ -35,6 +36,11 @@ type Manager struct {
 	services *service.Manager
 	sched    *schedule.Manager
 	send     SendFunc
+	// ctx is the manager's root context, canceled by Close: in-flight
+	// service invocations and output publishing stop promptly when the
+	// host shuts down.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu   sync.Mutex
 	runs map[runKey]*run
@@ -62,7 +68,7 @@ func NewManager(self proto.Addr, clk clock.Clock, services *service.Manager, sch
 	if clk == nil {
 		clk = clock.New()
 	}
-	return &Manager{
+	m := &Manager{
 		self:     self,
 		clk:      clk,
 		services: services,
@@ -70,6 +76,21 @@ func NewManager(self proto.Addr, clk clock.Clock, services *service.Manager, sch
 		send:     send,
 		runs:     make(map[runKey]*run),
 		labels:   make(map[string]map[model.LabelID][]byte),
+	}
+	m.ctx, m.cancel = context.WithCancel(context.Background())
+	return m
+}
+
+// Close cancels the manager's root context, interrupting in-flight
+// service invocations and stopping pending run timers.
+func (m *Manager) Close() {
+	m.cancel()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range m.runs {
+		for _, t := range r.timers {
+			t.Stop()
+		}
 	}
 }
 
@@ -273,6 +294,7 @@ func (m *Manager) tryStart(workflow string, task model.TaskID) {
 // invoke performs the service and publishes its results.
 func (m *Manager) invoke(workflow string, c schedule.Commitment, seg proto.PlanSegment, inputs service.Inputs) {
 	inv := service.Invocation{
+		Ctx:      m.ctx,
 		Task:     c.Task,
 		Workflow: workflow,
 		Inputs:   inputs,
@@ -280,6 +302,9 @@ func (m *Manager) invoke(workflow string, c schedule.Commitment, seg proto.PlanS
 	}
 	outputs, err := m.services.Invoke(inv, c.Meta.Outputs)
 	if err != nil {
+		if m.ctx.Err() != nil {
+			return // host shutting down: nobody to notify
+		}
 		m.notifyDone(workflow, seg, fmt.Errorf("executing %q: %w", c.Task, err))
 		return
 	}
@@ -295,7 +320,7 @@ func (m *Manager) invoke(workflow string, c schedule.Commitment, seg proto.PlanS
 					Producer: m.self,
 				},
 			}
-			if sendErr := m.send(sink, env); sendErr != nil {
+			if sendErr := m.send(m.ctx, sink, env); sendErr != nil {
 				m.notifyDone(workflow, seg, fmt.Errorf("publishing %q: %w", out, sendErr))
 				return
 			}
@@ -312,5 +337,5 @@ func (m *Manager) notifyDone(workflow string, seg proto.PlanSegment, err error) 
 	if err != nil {
 		body.Err = err.Error()
 	}
-	_ = m.send(seg.Initiator, proto.Envelope{Workflow: workflow, Body: body})
+	_ = m.send(m.ctx, seg.Initiator, proto.Envelope{Workflow: workflow, Body: body})
 }

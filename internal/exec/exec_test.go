@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -27,7 +28,7 @@ type sent struct {
 	env proto.Envelope
 }
 
-func (r *sentRecorder) send(to proto.Addr, env proto.Envelope) error {
+func (r *sentRecorder) send(_ context.Context, to proto.Addr, env proto.Envelope) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.msgs = append(r.msgs, sent{to, env})

@@ -10,6 +10,7 @@
 package host
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -58,6 +59,11 @@ type Host struct {
 	addr  proto.Addr
 	clk   clock.Clock
 	trace trace.Recorder
+	// ctx is the host's root context, canceled on Close; it bounds
+	// replies and other host-originated sends that have no caller
+	// context of their own.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	Fragments   *fragment.Manager
 	Services    *service.Manager
@@ -92,6 +98,7 @@ func New(cfg Config) (*Host, error) {
 		Services:  service.NewManager(clk),
 		pending:   make(map[uint64]chan proto.Envelope),
 	}
+	h.ctx, h.cancel = context.WithCancel(context.Background())
 	h.Schedule = schedule.NewManager(clk, cfg.Mobility, cfg.Prefs)
 	h.Participant = auction.NewParticipant(clk, h.Services, h.Schedule, cfg.BidWindow)
 	h.Exec = exec.NewManager(cfg.Addr, clk, h.Services, h.Schedule, h.sendEnvelope)
@@ -127,7 +134,8 @@ func (h *Host) SetMembers(members []proto.Addr) {
 	h.members = append([]proto.Addr(nil), members...)
 }
 
-// Close detaches the host, failing outstanding calls.
+// Close detaches the host, failing outstanding calls and canceling the
+// host's root context (which interrupts in-flight service invocations).
 func (h *Host) Close() error {
 	h.mu.Lock()
 	if h.closed {
@@ -141,6 +149,8 @@ func (h *Host) Close() error {
 		delete(h.pending, id)
 	}
 	h.mu.Unlock()
+	h.cancel()
+	h.Exec.Close()
 	if ep != nil {
 		return ep.Close()
 	}
@@ -168,11 +178,11 @@ func (h *Host) Members() []proto.Addr {
 }
 
 // Send implements engine.Messenger (one-way message).
-func (h *Host) Send(to proto.Addr, workflow string, body proto.Body) error {
-	return h.sendEnvelope(to, proto.Envelope{Workflow: workflow, Body: body})
+func (h *Host) Send(ctx context.Context, to proto.Addr, workflow string, body proto.Body) error {
+	return h.sendEnvelope(ctx, to, proto.Envelope{Workflow: workflow, Body: body})
 }
 
-func (h *Host) sendEnvelope(to proto.Addr, env proto.Envelope) error {
+func (h *Host) sendEnvelope(ctx context.Context, to proto.Addr, env proto.Envelope) error {
 	h.mu.Lock()
 	ep := h.endpoint
 	closed := h.closed
@@ -181,7 +191,7 @@ func (h *Host) sendEnvelope(to proto.Addr, env proto.Envelope) error {
 		return fmt.Errorf("host %q: not attached", h.addr)
 	}
 	h.record(trace.Send, to, env)
-	return ep.Send(to, env)
+	return ep.Send(ctx, to, env)
 }
 
 // record emits a trace event if tracing is enabled.
@@ -200,7 +210,14 @@ func (h *Host) record(dir trace.Dir, peer proto.Addr, env proto.Envelope) {
 }
 
 // Call implements engine.Messenger: request/response with correlation.
-func (h *Host) Call(to proto.Addr, workflow string, body proto.Body, timeout time.Duration) (proto.Body, error) {
+// The context cancels the wait promptly (returning ctx.Err()); timeout is
+// the clock-paced bound on the reply (which keeps per-query deadlines
+// meaningful under a simulated clock, where wall-clock context deadlines
+// would not advance).
+func (h *Host) Call(ctx context.Context, to proto.Addr, workflow string, body proto.Body, timeout time.Duration) (proto.Body, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	h.mu.Lock()
 	if h.closed || h.endpoint == nil {
 		h.mu.Unlock()
@@ -219,7 +236,7 @@ func (h *Host) Call(to proto.Addr, workflow string, body proto.Body, timeout tim
 		h.mu.Unlock()
 	}
 	env := proto.Envelope{ReqID: id, Workflow: workflow, Body: body}
-	if err := ep.Send(to, env); err != nil {
+	if err := ep.Send(ctx, to, env); err != nil {
 		cleanup()
 		return nil, err
 	}
@@ -230,6 +247,9 @@ func (h *Host) Call(to proto.Addr, workflow string, body proto.Body, timeout tim
 			return nil, fmt.Errorf("host %q: closed while calling %q", h.addr, to)
 		}
 		return reply.Body, nil
+	case <-ctx.Done():
+		cleanup()
+		return nil, ctx.Err()
 	case <-h.clk.After(timeout):
 		cleanup()
 		return nil, fmt.Errorf("call to %q (%s) timed out after %v", to, body.Kind(), timeout)
@@ -292,10 +312,12 @@ func (h *Host) Handle(env proto.Envelope) {
 	}
 }
 
-// reply echoes the request's correlation ID back to the sender.
+// reply echoes the request's correlation ID back to the sender. Replies
+// run under the host's root context: they belong to no caller and stop
+// at host shutdown.
 func (h *Host) reply(req proto.Envelope, body proto.Body) {
 	env := proto.Envelope{ReqID: req.ReqID, Workflow: req.Workflow, Body: body}
-	_ = h.sendEnvelope(req.From, env)
+	_ = h.sendEnvelope(h.ctx, req.From, env)
 }
 
 // routeReply delivers a correlated reply to its waiting Call.

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -78,7 +79,7 @@ func TestCallFragmentQuery(t *testing.T) {
 		Config{Addr: "a"},
 		Config{Addr: "b", Fragments: []*model.Fragment{mkFrag(t, "f", "x", "y")}},
 	)
-	reply, err := a.Call("b", "wf", proto.FragmentQuery{Labels: lbl("x")}, time.Second)
+	reply, err := a.Call(context.Background(), "b", "wf", proto.FragmentQuery{Labels: lbl("x")}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestCallFragmentQuery(t *testing.T) {
 		t.Fatalf("reply = %#v", reply)
 	}
 	// Non-matching query returns empty.
-	reply, err = a.Call("b", "wf", proto.FragmentQuery{Labels: lbl("zzz")}, time.Second)
+	reply, err = a.Call(context.Background(), "b", "wf", proto.FragmentQuery{Labels: lbl("zzz")}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestCallFragmentQueryNilMeansAll(t *testing.T) {
 			mkFrag(t, "f1", "x", "y"), mkFrag(t, "f2", "p", "q"),
 		}},
 	)
-	reply, err := a.Call("b", "wf", proto.FragmentQuery{Labels: nil}, time.Second)
+	reply, err := a.Call(context.Background(), "b", "wf", proto.FragmentQuery{Labels: nil}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestCallFeasibilityQuery(t *testing.T) {
 			{Descriptor: service.Descriptor{Task: "cook", Specialization: 0.5}},
 		}},
 	)
-	reply, err := a.Call("b", "wf", proto.FeasibilityQuery{Tasks: []model.TaskID{"cook", "fly"}}, time.Second)
+	reply, err := a.Call(context.Background(), "b", "wf", proto.FeasibilityQuery{Tasks: []model.TaskID{"cook", "fly"}}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestCallForBidsAndAward(t *testing.T) {
 		Inputs: lbl("in"), Outputs: lbl("out"),
 		Start: time.Now().Add(time.Hour), End: time.Now().Add(2 * time.Hour),
 	}
-	reply, err := a.Call("b", "wf", proto.CallForBids{Meta: meta}, time.Second)
+	reply, err := a.Call(context.Background(), "b", "wf", proto.CallForBids{Meta: meta}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestCallForBidsAndAward(t *testing.T) {
 	if bid.ServicesOffered != 1 {
 		t.Errorf("ServicesOffered = %d", bid.ServicesOffered)
 	}
-	reply, err = a.Call("b", "wf", proto.Award{Meta: meta}, time.Second)
+	reply, err = a.Call(context.Background(), "b", "wf", proto.Award{Meta: meta}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestCallForBidsAndAward(t *testing.T) {
 		t.Errorf("Exec.Pending = %d", b.Exec.Pending())
 	}
 	// Cancel is one-way.
-	if err := a.Send("b", "wf", proto.Cancel{Task: "cook"}); err != nil {
+	if err := a.Send(context.Background(), "b", "wf", proto.Cancel{Task: "cook"}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(time.Second)
@@ -189,7 +190,7 @@ func TestCallForBidsDecline(t *testing.T) {
 		Inputs: lbl("in"), Outputs: lbl("out"),
 		Start: time.Now().Add(time.Hour), End: time.Now().Add(2 * time.Hour),
 	}
-	reply, err := a.Call("b", "wf", proto.CallForBids{Meta: meta}, time.Second)
+	reply, err := a.Call(context.Background(), "b", "wf", proto.CallForBids{Meta: meta}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestHoldExpiryTimerReleasesSlot(t *testing.T) {
 		Inputs: lbl("in"), Outputs: lbl("out"),
 		Start: time.Now().Add(time.Hour), End: time.Now().Add(2 * time.Hour),
 	}
-	if _, err := a.Call("b", "wf", proto.CallForBids{Meta: meta}, time.Second); err != nil {
+	if _, err := a.Call(context.Background(), "b", "wf", proto.CallForBids{Meta: meta}, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if b.Schedule.Holds() != 1 {
@@ -227,7 +228,7 @@ func TestHoldExpiryTimerReleasesSlot(t *testing.T) {
 
 func TestCallTimeout(t *testing.T) {
 	a, _ := pair(t, Config{Addr: "a"}, Config{Addr: "b"})
-	_, err := a.Call("ghost", "wf", proto.FragmentQuery{Labels: lbl("x")}, 30*time.Millisecond)
+	_, err := a.Call(context.Background(), "ghost", "wf", proto.FragmentQuery{Labels: lbl("x")}, 30*time.Millisecond)
 	if err == nil || !strings.Contains(err.Error(), "timed out") {
 		t.Fatalf("err = %v, want timeout", err)
 	}
@@ -238,7 +239,7 @@ func TestCallSelf(t *testing.T) {
 		Config{Addr: "a", Fragments: []*model.Fragment{mkFrag(t, "own", "x", "y")}},
 		Config{Addr: "b"},
 	)
-	reply, err := a.Call("a", "wf", proto.FragmentQuery{Labels: lbl("x")}, time.Second)
+	reply, err := a.Call(context.Background(), "a", "wf", proto.FragmentQuery{Labels: lbl("x")}, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestCloseFailsPendingCalls(t *testing.T) {
 	a, _ := pair(t, Config{Addr: "a"}, Config{Addr: "b"})
 	done := make(chan error, 1)
 	go func() {
-		_, err := a.Call("ghost", "wf", proto.FragmentQuery{}, time.Minute)
+		_, err := a.Call(context.Background(), "ghost", "wf", proto.FragmentQuery{}, time.Minute)
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -267,10 +268,10 @@ func TestCloseFailsPendingCalls(t *testing.T) {
 		t.Fatal("pending call never failed")
 	}
 	// Calls and sends after close error out.
-	if _, err := a.Call("b", "wf", proto.FragmentQuery{}, time.Second); err == nil {
+	if _, err := a.Call(context.Background(), "b", "wf", proto.FragmentQuery{}, time.Second); err == nil {
 		t.Error("Call after Close succeeded")
 	}
-	if err := a.Send("b", "wf", proto.Decline{}); err == nil {
+	if err := a.Send(context.Background(), "b", "wf", proto.Decline{}); err == nil {
 		t.Error("Send after Close succeeded")
 	}
 	// Double close is fine.
@@ -301,10 +302,10 @@ func TestUnattachedHostErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.Call("x", "wf", proto.FragmentQuery{}, time.Second); err == nil {
+	if _, err := h.Call(context.Background(), "x", "wf", proto.FragmentQuery{}, time.Second); err == nil {
 		t.Error("Call on unattached host succeeded")
 	}
-	if err := h.Send("x", "wf", proto.Decline{}); err == nil {
+	if err := h.Send(context.Background(), "x", "wf", proto.Decline{}); err == nil {
 		t.Error("Send on unattached host succeeded")
 	}
 	if err := h.Close(); err != nil {
@@ -315,12 +316,12 @@ func TestUnattachedHostErrors(t *testing.T) {
 func TestStrayReplyIgnored(t *testing.T) {
 	a, b := pair(t, Config{Addr: "a"}, Config{Addr: "b"})
 	// b sends an uncorrelated reply; a must not crash or route it.
-	if err := b.Send("a", "wf", proto.Bid{Task: "t"}); err != nil {
+	if err := b.Send(context.Background(), "a", "wf", proto.Bid{Task: "t"}); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(10 * time.Millisecond)
 	// A real call still works afterwards.
-	if _, err := a.Call("b", "wf", proto.FeasibilityQuery{}, time.Second); err != nil {
+	if _, err := a.Call(context.Background(), "b", "wf", proto.FeasibilityQuery{}, time.Second); err != nil {
 		t.Fatal(err)
 	}
 }

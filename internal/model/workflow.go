@@ -9,8 +9,22 @@ import (
 // of §2.2. Construct one with NewWorkflow; the zero value is not valid.
 //
 // A Workflow is immutable through its public API: accessors return copies.
+// Because the graph can never change, the producer/consumer indexes, task
+// depths, and topological order are computed once at construction and
+// served from cache — Producer is O(1), Consumers/TopoOrder are a copy of
+// a precomputed slice — instead of rescanning every task per call.
 type Workflow struct {
 	g *Graph
+
+	// producerOf maps each label to its single producing task (workflow
+	// validity guarantees at most one producer per label).
+	producerOf map[LabelID]TaskID
+	// consumersOf maps each label to its consuming tasks, sorted.
+	consumersOf map[LabelID][]TaskID
+	// depths caches every task's DAG depth; topo caches the task IDs sorted
+	// by (depth, ID) — a valid topological order.
+	depths map[TaskID]int
+	topo   []TaskID
 }
 
 // NewWorkflow validates g and wraps it as a workflow. The graph is cloned;
@@ -19,7 +33,9 @@ func NewWorkflow(g *Graph) (*Workflow, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("invalid workflow: %w", err)
 	}
-	return &Workflow{g: g.Clone()}, nil
+	w := &Workflow{g: g.Clone()}
+	w.buildIndexes()
+	return w, nil
 }
 
 // NewWorkflowOwning validates g and wraps it as a workflow without
@@ -30,7 +46,64 @@ func NewWorkflowOwning(g *Graph) (*Workflow, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("invalid workflow: %w", err)
 	}
-	return &Workflow{g: g}, nil
+	w := &Workflow{g: g}
+	w.buildIndexes()
+	return w, nil
+}
+
+// buildIndexes computes the producer/consumer indexes, depths, and the
+// topological order in one pass over the (now frozen) graph.
+func (w *Workflow) buildIndexes() {
+	n := w.g.NumTasks()
+	w.producerOf = make(map[LabelID]TaskID, n)
+	w.consumersOf = make(map[LabelID][]TaskID)
+	for id, t := range w.g.tasks {
+		for _, out := range t.Outputs {
+			w.producerOf[out] = id
+		}
+		for _, in := range t.Inputs {
+			w.consumersOf[in] = append(w.consumersOf[in], id)
+		}
+	}
+	for l := range w.consumersOf {
+		c := w.consumersOf[l]
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+
+	// Depths: tasks all of whose inputs are workflow sources have depth
+	// 0; otherwise one more than the maximum depth of the tasks
+	// producing their inputs. Memoized DFS over the producer index.
+	w.depths = make(map[TaskID]int, n)
+	var compute func(id TaskID) int
+	compute = func(id TaskID) int {
+		if d, ok := w.depths[id]; ok {
+			return d
+		}
+		// Mark to guard against cycles (cannot happen in a valid
+		// workflow, but keep the function total).
+		w.depths[id] = 0
+		t := w.g.tasks[id]
+		d := 0
+		for _, in := range t.Inputs {
+			if p, ok := w.producerOf[in]; ok && p != id {
+				if pd := compute(p) + 1; pd > d {
+					d = pd
+				}
+			}
+		}
+		w.depths[id] = d
+		return d
+	}
+	w.topo = w.g.TaskIDs()
+	for _, id := range w.topo {
+		compute(id)
+	}
+	sort.SliceStable(w.topo, func(i, j int) bool {
+		if w.depths[w.topo[i]] != w.depths[w.topo[j]] {
+			return w.depths[w.topo[i]] < w.depths[w.topo[j]]
+		}
+		return w.topo[i] < w.topo[j]
+	})
 }
 
 // Graph returns a copy of the underlying graph.
@@ -55,66 +128,36 @@ func (w *Workflow) Task(id TaskID) (Task, bool) { return w.g.Task(id) }
 func (w *Workflow) NumTasks() int { return w.g.NumTasks() }
 
 // Producer returns the task producing label l, if any. Workflow validity
-// guarantees there is at most one.
+// guarantees there is at most one. Served from the cached index in O(1).
 func (w *Workflow) Producer(l LabelID) (TaskID, bool) {
-	ps := w.g.Producers(l)
-	if len(ps) == 0 {
-		return "", false
-	}
-	return ps[0], true
+	p, ok := w.producerOf[l]
+	return p, ok
 }
 
-// Consumers returns the tasks consuming label l, sorted.
-func (w *Workflow) Consumers(l LabelID) []TaskID { return w.g.Consumers(l) }
+// Consumers returns the tasks consuming label l, sorted. The result is a
+// copy of the cached index entry.
+func (w *Workflow) Consumers(l LabelID) []TaskID {
+	return append([]TaskID(nil), w.consumersOf[l]...)
+}
 
 // Depths returns, for every task, its depth in the workflow DAG: tasks all
 // of whose inputs are workflow sources have depth 0; otherwise a task's
 // depth is one more than the maximum depth of the tasks producing its
-// inputs. Depths give a topological order used to assign execution windows.
+// inputs. Depths give a topological order used to assign execution
+// windows. The result is a copy of the cached map.
 func (w *Workflow) Depths() map[TaskID]int {
-	producerOf := w.g.producerIndex()
-	depth := make(map[TaskID]int, w.g.NumTasks())
-	var compute func(id TaskID) int
-	compute = func(id TaskID) int {
-		if d, ok := depth[id]; ok {
-			return d
-		}
-		// Mark to guard against cycles (cannot happen in a valid
-		// workflow, but keep the function total).
-		depth[id] = 0
-		t := w.g.tasks[id]
-		d := 0
-		for _, in := range t.Inputs {
-			for _, p := range producerOf[in] {
-				if p == id {
-					continue
-				}
-				if pd := compute(p) + 1; pd > d {
-					d = pd
-				}
-			}
-		}
-		depth[id] = d
-		return d
+	out := make(map[TaskID]int, len(w.depths))
+	for id, d := range w.depths {
+		out[id] = d
 	}
-	for _, id := range w.g.TaskIDs() {
-		compute(id)
-	}
-	return depth
+	return out
 }
 
 // TopoOrder returns the task IDs sorted by depth, ties broken by ID. The
-// result is a valid topological order of the workflow DAG.
+// result is a valid topological order of the workflow DAG, copied from
+// the cached order.
 func (w *Workflow) TopoOrder() []TaskID {
-	depth := w.Depths()
-	ids := w.g.TaskIDs()
-	sort.SliceStable(ids, func(i, j int) bool {
-		if depth[ids[i]] != depth[ids[j]] {
-			return depth[ids[i]] < depth[ids[j]]
-		}
-		return ids[i] < ids[j]
-	})
-	return ids
+	return append([]TaskID(nil), w.topo...)
 }
 
 // String renders the workflow one task per line.

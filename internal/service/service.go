@@ -11,6 +11,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,6 +30,10 @@ type Outputs map[model.LabelID][]byte
 
 // Invocation is everything a service sees when executed.
 type Invocation struct {
+	// Ctx is canceled when the host shuts down or the invocation is
+	// abandoned; long-running service bodies should honor it. Nil means
+	// context.Background.
+	Ctx context.Context
 	// Task is the abstract task being performed.
 	Task model.TaskID
 	// Workflow identifies the open-workflow instance.
@@ -171,8 +176,12 @@ func (m *Manager) Tasks() []model.TaskID {
 // duration (real work or simulated user action) and returns the marshaled
 // outputs for the declared output labels. The declared outputs must be
 // supplied so that services with pruned outputs only produce what the
-// workflow needs.
+// workflow needs. Cancellation of inv.Ctx interrupts the duration wait
+// and is passed through to the service body.
 func (m *Manager) Invoke(inv Invocation, declaredOutputs []model.LabelID) (Outputs, error) {
+	if inv.Ctx == nil {
+		inv.Ctx = context.Background()
+	}
 	m.mu.RLock()
 	reg, ok := m.services[inv.Task]
 	m.mu.RUnlock()
@@ -180,7 +189,11 @@ func (m *Manager) Invoke(inv Invocation, declaredOutputs []model.LabelID) (Outpu
 		return nil, fmt.Errorf("no service for task %q", inv.Task)
 	}
 	if d := reg.Descriptor.Duration; d > 0 {
-		m.clk.Sleep(d)
+		select {
+		case <-m.clk.After(d):
+		case <-inv.Ctx.Done():
+			return nil, fmt.Errorf("service %q: %w", inv.Task, inv.Ctx.Err())
+		}
 	}
 	var outs Outputs
 	if reg.Fn != nil {

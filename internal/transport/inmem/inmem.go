@@ -9,6 +9,7 @@ package inmem
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -113,6 +114,10 @@ type Network struct {
 	// in arrival order per (from, to) pair.
 	stored map[linkKey][]delivery
 	closed bool
+	// done closes when the network shuts down, waking link pumps out of
+	// latency waits so Close does not leak goroutines sleeping on long
+	// modeled delays.
+	done chan struct{}
 
 	sent      atomic.Int64
 	delivered atomic.Int64
@@ -131,6 +136,7 @@ func NewNetwork(opts ...Option) *Network {
 		endpoints: make(map[proto.Addr]*endpoint),
 		links:     make(map[linkKey]*link),
 		stored:    make(map[linkKey][]delivery),
+		done:      make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(n)
@@ -261,6 +267,7 @@ func (n *Network) Close() error {
 		return nil
 	}
 	n.closed = true
+	close(n.done)
 	eps := make([]*endpoint, 0, len(n.endpoints))
 	for _, ep := range n.endpoints {
 		eps = append(eps, ep)
@@ -286,7 +293,10 @@ func (n *Network) Close() error {
 var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // send implements the delivery decision for one envelope.
-func (n *Network) send(from *endpoint, to proto.Addr, env proto.Envelope) error {
+func (n *Network) send(ctx context.Context, from *endpoint, to proto.Addr, env proto.Envelope) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	env.From = from.addr
 	env.To = to
 
@@ -390,7 +400,11 @@ func (l *link) pump() {
 			return
 		}
 		if wait := d.due.Sub(l.net.clock.Now()); wait > 0 {
-			l.net.clock.Sleep(wait)
+			select {
+			case <-l.net.clock.After(wait):
+			case <-l.net.done:
+				return // network closed: drop in-flight latency waits
+			}
 		}
 		if !l.target.box.push(d) {
 			l.net.dropped.Add(1)
@@ -418,8 +432,8 @@ var _ transport.Endpoint = (*endpoint)(nil)
 func (e *endpoint) Addr() proto.Addr { return e.addr }
 
 // Send implements transport.Endpoint.
-func (e *endpoint) Send(to proto.Addr, env proto.Envelope) error {
-	return e.net.send(e, to, env)
+func (e *endpoint) Send(ctx context.Context, to proto.Addr, env proto.Envelope) error {
+	return e.net.send(ctx, e, to, env)
 }
 
 // Close implements transport.Endpoint.

@@ -1,6 +1,7 @@
 package inmem
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -71,7 +72,7 @@ func TestBasicDelivery(t *testing.T) {
 	if a.Addr() != "a" {
 		t.Errorf("Addr = %q", a.Addr())
 	}
-	if err := a.Send("b", ping(1)); err != nil {
+	if err := a.Send(context.Background(), "b", ping(1)); err != nil {
 		t.Fatal(err)
 	}
 	got := col.waitN(t, 1, time.Second)
@@ -96,7 +97,7 @@ func TestFIFOOrderPerLink(t *testing.T) {
 	}
 	const n = 200
 	for i := 0; i < n; i++ {
-		if err := a.Send("b", ping(i)); err != nil {
+		if err := a.Send(context.Background(), "b", ping(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -119,7 +120,7 @@ func TestFIFOOrderWithLatency(t *testing.T) {
 	const n = 50
 	start := time.Now()
 	for i := 0; i < n; i++ {
-		if err := a.Send("b", ping(i)); err != nil {
+		if err := a.Send(context.Background(), "b", ping(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -138,7 +139,7 @@ func TestUnknownRecipientSilentDrop(t *testing.T) {
 	net := NewNetwork()
 	defer net.Close()
 	a, _ := net.Endpoint("a", func(proto.Envelope) {})
-	if err := a.Send("ghost", ping(1)); err != nil {
+	if err := a.Send(context.Background(), "ghost", ping(1)); err != nil {
 		t.Fatalf("Send to unknown host errored: %v", err)
 	}
 	if net.Dropped() != 1 {
@@ -159,10 +160,10 @@ func TestPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 	net.SetPartition([]proto.Addr{"a", "b"}, []proto.Addr{"c"})
-	if err := a.Send("b", ping(1)); err != nil {
+	if err := a.Send(context.Background(), "b", ping(1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("c", ping(2)); err != nil {
+	if err := a.Send(context.Background(), "c", ping(2)); err != nil {
 		t.Fatal(err)
 	}
 	colB.waitN(t, 1, time.Second)
@@ -172,7 +173,7 @@ func TestPartition(t *testing.T) {
 	}
 	// Heal and retry.
 	net.SetPartition()
-	if err := a.Send("c", ping(3)); err != nil {
+	if err := a.Send(context.Background(), "c", ping(3)); err != nil {
 		t.Fatal(err)
 	}
 	colC.waitN(t, 1, time.Second)
@@ -187,7 +188,7 @@ func TestPartitionIsolatesUnlistedHosts(t *testing.T) {
 		t.Fatal(err)
 	}
 	net.SetPartition([]proto.Addr{"a"}) // b unlisted → isolated
-	if err := a.Send("b", ping(1)); err != nil {
+	if err := a.Send(context.Background(), "b", ping(1)); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(10 * time.Millisecond)
@@ -205,7 +206,7 @@ func TestLossyModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if err := a.Send("b", ping(i)); err != nil {
+		if err := a.Send(context.Background(), "b", ping(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -250,7 +251,7 @@ func TestSendAfterNetworkClose(t *testing.T) {
 	if err := net.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("a", ping(1)); err == nil {
+	if err := a.Send(context.Background(), "a", ping(1)); err == nil {
 		t.Error("Send on closed network succeeded")
 	}
 	if _, err := net.Endpoint("x", func(proto.Envelope) {}); err == nil {
@@ -271,7 +272,7 @@ func TestEndpointClose(t *testing.T) {
 	if err := b.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("b", ping(1)); err != nil {
+	if err := a.Send(context.Background(), "b", ping(1)); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(10 * time.Millisecond)
@@ -291,7 +292,7 @@ func TestMarshalDisabled(t *testing.T) {
 	if _, err := net.Endpoint("b", col.handler); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("b", ping(9)); err != nil {
+	if err := a.Send(context.Background(), "b", ping(9)); err != nil {
 		t.Fatal(err)
 	}
 	got := col.waitN(t, 1, time.Second)
@@ -311,7 +312,7 @@ func TestResetCounters(t *testing.T) {
 	if _, err := net.Endpoint("b", col.handler); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("b", ping(1)); err != nil {
+	if err := a.Send(context.Background(), "b", ping(1)); err != nil {
 		t.Fatal(err)
 	}
 	col.waitN(t, 1, time.Second)
@@ -332,12 +333,12 @@ func TestHandlerMaySend(t *testing.T) {
 		t.Fatal(err)
 	}
 	b, err = net.Endpoint("b", func(env proto.Envelope) {
-		_ = b.Send(env.From, proto.Envelope{ReqID: env.ReqID + 1, Body: proto.Decline{Task: "t"}})
+		_ = b.Send(context.Background(), env.From, proto.Envelope{ReqID: env.ReqID + 1, Body: proto.Decline{Task: "t"}})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("b", ping(1)); err != nil {
+	if err := a.Send(context.Background(), "b", ping(1)); err != nil {
 		t.Fatal(err)
 	}
 	got := col.waitN(t, 1, time.Second)
@@ -364,7 +365,7 @@ func TestConcurrentSenders(t *testing.T) {
 		go func(ep transport.Endpoint) {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
-				if err := ep.Send("sink", ping(i)); err != nil {
+				if err := ep.Send(context.Background(), "sink", ping(i)); err != nil {
 					t.Error(err)
 					return
 				}
@@ -385,7 +386,7 @@ func TestStoreAndForwardAcrossPartition(t *testing.T) {
 	}
 	net.SetPartition([]proto.Addr{"a"}, []proto.Addr{"b"})
 	for i := 0; i < 5; i++ {
-		if err := a.Send("b", ping(i)); err != nil {
+		if err := a.Send(context.Background(), "b", ping(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -417,7 +418,7 @@ func TestStoreAndForwardLateJoiner(t *testing.T) {
 	defer net.Close()
 	a, _ := net.Endpoint("a", func(proto.Envelope) {})
 	// b does not exist yet.
-	if err := a.Send("b", ping(7)); err != nil {
+	if err := a.Send(context.Background(), "b", ping(7)); err != nil {
 		t.Fatal(err)
 	}
 	if net.Stored() != 1 {
@@ -437,7 +438,7 @@ func TestStoreAndForwardDisabledByDefault(t *testing.T) {
 	net := NewNetwork()
 	defer net.Close()
 	a, _ := net.Endpoint("a", func(proto.Envelope) {})
-	if err := a.Send("ghost", ping(1)); err != nil {
+	if err := a.Send(context.Background(), "ghost", ping(1)); err != nil {
 		t.Fatal(err)
 	}
 	if net.Stored() != 0 {

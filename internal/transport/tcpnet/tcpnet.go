@@ -8,6 +8,7 @@ package tcpnet
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -86,8 +87,13 @@ var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // Send implements transport.Endpoint. Unknown or unreachable recipients
 // lose the message silently, matching the wireless semantics of the
-// abstract layer; local failures (closed transport, encoding) error.
-func (t *Transport) Send(to proto.Addr, env proto.Envelope) error {
+// abstract layer; local failures (closed transport, encoding, canceled
+// context) error. The context bounds connection establishment: a
+// canceled context aborts an in-flight dial promptly.
+func (t *Transport) Send(ctx context.Context, to proto.Addr, env proto.Envelope) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	env.From = t.addr
 	env.To = to
 	buf := encPool.Get().(*bytes.Buffer)
@@ -105,9 +111,9 @@ func (t *Transport) Send(to proto.Addr, env proto.Envelope) error {
 
 	// Two attempts: a cached connection may have gone stale.
 	for attempt := 0; attempt < 2; attempt++ {
-		conn, err := t.conn(to)
+		conn, err := t.conn(ctx, to)
 		if err != nil {
-			if errors.Is(err, errClosed) {
+			if errors.Is(err, errClosed) || ctx.Err() != nil {
 				return err
 			}
 			return nil // unreachable: silent loss
@@ -122,8 +128,9 @@ func (t *Transport) Send(to proto.Addr, env proto.Envelope) error {
 
 var errClosed = errors.New("tcpnet: transport closed")
 
-// conn returns a cached or freshly dialed connection to a peer.
-func (t *Transport) conn(to proto.Addr) (net.Conn, error) {
+// conn returns a cached or freshly dialed connection to a peer. The
+// context cancels an in-flight dial.
+func (t *Transport) conn(ctx context.Context, to proto.Addr) (net.Conn, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -138,8 +145,12 @@ func (t *Transport) conn(to proto.Addr) (net.Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("tcpnet: no registry entry for %q", to)
 	}
-	c, err := net.Dial("tcp", hostport)
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", hostport)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("tcpnet: dial %q: %w", to, err)
 	}
 	t.mu.Lock()

@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -76,7 +77,7 @@ func TestRoundTrip(t *testing.T) {
 	if ta.Addr() != "a" || tb.Addr() != "b" {
 		t.Fatal("bad addrs")
 	}
-	if err := ta.Send("b", ping(1)); err != nil {
+	if err := ta.Send(context.Background(), "b", ping(1)); err != nil {
 		t.Fatal(err)
 	}
 	got := colB.waitN(t, 1, 2*time.Second)
@@ -84,7 +85,7 @@ func TestRoundTrip(t *testing.T) {
 		t.Errorf("envelope = %+v", got[0])
 	}
 	// Reply path.
-	if err := tb.Send("a", ping(2)); err != nil {
+	if err := tb.Send(context.Background(), "a", ping(2)); err != nil {
 		t.Fatal(err)
 	}
 	gotA := colA.waitN(t, 1, 2*time.Second)
@@ -97,7 +98,7 @@ func TestOrderPreservedPerSender(t *testing.T) {
 	ta, _, _, colB := pair(t)
 	const n = 100
 	for i := 0; i < n; i++ {
-		if err := ta.Send("b", ping(i)); err != nil {
+		if err := ta.Send(context.Background(), "b", ping(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -111,7 +112,7 @@ func TestOrderPreservedPerSender(t *testing.T) {
 
 func TestUnknownRecipientSilentLoss(t *testing.T) {
 	ta, _, _, _ := pair(t)
-	if err := ta.Send("ghost", ping(1)); err != nil {
+	if err := ta.Send(context.Background(), "ghost", ping(1)); err != nil {
 		t.Errorf("Send to unregistered host errored: %v", err)
 	}
 }
@@ -123,7 +124,7 @@ func TestDeadPeerSilentLoss(t *testing.T) {
 	}
 	// Give the OS a moment to tear the listener down.
 	time.Sleep(10 * time.Millisecond)
-	if err := ta.Send("b", ping(1)); err != nil {
+	if err := ta.Send(context.Background(), "b", ping(1)); err != nil {
 		t.Errorf("Send to dead peer errored: %v", err)
 	}
 }
@@ -133,7 +134,7 @@ func TestSendAfterCloseErrors(t *testing.T) {
 	if err := ta.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := ta.Send("b", ping(1)); err == nil {
+	if err := ta.Send(context.Background(), "b", ping(1)); err == nil {
 		t.Error("Send on closed transport succeeded")
 	}
 	// Double close is fine.
@@ -159,7 +160,7 @@ func TestStaleConnectionRetried(t *testing.T) {
 	ta.SetRegistry(reg)
 	tb.SetRegistry(reg)
 
-	if err := ta.Send("b", ping(1)); err != nil {
+	if err := ta.Send(context.Background(), "b", ping(1)); err != nil {
 		t.Fatal(err)
 	}
 	colB.waitN(t, 1, 2*time.Second)
@@ -181,7 +182,7 @@ func TestStaleConnectionRetried(t *testing.T) {
 	// allow the kernel a few tries to surface the broken pipe.
 	deadline := time.Now().Add(2 * time.Second)
 	for colB2.count() == 0 && time.Now().Before(deadline) {
-		if err := ta.Send("b", ping(2)); err != nil {
+		if err := ta.Send(context.Background(), "b", ping(2)); err != nil {
 			t.Fatal(err)
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -213,7 +214,7 @@ func TestConcurrentSendersOneReceiver(t *testing.T) {
 		go func(tr *Transport) {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
-				if err := tr.Send("sink", ping(i)); err != nil {
+				if err := tr.Send(context.Background(), "sink", ping(i)); err != nil {
 					t.Error(err)
 					return
 				}

@@ -10,7 +10,11 @@
 // configuration).
 package transport
 
-import "openwf/internal/proto"
+import (
+	"context"
+
+	"openwf/internal/proto"
+)
 
 // Handler receives inbound envelopes. Each endpoint invokes its handler
 // sequentially from a single goroutine (a device processes one message at
@@ -25,8 +29,10 @@ type Endpoint interface {
 	// asynchronous; like a wireless medium, Send does not report
 	// whether the recipient received the message (a partitioned or
 	// absent recipient loses it silently). An error indicates a local
-	// failure such as a closed endpoint.
-	Send(to proto.Addr, env proto.Envelope) error
+	// failure such as a closed endpoint. The context bounds local
+	// blocking work only (connection establishment, encoding); a
+	// canceled context makes Send return promptly without transmitting.
+	Send(ctx context.Context, to proto.Addr, env proto.Envelope) error
 	// Close detaches the endpoint; pending deliveries are dropped.
 	Close() error
 }

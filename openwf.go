@@ -21,22 +21,35 @@
 //
 // # Quickstart
 //
-//	com, err := openwf.NewCommunity(openwf.Options{},
-//	    openwf.HostSpec{
-//	        ID:        "requester",
-//	    },
-//	    openwf.HostSpec{
-//	        ID:        "worker",
+// Every blocking entry point takes a context.Context; cancellation and
+// deadlines propagate through community queries, auctions, and
+// execution:
+//
+//	com, err := openwf.NewCommunity([]openwf.HostSpec{
+//	    {ID: "requester"},
+//	    {
+//	        ID: "worker",
 //	        Fragments: []*openwf.Fragment{openwf.MustFragment("know",
 //	            openwf.Task{ID: "do it", Mode: openwf.Conjunctive,
 //	                Inputs:  []openwf.LabelID{"need"},
 //	                Outputs: []openwf.LabelID{"done"}})},
 //	        Services: []openwf.ServiceRegistration{openwf.SimpleService("do it")},
 //	    },
-//	)
-//	plan, err := com.Initiate("requester", openwf.MustSpec(
+//	})
+//	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+//	defer cancel()
+//	plan, err := com.Initiate(ctx, "requester", openwf.MustSpec(
 //	    []openwf.LabelID{"need"}, []openwf.LabelID{"done"}))
-//	report, err := com.Execute("requester", plan, nil, 10*time.Second)
+//	report, err := com.Execute(ctx, "requester", plan, nil)
+//
+// For server-shaped workloads — many specifications constructed
+// concurrently against one pool of knowhow — snapshot the knowhow once
+// and plan from it in parallel, with no further community traffic:
+//
+//	store, err := com.CollectKnowhow(ctx, "requester")
+//	planner, err := openwf.NewPlannerFromStore(store)
+//	// Any number of goroutines:
+//	w, err := planner.Construct(ctx, spec)
 //
 // See the examples directory for complete programs, DESIGN.md for the
 // system inventory, and EXPERIMENTS.md for the reproduction of the
@@ -94,14 +107,15 @@ type (
 	Addr = proto.Addr
 	// Community is a running set of participant hosts.
 	Community = community.Community
-	// Options configure a community (transport, latency model, engine).
-	Options = community.Options
 	// HostSpec describes one participant device.
 	HostSpec = community.HostSpec
 	// Transport selects the communications substrate.
 	Transport = community.Transport
 	// EngineConfig tunes the workflow engine.
 	EngineConfig = engine.Config
+	// Observer receives construction and auction events (see
+	// WithObserver). All fields are optional.
+	Observer = engine.Observer
 	// Plan is a constructed and fully allocated workflow.
 	Plan = engine.Plan
 	// Report summarizes one workflow execution.
@@ -112,6 +126,13 @@ type (
 	Commitment = schedule.Commitment
 	// TaskMeta is per-task auction/execution metadata.
 	TaskMeta = proto.TaskMeta
+	// FragmentStore is an immutable, shareable snapshot of collected
+	// knowhow; any number of Planners and goroutines may construct
+	// against one store concurrently.
+	FragmentStore = core.Store
+	// ConstructionResult carries one construction's metrics (explored
+	// region, supergraph size, collection rounds).
+	ConstructionResult = core.Result
 )
 
 // Transports.
@@ -162,9 +183,86 @@ func MustSpec(triggers, goals []LabelID) Spec {
 	return spec.Must(triggers, goals)
 }
 
+// Option configures NewCommunity and NewPlanner. Options that concern
+// only the community substrate (transport, link model, seed) are
+// ignored by NewPlanner, which is a purely local facility.
+type Option func(*settings)
+
+// settings accumulates the facade's functional options.
+type settings struct {
+	comm        community.Options
+	engine      engine.Config
+	engineSet   bool
+	observer    Observer
+	observerSet bool
+}
+
+// engineConfig resolves the effective engine configuration: the
+// configured one (or the default), with the observer wired in.
+func (s *settings) engineConfig() engine.Config {
+	cfg := s.engine
+	if !s.engineSet {
+		cfg = engine.DefaultConfig()
+	}
+	if s.observerSet {
+		cfg.Observer = s.observer
+	}
+	return cfg
+}
+
+func apply(opts []Option) *settings {
+	s := &settings{}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// WithTransport selects the communications substrate (default InMem).
+func WithTransport(t Transport) Option {
+	return func(s *settings) { s.comm.Transport = t }
+}
+
+// WithEngineConfig sets every host's workflow-engine configuration. For
+// a Planner it supplies the construction constraints (§5.1).
+func WithEngineConfig(cfg EngineConfig) Option {
+	return func(s *settings) { s.engine, s.engineSet = cfg, true }
+}
+
+// WithLinkModel shapes the simulated network's latency and loss
+// (in-memory transport only).
+func WithLinkModel(m LinkModel) Option {
+	return func(s *settings) { s.comm.LinkModel = m }
+}
+
+// WithObserver registers callbacks for construction and auction events.
+// Callbacks must be fast, non-blocking, and safe for concurrent use.
+func WithObserver(o Observer) Option {
+	return func(s *settings) { s.observer, s.observerSet = o, true }
+}
+
+// WithSeed seeds the simulated network's randomness (jitter, loss).
+func WithSeed(seed int64) Option {
+	return func(s *settings) { s.comm.Seed = seed }
+}
+
+// WithBidWindow overrides the participants' bid deadline window.
+func WithBidWindow(d time.Duration) Option {
+	return func(s *settings) { s.comm.BidWindow = d }
+}
+
+// WithStoreAndForward buffers messages across partitions on the
+// in-memory network (delay-tolerant delivery) instead of losing them.
+func WithStoreAndForward() Option {
+	return func(s *settings) { s.comm.StoreAndForward = true }
+}
+
 // NewCommunity builds and starts a community of hosts.
-func NewCommunity(opts Options, hosts ...HostSpec) (*Community, error) {
-	return community.New(opts, hosts...)
+func NewCommunity(hosts []HostSpec, opts ...Option) (*Community, error) {
+	s := apply(opts)
+	cfg := s.engineConfig()
+	s.comm.Engine = &cfg
+	return community.New(s.comm, hosts...)
 }
 
 // DefaultEngineConfig returns the engine configuration the evaluation
@@ -200,16 +298,28 @@ func LocatedService(task TaskID, at Point, duration time.Duration, fn ServiceFun
 	}
 }
 
+// NewFragmentStore builds an immutable fragment-store snapshot from the
+// given knowhow. Extend a snapshot with store.With; snapshot a running
+// community's pooled knowhow with Community.CollectKnowhow.
+func NewFragmentStore(frags ...*Fragment) (*FragmentStore, error) {
+	return core.NewStore(frags...)
+}
+
 // ConstructWorkflow runs the construction algorithm locally over a set of
 // fragments, without any community: it merges the fragments into a
 // supergraph and extracts a workflow satisfying the specification. Useful
-// for testing knowhow before deployment.
+// for testing knowhow before deployment. It is one-shot sugar over
+// NewPlanner; construct repeatedly or concurrently through a Planner.
 func ConstructWorkflow(frags []*Fragment, s Spec) (*Workflow, error) {
-	g, err := core.CollectAll(frags)
+	st, err := core.NewStore(frags...)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Construct(g, s)
+	ws, err := st.NewWorkspace()
+	if err != nil {
+		return nil, err
+	}
+	res, err := ws.Construct(s)
 	if err != nil {
 		return nil, err
 	}

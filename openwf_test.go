@@ -1,6 +1,7 @@
 package openwf_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -68,9 +69,9 @@ func TestFacadeEndToEnd(t *testing.T) {
 	cfg := openwf.DefaultEngineConfig()
 	cfg.StartDelay = 200 * time.Millisecond
 	cfg.TaskWindow = 30 * time.Millisecond
-	com, err := openwf.NewCommunity(openwf.Options{Engine: &cfg},
-		openwf.HostSpec{ID: "asker"},
-		openwf.HostSpec{
+	com, err := openwf.NewCommunity([]openwf.HostSpec{
+		{ID: "asker"},
+		{
 			ID: "knower",
 			Fragments: []*openwf.Fragment{
 				openwf.MustFragment("know", openwf.Task{
@@ -85,22 +86,24 @@ func TestFacadeEndToEnd(t *testing.T) {
 					}),
 			},
 		},
-	)
+	}, openwf.WithEngineConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer com.Close()
 
-	plan, err := com.Initiate("asker", openwf.MustSpec(lbl("question"), lbl("answered")))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	plan, err := com.Initiate(ctx, "asker", openwf.MustSpec(lbl("question"), lbl("answered")))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := plan.Allocations["answer"]; got != "knower" {
 		t.Fatalf("Allocations = %v", plan.Allocations)
 	}
-	report, err := com.Execute("asker", plan, map[openwf.LabelID][]byte{
+	report, err := com.Execute(ctx, "asker", plan, map[openwf.LabelID][]byte{
 		"question": []byte("meaning of life"),
-	}, 10*time.Second)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,92 @@
+package openwf
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"openwf/internal/core"
+)
+
+// Planner is a concurrent, context-first construction front end: a
+// shared, immutable fragment-store snapshot plus a pool of per-request
+// construction workspaces. Any number of goroutines may call Construct
+// at once; each call checks a workspace (a private supergraph with its
+// own epoch-stamped coloring scratch) out of the pool, runs Algorithm 1
+// against the shared snapshot, and returns the workspace for reuse.
+//
+// The store is never mutated, so constructions scale with cores: there
+// is no lock around the knowledge, only around the pool's free list.
+// To plan against newer knowhow, snapshot again (store.With or
+// Community.CollectKnowhow) and build a new Planner — previous planners
+// keep working against their own snapshot, unaffected.
+type Planner struct {
+	pool        *core.WorkspacePool
+	obs         Observer
+	constraints Constraints
+	seq         atomic.Uint64
+}
+
+// NewPlanner builds a planner over a fresh snapshot of the given
+// knowhow. Recognized options: WithEngineConfig (for its Constraints)
+// and WithObserver; community-substrate options are ignored.
+func NewPlanner(frags []*Fragment, opts ...Option) (*Planner, error) {
+	store, err := core.NewStore(frags...)
+	if err != nil {
+		return nil, err
+	}
+	return NewPlannerFromStore(store, opts...)
+}
+
+// NewPlannerFromStore builds a planner over an existing snapshot — for
+// instance one collected from a running community with
+// Community.CollectKnowhow. The snapshot may be shared with other
+// planners and other goroutines freely.
+func NewPlannerFromStore(store *FragmentStore, opts ...Option) (*Planner, error) {
+	if store == nil {
+		return nil, fmt.Errorf("openwf: nil fragment store")
+	}
+	s := apply(opts)
+	cfg := s.engineConfig()
+	return &Planner{
+		pool:        core.NewWorkspacePool(store),
+		obs:         cfg.Observer,
+		constraints: cfg.Constraints,
+	}, nil
+}
+
+// Store returns the planner's snapshot.
+func (p *Planner) Store() *FragmentStore { return p.pool.Store() }
+
+// Construct builds a workflow satisfying the specification from the
+// shared snapshot, applying the planner's constraints (§5.1). It is safe
+// to call from any number of goroutines; a canceled context returns
+// promptly with ctx.Err(). The observer's ConstructionDone callback
+// fires on success with the construction metrics.
+func (p *Planner) Construct(ctx context.Context, s Spec) (*Workflow, error) {
+	res, err := p.ConstructResult(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	return res.Workflow, nil
+}
+
+// ConstructResult is Construct returning the full construction result
+// (workflow plus metrics: explored region, supergraph size).
+func (p *Planner) ConstructResult(ctx context.Context, s Spec) (*ConstructionResult, error) {
+	res, err := p.pool.Construct(ctx, s, p.constraints.ExcludeTasks...)
+	if err != nil {
+		return nil, err
+	}
+	if p.constraints.MaxTasks > 0 {
+		if err := p.constraints.Check(res.Workflow); err != nil {
+			return nil, fmt.Errorf("%w: %v", core.ErrNoSolution, err)
+		}
+	}
+	if p.obs.ConstructionDone != nil {
+		id := "planner/" + strconv.FormatUint(p.seq.Add(1), 10)
+		p.obs.ConstructionDone(id, *res)
+	}
+	return res, nil
+}

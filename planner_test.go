@@ -1,0 +1,161 @@
+package openwf_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"openwf"
+)
+
+func plannerFragments() []*openwf.Fragment {
+	return []*openwf.Fragment{
+		openwf.MustFragment("f1", openwf.Task{
+			ID: "t1", Mode: openwf.Conjunctive, Inputs: lbl("a"), Outputs: lbl("m"),
+		}),
+		openwf.MustFragment("f2", openwf.Task{
+			ID: "t2", Mode: openwf.Conjunctive, Inputs: lbl("m"), Outputs: lbl("g"),
+		}),
+		openwf.MustFragment("f3", openwf.Task{
+			ID: "shortcut", Mode: openwf.Conjunctive, Inputs: lbl("a"), Outputs: lbl("g"),
+		}),
+	}
+}
+
+func TestPlannerConstruct(t *testing.T) {
+	p, err := openwf.NewPlanner(plannerFragments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.Construct(context.Background(), openwf.MustSpec(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumTasks() == 0 {
+		t.Fatalf("empty workflow:\n%v", w)
+	}
+	if _, err := p.Construct(context.Background(), openwf.MustSpec(lbl("a"), lbl("nothing"))); err == nil {
+		t.Fatal("unsatisfiable spec constructed")
+	}
+}
+
+func TestPlannerCanceledContext(t *testing.T) {
+	p, err := openwf.NewPlanner(plannerFragments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Construct(ctx, openwf.MustSpec(lbl("a"), lbl("g"))); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPlannerConstraintsAndObserver(t *testing.T) {
+	var constructions atomic.Int64
+	cfg := openwf.DefaultEngineConfig()
+	cfg.Constraints.ExcludeTasks = []openwf.TaskID{"shortcut"}
+	p, err := openwf.NewPlanner(plannerFragments(),
+		openwf.WithEngineConfig(cfg),
+		openwf.WithObserver(openwf.Observer{
+			ConstructionDone: func(id string, res openwf.ConstructionResult) {
+				constructions.Add(1)
+			},
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.Construct(context.Background(), openwf.MustSpec(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Task("shortcut"); ok {
+		t.Fatalf("excluded task selected:\n%v", w)
+	}
+	if w.NumTasks() != 2 {
+		t.Fatalf("workflow:\n%v", w)
+	}
+	if constructions.Load() != 1 {
+		t.Errorf("observer saw %d constructions, want 1", constructions.Load())
+	}
+}
+
+// TestPlannerConcurrentConstruct: ≥8 goroutines constructing against one
+// shared fragment store (run with -race in CI).
+func TestPlannerConcurrentConstruct(t *testing.T) {
+	store, err := openwf.NewFragmentStore(plannerFragments()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := openwf.NewPlannerFromStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := openwf.MustSpec(lbl("a"), lbl("g"))
+	want, err := p.Construct(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 100; it++ {
+				w, err := p.Construct(context.Background(), s)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !w.Equal(want) {
+					errs <- errors.New("concurrent construction produced a different workflow")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCommunityCollectKnowhowPlanner: the server-shaped flow — snapshot a
+// community's pooled knowhow once, then plan locally from the snapshot.
+func TestCommunityCollectKnowhowPlanner(t *testing.T) {
+	com, err := openwf.NewCommunity([]openwf.HostSpec{
+		{ID: "asker"},
+		{ID: "k1", Fragments: []*openwf.Fragment{plannerFragments()[0]}},
+		{ID: "k2", Fragments: []*openwf.Fragment{plannerFragments()[1]}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer com.Close()
+
+	store, err := com.CollectKnowhow(context.Background(), "asker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.NumFragments() != 2 {
+		t.Fatalf("collected %d fragments, want 2", store.NumFragments())
+	}
+	p, err := openwf.NewPlannerFromStore(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.Construct(context.Background(), openwf.MustSpec(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumTasks() != 2 {
+		t.Fatalf("workflow:\n%v", w)
+	}
+}
