@@ -4,13 +4,15 @@
 // (ns/op, B/op, allocs/op) in a BENCH_PR<n>.json at the repo root, so
 // regressions are visible in review without re-running the full sweep.
 //
-//	go run ./cmd/benchjson -o BENCH_PR2.json
+//	go run ./cmd/benchjson -o BENCH_PR3.json
 //
 // The grid points mirror the root bench_test.go benchmarks that the
 // paper's evaluation (§5) pins: the pure construction algorithm at
-// supergraph sizes 25–500, the per-envelope marshal cost, the cached
-// workflow accessors (PR 2), and the concurrent-construction grid
-// (goroutines × supergraph size) against a shared fragment store.
+// supergraph sizes 25–500, the per-envelope marshal cost of the binary
+// wire codec against its gob oracle (PR 3), the broadcast knowhow-query
+// path over the modeled 802.11g medium, the cached workflow accessors
+// (PR 2), and the concurrent-construction grid (goroutines × supergraph
+// size) against a shared fragment store.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"openwf/internal/core"
 	"openwf/internal/evalgen"
@@ -73,8 +76,30 @@ func chainWorkflow(b *testing.B, n int) *model.Workflow {
 	return w
 }
 
+// queryEnvelope is the broadcast-hot knowhow query shape measured by the
+// marshal grid (mirrors internal/proto's benchEnvelope).
+func queryEnvelope() proto.Envelope {
+	return proto.Envelope{
+		From: "host-a", To: "host-b", ReqID: 42, Workflow: "wf-1",
+		Body: proto.FragmentQuery{Labels: []model.LabelID{
+			"breakfast ingredients", "lunch ingredients", "omelet bar setup",
+		}},
+	}
+}
+
+// bidEnvelope is the auction-hot reply shape.
+func bidEnvelope() proto.Envelope {
+	return proto.Envelope{
+		From: "host-b", To: "host-a", ReqID: 43, Workflow: "wf-1",
+		Body: proto.Bid{
+			Task: "cook omelets", ServicesOffered: 3,
+			Specialization: 0.75, Deadline: time.Unix(1700000000, 0),
+		},
+	}
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR3.json", "output file (- for stdout)")
 	flag.Parse()
 
 	var results []result
@@ -203,15 +228,11 @@ func main() {
 		}
 	})
 
-	// Per-envelope marshal cost on the transports' pooled path.
+	// Per-envelope marshal cost on the transports' pooled path (the
+	// active wire codec; kept name-compatible with earlier BENCH files).
 	run("EncodeToPooled", func(b *testing.B) {
 		b.ReportAllocs()
-		env := proto.Envelope{
-			From: "host-a", To: "host-b", ReqID: 42, Workflow: "wf-1",
-			Body: proto.FragmentQuery{Labels: []model.LabelID{
-				"breakfast ingredients", "lunch ingredients", "omelet bar setup",
-			}},
-		}
+		env := queryEnvelope()
 		pool := sync.Pool{New: func() any { return new(bytes.Buffer) }}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -223,6 +244,89 @@ func main() {
 			pool.Put(buf)
 		}
 	})
+
+	// Marshal grid (PR 3): full encode+decode per envelope for the two
+	// broadcast-hot message shapes, binary wire codec vs the gob oracle.
+	// The acceptance bar is ≥5x on ns/op with allocs/op ≤5 for the
+	// binary rows.
+	for _, shape := range []struct {
+		name string
+		env  proto.Envelope
+	}{
+		{"FragmentQuery", queryEnvelope()},
+		{"Bid", bidEnvelope()},
+	} {
+		for _, codec := range []struct {
+			name   string
+			encode func(*bytes.Buffer, proto.Envelope) error
+			decode func([]byte) (proto.Envelope, error)
+		}{
+			{"binary", proto.EncodeTo, proto.Decode},
+			{"gob", proto.EncodeGobTo, proto.DecodeGob},
+		} {
+			shape, codec := shape, codec
+			run(fmt.Sprintf("Marshal/%s/codec=%s", shape.name, codec.name), func(b *testing.B) {
+				b.ReportAllocs()
+				pool := sync.Pool{New: func() any { return new(bytes.Buffer) }}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					buf := pool.Get().(*bytes.Buffer)
+					buf.Reset()
+					if err := codec.encode(buf, shape.env); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := codec.decode(buf.Bytes()); err != nil {
+						b.Fatal(err)
+					}
+					pool.Put(buf)
+				}
+			})
+		}
+	}
+
+	// Broadcast knowhow-query grid (PR 3): a full Initiate on the
+	// modeled 802.11g medium with broadcast (parallel) community queries
+	// — the distributed path where the per-envelope codec dominates,
+	// since every exploration round pays hosts × (query + reply).
+	for _, hosts := range []int{5, 10} {
+		hosts := hosts
+		run(fmt.Sprintf("BroadcastQuery/hosts=%d", hosts), func(b *testing.B) {
+			b.ReportAllocs()
+			engCfg := evalgen.EvalEngineConfig()
+			engCfg.ParallelQuery = true
+			rng := rand.New(rand.NewSource(1))
+			sc, err := evalgen.Generate(100, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			comm, hostAddrs, err := evalgen.BuildCommunity(sc, evalgen.ExperimentConfig{
+				Tasks: 100, Hosts: hosts, Seed: 1,
+				LinkModel: evalgen.Wireless80211g(),
+				Engine:    &engCfg,
+			}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer comm.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, ok := sc.SamplePath(8, rng)
+				if !ok {
+					b.Skip("no path of length 8")
+				}
+				comm.ResetSchedules()
+				b.StartTimer()
+				plan, err := comm.Initiate(context.Background(), hostAddrs[0], s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if plan.Workflow.NumTasks() != 8 {
+					b.Fatalf("workflow has %d tasks", plan.Workflow.NumTasks())
+				}
+			}
+		})
+	}
 
 	rep := report{
 		GoVersion:  runtime.Version(),

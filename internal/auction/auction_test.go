@@ -1,6 +1,7 @@
 package auction
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -36,6 +37,68 @@ func members(ids ...string) []proto.Addr {
 		out[i] = proto.Addr(id)
 	}
 	return out
+}
+
+// TestAuctioneerManyTasks runs a full auction over a few hundred tasks
+// and three members, covering the post-processing the engine does after
+// bidding (the winners map, failed set, decision stream) at the scale
+// where an accidentally quadratic sweep would show. Every task must be
+// decided, won by the member offering the fewest services, and reported
+// exactly once.
+func TestAuctioneerManyTasks(t *testing.T) {
+	const n = 300
+	ms := members("h1", "h2", "h3")
+	// h2 offers the fewest services: it must win every task.
+	services := map[proto.Addr]int{"h1": 5, "h2": 1, "h3": 3}
+	metas := make([]proto.TaskMeta, n)
+	for i := range metas {
+		metas[i] = meta(fmt.Sprintf("t%03d", i))
+	}
+	a, err := NewAuctioneer(ms, metas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.Start()); got != len(ms)*n {
+		t.Fatalf("Start emitted %d messages, want %d", got, len(ms)*n)
+	}
+
+	now := t0
+	deadline := t0.Add(time.Hour)
+	var decisions []Decision
+	for _, m := range ms {
+		for i := range metas {
+			decisions = append(decisions, a.HandleBid(m, bid(
+				string(metas[i].Task), services[m], 0.5, deadline), now)...)
+		}
+	}
+	if !a.Done() || a.Open() != 0 {
+		t.Fatalf("auction not done: open = %d", a.Open())
+	}
+	if len(decisions) != n {
+		t.Fatalf("decisions = %d, want %d", len(decisions), n)
+	}
+	seen := make(map[model.TaskID]bool, n)
+	for _, d := range decisions {
+		if d.Failed() || d.Winner != "h2" {
+			t.Fatalf("decision %+v, want winner h2", d)
+		}
+		if seen[d.Task] {
+			t.Fatalf("task %q decided twice", d.Task)
+		}
+		seen[d.Task] = true
+	}
+	allocs := a.Allocations()
+	if len(allocs) != n {
+		t.Fatalf("Allocations = %d entries, want %d", len(allocs), n)
+	}
+	for _, m := range metas {
+		if allocs[m.Task] != "h2" {
+			t.Fatalf("task %q allocated to %q, want h2", m.Task, allocs[m.Task])
+		}
+	}
+	if failed := a.FailedTasks(); len(failed) != 0 {
+		t.Fatalf("FailedTasks = %v", failed)
+	}
 }
 
 func TestNewAuctioneerValidation(t *testing.T) {

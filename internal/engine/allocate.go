@@ -95,8 +95,11 @@ func (m *Manager) allocate(ctx context.Context, wfID string, s spec.Spec, res *c
 		failedSet[t] = struct{}{}
 	}
 	// Tasks never decided (no bid, missing responses) also count failed.
+	// Allocations rebuilds the winners map, so take it once for the whole
+	// sweep rather than once per task.
+	won := auc.Allocations()
 	for _, meta := range metas {
-		if _, won := auc.Allocations()[meta.Task]; !won {
+		if _, ok := won[meta.Task]; !ok {
 			failedSet[meta.Task] = struct{}{}
 		}
 	}
@@ -120,6 +123,16 @@ func (m *Manager) allocate(ctx context.Context, wfID string, s spec.Spec, res *c
 				m.compensate(wfID, plan)
 				return nil, nil, ctx.Err()
 			}
+			// The call failed without the context being canceled (a
+			// timeout or a lost ack). The award itself may still have
+			// reached the winner, which would then hold a dead
+			// commitment blocking its schedule window while the task is
+			// replanned elsewhere — send a best-effort Cancel, exactly
+			// as the ctx-cancel path above compensates. Unlike
+			// compensate, ctx is still live here, so the send stays
+			// cancelable and cannot hang on the very peer that just
+			// failed to answer.
+			_ = m.net.Send(ctx, d.Winner, wfID, proto.Cancel{Task: d.Task})
 			failedSet[d.Task] = struct{}{}
 			m.cfg.Observer.taskDecided(wfID, d.Task, "")
 			continue

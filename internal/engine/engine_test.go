@@ -44,7 +44,11 @@ type fakeMember struct {
 	declineAll bool
 	// refuseAward makes the member nack awards.
 	refuseAward bool
-	services    int
+	// dropAwardAck makes the Award call itself fail (the award may have
+	// been delivered, but the ack never comes back — a lost-ack
+	// transport fault).
+	dropAwardAck bool
+	services     int
 }
 
 // fakeNet implements Messenger over scripted members, with no transport.
@@ -142,6 +146,9 @@ func (f *fakeNet) Call(ctx context.Context, to proto.Addr, workflow string, body
 			Deadline:        f.clk.Now().Add(window),
 		}, nil
 	case proto.Award:
+		if m.dropAwardAck {
+			return nil, fmt.Errorf("award ack from %q lost", to)
+		}
 		if m.refuseAward {
 			return proto.AwardAck{Task: b.Meta.Task, OK: false, Reason: "scripted refusal"}, nil
 		}
@@ -317,6 +324,38 @@ func TestInitiateReplansOnRefusedAward(t *testing.T) {
 	}
 	// No cancels is fine too if no award succeeded in the failed
 	// attempt; the liar refused its only award.
+}
+
+// TestLostAwardAckSendsCancel: when the Award call fails with a non-
+// context error (timeout, lost ack), the award may nevertheless have
+// reached the winner. The engine must send a best-effort Cancel so the
+// winner does not keep a dead commitment blocking its schedule window
+// while the task is replanned. (Regression: this path used to mark the
+// task failed without compensating.)
+func TestLostAwardAckSendsCancel(t *testing.T) {
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	net.add("peer", &fakeMember{
+		fragments:    []*model.Fragment{mkFrag(t, "only", "a", "g")},
+		capable:      map[model.TaskID]bool{"only": true},
+		dropAwardAck: true,
+		services:     1,
+	})
+	cfg := testConfig()
+	cfg.WindowRetries = 0
+	cfg.MaxReplans = 0
+	m := NewManager(net, cfg)
+	if _, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g"))); err == nil {
+		t.Fatal("Initiate succeeded although every award ack was lost")
+	}
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	for _, b := range net.sent {
+		if c, ok := b.(proto.Cancel); ok && c.Task == "only" {
+			return
+		}
+	}
+	t.Fatalf("no Cancel sent for the possibly-delivered award; sent = %v", net.sent)
 }
 
 func TestInitiateFailsAfterMaxReplans(t *testing.T) {

@@ -1,0 +1,810 @@
+// Hand-rolled binary wire codec (the default; see wire_binary.go /
+// wire_gob.go for the gob-oracle toggle).
+//
+// Frame layout, documented in DESIGN.md §"Wire format":
+//
+//	version byte (wireVersion)
+//	kind byte (one of the kind* constants, tagging the body type)
+//	From, To   string
+//	ReqID      uvarint
+//	Workflow   string
+//	body fields, in struct order
+//
+// Primitives: uvarint is unsigned LEB128 (encoding/binary layout); varint
+// is zigzag-encoded; string and []byte are uvarint length + raw bytes;
+// bool is one byte (0/1); float64 is 8 big-endian bytes of its IEEE 754
+// bits; time.Time is varint Unix seconds + uvarint nanoseconds (the
+// instant only — wall offset and monotonic readings do not survive the
+// wire, matching what the envelope consumers compare with time.Equal).
+// Slices and maps are uvarint count + elements; maps are encoded in
+// sorted key order so equal envelopes encode to identical bytes.
+//
+// Unlike gob, no type descriptors are transmitted and no reflection runs:
+// encoding a hot broadcast message (FragmentQuery, Bid) into a pooled
+// buffer performs zero allocations, and decoding performs a small
+// constant number (one copy of the frame as a string whose substrings
+// back every decoded string field, plus the envelope's slices).
+//
+// Decoding is defensive: every length and count is bounded by the bytes
+// remaining in the frame, unknown version/kind bytes and trailing garbage
+// are errors, and no input can make the decoder panic or allocate more
+// than O(len(frame)) (FuzzEnvelopeRoundTrip exercises this).
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"openwf/internal/model"
+	"openwf/internal/space"
+)
+
+// wireVersion is the first byte of every binary frame. Bump it when the
+// layout changes; decoders reject versions they do not understand.
+const wireVersion byte = 1
+
+// Body kind tags. The zero tag is invalid so an all-zero frame cannot
+// decode. Tags are wire contract: never renumber, only append.
+const (
+	kindInvalid byte = iota
+	kindFragmentQuery
+	kindFragmentReply
+	kindFeasibilityQuery
+	kindFeasibilityReply
+	kindCallForBids
+	kindBid
+	kindDecline
+	kindAward
+	kindAwardAck
+	kindCancel
+	kindPlanSegment
+	kindLabelTransfer
+	kindTaskDone
+	kindAck
+)
+
+// encodeBinary appends the binary encoding of env to buf.
+func encodeBinary(buf *bytes.Buffer, env Envelope) error {
+	if env.Body == nil {
+		return fmt.Errorf("encoding envelope: nil body")
+	}
+	e := encoder{buf: buf}
+	e.byte(wireVersion)
+	if err := e.body(env); err != nil {
+		return fmt.Errorf("encoding %s envelope: %w", env.Body.Kind(), err)
+	}
+	return nil
+}
+
+// encoder wraps the output buffer with varint scratch space so that
+// encoding performs no allocations of its own.
+type encoder struct {
+	buf     *bytes.Buffer
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) byte(b byte) { e.buf.WriteByte(b) }
+func (e *encoder) uint(v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.buf.Write(e.scratch[:n])
+}
+func (e *encoder) int(v int64) {
+	n := binary.PutVarint(e.scratch[:], v)
+	e.buf.Write(e.scratch[:n])
+}
+func (e *encoder) str(s string) {
+	e.uint(uint64(len(s)))
+	e.buf.WriteString(s)
+}
+func (e *encoder) bytes(b []byte) {
+	e.uint(uint64(len(b)))
+	e.buf.Write(b)
+}
+func (e *encoder) bool(v bool) {
+	if v {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+func (e *encoder) f64(v float64) {
+	binary.BigEndian.PutUint64(e.scratch[:8], math.Float64bits(v))
+	e.buf.Write(e.scratch[:8])
+}
+
+// time encodes the instant: varint Unix seconds plus uvarint nanoseconds.
+func (e *encoder) time(t time.Time) {
+	e.int(t.Unix())
+	e.uint(uint64(t.Nanosecond()))
+}
+
+func (e *encoder) labels(ls []model.LabelID) {
+	e.uint(uint64(len(ls)))
+	for _, l := range ls {
+		e.str(string(l))
+	}
+}
+
+func (e *encoder) taskIDs(ts []model.TaskID) {
+	e.uint(uint64(len(ts)))
+	for _, t := range ts {
+		e.str(string(t))
+	}
+}
+
+func (e *encoder) task(t model.Task) {
+	e.str(string(t.ID))
+	e.uint(uint64(t.Mode))
+	e.labels(t.Inputs)
+	e.labels(t.Outputs)
+}
+
+func (e *encoder) fragment(f *model.Fragment) error {
+	if f == nil {
+		return errors.New("nil fragment") // gob rejects nil pointers too
+	}
+	e.str(f.Name)
+	e.uint(uint64(len(f.Tasks)))
+	for _, t := range f.Tasks {
+		e.task(t)
+	}
+	return nil
+}
+
+func (e *encoder) point(p space.Point) {
+	e.f64(p.X)
+	e.f64(p.Y)
+}
+
+func (e *encoder) meta(m TaskMeta) {
+	e.str(string(m.Task))
+	e.uint(uint64(m.Mode))
+	e.labels(m.Inputs)
+	e.labels(m.Outputs)
+	e.time(m.Start)
+	e.time(m.End)
+	e.point(m.Location)
+	e.bool(m.HasLocation)
+}
+
+// body writes the kind tag, envelope header, and body fields.
+func (e *encoder) body(env Envelope) error {
+	switch v := env.Body.(type) {
+	case FragmentQuery:
+		e.header(kindFragmentQuery, env)
+		e.labels(v.Labels)
+	case FragmentReply:
+		e.header(kindFragmentReply, env)
+		e.uint(uint64(len(v.Fragments)))
+		for _, f := range v.Fragments {
+			if err := e.fragment(f); err != nil {
+				return err
+			}
+		}
+	case FeasibilityQuery:
+		e.header(kindFeasibilityQuery, env)
+		e.taskIDs(v.Tasks)
+	case FeasibilityReply:
+		e.header(kindFeasibilityReply, env)
+		e.taskIDs(v.Capable)
+	case CallForBids:
+		e.header(kindCallForBids, env)
+		e.meta(v.Meta)
+	case Bid:
+		e.header(kindBid, env)
+		e.str(string(v.Task))
+		e.int(int64(v.ServicesOffered))
+		e.f64(v.Specialization)
+		e.time(v.Deadline)
+	case Decline:
+		e.header(kindDecline, env)
+		e.str(string(v.Task))
+	case Award:
+		e.header(kindAward, env)
+		e.meta(v.Meta)
+	case AwardAck:
+		e.header(kindAwardAck, env)
+		e.str(string(v.Task))
+		e.bool(v.OK)
+		e.str(v.Reason)
+	case Cancel:
+		e.header(kindCancel, env)
+		e.str(string(v.Task))
+	case PlanSegment:
+		e.header(kindPlanSegment, env)
+		e.str(string(v.Task))
+		e.str(string(v.Initiator))
+		e.inputSources(v.InputSources)
+		e.outputSinks(v.OutputSinks)
+	case LabelTransfer:
+		e.header(kindLabelTransfer, env)
+		e.str(string(v.Label))
+		e.bytes(v.Data)
+		e.str(string(v.Producer))
+	case TaskDone:
+		e.header(kindTaskDone, env)
+		e.str(string(v.Task))
+		e.str(v.Err)
+	case Ack:
+		e.header(kindAck, env)
+	default:
+		return fmt.Errorf("unregistered body type %T", env.Body)
+	}
+	return nil
+}
+
+// header writes the kind tag and the envelope routing fields.
+func (e *encoder) header(kind byte, env Envelope) {
+	e.byte(kind)
+	e.str(string(env.From))
+	e.str(string(env.To))
+	e.uint(env.ReqID)
+	e.str(env.Workflow)
+}
+
+// inputSources encodes map[LabelID]Addr in sorted key order.
+func (e *encoder) inputSources(m map[model.LabelID]Addr) {
+	keys := make([]model.LabelID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.uint(uint64(len(keys)))
+	for _, k := range keys {
+		e.str(string(k))
+		e.str(string(m[k]))
+	}
+}
+
+// outputSinks encodes map[LabelID][]Addr in sorted key order.
+func (e *encoder) outputSinks(m map[model.LabelID][]Addr) {
+	keys := make([]model.LabelID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.uint(uint64(len(keys)))
+	for _, k := range keys {
+		e.str(string(k))
+		addrs := m[k]
+		e.uint(uint64(len(addrs)))
+		for _, a := range addrs {
+			e.str(string(a))
+		}
+	}
+}
+
+// --- decoding ---
+
+var (
+	errTruncated = errors.New("truncated frame")
+	errCorrupt   = errors.New("corrupt frame")
+)
+
+// cloneThreshold bounds the substring-sharing optimization below: above
+// it, decoded strings are cloned so a small retained field (a label used
+// as a map key, say) cannot pin a frame-sized backing array — a
+// LabelTransfer frame may approach maxFrame, while its Label is bytes.
+const cloneThreshold = 4 << 10
+
+// decodeBinary decodes a frame produced by encodeBinary. It fully copies:
+// nothing in the returned envelope aliases data, so callers may recycle
+// the input buffer immediately (the transports' read paths rely on this;
+// TestDecodeCopiesInput asserts it).
+func decodeBinary(data []byte) (Envelope, error) {
+	// One copy of the whole frame as an immutable string; every decoded
+	// string field is a substring sharing its backing array. This is what
+	// keeps decode at a small constant number of allocations while
+	// guaranteeing the copy property above. Large frames trade those
+	// saved allocations for per-string clones instead (cloneThreshold).
+	d := decoder{s: string(data), clone: len(data) > cloneThreshold}
+	env, err := d.envelope()
+	if err != nil {
+		return Envelope{}, fmt.Errorf("decoding envelope: %w", err)
+	}
+	if d.pos != len(d.s) {
+		return Envelope{}, fmt.Errorf("decoding envelope: %w: %d trailing bytes", errCorrupt, len(d.s)-d.pos)
+	}
+	return env, nil
+}
+
+type decoder struct {
+	s   string
+	pos int
+	// clone makes str return copies instead of substrings of s, so no
+	// decoded field keeps a large frame's backing array alive.
+	clone bool
+}
+
+// rem returns how many bytes remain; counts and lengths are bounded by it
+// so corrupt frames cannot trigger large allocations.
+func (d *decoder) rem() int { return len(d.s) - d.pos }
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.s) {
+		return 0, errTruncated
+	}
+	b := d.s[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) uint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		b, err := d.byte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if shift == 63 && b > 1 {
+				return 0, fmt.Errorf("%w: uvarint overflow", errCorrupt)
+			}
+			return v | uint64(b)<<shift, nil
+		}
+		v |= uint64(b&0x7f) << shift
+	}
+	return 0, fmt.Errorf("%w: uvarint too long", errCorrupt)
+}
+
+func (d *decoder) int() (int64, error) {
+	u, err := d.uint()
+	if err != nil {
+		return 0, err
+	}
+	v := int64(u >> 1)
+	if u&1 != 0 {
+		v = ^v
+	}
+	return v, nil
+}
+
+// count reads a collection length, bounded by the remaining bytes (every
+// element occupies at least one byte on the wire).
+func (d *decoder) count() (int, error) {
+	n, err := d.uint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(d.rem()) {
+		return 0, fmt.Errorf("%w: count %d exceeds %d remaining bytes", errCorrupt, n, d.rem())
+	}
+	return int(n), nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.count()
+	if err != nil {
+		return "", err
+	}
+	s := d.s[d.pos : d.pos+n]
+	d.pos += n
+	if d.clone {
+		s = strings.Clone(s)
+	}
+	return s, nil
+}
+
+// bytes returns a fresh copy (a []byte must not alias the frame string).
+// It reads the raw substring directly — the []byte conversion is already
+// the copy, so the clone mode's extra string copy would be wasted work on
+// exactly the large payloads that trigger it.
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	s := d.s[d.pos : d.pos+n]
+	d.pos += n
+	return []byte(s), nil
+}
+
+func (d *decoder) bool() (bool, error) {
+	b, err := d.byte()
+	if err != nil {
+		return false, err
+	}
+	switch b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: bool byte %d", errCorrupt, b)
+	}
+}
+
+func (d *decoder) f64() (float64, error) {
+	if d.rem() < 8 {
+		return 0, errTruncated
+	}
+	bits := uint64(0)
+	for i := 0; i < 8; i++ {
+		bits = bits<<8 | uint64(d.s[d.pos+i])
+	}
+	d.pos += 8
+	return math.Float64frombits(bits), nil
+}
+
+func (d *decoder) time() (time.Time, error) {
+	sec, err := d.int()
+	if err != nil {
+		return time.Time{}, err
+	}
+	nsec, err := d.uint()
+	if err != nil {
+		return time.Time{}, err
+	}
+	if nsec > 999_999_999 {
+		return time.Time{}, fmt.Errorf("%w: %d nanoseconds", errCorrupt, nsec)
+	}
+	return time.Unix(sec, int64(nsec)), nil
+}
+
+// labels decodes a label list; zero count yields nil, like gob leaving a
+// slice field untouched.
+func (d *decoder) labels() ([]model.LabelID, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]model.LabelID, n)
+	for i := range out {
+		s, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = model.LabelID(s)
+	}
+	return out, nil
+}
+
+func (d *decoder) taskIDs() ([]model.TaskID, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]model.TaskID, n)
+	for i := range out {
+		s, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = model.TaskID(s)
+	}
+	return out, nil
+}
+
+func (d *decoder) task() (model.Task, error) {
+	var t model.Task
+	id, err := d.str()
+	if err != nil {
+		return t, err
+	}
+	mode, err := d.uint()
+	if err != nil {
+		return t, err
+	}
+	if t.Inputs, err = d.labels(); err != nil {
+		return t, err
+	}
+	if t.Outputs, err = d.labels(); err != nil {
+		return t, err
+	}
+	t.ID = model.TaskID(id)
+	t.Mode = model.Mode(mode)
+	return t, nil
+}
+
+func (d *decoder) fragment() (*model.Fragment, error) {
+	name, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	f := &model.Fragment{Name: name}
+	if n > 0 {
+		f.Tasks = make([]model.Task, n)
+		for i := range f.Tasks {
+			if f.Tasks[i], err = d.task(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+func (d *decoder) point() (space.Point, error) {
+	var p space.Point
+	var err error
+	if p.X, err = d.f64(); err != nil {
+		return p, err
+	}
+	p.Y, err = d.f64()
+	return p, err
+}
+
+func (d *decoder) meta() (TaskMeta, error) {
+	var m TaskMeta
+	task, err := d.str()
+	if err != nil {
+		return m, err
+	}
+	mode, err := d.uint()
+	if err != nil {
+		return m, err
+	}
+	if m.Inputs, err = d.labels(); err != nil {
+		return m, err
+	}
+	if m.Outputs, err = d.labels(); err != nil {
+		return m, err
+	}
+	if m.Start, err = d.time(); err != nil {
+		return m, err
+	}
+	if m.End, err = d.time(); err != nil {
+		return m, err
+	}
+	if m.Location, err = d.point(); err != nil {
+		return m, err
+	}
+	if m.HasLocation, err = d.bool(); err != nil {
+		return m, err
+	}
+	m.Task = model.TaskID(task)
+	m.Mode = model.Mode(mode)
+	return m, nil
+}
+
+func (d *decoder) envelope() (Envelope, error) {
+	var env Envelope
+	version, err := d.byte()
+	if err != nil {
+		return env, err
+	}
+	if version != wireVersion {
+		return env, fmt.Errorf("%w: wire version %d (want %d)", errCorrupt, version, wireVersion)
+	}
+	kind, err := d.byte()
+	if err != nil {
+		return env, err
+	}
+	from, err := d.str()
+	if err != nil {
+		return env, err
+	}
+	to, err := d.str()
+	if err != nil {
+		return env, err
+	}
+	if env.ReqID, err = d.uint(); err != nil {
+		return env, err
+	}
+	if env.Workflow, err = d.str(); err != nil {
+		return env, err
+	}
+	env.From, env.To = Addr(from), Addr(to)
+	env.Body, err = d.body(kind)
+	return env, err
+}
+
+func (d *decoder) body(kind byte) (Body, error) {
+	switch kind {
+	case kindFragmentQuery:
+		labels, err := d.labels()
+		if err != nil {
+			return nil, err
+		}
+		return FragmentQuery{Labels: labels}, nil
+	case kindFragmentReply:
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		var frags []*model.Fragment
+		if n > 0 {
+			frags = make([]*model.Fragment, n)
+			for i := range frags {
+				if frags[i], err = d.fragment(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return FragmentReply{Fragments: frags}, nil
+	case kindFeasibilityQuery:
+		tasks, err := d.taskIDs()
+		if err != nil {
+			return nil, err
+		}
+		return FeasibilityQuery{Tasks: tasks}, nil
+	case kindFeasibilityReply:
+		capable, err := d.taskIDs()
+		if err != nil {
+			return nil, err
+		}
+		return FeasibilityReply{Capable: capable}, nil
+	case kindCallForBids:
+		meta, err := d.meta()
+		if err != nil {
+			return nil, err
+		}
+		return CallForBids{Meta: meta}, nil
+	case kindBid:
+		var b Bid
+		task, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		services, err := d.int()
+		if err != nil {
+			return nil, err
+		}
+		if b.Specialization, err = d.f64(); err != nil {
+			return nil, err
+		}
+		if b.Deadline, err = d.time(); err != nil {
+			return nil, err
+		}
+		b.Task = model.TaskID(task)
+		b.ServicesOffered = int(services)
+		return b, nil
+	case kindDecline:
+		task, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		return Decline{Task: model.TaskID(task)}, nil
+	case kindAward:
+		meta, err := d.meta()
+		if err != nil {
+			return nil, err
+		}
+		return Award{Meta: meta}, nil
+	case kindAwardAck:
+		var a AwardAck
+		task, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		if a.OK, err = d.bool(); err != nil {
+			return nil, err
+		}
+		if a.Reason, err = d.str(); err != nil {
+			return nil, err
+		}
+		a.Task = model.TaskID(task)
+		return a, nil
+	case kindCancel:
+		task, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		return Cancel{Task: model.TaskID(task)}, nil
+	case kindPlanSegment:
+		var p PlanSegment
+		task, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		initiator, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		if p.InputSources, err = d.inputSources(); err != nil {
+			return nil, err
+		}
+		if p.OutputSinks, err = d.outputSinks(); err != nil {
+			return nil, err
+		}
+		p.Task = model.TaskID(task)
+		p.Initiator = Addr(initiator)
+		return p, nil
+	case kindLabelTransfer:
+		var l LabelTransfer
+		label, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		if l.Data, err = d.bytes(); err != nil {
+			return nil, err
+		}
+		producer, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		l.Label = model.LabelID(label)
+		l.Producer = Addr(producer)
+		return l, nil
+	case kindTaskDone:
+		var t TaskDone
+		task, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		if t.Err, err = d.str(); err != nil {
+			return nil, err
+		}
+		t.Task = model.TaskID(task)
+		return t, nil
+	case kindAck:
+		return Ack{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown body kind %d", errCorrupt, kind)
+	}
+}
+
+func (d *decoder) inputSources() (map[model.LabelID]Addr, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make(map[model.LabelID]Addr, n)
+	for i := 0; i < n; i++ {
+		k, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		out[model.LabelID(k)] = Addr(v)
+	}
+	return out, nil
+}
+
+func (d *decoder) outputSinks() (map[model.LabelID][]Addr, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make(map[model.LabelID][]Addr, n)
+	for i := 0; i < n; i++ {
+		k, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		m, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		var addrs []Addr
+		if m > 0 {
+			addrs = make([]Addr, m)
+			for j := range addrs {
+				a, err := d.str()
+				if err != nil {
+					return nil, err
+				}
+				addrs[j] = Addr(a)
+			}
+		}
+		out[model.LabelID(k)] = addrs
+	}
+	return out, nil
+}

@@ -1,0 +1,618 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"openwf/internal/model"
+	"openwf/internal/space"
+)
+
+// binEncode/binDecode target the binary codec directly so every test in
+// this file exercises it even under the `protogob` build (where
+// Encode/Decode route to the gob oracle).
+func binEncode(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := encodeBinary(&buf, env); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func binDecode(data []byte) (Envelope, error) { return decodeBinary(data) }
+
+// --- semantic envelope equality ---
+//
+// The binary codec and the gob oracle must agree on *meaning*, not bytes:
+// nil and empty collections are interchangeable (gob does not transmit
+// empty fields), times compare as instants (wall offset and monotonic
+// readings do not survive either wire), and floats compare bitwise so NaN
+// payloads round-trip.
+
+func envEqual(a, b Envelope) bool {
+	if a.From != b.From || a.To != b.To || a.ReqID != b.ReqID || a.Workflow != b.Workflow {
+		return false
+	}
+	return bodyEqual(a.Body, b.Body)
+}
+
+func bodyEqual(a, b Body) bool {
+	switch av := a.(type) {
+	case FragmentQuery:
+		bv, ok := b.(FragmentQuery)
+		return ok && labelsEq(av.Labels, bv.Labels)
+	case FragmentReply:
+		bv, ok := b.(FragmentReply)
+		if !ok || len(av.Fragments) != len(bv.Fragments) {
+			return false
+		}
+		for i := range av.Fragments {
+			if !fragEq(av.Fragments[i], bv.Fragments[i]) {
+				return false
+			}
+		}
+		return true
+	case FeasibilityQuery:
+		bv, ok := b.(FeasibilityQuery)
+		return ok && taskIDsEq(av.Tasks, bv.Tasks)
+	case FeasibilityReply:
+		bv, ok := b.(FeasibilityReply)
+		return ok && taskIDsEq(av.Capable, bv.Capable)
+	case CallForBids:
+		bv, ok := b.(CallForBids)
+		return ok && metaEq(av.Meta, bv.Meta)
+	case Bid:
+		bv, ok := b.(Bid)
+		return ok && av.Task == bv.Task && av.ServicesOffered == bv.ServicesOffered &&
+			f64Eq(av.Specialization, bv.Specialization) && av.Deadline.Equal(bv.Deadline)
+	case Decline:
+		bv, ok := b.(Decline)
+		return ok && av.Task == bv.Task
+	case Award:
+		bv, ok := b.(Award)
+		return ok && metaEq(av.Meta, bv.Meta)
+	case AwardAck:
+		bv, ok := b.(AwardAck)
+		return ok && av == bv
+	case Cancel:
+		bv, ok := b.(Cancel)
+		return ok && av.Task == bv.Task
+	case PlanSegment:
+		bv, ok := b.(PlanSegment)
+		if !ok || av.Task != bv.Task || av.Initiator != bv.Initiator {
+			return false
+		}
+		if len(av.InputSources) != len(bv.InputSources) || len(av.OutputSinks) != len(bv.OutputSinks) {
+			return false
+		}
+		for k, v := range av.InputSources {
+			if bv.InputSources[k] != v {
+				return false
+			}
+		}
+		for k, v := range av.OutputSinks {
+			bvv, ok := bv.OutputSinks[k]
+			if !ok || len(v) != len(bvv) {
+				return false
+			}
+			for i := range v {
+				if v[i] != bvv[i] {
+					return false
+				}
+			}
+		}
+		return true
+	case LabelTransfer:
+		bv, ok := b.(LabelTransfer)
+		return ok && av.Label == bv.Label && av.Producer == bv.Producer &&
+			bytes.Equal(av.Data, bv.Data)
+	case TaskDone:
+		bv, ok := b.(TaskDone)
+		return ok && av == bv
+	case Ack:
+		_, ok := b.(Ack)
+		return ok
+	default:
+		return false
+	}
+}
+
+func labelsEq(a, b []model.LabelID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func taskIDsEq(a, b []model.TaskID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func f64Eq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func fragEq(a, b *model.Fragment) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Name != b.Name || len(a.Tasks) != len(b.Tasks) {
+		return false
+	}
+	for i := range a.Tasks {
+		at, bt := a.Tasks[i], b.Tasks[i]
+		if at.ID != bt.ID || at.Mode != bt.Mode ||
+			!labelsEq(at.Inputs, bt.Inputs) || !labelsEq(at.Outputs, bt.Outputs) {
+			return false
+		}
+	}
+	return true
+}
+
+func metaEq(a, b TaskMeta) bool {
+	return a.Task == b.Task && a.Mode == b.Mode &&
+		labelsEq(a.Inputs, b.Inputs) && labelsEq(a.Outputs, b.Outputs) &&
+		a.Start.Equal(b.Start) && a.End.Equal(b.End) &&
+		f64Eq(a.Location.X, b.Location.X) && f64Eq(a.Location.Y, b.Location.Y) &&
+		a.HasLocation == b.HasLocation
+}
+
+// --- randomized envelope generation ---
+
+func randString(rng *rand.Rand, maxLen int) string {
+	n := rng.Intn(maxLen + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256)) // arbitrary bytes, not just printable
+	}
+	return string(b)
+}
+
+func randLabels(rng *rand.Rand) []model.LabelID {
+	n := rng.Intn(5)
+	if n == 0 {
+		return nil
+	}
+	out := make([]model.LabelID, n)
+	for i := range out {
+		out[i] = model.LabelID(randString(rng, 24))
+	}
+	return out
+}
+
+func randTaskIDs(rng *rand.Rand) []model.TaskID {
+	n := rng.Intn(5)
+	if n == 0 {
+		return nil
+	}
+	out := make([]model.TaskID, n)
+	for i := range out {
+		out[i] = model.TaskID(randString(rng, 24))
+	}
+	return out
+}
+
+func randTime(rng *rand.Rand) time.Time {
+	if rng.Intn(8) == 0 {
+		return time.Time{}
+	}
+	return time.Unix(rng.Int63n(1<<40)-(1<<39), rng.Int63n(1e9))
+}
+
+func randFloat(rng *rand.Rand) float64 {
+	switch rng.Intn(6) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return math.Inf(-1)
+	case 3:
+		return 0
+	default:
+		return rng.NormFloat64() * 1e6
+	}
+}
+
+func randTask(rng *rand.Rand) model.Task {
+	return model.Task{
+		ID:      model.TaskID(randString(rng, 16)),
+		Mode:    model.Mode(rng.Intn(4)), // including invalid modes: the wire does not validate
+		Inputs:  randLabels(rng),
+		Outputs: randLabels(rng),
+	}
+}
+
+func randFragment(rng *rand.Rand) *model.Fragment {
+	f := &model.Fragment{Name: randString(rng, 16)}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		f.Tasks = append(f.Tasks, randTask(rng))
+	}
+	return f
+}
+
+func randMeta(rng *rand.Rand) TaskMeta {
+	return TaskMeta{
+		Task:        model.TaskID(randString(rng, 16)),
+		Mode:        model.Mode(rng.Intn(4)),
+		Inputs:      randLabels(rng),
+		Outputs:     randLabels(rng),
+		Start:       randTime(rng),
+		End:         randTime(rng),
+		Location:    space.Point{X: randFloat(rng), Y: randFloat(rng)},
+		HasLocation: rng.Intn(2) == 1,
+	}
+}
+
+func randBody(rng *rand.Rand) Body {
+	switch rng.Intn(14) {
+	case 0:
+		return FragmentQuery{Labels: randLabels(rng)}
+	case 1:
+		var frags []*model.Fragment
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			frags = append(frags, randFragment(rng))
+		}
+		return FragmentReply{Fragments: frags}
+	case 2:
+		return FeasibilityQuery{Tasks: randTaskIDs(rng)}
+	case 3:
+		return FeasibilityReply{Capable: randTaskIDs(rng)}
+	case 4:
+		return CallForBids{Meta: randMeta(rng)}
+	case 5:
+		return Bid{
+			Task:            model.TaskID(randString(rng, 16)),
+			ServicesOffered: rng.Intn(100) - 50,
+			Specialization:  randFloat(rng),
+			Deadline:        randTime(rng),
+		}
+	case 6:
+		return Decline{Task: model.TaskID(randString(rng, 16))}
+	case 7:
+		return Award{Meta: randMeta(rng)}
+	case 8:
+		return AwardAck{
+			Task:   model.TaskID(randString(rng, 16)),
+			OK:     rng.Intn(2) == 1,
+			Reason: randString(rng, 32),
+		}
+	case 9:
+		return Cancel{Task: model.TaskID(randString(rng, 16))}
+	case 10:
+		seg := PlanSegment{
+			Task:      model.TaskID(randString(rng, 16)),
+			Initiator: Addr(randString(rng, 12)),
+		}
+		if n := rng.Intn(4); n > 0 {
+			seg.InputSources = make(map[model.LabelID]Addr, n)
+			for i := 0; i < n; i++ {
+				seg.InputSources[model.LabelID(randString(rng, 12))] = Addr(randString(rng, 12))
+			}
+		}
+		if n := rng.Intn(4); n > 0 {
+			seg.OutputSinks = make(map[model.LabelID][]Addr, n)
+			for i := 0; i < n; i++ {
+				var addrs []Addr
+				for j, m := 0, rng.Intn(3); j < m; j++ {
+					addrs = append(addrs, Addr(randString(rng, 12)))
+				}
+				seg.OutputSinks[model.LabelID(randString(rng, 12))] = addrs
+			}
+		}
+		return seg
+	case 11:
+		var data []byte
+		if n := rng.Intn(64); n > 0 {
+			data = make([]byte, n)
+			rng.Read(data)
+		}
+		return LabelTransfer{
+			Label:    model.LabelID(randString(rng, 16)),
+			Data:     data,
+			Producer: Addr(randString(rng, 12)),
+		}
+	case 12:
+		return TaskDone{Task: model.TaskID(randString(rng, 16)), Err: randString(rng, 32)}
+	default:
+		return Ack{}
+	}
+}
+
+func randEnvelope(rng *rand.Rand) Envelope {
+	return Envelope{
+		From:     Addr(randString(rng, 12)),
+		To:       Addr(randString(rng, 12)),
+		ReqID:    rng.Uint64() >> uint(rng.Intn(64)),
+		Workflow: randString(rng, 20),
+		Body:     randBody(rng),
+	}
+}
+
+// TestDifferentialAgainstGob encodes and decodes thousands of randomized
+// envelopes through both the binary codec and the gob oracle and checks
+// that the two decoded envelopes are semantically identical — the binary
+// codec preserves exactly the information gob preserved.
+func TestDifferentialAgainstGob(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		env := randEnvelope(rng)
+
+		binData, err := binEncode(env)
+		if err != nil {
+			t.Fatalf("#%d binary binEncode(%+v): %v", i, env, err)
+		}
+		binEnv, err := binDecode(binData)
+		if err != nil {
+			t.Fatalf("#%d binary Decode: %v\nenvelope: %+v", i, err, env)
+		}
+
+		gobData, err := EncodeGob(env)
+		if err != nil {
+			t.Fatalf("#%d gob Encode: %v", i, err)
+		}
+		gobEnv, err := DecodeGob(gobData)
+		if err != nil {
+			t.Fatalf("#%d gob Decode: %v", i, err)
+		}
+
+		if !envEqual(binEnv, gobEnv) {
+			t.Fatalf("#%d codec disagreement\ninput: %+v\nbinary: %+v\ngob:    %+v",
+				i, env, binEnv, gobEnv)
+		}
+		if !envEqual(env, binEnv) {
+			t.Fatalf("#%d binary round trip lost information\ninput:  %+v\noutput: %+v",
+				i, env, binEnv)
+		}
+	}
+}
+
+// TestEncodeDeterministic pins that equal envelopes encode to identical
+// bytes (maps are written in sorted key order), which gob never promised.
+func TestEncodeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		env := randEnvelope(rng)
+		a, err := binEncode(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			b, err := binEncode(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("#%d nondeterministic encoding of %+v", i, env)
+			}
+		}
+	}
+}
+
+// TestDecodeCopiesInput asserts the property the transports' read-buffer
+// reuse depends on: nothing in a decoded envelope aliases the input
+// frame, so the caller may scribble over (or recycle) the buffer
+// immediately after Decode returns.
+func TestDecodeCopiesInput(t *testing.T) {
+	frag := model.MustFragment("f", model.Task{
+		ID: "cook", Mode: model.Conjunctive,
+		Inputs:  []model.LabelID{"ingredients"},
+		Outputs: []model.LabelID{"meal"},
+	})
+	envs := []Envelope{
+		{From: "a", To: "b", ReqID: 7, Workflow: "wf-9",
+			Body: FragmentQuery{Labels: []model.LabelID{"alpha", "beta"}}},
+		{From: "a", To: "b", Body: FragmentReply{Fragments: []*model.Fragment{frag}}},
+		{From: "x", To: "y", Body: LabelTransfer{
+			Label: "meal", Data: []byte{1, 2, 3, 4}, Producer: "x"}},
+		{From: "p", To: "q", Body: PlanSegment{
+			Task: "cook", Initiator: "p",
+			InputSources: map[model.LabelID]Addr{"ingredients": "p"},
+			OutputSinks:  map[model.LabelID][]Addr{"meal": {"q"}}}},
+	}
+	for _, env := range envs {
+		t.Run(env.Body.Kind(), func(t *testing.T) {
+			data, err := binEncode(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := binDecode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Scribble over every byte of the frame, as a reused read
+			// buffer would.
+			for i := range data {
+				data[i] = 0xAA
+			}
+			if !envEqual(env, got) {
+				t.Fatalf("decoded envelope changed after input was overwritten:\nwant %+v\ngot  %+v", env, got)
+			}
+		})
+	}
+}
+
+// TestDecodeLargeFrameClonesStrings exercises the decoder's clone mode:
+// above cloneThreshold, string fields are copied out of the frame string
+// instead of substring-shared, so a retained few-byte label cannot pin a
+// frame-sized backing array. The round trip must be lossless either way,
+// and the small label must not carry frame-sized memory.
+func TestDecodeLargeFrameClonesStrings(t *testing.T) {
+	data := make([]byte, cloneThreshold*4)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	env := Envelope{
+		From: "a", To: "b", ReqID: 9, Workflow: "wf",
+		Body: LabelTransfer{Label: "tiny-label", Data: data, Producer: "a"},
+	}
+	frame, err := binEncode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) <= cloneThreshold {
+		t.Fatalf("frame too small (%d bytes) to exercise clone mode", len(frame))
+	}
+	got, err := binDecode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !envEqual(env, got) {
+		t.Fatalf("large-frame round trip lost information")
+	}
+
+	// Retain only the tiny labels of many decoded large frames: if each
+	// label still pinned its frame's backing string, the reachable heap
+	// would grow by ~totalFrames bytes; with cloning it stays tiny.
+	const frames = 100
+	totalFrames := uint64(len(frame)) * frames
+	labels := make([]model.LabelID, 0, frames)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < frames; i++ {
+		e, err := binDecode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels = append(labels, e.Body.(LabelTransfer).Label)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	growth := after.HeapAlloc - min(after.HeapAlloc, before.HeapAlloc)
+	if growth > totalFrames/4 {
+		t.Fatalf("retaining %d small labels kept %d bytes reachable (frames total %d): labels pin their frames",
+			len(labels), growth, totalFrames)
+	}
+	runtime.KeepAlive(labels)
+}
+
+// TestDecodeRejectsCorruptFrames drives the decoder through systematic
+// corruption: truncation at every length, trailing garbage, a wrong
+// version byte, and an unknown kind tag. Every case must error, never
+// panic.
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	env := Envelope{
+		From: "a", To: "b", ReqID: 99, Workflow: "wf",
+		Body: FragmentQuery{Labels: []model.LabelID{"x", "y"}},
+	}
+	data, err := binEncode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for n := 0; n < len(data); n++ {
+		if _, err := binDecode(data[:n]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	if _, err := binDecode(append(append([]byte(nil), data...), 0x01)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = wireVersion + 1
+	if _, err := binDecode(bad); err == nil {
+		t.Error("wrong version byte accepted")
+	}
+	bad = append([]byte(nil), data...)
+	bad[1] = 200 // unknown kind
+	if _, err := binDecode(bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Random mutations: any outcome but a panic is fine; decoded-OK
+	// frames must re-encode and re-decode stably.
+	for i := 0; i < 2000; i++ {
+		mut := append([]byte(nil), data...)
+		for j, flips := 0, 1+rng.Intn(4); j < flips; j++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		got, err := binDecode(mut)
+		if err != nil {
+			continue
+		}
+		re, err := binEncode(got)
+		if err != nil {
+			t.Fatalf("decoded-from-mutation envelope failed to re-encode: %v\n%+v", err, got)
+		}
+		got2, err := binDecode(re)
+		if err != nil || !envEqual(got, got2) {
+			t.Fatalf("mutation survivor unstable: %v\nfirst:  %+v\nsecond: %+v", err, got, got2)
+		}
+	}
+	// A huge count must not cause a huge allocation: craft a frame whose
+	// label count claims 2^40 entries.
+	var buf bytes.Buffer
+	e := encoder{buf: &buf}
+	e.byte(wireVersion)
+	e.header(kindFragmentQuery, Envelope{From: "a", To: "b"})
+	e.uint(1 << 40)
+	if _, err := binDecode(buf.Bytes()); err == nil {
+		t.Error("absurd count accepted")
+	}
+}
+
+// TestWireFormatGolden pins the byte layout of a representative frame so
+// accidental format changes (which would break mixed-version communities)
+// fail loudly. Update the constant only with a wireVersion bump.
+func TestWireFormatGolden(t *testing.T) {
+	env := Envelope{
+		From: "a1", To: "b2", ReqID: 300, Workflow: "wf",
+		Body: FragmentQuery{Labels: []model.LabelID{"x", "yz"}},
+	}
+	data, err := binEncode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "01" + // version
+		"01" + // kind: fragment-query
+		"026131" + // From "a1"
+		"026232" + // To "b2"
+		"ac02" + // ReqID 300
+		"027766" + // Workflow "wf"
+		"02" + // 2 labels
+		"0178" + // "x"
+		"02797a" // "yz"
+	if got := hex.EncodeToString(data); got != want {
+		t.Fatalf("wire bytes changed:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestEncodeRejectsNilFragment matches gob, which cannot encode nil
+// pointers: a FragmentReply carrying a nil *Fragment is a local error,
+// not a wire frame.
+func TestEncodeRejectsNilFragment(t *testing.T) {
+	_, err := binEncode(Envelope{From: "a", To: "b", Body: FragmentReply{
+		Fragments: []*model.Fragment{nil},
+	}})
+	if err == nil {
+		t.Fatal("nil fragment encoded")
+	}
+}
+
+// TestEncodeRejectsNilBody pins the nil-body error on the encode side
+// (Decode can never produce a nil body: every kind tag maps to a value).
+func TestEncodeRejectsNilBody(t *testing.T) {
+	if _, err := binEncode(Envelope{From: "a", To: "b"}); err == nil {
+		t.Fatal("nil body encoded")
+	}
+}

@@ -228,12 +228,18 @@ var bodies = []Body{
 func init() {
 	// gob requires concrete types carried in interface fields to be
 	// registered; an encoding registry is the conventional use of init.
+	// The registry stays even though the hand-rolled binary codec is the
+	// default wire format: gob remains available as the correctness
+	// oracle (EncodeGob/DecodeGob, and the whole wire under the
+	// `protogob` build tag — see wire_binary.go / wire_gob.go).
 	for _, b := range bodies {
 		gob.Register(b)
 	}
 }
 
-// Encode serializes an envelope with gob.
+// Encode serializes an envelope with the wire codec (the hand-rolled
+// binary format documented in codec.go and DESIGN.md, or gob when built
+// with the `protogob` tag).
 func Encode(env Envelope) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := EncodeTo(&buf, env); err != nil {
@@ -242,19 +248,56 @@ func Encode(env Envelope) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// EncodeTo appends the gob encoding of env to buf. Transports that pool
-// encode buffers (a fresh gob stream per message, so encoders themselves
-// cannot be reused) call this with a recycled buffer to avoid the
-// per-envelope buffer growth of Encode.
+// EncodeTo appends the wire encoding of env to buf. Transports call this
+// with a pooled buffer: with the binary codec the encode path performs no
+// allocations of its own, so the per-envelope marshal cost is pure
+// byte-writing into the recycled backing array.
 func EncodeTo(buf *bytes.Buffer, env Envelope) error {
+	if gobWire {
+		return EncodeGobTo(buf, env)
+	}
+	return encodeBinary(buf, env)
+}
+
+// Decode deserializes an envelope encoded by Encode. The returned
+// envelope shares no memory with data: callers may reuse the input buffer
+// for the next frame immediately.
+func Decode(data []byte) (Envelope, error) {
+	if gobWire {
+		return DecodeGob(data)
+	}
+	return decodeBinary(data)
+}
+
+// EncodeGob serializes an envelope with gob — the previous wire format,
+// kept for one release as the correctness oracle for the binary codec
+// (differential and fuzz tests in codec_test.go decode both and compare).
+func EncodeGob(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeGobTo(&buf, env); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeGobTo appends the gob encoding of env to buf. Each envelope is an
+// independent gob stream (encoders cannot be pooled because type
+// descriptors must be retransmitted per message — the cost that motivated
+// the binary codec).
+func EncodeGobTo(buf *bytes.Buffer, env Envelope) error {
+	if env.Body == nil {
+		// Same clean error as the binary path; without the guard the
+		// failure formatting below would fault on env.Body.Kind().
+		return fmt.Errorf("encoding envelope: nil body")
+	}
 	if err := gob.NewEncoder(buf).Encode(env); err != nil {
 		return fmt.Errorf("encoding %s envelope: %w", env.Body.Kind(), err)
 	}
 	return nil
 }
 
-// Decode deserializes an envelope encoded by Encode.
-func Decode(data []byte) (Envelope, error) {
+// DecodeGob deserializes an envelope encoded by EncodeGob.
+func DecodeGob(data []byte) (Envelope, error) {
 	var env Envelope
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
 		return Envelope{}, fmt.Errorf("decoding envelope: %w", err)

@@ -1,0 +1,13 @@
+//go:build !protogob
+
+package proto
+
+// gobWire selects the wire format at build time. The default build uses
+// the hand-rolled binary codec (codec.go); building every host with
+//
+//	go build -tags protogob ./...
+//
+// reverts the whole wire to the previous gob format, kept for one release
+// as a correctness oracle and escape hatch. The two formats are not
+// interoperable on the wire, so a community must be built uniformly.
+const gobWire = false

@@ -1,0 +1,7 @@
+//go:build protogob
+
+package proto
+
+// gobWire: this build carries envelopes as gob streams (the pre-codec
+// wire format). See wire_binary.go for the default and the rationale.
+const gobWire = true

@@ -77,7 +77,7 @@ func WithClock(c clock.Clock) Option { return func(n *Network) { n.clock = c } }
 // lossless delivery).
 func WithLinkModel(m LinkModel) Option { return func(n *Network) { n.model = m } }
 
-// WithMarshal controls whether envelopes are gob-encoded on send and
+// WithMarshal controls whether envelopes are wire-encoded on send and
 // decoded on delivery (default true). Marshaling isolates endpoints from
 // shared mutable state and charges realistic serialization cost; disabling
 // it passes envelopes by value for maximum simulation throughput.
@@ -286,7 +286,7 @@ func (n *Network) Close() error {
 	return nil
 }
 
-// encPool recycles gob encode buffers across sends: the payload must be
+// encPool recycles encode buffers across sends: the payload must be
 // copied out (it is retained until delivery), but the pooled buffer's
 // grown backing array is reused, so steady-state broadcast traffic stops
 // churning the GC with per-envelope buffer growth.

@@ -2,7 +2,8 @@
 // sockets. It stands in for the paper's empirical configuration (four
 // laptops on an 802.11g ad hoc network): every host binds a loopback
 // listener, a registry maps community addresses to socket addresses, and
-// envelopes travel as length-prefixed gob frames. Unlike the simulated
+// envelopes travel as length-prefixed frames of proto's binary wire
+// codec (or gob under the `protogob` oracle build). Unlike the simulated
 // network it exercises real kernel sockets, framing, and scheduling.
 package tcpnet
 
@@ -237,6 +238,12 @@ func (t *Transport) readLoop(conn net.Conn) {
 		_ = conn.Close()
 	}()
 	var lenBuf [4]byte
+	// data is reused across frames instead of allocated per frame: the
+	// read loop is the only writer, and proto.Decode fully copies what it
+	// keeps (TestDecodeCopiesInput in internal/proto pins that property),
+	// so overwriting the buffer with the next frame cannot alias an
+	// envelope already handed to the handler.
+	var data []byte
 	for {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
 			return
@@ -245,7 +252,10 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if n == 0 || n > maxFrame {
 			return
 		}
-		data := make([]byte, n)
+		if uint32(cap(data)) < n {
+			data = make([]byte, n)
+		}
+		data = data[:n]
 		if _, err := io.ReadFull(conn, data); err != nil {
 			return
 		}

@@ -110,6 +110,52 @@ func TestOrderPreservedPerSender(t *testing.T) {
 	}
 }
 
+// TestReusedReadBufferDoesNotAlias sends a stream of frames with
+// distinct, differently-sized payloads down one connection. readLoop
+// reuses its frame buffer, so if proto.Decode ever kept a reference into
+// it, an earlier envelope's payload (or string fields) would be
+// overwritten by a later frame — the deep checks here would catch it.
+func TestReusedReadBufferDoesNotAlias(t *testing.T) {
+	ta, _, _, colB := pair(t)
+	const n = 200
+	payload := func(i int) []byte {
+		// Vary both content and length so a reused buffer shrinks and
+		// grows across frames.
+		p := make([]byte, 1+(i*7)%100)
+		for j := range p {
+			p[j] = byte(i + j)
+		}
+		return p
+	}
+	for i := 0; i < n; i++ {
+		if err := ta.Send(context.Background(), "b", proto.Envelope{
+			ReqID:    uint64(i),
+			Workflow: "wf",
+			Body: proto.LabelTransfer{
+				Label:    "lbl",
+				Data:     payload(i),
+				Producer: "a",
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := colB.waitN(t, n, 5*time.Second)
+	for i, env := range got {
+		lt, ok := env.Body.(proto.LabelTransfer)
+		if !ok {
+			t.Fatalf("message %d body = %T", i, env.Body)
+		}
+		if env.ReqID != uint64(i) || lt.Label != "lbl" || lt.Producer != "a" {
+			t.Fatalf("message %d mangled: %+v", i, env)
+		}
+		want := payload(i)
+		if string(lt.Data) != string(want) {
+			t.Fatalf("message %d payload corrupted:\ngot  %v\nwant %v", i, lt.Data, want)
+		}
+	}
+}
+
 func TestUnknownRecipientSilentLoss(t *testing.T) {
 	ta, _, _, _ := pair(t)
 	if err := ta.Send(context.Background(), "ghost", ping(1)); err != nil {
