@@ -21,6 +21,7 @@ import (
 	"openwf/internal/community"
 	"openwf/internal/core"
 	"openwf/internal/evalgen"
+	"openwf/internal/spec"
 )
 
 // benchPoint measures one (tasks, hosts, path length) grid point.
@@ -304,6 +305,56 @@ func BenchmarkConstructionAlgorithm(b *testing.B) {
 				b.StartTimer()
 				if _, err := core.Construct(g, s); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentInitiate — K allocation sessions multiplexed over
+// one initiator host on the modeled 802.11g medium (PR 4). The path is
+// latency-dominated, so the concurrent rows should approach the
+// inflight=1 batch time while serial grows linearly in K; ns/op is per
+// batch of K Initiates. The full serial-vs-concurrent grid lives in
+// cmd/benchjson (BENCH_PR4.json).
+func BenchmarkConcurrentInitiate(b *testing.B) {
+	for _, row := range []struct {
+		inflight int
+		serial   bool
+	}{
+		{1, false}, {4, true}, {4, false},
+	} {
+		mode := "concurrent"
+		if row.serial {
+			mode = "serial"
+		}
+		b.Run(fmt.Sprintf("inflight=%d/mode=%s", row.inflight, mode), func(b *testing.B) {
+			comm, hosts, pool, err := evalgen.ConcurrentInitiateSetup(5, 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer comm.Close()
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				comm.ResetSchedules()
+				batch := make([]spec.Spec, row.inflight)
+				for j := range batch {
+					batch[j] = pool[(i*row.inflight+j)%len(pool)]
+				}
+				b.StartTimer()
+				if row.serial {
+					for _, s := range batch {
+						if _, err := comm.Initiate(ctx, hosts[0], s); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					if _, err := comm.InitiateAll(ctx, hosts[0], batch); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		})

@@ -4,15 +4,17 @@
 // (ns/op, B/op, allocs/op) in a BENCH_PR<n>.json at the repo root, so
 // regressions are visible in review without re-running the full sweep.
 //
-//	go run ./cmd/benchjson -o BENCH_PR3.json
+//	go run ./cmd/benchjson -o BENCH_PR4.json
 //
 // The grid points mirror the root bench_test.go benchmarks that the
 // paper's evaluation (§5) pins: the pure construction algorithm at
 // supergraph sizes 25–500, the per-envelope marshal cost of the binary
 // wire codec against its gob oracle (PR 3), the broadcast knowhow-query
 // path over the modeled 802.11g medium, the cached workflow accessors
-// (PR 2), and the concurrent-construction grid (goroutines × supergraph
-// size) against a shared fragment store.
+// (PR 2), the concurrent-construction grid (goroutines × supergraph
+// size) against a shared fragment store, and the concurrent-allocation
+// grid (PR 4: K in-flight Initiates multiplexed over one host, serial
+// vs concurrent).
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"openwf/internal/evalgen"
 	"openwf/internal/model"
 	"openwf/internal/proto"
+	"openwf/internal/spec"
 )
 
 // result is one benchmark grid point.
@@ -99,7 +102,7 @@ func bidEnvelope() proto.Envelope {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR4.json", "output file (- for stdout)")
 	flag.Parse()
 
 	var results []result
@@ -323,6 +326,58 @@ func main() {
 				}
 				if plan.Workflow.NumTasks() != 8 {
 					b.Fatalf("workflow has %d tasks", plan.Workflow.NumTasks())
+				}
+			}
+		})
+	}
+
+	// Concurrent allocation sessions (PR 4): K Initiates multiplexed
+	// over one initiator host on the modeled 802.11g medium. The path is
+	// latency-dominated (pairwise solicitation, query rounds), so
+	// overlapping K sessions' waits is where the throughput comes from:
+	// mode=serial runs the batch back to back, mode=concurrent
+	// multiplexes it through Community.InitiateAll and the hosts'
+	// session dispatchers. ns/op is per batch of K, so the acceptance
+	// bar — ≥2x aggregate throughput at 4 in-flight — reads directly as
+	// serial/inflight=4 ns/op ≥ 2 × concurrent/inflight=4 ns/op.
+	for _, row := range []struct {
+		inflight int
+		serial   bool
+	}{
+		{1, false}, {2, false}, {4, true}, {4, false}, {8, false},
+	} {
+		row := row
+		mode := "concurrent"
+		if row.serial {
+			mode = "serial"
+		}
+		run(fmt.Sprintf("ConcurrentInitiate/hosts=5/inflight=%d/mode=%s", row.inflight, mode), func(b *testing.B) {
+			b.ReportAllocs()
+			comm, hostAddrs, pool, err := evalgen.ConcurrentInitiateSetup(5, 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer comm.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				comm.ResetSchedules()
+				batch := make([]spec.Spec, row.inflight)
+				for j := range batch {
+					batch[j] = pool[(i*row.inflight+j)%len(pool)]
+				}
+				b.StartTimer()
+				if row.serial {
+					for _, s := range batch {
+						if _, err := comm.Initiate(ctx, hostAddrs[0], s); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					if _, err := comm.InitiateAll(ctx, hostAddrs[0], batch); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		})

@@ -449,3 +449,96 @@ func TestParticipantBidWindowDefault(t *testing.T) {
 		t.Errorf("BidWindow = %v", p.BidWindow())
 	}
 }
+
+// --- Per-session participant state ---
+
+// metaAt builds task metadata with an explicit window, so concurrent
+// sessions can be given overlapping or disjoint slots.
+func metaAt(task string, start, end time.Time) proto.TaskMeta {
+	return proto.TaskMeta{
+		Task: model.TaskID(task), Mode: model.Conjunctive,
+		Start: start, End: end,
+	}
+}
+
+// TestParticipantSessionsAreIsolated: two workflows bid on disjoint
+// slots; canceling or expiring one session's bids never touches the
+// other's.
+func TestParticipantSessionsAreIsolated(t *testing.T) {
+	p, sim, sched := participant(schedule.Preferences{}, sreg("a", 0.5), sreg("b", 0.5))
+	if _, ok := p.HandleCallForBids("wf-1", proto.CallForBids{
+		Meta: metaAt("a", t0.Add(time.Hour), t0.Add(2*time.Hour)),
+	}).(proto.Bid); !ok {
+		t.Fatal("wf-1 bid refused")
+	}
+	if _, ok := p.HandleCallForBids("wf-2", proto.CallForBids{
+		Meta: metaAt("b", t0.Add(3*time.Hour), t0.Add(4*time.Hour)),
+	}).(proto.Bid); !ok {
+		t.Fatal("wf-2 bid refused")
+	}
+	if got := p.Sessions(); len(got) != 2 || got[0] != "wf-1" || got[1] != "wf-2" {
+		t.Fatalf("Sessions = %v", got)
+	}
+	if p.SessionBids("wf-1") != 1 || p.SessionBids("wf-2") != 1 {
+		t.Fatalf("session bids = %d/%d", p.SessionBids("wf-1"), p.SessionBids("wf-2"))
+	}
+	// Cancel wf-1's task: wf-2 untouched.
+	p.HandleCancel("wf-1", proto.Cancel{Task: "a"})
+	if p.SessionBids("wf-1") != 0 || p.SessionBids("wf-2") != 1 || sched.Holds() != 1 {
+		t.Fatalf("after cancel: wf-1=%d wf-2=%d holds=%d",
+			p.SessionBids("wf-1"), p.SessionBids("wf-2"), sched.Holds())
+	}
+	// Expire past every deadline: wf-2's bookkeeping drains with the
+	// schedule manager's holds.
+	sim.Advance(time.Minute)
+	if n := p.ExpireHolds(); n != 1 {
+		t.Fatalf("ExpireHolds released %d, want 1", n)
+	}
+	if len(p.Sessions()) != 0 || sched.Holds() != 0 {
+		t.Fatalf("sessions = %v, holds = %d after expiry", p.Sessions(), sched.Holds())
+	}
+}
+
+// TestParticipantSecondSessionCleanDecline: when an earlier session
+// holds the slot, a later session's call for bids gets a Decline and no
+// session state — first-hold-wins surfaces as a clean refusal.
+func TestParticipantSecondSessionCleanDecline(t *testing.T) {
+	p, _, sched := participant(schedule.Preferences{}, sreg("a", 0.5), sreg("b", 0.5))
+	if _, ok := p.HandleCallForBids("wf-1", proto.CallForBids{
+		Meta: metaAt("a", t0.Add(time.Hour), t0.Add(2*time.Hour)),
+	}).(proto.Bid); !ok {
+		t.Fatal("wf-1 bid refused")
+	}
+	resp := p.HandleCallForBids("wf-2", proto.CallForBids{
+		Meta: metaAt("b", t0.Add(90*time.Minute), t0.Add(3*time.Hour)),
+	})
+	if _, ok := resp.(proto.Decline); !ok {
+		t.Fatalf("overlapping second session got %T, want Decline", resp)
+	}
+	if p.SessionBids("wf-2") != 0 {
+		t.Errorf("declined session tracks %d bids", p.SessionBids("wf-2"))
+	}
+	if sched.Holds() != 1 {
+		t.Errorf("holds = %d, want the first session's only", sched.Holds())
+	}
+}
+
+// TestParticipantAwardPrunesSession: a converted award leaves the
+// session only when other bids remain outstanding.
+func TestParticipantAwardPrunesSession(t *testing.T) {
+	p, _, _ := participant(schedule.Preferences{}, sreg("a", 0.5), sreg("b", 0.5))
+	p.HandleCallForBids("wf", proto.CallForBids{Meta: metaAt("a", t0.Add(time.Hour), t0.Add(2*time.Hour))})
+	p.HandleCallForBids("wf", proto.CallForBids{Meta: metaAt("b", t0.Add(3*time.Hour), t0.Add(4*time.Hour))})
+	if _, ack := p.HandleAward("wf", proto.Award{Meta: metaAt("a", t0.Add(time.Hour), t0.Add(2*time.Hour))}); !ack.OK {
+		t.Fatalf("award refused: %+v", ack)
+	}
+	if p.SessionBids("wf") != 1 {
+		t.Fatalf("SessionBids = %d after one award, want 1", p.SessionBids("wf"))
+	}
+	if n := p.ReleaseSession("wf"); n != 1 {
+		t.Fatalf("ReleaseSession released %d holds, want 1", n)
+	}
+	if len(p.Sessions()) != 0 {
+		t.Fatalf("Sessions = %v after release", p.Sessions())
+	}
+}

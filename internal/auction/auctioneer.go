@@ -37,6 +37,11 @@ type Decision struct {
 	Winner proto.Addr
 	// Award is the message to send to the winner (zero when failed).
 	Award proto.Award
+	// Losers are the hosts whose firm bids were not awarded, sorted.
+	// Each still reserves its schedule slot; the engine releases them
+	// promptly (a Cancel) instead of letting the reservations block
+	// other sessions until the bid windows expire.
+	Losers []proto.Addr
 }
 
 // Failed reports whether the decision is a failed allocation.
@@ -46,6 +51,7 @@ func (d Decision) Failed() bool { return d.Winner == "" }
 type taskAuction struct {
 	meta       proto.TaskMeta
 	responded  map[proto.Addr]struct{}
+	bidders    map[proto.Addr]struct{}
 	bestBid    proto.Bid
 	bestBidder proto.Addr
 	hasBest    bool
@@ -53,8 +59,11 @@ type taskAuction struct {
 	winner     proto.Addr
 }
 
-// Auctioneer allocates the tasks of one workflow. Not safe for concurrent
-// use; the engine serializes access per workspace.
+// Auctioneer allocates the tasks of one workflow. It is per-session
+// state: each allocation session owns a fresh instance per attempt, so N
+// concurrent Initiates on one host never share an auctioneer. A single
+// instance is not safe for concurrent use; its owning session drives it
+// from one goroutine.
 type Auctioneer struct {
 	members []proto.Addr
 	tasks   map[model.TaskID]*taskAuction
@@ -118,6 +127,10 @@ func (a *Auctioneer) HandleBid(from proto.Addr, bid proto.Bid, now time.Time) []
 		return nil
 	}
 	ta.responded[from] = struct{}{}
+	if ta.bidders == nil {
+		ta.bidders = make(map[proto.Addr]struct{})
+	}
+	ta.bidders[from] = struct{}{}
 	if ta.hasBest && ta.bestBidder == from {
 		// Deadline update for an existing bid; ranking is unchanged
 		// because bids are firm.
@@ -163,10 +176,18 @@ func (a *Auctioneer) maybeFinalize(ta *taskAuction, now time.Time) []Decision {
 		return []Decision{{Task: ta.meta.Task}}
 	}
 	ta.winner = ta.bestBidder
+	var losers []proto.Addr
+	for addr := range ta.bidders {
+		if addr != ta.bestBidder {
+			losers = append(losers, addr)
+		}
+	}
+	sort.Slice(losers, func(i, j int) bool { return losers[i] < losers[j] })
 	return []Decision{{
 		Task:   ta.meta.Task,
 		Winner: ta.bestBidder,
 		Award:  proto.Award{Meta: ta.meta},
+		Losers: losers,
 	}}
 }
 

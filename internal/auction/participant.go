@@ -2,6 +2,8 @@ package auction
 
 import (
 	"errors"
+	"sort"
+	"sync"
 	"time"
 
 	"openwf/internal/clock"
@@ -11,12 +13,27 @@ import (
 	"openwf/internal/service"
 )
 
+// bidSession tracks one workflow's auction from the participant's side:
+// the tasks this host currently holds firm bids for and each bid's
+// deadline. State is keyed by workflow so N concurrent allocation
+// sessions on the soliciting side map to N independent bid sessions
+// here — expiring or canceling one session's bids never touches
+// another's.
+type bidSession struct {
+	deadlines map[model.TaskID]time.Time
+}
+
 // Participant is the Auction Participation Manager of the execution
 // subsystem (§4.2): it encapsulates the interactions and state tracking a
 // host needs to bid in task auctions. For every call for bids it compares
 // the task's required time, location, and service with the host's own
 // capabilities and availability; if the host can commit, it places a firm
 // bid and reserves the schedule slot until the bid's deadline.
+//
+// A participant serves every allocation session of the community at
+// once; it is safe for concurrent use. Slot conflicts between sessions
+// are arbitrated by the schedule manager (first-hold-wins); the losing
+// call for bids is answered with a clean Decline.
 type Participant struct {
 	clk      clock.Clock
 	services *service.Manager
@@ -25,6 +42,9 @@ type Participant struct {
 	// to decide; its firm bid (and schedule reservation) expires after
 	// this window.
 	bidWindow time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*bidSession
 }
 
 // DefaultBidWindow is the deadline participants give auction managers when
@@ -40,7 +60,38 @@ func NewParticipant(clk clock.Clock, services *service.Manager, sched *schedule.
 	if bidWindow <= 0 {
 		bidWindow = DefaultBidWindow
 	}
-	return &Participant{clk: clk, services: services, sched: sched, bidWindow: bidWindow}
+	return &Participant{
+		clk: clk, services: services, sched: sched, bidWindow: bidWindow,
+		sessions: make(map[string]*bidSession),
+	}
+}
+
+// trackBid records a firm bid in the workflow's session.
+func (p *Participant) trackBid(workflow string, task model.TaskID, deadline time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.sessions[workflow]
+	if !ok {
+		s = &bidSession{deadlines: make(map[model.TaskID]time.Time)}
+		p.sessions[workflow] = s
+	}
+	s.deadlines[task] = deadline
+}
+
+// untrackBid removes a bid from the workflow's session (award converted
+// it, the auction was lost, or the session was canceled), pruning empty
+// sessions.
+func (p *Participant) untrackBid(workflow string, task model.TaskID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.sessions[workflow]
+	if !ok {
+		return
+	}
+	delete(s.deadlines, task)
+	if len(s.deadlines) == 0 {
+		delete(p.sessions, workflow)
+	}
 }
 
 // HandleCallForBids evaluates a call for bids and returns the reply body:
@@ -64,6 +115,7 @@ func (p *Participant) HandleCallForBids(workflow string, cfb proto.CallForBids) 
 		// engine replanning) refreshes the firm bid's deadline.
 		if errors.Is(err, schedule.ErrAlreadyHeld) {
 			if _, rerr := p.sched.RefreshHold(workflow, meta.Task, deadline); rerr == nil {
+				p.trackBid(workflow, meta.Task, deadline)
 				return proto.Bid{
 					Task:            meta.Task,
 					ServicesOffered: p.services.Count(),
@@ -72,8 +124,12 @@ func (p *Participant) HandleCallForBids(workflow string, cfb proto.CallForBids) 
 				}
 			}
 		}
+		// The slot belongs to an earlier session (schedule.ErrSlotBusy)
+		// or is otherwise uncommittable: a clean decline, never a stale
+		// reservation.
 		return proto.Decline{Task: meta.Task}
 	}
+	p.trackBid(workflow, meta.Task, deadline)
 	return proto.Bid{
 		Task:            meta.Task,
 		ServicesOffered: p.services.Count(),
@@ -104,6 +160,7 @@ func (p *Participant) HandleAward(workflow string, award proto.Award) (schedule.
 			Task: meta.Task, OK: false, Reason: err.Error(),
 		}
 	}
+	p.untrackBid(workflow, meta.Task)
 	return c, proto.AwardAck{Task: meta.Task, OK: true}
 }
 
@@ -112,18 +169,70 @@ func (p *Participant) HandleAward(workflow string, award proto.Award) (schedule.
 func (p *Participant) HandleCancel(workflow string, c proto.Cancel) {
 	p.sched.Release(workflow, c.Task)
 	p.sched.Remove(workflow, c.Task)
+	p.untrackBid(workflow, c.Task)
 }
 
 // ExpireHolds releases reservations whose deadlines have passed; hosts
-// call it periodically (or on a timer at each deadline).
+// call it periodically (or on a timer at each deadline). Session
+// bookkeeping is pruned in step with the schedule manager.
 func (p *Participant) ExpireHolds() int {
-	return p.sched.ExpireHolds(p.clk.Now())
+	now := p.clk.Now()
+	n := p.sched.ExpireHolds(now)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for wf, s := range p.sessions {
+		for task, deadline := range s.deadlines {
+			if now.After(deadline) {
+				delete(s.deadlines, task)
+			}
+		}
+		if len(s.deadlines) == 0 {
+			delete(p.sessions, wf)
+		}
+	}
+	return n
 }
 
 // ReleaseHold drops the reservation for one task (the host observed the
 // award going elsewhere).
 func (p *Participant) ReleaseHold(workflow string, task model.TaskID) {
 	p.sched.Release(workflow, task)
+	p.untrackBid(workflow, task)
+}
+
+// ReleaseSession drops every reservation of one workflow's bid session
+// (the session's auction ended without this host winning anything, or
+// the session was torn down wholesale). It returns how many schedule
+// holds were released.
+func (p *Participant) ReleaseSession(workflow string) int {
+	n := p.sched.ReleaseWorkflow(workflow)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.sessions, workflow)
+	return n
+}
+
+// Sessions returns the workflow IDs with outstanding firm bids, sorted.
+func (p *Participant) Sessions() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.sessions))
+	for wf := range p.sessions {
+		out = append(out, wf)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SessionBids returns how many firm bids one workflow's session holds.
+func (p *Participant) SessionBids(workflow string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.sessions[workflow]
+	if !ok {
+		return 0
+	}
+	return len(s.deadlines)
 }
 
 // BidWindow returns the configured bid window.

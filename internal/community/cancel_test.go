@@ -3,7 +3,6 @@ package community
 import (
 	"context"
 	"errors"
-	"runtime"
 	"testing"
 	"time"
 
@@ -13,44 +12,19 @@ import (
 	"openwf/internal/transport/inmem"
 )
 
-// checkGoroutines records the goroutine count and, at cleanup, waits for
-// the count to return to (near) the baseline — the leak check the ctx
-// redesign is accountable to.
-func checkGoroutines(t *testing.T) {
-	t.Helper()
-	base := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		deadline := time.Now().Add(5 * time.Second)
-		for {
-			now := runtime.NumGoroutine()
-			// A little slack for runtime/test-framework goroutines.
-			if now <= base+3 {
-				return
-			}
-			if time.Now().After(deadline) {
-				buf := make([]byte, 1<<20)
-				n := runtime.Stack(buf, true)
-				t.Fatalf("goroutines leaked: %d at start, %d after close\n%s", base, now, buf[:n])
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-	})
-}
+// The goroutine-leak and hold-leak checks these tests pioneered now live
+// in internal/testutil and are folded into every community test via
+// newTestCommunity (see community_test.go).
 
 // TestInitiateCanceledPromptly: cancellation mid-construction (the
 // latency model makes every community query slow) returns
 // context.Canceled in well under the query latency, and closing the
 // community afterwards leaks no goroutines.
 func TestInitiateCanceledPromptly(t *testing.T) {
-	checkGoroutines(t)
-	c, err := New(Options{
+	c := newTestCommunity(t, Options{
 		Engine:    testEngineConfig(),
 		LinkModel: inmem.FixedLatency(2 * time.Second),
 	}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
@@ -58,7 +32,7 @@ func TestInitiateCanceledPromptly(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, err = c.Initiate(ctx, "manager", cateringSpec)
+	_, err := c.Initiate(ctx, "manager", cateringSpec)
 	elapsed := time.Since(start)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -73,7 +47,6 @@ func TestInitiateCanceledPromptly(t *testing.T) {
 // closing the community interrupts the in-flight invocation, so no
 // goroutine is left sleeping out the hour.
 func TestExecuteCanceledPromptly(t *testing.T) {
-	checkGoroutines(t)
 	specs := []HostSpec{
 		{ID: "manager"},
 		{
@@ -84,11 +57,7 @@ func TestExecuteCanceledPromptly(t *testing.T) {
 			Services: []service.Registration{svc("slow work", time.Hour)},
 		},
 	}
-	c, err := New(Options{Engine: testEngineConfig()}, specs...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: testEngineConfig()}, specs...)
 
 	plan, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("go"), lbl("done")))
 	if err != nil {

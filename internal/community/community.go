@@ -60,6 +60,9 @@ type Options struct {
 	Engine *engine.Config
 	// BidWindow overrides the participants' bid deadline window.
 	BidWindow time.Duration
+	// HostWorkers bounds each host's inbound-envelope worker pool (the
+	// per-workflow session dispatcher; default host.DefaultWorkers).
+	HostWorkers int
 	// Trace, when non-nil, records every message every host sends or
 	// receives (one shared recorder across the community).
 	Trace trace.Recorder
@@ -125,6 +128,7 @@ func New(opts Options, specs ...HostSpec) (*Community, error) {
 			Mobility:  mobility,
 			Prefs:     hs.Prefs,
 			BidWindow: opts.BidWindow,
+			Workers:   opts.HostWorkers,
 			Engine:    engCfg,
 			Fragments: hs.Fragments,
 			Services:  hs.Services,
@@ -208,6 +212,35 @@ func (c *Community) Initiate(ctx context.Context, id proto.Addr, s spec.Spec) (*
 		return nil, fmt.Errorf("community: no host %q", id)
 	}
 	return h.Engine.Initiate(ctx, s)
+}
+
+// InitiateAll poses several problem specifications at the same host at
+// once — N allocation sessions multiplexed over one initiator, the open
+// community's normal operating mode (any member may initiate at any
+// time). Sessions run concurrently and return plans in specification
+// order; workflow IDs are minted in that order before any session
+// starts, so a fixed community and specification list reproduce the same
+// IDs regardless of interleaving. A failed session leaves a nil plan at
+// its index, and the returned error joins every session's error (nil
+// when all succeed).
+func (c *Community) InitiateAll(ctx context.Context, id proto.Addr, specs []spec.Spec) ([]*engine.Plan, error) {
+	h, ok := c.hosts[id]
+	if !ok {
+		return nil, fmt.Errorf("community: no host %q", id)
+	}
+	return h.Engine.InitiateBatch(ctx, specs)
+}
+
+// TotalHolds sums the outstanding firm-bid reservations across every
+// host's schedule manager. After all allocation sessions settle and the
+// bid windows pass, it must drain to zero — the commitment-leak check
+// the stress harness and test helpers assert.
+func (c *Community) TotalHolds() int {
+	total := 0
+	for _, id := range c.order {
+		total += c.hosts[id].Schedule.Holds()
+	}
+	return total
 }
 
 // Execute distributes and runs an allocated plan from its initiator,

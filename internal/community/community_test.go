@@ -12,9 +12,28 @@ import (
 	"openwf/internal/proto"
 	"openwf/internal/service"
 	"openwf/internal/spec"
+	"openwf/internal/testutil"
 	"openwf/internal/trace"
 	"openwf/internal/transport/inmem"
 )
+
+// newTestCommunity builds a community with the shared leak checks folded
+// in: the goroutine count must return to baseline after the community
+// closes, and every host's schedule manager must drain to zero
+// outstanding firm-bid holds once the test settles (losing bidders'
+// reservations expire with their bid windows; commitments are plans'
+// legitimate output and are not counted).
+func newTestCommunity(t *testing.T, opts Options, specs ...HostSpec) *Community {
+	t.Helper()
+	testutil.CheckGoroutines(t)
+	c, err := New(opts, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	testutil.CheckNoHolds(t, 5*time.Second, testutil.HoldReporterFunc(c.TotalHolds))
+	return c
+}
 
 func lbl(ls ...string) []model.LabelID {
 	out := make([]model.LabelID, len(ls))
@@ -126,11 +145,7 @@ var cateringSpec = spec.Must(
 )
 
 func TestCateringEndToEnd(t *testing.T) {
-	c, err := New(Options{Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
 
 	plan, err := c.Initiate(context.Background(), "manager", cateringSpec)
 	if err != nil {
@@ -171,11 +186,7 @@ func TestCateringEndToEnd(t *testing.T) {
 // TestCateringChefAbsent: without the chef, the omelet fragment is never
 // collected; breakfast still gets served another way (§2.1).
 func TestCateringChefAbsent(t *testing.T) {
-	c, err := New(Options{Engine: testEngineConfig()}, cateringSpecs(t, false, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: testEngineConfig()}, cateringSpecs(t, false, true)...)
 
 	plan, err := c.Initiate(context.Background(), "manager", cateringSpec)
 	if err != nil {
@@ -193,11 +204,7 @@ func TestCateringChefAbsent(t *testing.T) {
 // but no one can perform it; feasibility filtering must steer construction
 // to buffet service (§2.1).
 func TestCateringWaitStaffAbsent(t *testing.T) {
-	c, err := New(Options{Engine: testEngineConfig()}, cateringSpecs(t, true, false)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: testEngineConfig()}, cateringSpecs(t, true, false)...)
 
 	plan, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
 	if err != nil {
@@ -212,24 +219,16 @@ func TestCateringWaitStaffAbsent(t *testing.T) {
 }
 
 func TestInitiateNoSolution(t *testing.T) {
-	c, err := New(Options{Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
 
-	_, err = c.Initiate(context.Background(), "manager", spec.Must(lbl("breakfast ingredients"), lbl("world peace")))
+	_, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("breakfast ingredients"), lbl("world peace")))
 	if err == nil {
 		t.Fatal("Initiate succeeded for unreachable goal")
 	}
 }
 
 func TestInitiateUnknownHost(t *testing.T) {
-	c, err := New(Options{Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
 	if _, err := c.Initiate(context.Background(), "ghost", cateringSpec); err == nil {
 		t.Fatal("Initiate at unknown host succeeded")
 	}
@@ -240,11 +239,7 @@ func TestInitiateUnknownHost(t *testing.T) {
 
 // TestAnyParticipantMayInitiate: initiation is not special to one host.
 func TestAnyParticipantMayInitiate(t *testing.T) {
-	c, err := New(Options{Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
 	plan, err := c.Initiate(context.Background(), "chef", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
 	if err != nil {
 		t.Fatalf("Initiate from chef: %v", err)
@@ -257,11 +252,7 @@ func TestAnyParticipantMayInitiate(t *testing.T) {
 // TestConcurrentWorkflows: the architecture supports multiple open
 // workflows constructed concurrently in the same community (§4.2).
 func TestConcurrentWorkflows(t *testing.T) {
-	c, err := New(Options{Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
 
 	type result struct {
 		plan *engine.Plan
@@ -307,11 +298,7 @@ func TestReplanAfterUnallocatableTask(t *testing.T) {
 			specs[i].Services = append(specs[i].Services, svc("serve buffet", time.Millisecond))
 		}
 	}
-	c, err := New(Options{Engine: testEngineConfig()}, specs...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: testEngineConfig()}, specs...)
 
 	plan, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
 	if err != nil {
@@ -334,13 +321,9 @@ func TestAllocationFailsWhenTrulyImpossible(t *testing.T) {
 	}
 	cfg := testEngineConfig()
 	cfg.Feasibility = false // capability exists; unwillingness only shows at auction
-	c, err := New(Options{Engine: cfg}, specs...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: cfg}, specs...)
 
-	_, err = c.Initiate(context.Background(), "manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
+	_, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
 	if err == nil {
 		t.Fatal("Initiate succeeded although every host is unwilling")
 	}
@@ -351,11 +334,7 @@ func TestAllocationFailsWhenTrulyImpossible(t *testing.T) {
 
 // TestTCPCommunity runs the catering scenario over real sockets.
 func TestTCPCommunity(t *testing.T) {
-	c, err := New(Options{Transport: TCP, Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Transport: TCP, Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
 
 	plan, err := c.Initiate(context.Background(), "manager", cateringSpec)
 	if err != nil {
@@ -383,11 +362,7 @@ func TestCommunityValidation(t *testing.T) {
 }
 
 func TestTriggersCarryData(t *testing.T) {
-	c, err := New(Options{Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: testEngineConfig()}, cateringSpecs(t, true, true)...)
 
 	s := spec.Must(lbl("lunch ingredients"), lbl("lunch served"))
 	plan, err := c.Initiate(context.Background(), "manager", s)
@@ -415,11 +390,7 @@ func TestTriggersCarryData(t *testing.T) {
 func TestPartitionedHostKnowledgeUnavailable(t *testing.T) {
 	cfg := testEngineConfig()
 	cfg.CallTimeout = 150 * time.Millisecond // partitioned calls time out quickly
-	c, err := New(Options{Engine: cfg}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: cfg}, cateringSpecs(t, true, true)...)
 
 	// Cut the chef off from everyone else.
 	c.Network().SetPartition(
@@ -453,11 +424,7 @@ func TestPartitionedHostKnowledgeUnavailable(t *testing.T) {
 func TestParallelQueryCommunity(t *testing.T) {
 	cfg := testEngineConfig()
 	cfg.ParallelQuery = true
-	c, err := New(Options{Engine: cfg}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: cfg}, cateringSpecs(t, true, true)...)
 	plan, err := c.Initiate(context.Background(), "manager", cateringSpec)
 	if err != nil {
 		t.Fatal(err)
@@ -470,15 +437,11 @@ func TestParallelQueryCommunity(t *testing.T) {
 // TestInitiateOverLatentNetwork: the 802.11g model slows things down but
 // changes nothing semantically.
 func TestInitiateOverLatentNetwork(t *testing.T) {
-	c, err := New(Options{
+	c := newTestCommunity(t, Options{
 		Engine:    testEngineConfig(),
 		LinkModel: inmem.Wireless(500*time.Microsecond, 100*time.Microsecond, 54e6),
 		Seed:      7,
 	}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
 	plan, err := c.Initiate(context.Background(), "manager", cateringSpec)
 	if err != nil {
 		t.Fatal(err)
@@ -493,11 +456,7 @@ func TestInitiateOverLatentNetwork(t *testing.T) {
 func TestFullCollectionCommunity(t *testing.T) {
 	cfg := testEngineConfig()
 	cfg.Incremental = false
-	c, err := New(Options{Engine: cfg}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: cfg}, cateringSpecs(t, true, true)...)
 	plan, err := c.Initiate(context.Background(), "manager", cateringSpec)
 	if err != nil {
 		t.Fatal(err)
@@ -528,11 +487,7 @@ func TestExecutionFailureReported(t *testing.T) {
 			}
 		}
 	}
-	c, err := New(Options{Engine: testEngineConfig()}, specs...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: testEngineConfig()}, specs...)
 	plan, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served")))
 	if err != nil {
 		t.Fatal(err)
@@ -594,11 +549,7 @@ func TestConjunctiveFanInAcrossHosts(t *testing.T) {
 			}},
 		},
 	}
-	c, err := New(Options{Engine: testEngineConfig()}, hosts...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: testEngineConfig()}, hosts...)
 
 	plan, err := c.Initiate(context.Background(), "asker", spec.Must(lbl("seed"), lbl("combined")))
 	if err != nil {
@@ -624,11 +575,7 @@ func TestConjunctiveFanInAcrossHosts(t *testing.T) {
 func TestTraceRecordsConversation(t *testing.T) {
 	rec := trace.NewBuffer(0)
 	opts := Options{Engine: testEngineConfig(), Trace: rec}
-	c, err := New(opts, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, opts, cateringSpecs(t, true, true)...)
 	if _, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("lunch ingredients"), lbl("lunch served"))); err != nil {
 		t.Fatal(err)
 	}
@@ -652,11 +599,7 @@ func TestTraceRecordsConversation(t *testing.T) {
 func TestExecutionSurvivesTransientPartition(t *testing.T) {
 	cfg := testEngineConfig()
 	cfg.StartDelay = 400 * time.Millisecond
-	c, err := New(Options{Engine: cfg, StoreAndForward: true}, cateringSpecs(t, true, true)...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
+	c := newTestCommunity(t, Options{Engine: cfg, StoreAndForward: true}, cateringSpecs(t, true, true)...)
 
 	plan, err := c.Initiate(context.Background(), "manager", spec.Must(lbl("breakfast ingredients"), lbl("breakfast served")))
 	if err != nil {

@@ -1,0 +1,363 @@
+package community
+
+// The deterministic multi-initiator stress harness: M hosts × K
+// concurrent Initiates multiplexed over one initiator, on the simulated
+// in-memory network under a seeded virtual clock. Simulated time is
+// frozen while the sessions race (nothing advances the clock), so every
+// session computes identical candidate windows and the contention
+// between sessions is maximal; after the plans settle the harness
+// advances the clock past every bid deadline and asserts the three
+// invariants concurrent allocation is accountable to:
+//
+//  1. no double-booked commitments — no two busy intervals overlap on
+//     any host's calendar;
+//  2. no leaked holds or dead commitments — every firm-bid reservation
+//     expires or converts, and every commitment belongs to a settled
+//     plan;
+//  3. no leaked goroutines after the community closes.
+//
+// With capacity partitioned so sessions never compete (one provider
+// host per session), the outcome is additionally byte-stable: two runs
+// with the same seed produce identical canonical plans.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"openwf/internal/clock"
+	"openwf/internal/engine"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/service"
+	"openwf/internal/spec"
+	"openwf/internal/testutil"
+)
+
+var stressT0 = time.Date(2026, 6, 11, 9, 0, 0, 0, time.UTC)
+
+// stressLayout describes one harness configuration.
+type stressLayout struct {
+	hosts    int // community size (host00 initiates)
+	sessions int // concurrent Initiates
+	chain    int // tasks per session's workflow
+	// disjoint gives every session its own dedicated provider host
+	// (deterministic, contention-free); shared registers every service
+	// on every host (maximal contention).
+	disjoint bool
+	seed     int64
+}
+
+// stressTask names session k's i-th task.
+func stressTask(k, i int) model.TaskID {
+	return model.TaskID(fmt.Sprintf("s%02d-t%02d", k, i))
+}
+
+// stressLabel names session k's i-th label.
+func stressLabel(k, i int) model.LabelID {
+	return model.LabelID(fmt.Sprintf("s%02d-l%02d", k, i))
+}
+
+// stressSpecs returns the K chain specifications.
+func stressSpecs(l stressLayout) []spec.Spec {
+	specs := make([]spec.Spec, l.sessions)
+	for k := range specs {
+		specs[k] = spec.Must(
+			[]model.LabelID{stressLabel(k, 0)},
+			[]model.LabelID{stressLabel(k, l.chain)},
+		)
+	}
+	return specs
+}
+
+// buildStress materializes a layout: the initiator host00 carries every
+// fragment (knowhow location is irrelevant to the invariants); services
+// are partitioned per session (disjoint) or registered everywhere
+// (shared).
+func buildStress(t *testing.T, l stressLayout, sim *clock.Sim) *Community {
+	t.Helper()
+	if l.disjoint && l.hosts-1 < l.sessions {
+		t.Fatalf("disjoint layout needs one provider host per session: hosts=%d sessions=%d", l.hosts, l.sessions)
+	}
+	var frags []*model.Fragment
+	for k := 0; k < l.sessions; k++ {
+		for i := 0; i < l.chain; i++ {
+			frags = append(frags, frag(t, fmt.Sprintf("know-%s", stressTask(k, i)),
+				ctask(string(stressTask(k, i)),
+					[]model.LabelID{stressLabel(k, i)},
+					[]model.LabelID{stressLabel(k, i+1)})))
+		}
+	}
+	svcFor := func(hostIdx int) []service.Registration {
+		var regs []service.Registration
+		for k := 0; k < l.sessions; k++ {
+			if l.disjoint && hostIdx != 1+k {
+				continue
+			}
+			if !l.disjoint && l.hosts > 1 && hostIdx == 0 {
+				// Shared mode keeps the initiator service-free so every
+				// allocation crosses the network.
+				continue
+			}
+			for i := 0; i < l.chain; i++ {
+				regs = append(regs, svc(string(stressTask(k, i)), 0))
+			}
+		}
+		return regs
+	}
+	specs := make([]HostSpec, l.hosts)
+	for h := 0; h < l.hosts; h++ {
+		specs[h] = HostSpec{
+			ID:       proto.Addr(fmt.Sprintf("host%02d", h)),
+			Services: svcFor(h),
+		}
+	}
+	specs[0].Fragments = frags
+
+	cfg := engine.DefaultConfig()
+	// Window bands: StartDelay exceeds a whole chain of task windows, so
+	// a session retrying with postponed windows moves to a band disjoint
+	// from every session still on an earlier try.
+	cfg.TaskWindow = time.Second
+	cfg.StartDelay = time.Duration(l.chain+2) * time.Second
+	cfg.WindowRetries = l.sessions + 2
+	cfg.CallTimeout = time.Hour // virtual: all members answer, nothing times out
+
+	c, err := New(Options{
+		Clock:  sim,
+		Engine: &cfg,
+		Seed:   l.seed,
+	}, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// settleStress advances the virtual clock past every bid deadline and
+// waits for in-flight expiry timers and compensation cancels to land.
+func settleStress(t *testing.T, c *Community, sim *clock.Sim, wantCommitments int) {
+	t.Helper()
+	// Bid windows are DefaultBidWindow (200ms of virtual time); one
+	// virtual minute clears every deadline and expiry timer.
+	sim.Advance(time.Minute)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		holds := c.TotalHolds()
+		commits := 0
+		for _, id := range c.Members() {
+			h, _ := c.Host(id)
+			commits += len(h.Schedule.Commitments())
+		}
+		if holds == 0 && commits == wantCommitments {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, id := range c.Members() {
+				h, _ := c.Host(id)
+				if n := h.Schedule.Holds(); n > 0 {
+					t.Logf("host %s leaked holds: %+v", id, h.Schedule.HeldTasks())
+				}
+			}
+			t.Fatalf("settle: holds=%d (want 0), commitments=%d (want %d)",
+				holds, commits, wantCommitments)
+		}
+		time.Sleep(2 * time.Millisecond)
+		sim.Advance(time.Second) // keep straggler timers firing
+	}
+}
+
+// assertCalendarInvariants scans every host for double-booked busy
+// intervals and for dead commitments (commitments not belonging to any
+// settled plan).
+func assertCalendarInvariants(t *testing.T, c *Community, plans []*engine.Plan) {
+	t.Helper()
+	planned := make(map[string]proto.Addr) // "wfID/task" -> awarded host
+	for _, p := range plans {
+		for task, host := range p.Allocations {
+			planned[p.WorkflowID+"/"+string(task)] = host
+		}
+	}
+	for _, id := range c.Members() {
+		h, _ := c.Host(id)
+		cs := h.Schedule.Commitments()
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				a, b := cs[i], cs[j]
+				if a.TravelStart.Before(b.End) && b.TravelStart.Before(a.End) {
+					t.Errorf("host %s double-booked: %s/%s (%v–%v) and %s/%s (%v–%v)",
+						id, a.Workflow, a.Task, a.TravelStart, a.End,
+						b.Workflow, b.Task, b.TravelStart, b.End)
+				}
+			}
+		}
+		for _, cmt := range cs {
+			want, ok := planned[cmt.Workflow+"/"+string(cmt.Task)]
+			if !ok {
+				t.Errorf("host %s holds dead commitment %s/%s (no settled plan owns it)",
+					id, cmt.Workflow, cmt.Task)
+			} else if want != id {
+				t.Errorf("commitment %s/%s sits on %s but the plan awarded %s",
+					cmt.Workflow, cmt.Task, id, want)
+			}
+		}
+	}
+	// And the converse: every planned allocation is backed by a real
+	// commitment on the awarded host.
+	for _, p := range plans {
+		for task, hostID := range p.Allocations {
+			h, ok := c.Host(hostID)
+			if !ok {
+				t.Errorf("plan %s awarded %s to unknown host %q", p.WorkflowID, task, hostID)
+				continue
+			}
+			if _, ok := h.Schedule.Get(p.WorkflowID, task); !ok {
+				t.Errorf("plan %s: no commitment for %s on %s", p.WorkflowID, task, hostID)
+			}
+		}
+	}
+}
+
+// canonicalPlans renders settled plans into a canonical byte form:
+// workflow ID, replan count, and each task's awarded host and window
+// offsets from the virtual epoch, sorted. Two runs with the same seed
+// and layout must produce identical bytes.
+func canonicalPlans(plans []*engine.Plan) string {
+	var b strings.Builder
+	for i, p := range plans {
+		fmt.Fprintf(&b, "plan[%d] wf=%s replans=%d tasks=%d\n",
+			i, p.WorkflowID, p.Replans, p.Workflow.NumTasks())
+		tasks := make([]string, 0, len(p.Allocations))
+		for task := range p.Allocations {
+			tasks = append(tasks, string(task))
+		}
+		sort.Strings(tasks)
+		for _, task := range tasks {
+			meta := p.Metas[model.TaskID(task)]
+			fmt.Fprintf(&b, "  %s -> %s [%v, %v)\n",
+				task, p.Allocations[model.TaskID(task)],
+				meta.Start.Sub(stressT0), meta.End.Sub(stressT0))
+		}
+	}
+	return b.String()
+}
+
+// runStress executes one harness round and returns the canonical plans.
+func runStress(t *testing.T, l stressLayout) string {
+	t.Helper()
+	testutil.CheckGoroutines(t)
+	sim := clock.NewSim(stressT0)
+	c := buildStress(t, l, sim)
+	t.Cleanup(func() { _ = c.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	plans, err := c.InitiateAll(ctx, "host00", stressSpecs(l))
+	if err != nil {
+		t.Fatalf("InitiateAll: %v", err)
+	}
+	total := 0
+	for i, p := range plans {
+		if p == nil {
+			t.Fatalf("plan %d missing", i)
+		}
+		if p.Workflow.NumTasks() != l.chain {
+			t.Fatalf("plan %d has %d tasks, want %d", i, p.Workflow.NumTasks(), l.chain)
+		}
+		if len(p.Allocations) != l.chain {
+			t.Fatalf("plan %d allocated %d of %d tasks", i, len(p.Allocations), l.chain)
+		}
+		total += l.chain
+	}
+	settleStress(t, c, sim, total)
+	assertCalendarInvariants(t, c, plans)
+	return canonicalPlans(plans)
+}
+
+// TestStressDeterministicByteStablePlans: with per-session provider
+// hosts there is no resource contention, so K concurrent sessions on a
+// frozen virtual clock must produce byte-identical canonical plans run
+// after run — the concurrency machinery itself injects no
+// nondeterminism.
+func TestStressDeterministicByteStablePlans(t *testing.T) {
+	l := stressLayout{hosts: 5, sessions: 4, chain: 3, disjoint: true, seed: 1}
+	first := runStress(t, l)
+	second := runStress(t, l)
+	if first != second {
+		t.Fatalf("plans not byte-stable across runs with seed %d:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			l.seed, first, second)
+	}
+	// The disjoint layout also pins the exact allocation: session k's
+	// tasks all land on its dedicated provider.
+	for k := 0; k < l.sessions; k++ {
+		want := fmt.Sprintf("host%02d", 1+k)
+		if !strings.Contains(first, want) {
+			t.Errorf("canonical plans never mention %s:\n%s", want, first)
+		}
+	}
+}
+
+// TestStressConcurrentInitiates: the contended grid — M hosts × K
+// concurrent Initiates, every host capable of every task, all sessions
+// racing for the same windows. Every session must settle into a full
+// plan with the calendar invariants intact. The larger grid rows run
+// only in long mode (go test without -short).
+func TestStressConcurrentInitiates(t *testing.T) {
+	grid := []stressLayout{
+		{hosts: 4, sessions: 4, chain: 3, seed: 1},
+		{hosts: 8, sessions: 8, chain: 3, seed: 1},
+	}
+	if !testing.Short() {
+		grid = append(grid,
+			stressLayout{hosts: 4, sessions: 8, chain: 4, seed: 1},
+			stressLayout{hosts: 8, sessions: 16, chain: 4, seed: 7},
+		)
+	}
+	for _, l := range grid {
+		l := l
+		t.Run(fmt.Sprintf("hosts=%d/inflight=%d/chain=%d", l.hosts, l.sessions, l.chain), func(t *testing.T) {
+			runStress(t, l)
+		})
+	}
+}
+
+// TestStressSessionIsolationAcrossInitiators: concurrent batches from
+// two different initiator hosts share the provider pool; both batches
+// must settle with the global calendar invariants intact.
+func TestStressSessionIsolationAcrossInitiators(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	l := stressLayout{hosts: 6, sessions: 6, chain: 3, seed: 3}
+	sim := clock.NewSim(stressT0)
+	c := buildStress(t, l, sim)
+	t.Cleanup(func() { _ = c.Close() })
+
+	specs := stressSpecs(l)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	type batch struct {
+		plans []*engine.Plan
+		err   error
+	}
+	res := make(chan batch, 2)
+	go func() {
+		plans, err := c.InitiateAll(ctx, "host00", specs[:3])
+		res <- batch{plans, err}
+	}()
+	go func() {
+		plans, err := c.InitiateAll(ctx, "host01", specs[3:])
+		res <- batch{plans, err}
+	}()
+	var all []*engine.Plan
+	for i := 0; i < 2; i++ {
+		b := <-res
+		if b.err != nil {
+			t.Fatalf("batch: %v", b.err)
+		}
+		all = append(all, b.plans...)
+	}
+	settleStress(t, c, sim, 6*l.chain)
+	assertCalendarInvariants(t, c, all)
+}

@@ -10,18 +10,31 @@ import (
 	"openwf/internal/core"
 	"openwf/internal/model"
 	"openwf/internal/proto"
-	"openwf/internal/spec"
 )
 
 // allocate runs the auction for every task of the constructed workflow and
 // returns the plan plus any tasks that could not be allocated. postpone
 // shifts every execution window into the future (allocation retry).
 // Context cancellation aborts bid solicitation and deadline waits
-// promptly with ctx.Err().
-func (m *Manager) allocate(ctx context.Context, wfID string, s spec.Spec, res *core.Result, postpone time.Duration) (*Plan, []model.TaskID, error) {
+// promptly with ctx.Err(). The auctioneer is per-session, per-attempt
+// state owned by this call; concurrent sessions on the same engine run
+// disjoint auctions and meet only at the participants' schedule managers.
+func (sess *allocSession) allocate(ctx context.Context, res *core.Result, postpone time.Duration) (*Plan, []model.TaskID, error) {
+	m := sess.m
 	w := res.Workflow
 	metas := m.taskMetas(w, postpone)
 	members := m.net.Members()
+	// Desynchronize concurrent sessions: rotate the solicitation order
+	// by the session ordinal so simultaneous sweeps start at different
+	// members. Without this, every session visits hosts in the same
+	// order and the first sweep reserves slots on every host before the
+	// others arrive — concurrent Initiates would serialize into bands.
+	// The rotation is a deterministic function of the ordinal, so fixed
+	// batches stay reproducible.
+	if n := len(members); n > 1 {
+		rot := sess.ordinal % n
+		members = append(append(make([]proto.Addr, 0, n), members[rot:]...), members[:rot]...)
+	}
 
 	auc, err := auction.NewAuctioneer(members, metas)
 	if err != nil {
@@ -40,7 +53,7 @@ func (m *Manager) allocate(ctx context.Context, wfID string, s spec.Spec, res *c
 		if !ok {
 			return nil, nil, fmt.Errorf("auction emitted unexpected message %T", out.Body)
 		}
-		reply, err := m.net.Call(ctx, out.To, wfID, cfb, m.cfg.CallTimeout)
+		reply, err := m.net.Call(ctx, out.To, sess.wfID, cfb, m.cfg.CallTimeout)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, nil, ctx.Err()
@@ -79,8 +92,8 @@ func (m *Manager) allocate(ctx context.Context, wfID string, s spec.Spec, res *c
 	}
 
 	plan := &Plan{
-		WorkflowID:   wfID,
-		Spec:         s,
+		WorkflowID:   sess.wfID,
+		Spec:         sess.spec,
 		Workflow:     w,
 		Allocations:  make(map[model.TaskID]proto.Addr, len(metas)),
 		Metas:        make(map[model.TaskID]proto.TaskMeta, len(metas)),
@@ -108,10 +121,18 @@ func (m *Manager) allocate(ctx context.Context, wfID string, s spec.Spec, res *c
 	// failure set for replanning.
 	for _, d := range decisions {
 		if d.Failed() {
-			m.cfg.Observer.taskDecided(wfID, d.Task, "")
+			m.cfg.Observer.taskDecided(sess.wfID, d.Task, "")
 			continue
 		}
-		reply, err := m.net.Call(ctx, d.Winner, wfID, d.Award, m.cfg.CallTimeout)
+		// Release the losing bidders' reservations promptly: each loser
+		// still holds its schedule slot, and under concurrent sessions
+		// a slot held until the bid window expires blocks every other
+		// workflow racing for the same window. A Cancel for a task the
+		// host never committed drops exactly the hold.
+		for _, loser := range d.Losers {
+			_ = m.net.Send(ctx, loser, sess.wfID, proto.Cancel{Task: d.Task})
+		}
+		reply, err := m.net.Call(ctx, d.Winner, sess.wfID, d.Award, m.cfg.CallTimeout)
 		if err != nil {
 			if ctx.Err() != nil {
 				// Canceled mid-award: release what was already won so
@@ -120,7 +141,7 @@ func (m *Manager) allocate(ctx context.Context, wfID string, s spec.Spec, res *c
 				// winner even though the ack never came back, so it is
 				// canceled too.
 				plan.Allocations[d.Task] = d.Winner
-				m.compensate(wfID, plan)
+				sess.compensate(plan)
 				return nil, nil, ctx.Err()
 			}
 			// The call failed without the context being canceled (a
@@ -132,9 +153,9 @@ func (m *Manager) allocate(ctx context.Context, wfID string, s spec.Spec, res *c
 			// compensate, ctx is still live here, so the send stays
 			// cancelable and cannot hang on the very peer that just
 			// failed to answer.
-			_ = m.net.Send(ctx, d.Winner, wfID, proto.Cancel{Task: d.Task})
+			_ = m.net.Send(ctx, d.Winner, sess.wfID, proto.Cancel{Task: d.Task})
 			failedSet[d.Task] = struct{}{}
-			m.cfg.Observer.taskDecided(wfID, d.Task, "")
+			m.cfg.Observer.taskDecided(sess.wfID, d.Task, "")
 			continue
 		}
 		ack, ok := reply.(proto.AwardAck)
@@ -143,11 +164,11 @@ func (m *Manager) allocate(ctx context.Context, wfID string, s spec.Spec, res *c
 		}
 		if !ack.OK {
 			failedSet[d.Task] = struct{}{}
-			m.cfg.Observer.taskDecided(wfID, d.Task, "")
+			m.cfg.Observer.taskDecided(sess.wfID, d.Task, "")
 			continue
 		}
 		plan.Allocations[d.Task] = d.Winner
-		m.cfg.Observer.taskDecided(wfID, d.Task, d.Winner)
+		m.cfg.Observer.taskDecided(sess.wfID, d.Task, d.Winner)
 	}
 
 	failed := make([]model.TaskID, 0, len(failedSet))
@@ -185,14 +206,15 @@ func (m *Manager) taskMetas(w *model.Workflow, postpone time.Duration) []proto.T
 // compensate cancels every award of a failed allocation attempt so the
 // winners release their commitments before replanning. It runs under a
 // fresh context: compensation must go out even when the initiating
-// request was canceled.
-func (m *Manager) compensate(wfID string, plan *Plan) {
+// request was canceled. Compensation names only this session's workflow
+// ID, so a replan here can never revoke another session's commitments.
+func (sess *allocSession) compensate(plan *Plan) {
 	ids := make([]model.TaskID, 0, len(plan.Allocations))
 	for t := range plan.Allocations {
 		ids = append(ids, t)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, t := range ids {
-		_ = m.net.Send(context.Background(), plan.Allocations[t], wfID, proto.Cancel{Task: t})
+		_ = sess.m.net.Send(context.Background(), plan.Allocations[t], sess.wfID, proto.Cancel{Task: t})
 	}
 }

@@ -17,7 +17,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strconv"
 	"sync"
 	"time"
 
@@ -165,7 +164,10 @@ type Plan struct {
 // not complete even after replanning.
 var ErrAllocationFailed = errors.New("allocation failed")
 
-// Manager is a host's workflow engine (Workflow Manager + Initiator).
+// Manager is a host's workflow engine (Workflow Manager + Initiator). It
+// multiplexes any number of concurrent allocation sessions (Initiate /
+// InitiateBatch calls) and executions; each session's state lives in its
+// own allocSession (see session.go) so sessions never interfere.
 type Manager struct {
 	net Messenger
 	cfg Config
@@ -173,6 +175,7 @@ type Manager struct {
 	mu         sync.Mutex
 	seq        int
 	executions map[string]*execution
+	allocs     map[string]*allocSession
 }
 
 // execution tracks an in-flight Execute call on the initiator.
@@ -198,72 +201,30 @@ func NewManager(net Messenger, cfg Config) *Manager {
 	if cfg.TaskWindow <= 0 {
 		cfg.TaskWindow = DefaultConfig().TaskWindow
 	}
-	return &Manager{net: net, cfg: cfg, executions: make(map[string]*execution)}
+	return &Manager{
+		net: net, cfg: cfg,
+		executions: make(map[string]*execution),
+		allocs:     make(map[string]*allocSession),
+	}
 }
 
 // Config returns the engine configuration.
 func (m *Manager) Config() Config { return m.cfg }
 
-// newWorkflowID mints a unique workspace identifier.
-func (m *Manager) newWorkflowID() string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.seq++
-	return string(m.net.Self()) + "/" + strconv.Itoa(m.seq)
-}
-
 // Initiate runs the full construction-and-allocation pipeline for a new
 // problem specification and returns the allocated plan. This is the
 // operation the paper's evaluation times. Cancellation of ctx aborts
 // community queries, bid solicitation, and auction deadline waits
-// promptly, returning ctx.Err().
+// promptly, returning ctx.Err(). Any number of Initiate calls may run
+// concurrently on one engine; each gets its own isolated allocation
+// session (see InitiateBatch for the deterministic-ID batch form).
 func (m *Manager) Initiate(ctx context.Context, s spec.Spec) (*Plan, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	wfID := m.newWorkflowID()
-	excluded := append([]model.TaskID(nil), m.cfg.Constraints.ExcludeTasks...)
-
-	for attempt := 0; ; attempt++ {
-		res, err := m.construct(ctx, wfID, s, excluded)
-		if err != nil {
-			return nil, err
-		}
-		if m.cfg.Constraints.MaxTasks > 0 {
-			if err := m.cfg.Constraints.Check(res.Workflow); err != nil {
-				return nil, fmt.Errorf("%w: %v", core.ErrNoSolution, err)
-			}
-		}
-		m.cfg.Observer.constructionDone(wfID, *res)
-		// A failed allocation is first retried with postponed windows:
-		// the task's only providers may simply be busy with another
-		// workflow's commitments right now.
-		var plan *Plan
-		var failed []model.TaskID
-		for try := 0; ; try++ {
-			postpone := time.Duration(try) * m.cfg.StartDelay
-			plan, failed, err = m.allocate(ctx, wfID, s, res, postpone)
-			if err != nil {
-				return nil, err
-			}
-			if len(failed) == 0 {
-				plan.Replans = attempt
-				return plan, nil
-			}
-			m.compensate(wfID, plan)
-			if try >= m.cfg.WindowRetries {
-				break
-			}
-		}
-		// Failure feedback (§5.1): the tasks stayed unallocatable;
-		// exclude them and reconstruct from the remaining knowledge.
-		excluded = append(excluded, failed...)
-		if attempt >= m.cfg.MaxReplans {
-			return nil, fmt.Errorf("%w: tasks %v unallocatable after %d replans",
-				ErrAllocationFailed, failed, attempt)
-		}
-		m.cfg.Observer.replanned(wfID, attempt+1, failed)
-	}
+	sess := m.newSession(s)
+	defer m.endSession(sess)
+	return sess.run(ctx)
 }
 
 // AllocateWorkflow allocates a pre-specified workflow without any
@@ -276,72 +237,17 @@ func (m *Manager) AllocateWorkflow(ctx context.Context, w *model.Workflow, s spe
 	if w == nil || w.NumTasks() == 0 {
 		return nil, fmt.Errorf("empty workflow")
 	}
-	wfID := m.newWorkflowID()
+	sess := m.newSession(s)
+	defer m.endSession(sess)
 	res := &core.Result{Workflow: w}
-	for try := 0; ; try++ {
-		postpone := time.Duration(try) * m.cfg.StartDelay
-		plan, failed, err := m.allocate(ctx, wfID, s, res, postpone)
-		if err != nil {
-			return nil, err
-		}
-		if len(failed) == 0 {
-			return plan, nil
-		}
-		m.compensate(wfID, plan)
-		if try >= m.cfg.WindowRetries {
-			return nil, fmt.Errorf("%w: tasks %v unallocatable", ErrAllocationFailed, failed)
-		}
-	}
-}
-
-// construct builds the workflow, either incrementally (querying the
-// community round by round) or from a full collection.
-func (m *Manager) construct(ctx context.Context, wfID string, s spec.Spec, excluded []model.TaskID) (*core.Result, error) {
-	var checker core.FeasibilityChecker
-	if m.cfg.Feasibility {
-		checker = &communityFeasibility{m: m, wfID: wfID}
-	}
-	opts := core.IncrementalOptions{
-		Feasibility: checker,
-		Exclude:     excluded,
-	}
-	if m.cfg.Incremental {
-		src := &communityKnowledge{m: m, wfID: wfID}
-		res, _, err := core.ConstructIncremental(ctx, src, s, opts)
-		return res, err
-	}
-	// Full collection: one query for every label any member knows.
-	frags, err := m.collectAll(ctx, wfID)
+	plan, failed, err := sess.allocateWithRetries(ctx, res)
 	if err != nil {
 		return nil, err
 	}
-	g, err := core.CollectAll(frags)
-	if err != nil {
-		return nil, err
+	if len(failed) > 0 {
+		return nil, fmt.Errorf("%w: tasks %v unallocatable", ErrAllocationFailed, failed)
 	}
-	for _, t := range excluded {
-		g.MarkInfeasible(t)
-	}
-	res, err := core.Construct(g, s)
-	if err != nil {
-		return nil, err
-	}
-	if checker != nil {
-		infeasible, ferr := checker.InfeasibleTasks(ctx, res.Workflow.TaskIDs())
-		if ferr != nil {
-			return nil, ferr
-		}
-		if len(infeasible) > 0 {
-			for _, t := range infeasible {
-				g.MarkInfeasible(t)
-			}
-			res, err = core.Construct(g, s)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	return res, nil
+	return plan, nil
 }
 
 // communityKnowledge implements core.KnowledgeSource by querying every
@@ -452,7 +358,10 @@ func (m *Manager) collectAll(ctx context.Context, wfID string) ([]*model.Fragmen
 // constructions can then proceed locally and concurrently (see
 // openwf.Planner).
 func (m *Manager) CollectKnowhow(ctx context.Context) ([]*model.Fragment, error) {
-	return m.collectAll(ctx, m.newWorkflowID())
+	m.mu.Lock()
+	_, wfID := m.mintWorkflowIDLocked()
+	m.mu.Unlock()
+	return m.collectAll(ctx, wfID)
 }
 
 // communityFeasibility implements core.FeasibilityChecker with Service

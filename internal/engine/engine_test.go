@@ -14,6 +14,7 @@ import (
 	"openwf/internal/model"
 	"openwf/internal/proto"
 	"openwf/internal/spec"
+	"openwf/internal/testutil"
 )
 
 func lbl(ls ...string) []model.LabelID {
@@ -48,7 +49,11 @@ type fakeMember struct {
 	// been delivered, but the ack never comes back — a lost-ack
 	// transport fault).
 	dropAwardAck bool
-	services     int
+	// blockCFB, when set, gates calls for bids per task: a solicitation
+	// for a listed task blocks until its channel closes (or the caller's
+	// context cancels) — a member that keeps a session mid-auction.
+	blockCFB map[model.TaskID]chan struct{}
+	services int
 }
 
 // fakeNet implements Messenger over scripted members, with no transport.
@@ -61,9 +66,10 @@ type fakeNet struct {
 	// (default one second).
 	bidDeadline time.Duration
 
-	mu    sync.Mutex
-	sent  []proto.Body
-	calls int
+	mu      sync.Mutex
+	sent    []proto.Body
+	calls   int
+	blocked int // calls currently gated on a blockCFB channel
 }
 
 func newFakeNet(self proto.Addr) *fakeNet {
@@ -132,6 +138,21 @@ func (f *fakeNet) Call(ctx context.Context, to proto.Addr, workflow string, body
 		}
 		return proto.FeasibilityReply{Capable: capable}, nil
 	case proto.CallForBids:
+		if gate, ok := m.blockCFB[b.Meta.Task]; ok {
+			f.mu.Lock()
+			f.blocked++
+			f.mu.Unlock()
+			defer func() {
+				f.mu.Lock()
+				f.blocked--
+				f.mu.Unlock()
+			}()
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
 		if m.declineAll || !m.capable[b.Meta.Task] {
 			return proto.Decline{Task: b.Meta.Task}, nil
 		}
@@ -680,5 +701,209 @@ func TestAllocateWorkflowFailsWithoutProviders(t *testing.T) {
 	}
 	if _, err := m.AllocateWorkflow(context.Background(), w, spec.Must(lbl("a"), lbl("g"))); !errors.Is(err, ErrAllocationFailed) {
 		t.Fatalf("err = %v, want ErrAllocationFailed", err)
+	}
+}
+
+// TestInitiateBatchConcurrentSessions: one engine multiplexes several
+// allocation sessions at once; every session gets its own workflow ID
+// (minted in spec order regardless of interleaving) and a plan
+// satisfying its own spec.
+func TestInitiateBatchConcurrentSessions(t *testing.T) {
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	net.add("peer", &fakeMember{
+		fragments: []*model.Fragment{
+			mkFrag(t, "t1", "a", "m"),
+			mkFrag(t, "t2", "m", "g"),
+			mkFrag(t, "u1", "x", "y"),
+			mkFrag(t, "v1", "p", "q"),
+		},
+		capable:  map[model.TaskID]bool{"t1": true, "t2": true, "u1": true, "v1": true},
+		services: 4,
+	})
+	m := NewManager(net, testConfig())
+	specs := []spec.Spec{
+		spec.Must(lbl("a"), lbl("g")),
+		spec.Must(lbl("x"), lbl("y")),
+		spec.Must(lbl("p"), lbl("q")),
+	}
+	plans, err := m.InitiateBatch(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 3 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	seen := make(map[string]bool)
+	for i, p := range plans {
+		if p == nil {
+			t.Fatalf("plan %d is nil", i)
+		}
+		if !specs[i].Satisfies(p.Workflow) {
+			t.Errorf("plan %d violates its spec:\n%v", i, p.Workflow)
+		}
+		if seen[p.WorkflowID] {
+			t.Errorf("duplicate workflow ID %q", p.WorkflowID)
+		}
+		seen[p.WorkflowID] = true
+	}
+	// IDs minted in spec order: init/1, init/2, init/3.
+	for i, p := range plans {
+		want := "init/" + string(rune('1'+i))
+		if p.WorkflowID != want {
+			t.Errorf("plan %d WorkflowID = %q, want %q", i, p.WorkflowID, want)
+		}
+	}
+	if got := m.ActiveAllocations(); len(got) != 0 {
+		t.Errorf("ActiveAllocations after settle = %v", got)
+	}
+}
+
+// TestInitiateBatchPartialFailure: one session's failure surfaces in the
+// joined error while the other sessions' plans come back intact.
+func TestInitiateBatchPartialFailure(t *testing.T) {
+	net := chainNet(t)
+	m := NewManager(net, testConfig())
+	plans, err := m.InitiateBatch(context.Background(), []spec.Spec{
+		spec.Must(lbl("a"), lbl("g")),
+		spec.Must(lbl("a"), lbl("nope")), // no knowledge: must fail
+	})
+	if err == nil {
+		t.Fatal("batch with an unsatisfiable spec reported no error")
+	}
+	if plans[0] == nil || plans[1] != nil {
+		t.Fatalf("plans = [%v, %v], want [plan, nil]", plans[0], plans[1])
+	}
+}
+
+// TestActiveAllocationsDuringSession: a session in flight is visible in
+// ActiveAllocations and gone after it settles.
+func TestActiveAllocationsDuringSession(t *testing.T) {
+	net := slowBidNet(t)
+	cfg := testConfig()
+	cfg.Feasibility = false
+	m := NewManager(net, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = m.Initiate(ctx, spec.Must(lbl("a"), lbl("g")))
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(m.ActiveAllocations()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session never became visible")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	if got := m.ActiveAllocations(); len(got) != 0 {
+		t.Errorf("ActiveAllocations after cancel = %v", got)
+	}
+}
+
+// TestLostAwardAckSendsCancelWhileConcurrentSession extends the
+// lost-award regression to concurrent sessions: the dead-commitment
+// sweep (best-effort Cancel after a failed Award call) runs while a
+// second session on the same engine sits mid-auction, and must neither
+// disturb that session nor leak into its workflow. (The sweep is
+// session-keyed: compensation names only the failing session's workflow
+// ID.)
+func TestLostAwardAckSendsCancelWhileConcurrentSession(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	gate := make(chan struct{})
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	net.add("peer", &fakeMember{
+		fragments:    []*model.Fragment{mkFrag(t, "only", "a", "g")},
+		capable:      map[model.TaskID]bool{"only": true},
+		dropAwardAck: true,
+		services:     1,
+	})
+	net.add("slow", &fakeMember{
+		fragments: []*model.Fragment{mkFrag(t, "bslow", "x", "y")},
+		capable:   map[model.TaskID]bool{"bslow": true},
+		blockCFB:  map[model.TaskID]chan struct{}{"bslow": gate},
+		services:  1,
+	})
+	cfg := testConfig()
+	cfg.WindowRetries = 0
+	cfg.MaxReplans = 0
+	m := NewManager(net, cfg)
+
+	// Session B: blocked mid-auction on the gated member.
+	type initResult struct {
+		plan *Plan
+		err  error
+	}
+	bDone := make(chan initResult, 1)
+	go func() {
+		p, err := m.Initiate(context.Background(), spec.Must(lbl("x"), lbl("y")))
+		bDone <- initResult{p, err}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		net.mu.Lock()
+		blocked := net.blocked
+		net.mu.Unlock()
+		if blocked == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second session never reached its mid-auction block")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Session A: every award ack lost → Initiate fails, and the sweep
+	// sends a best-effort Cancel for the possibly-delivered award.
+	if _, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g"))); err == nil {
+		t.Fatal("Initiate succeeded although every award ack was lost")
+	}
+	net.mu.Lock()
+	var cancels []proto.Cancel
+	for _, b := range net.sent {
+		if c, ok := b.(proto.Cancel); ok {
+			cancels = append(cancels, c)
+		}
+	}
+	stillBlocked := net.blocked
+	net.mu.Unlock()
+	if len(cancels) != 1 || cancels[0].Task != "only" {
+		t.Fatalf("cancels = %v, want exactly one for task %q", cancels, "only")
+	}
+	if stillBlocked != 1 {
+		t.Fatalf("second session no longer mid-auction (blocked=%d); the sweep disturbed it", stillBlocked)
+	}
+	if got := m.ActiveAllocations(); len(got) != 1 {
+		t.Fatalf("ActiveAllocations = %v, want the blocked session only", got)
+	}
+
+	// Release the gate: session B must finish cleanly, untouched by A's
+	// failure and compensation.
+	close(gate)
+	r := <-bDone
+	if r.err != nil {
+		t.Fatalf("concurrent session failed: %v", r.err)
+	}
+	if got := r.plan.Allocations["bslow"]; got != "slow" {
+		t.Fatalf("concurrent session allocations = %v", r.plan.Allocations)
+	}
+}
+
+// TestInitiateBatchInvalidSpecLeavesNoSessions: a validation error on
+// any spec aborts the whole batch before any session is registered.
+func TestInitiateBatchInvalidSpecLeavesNoSessions(t *testing.T) {
+	m := NewManager(chainNet(t), testConfig())
+	_, err := m.InitiateBatch(context.Background(), []spec.Spec{
+		spec.Must(lbl("a"), lbl("g")),
+		{}, // invalid
+	})
+	if err == nil {
+		t.Fatal("batch with an invalid spec accepted")
+	}
+	if got := m.ActiveAllocations(); len(got) != 0 {
+		t.Fatalf("ActiveAllocations = %v after aborted batch, want none", got)
 	}
 }

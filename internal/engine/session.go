@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"openwf/internal/core"
+	"openwf/internal/model"
+	"openwf/internal/spec"
+)
+
+// allocSession is the isolated state of one allocation session: one open
+// workflow working its way through construct → auction → award →
+// (replan). A host carries any number of sessions at once; each owns its
+// workflow ID, its exclusion set, its replan counter, and — per attempt —
+// its auctioneer. Nothing here is shared between sessions, so a replan in
+// one session can never disturb another; the only cross-session contact
+// points are the participants' schedule managers, which arbitrate slot
+// conflicts first-hold-wins (see internal/schedule).
+type allocSession struct {
+	m    *Manager
+	wfID string
+	// ordinal is the session's mint sequence number; concurrent
+	// sessions use it to desynchronize their pairwise bid solicitation
+	// sweeps (session k starts at member k mod N), so simultaneous
+	// sessions begin at different hosts and contend minimally for the
+	// same schedule windows.
+	ordinal int
+	spec    spec.Spec
+	// excluded accumulates the failure feedback (§5.1): tasks proven
+	// unallocatable in earlier attempts of this session.
+	excluded []model.TaskID
+	// attempt counts reconstructions (replans) of this session.
+	attempt int
+}
+
+// newSession mints a workflow ID and registers the session. IDs are
+// assigned in call order, so callers that pre-create sessions before
+// launching goroutines (InitiateBatch) get reproducible IDs.
+func (m *Manager) newSession(s spec.Spec) *allocSession {
+	sess := &allocSession{m: m, spec: s}
+	m.mu.Lock()
+	sess.ordinal, sess.wfID = m.mintWorkflowIDLocked()
+	m.allocs[sess.wfID] = sess
+	m.mu.Unlock()
+	sess.excluded = append([]model.TaskID(nil), m.cfg.Constraints.ExcludeTasks...)
+	return sess
+}
+
+// mintWorkflowIDLocked assigns the next session ordinal and its
+// workflow identifier. Callers hold m.mu.
+func (m *Manager) mintWorkflowIDLocked() (int, string) {
+	m.seq++
+	return m.seq, string(m.net.Self()) + "/" + strconv.Itoa(m.seq)
+}
+
+// endSession deregisters a finished session.
+func (m *Manager) endSession(sess *allocSession) {
+	m.mu.Lock()
+	delete(m.allocs, sess.wfID)
+	m.mu.Unlock()
+}
+
+// ActiveAllocations returns the workflow IDs of the allocation sessions
+// currently in flight on this engine, sorted.
+func (m *Manager) ActiveAllocations() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.allocs))
+	for id := range m.allocs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// run drives the session to a fully allocated plan: construct, allocate
+// with window retries, and on persistent failure exclude the offending
+// tasks and reconstruct (§5.1), up to MaxReplans.
+func (sess *allocSession) run(ctx context.Context) (*Plan, error) {
+	m := sess.m
+	for {
+		res, err := sess.construct(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if m.cfg.Constraints.MaxTasks > 0 {
+			if err := m.cfg.Constraints.Check(res.Workflow); err != nil {
+				return nil, fmt.Errorf("%w: %v", core.ErrNoSolution, err)
+			}
+		}
+		m.cfg.Observer.constructionDone(sess.wfID, *res)
+		plan, failed, err := sess.allocateWithRetries(ctx, res)
+		if err != nil {
+			return nil, err
+		}
+		if len(failed) == 0 {
+			plan.Replans = sess.attempt
+			return plan, nil
+		}
+		// Failure feedback (§5.1): the tasks stayed unallocatable;
+		// exclude them and reconstruct from the remaining knowledge.
+		sess.excluded = append(sess.excluded, failed...)
+		if sess.attempt >= m.cfg.MaxReplans {
+			return nil, fmt.Errorf("%w: tasks %v unallocatable after %d replans",
+				ErrAllocationFailed, failed, sess.attempt)
+		}
+		sess.attempt++
+		m.cfg.Observer.replanned(sess.wfID, sess.attempt, failed)
+	}
+}
+
+// retryBandPeriod spreads concurrent sessions' window retries across
+// distinct bands (see allocateWithRetries).
+const retryBandPeriod = 8
+
+// allocateWithRetries runs the auction for the constructed workflow,
+// retrying failed allocations with postponed execution windows: the
+// tasks' providers may simply be busy with another session's
+// commitments right now. It returns the plan and any tasks that stayed
+// unallocatable after every retry (empty on success).
+//
+// Retries use deterministic decorrelated backoff. If every session
+// postponed by the same amount, sessions that mutually blocked each
+// other (each winning some windows, none winning all, all compensating)
+// would retry into the same future band and re-collide forever — the
+// allocation equivalent of synchronized CSMA collisions. Instead a
+// session's r-th retry lands in band (r-1)·P + (ordinal mod P) + 1
+// (P = retryBandPeriod), so concurrent sessions back off into distinct
+// bands — like randomized backoff slots, but keyed by the session
+// ordinal so fixed batches stay byte-reproducible.
+func (sess *allocSession) allocateWithRetries(ctx context.Context, res *core.Result) (*Plan, []model.TaskID, error) {
+	m := sess.m
+	for try := 0; ; try++ {
+		var postpone time.Duration
+		if try > 0 {
+			band := (try-1)*retryBandPeriod + sess.ordinal%retryBandPeriod + 1
+			postpone = time.Duration(band) * m.cfg.StartDelay
+		}
+		plan, failed, err := sess.allocate(ctx, res, postpone)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(failed) == 0 {
+			return plan, nil, nil
+		}
+		sess.compensate(plan)
+		if try >= m.cfg.WindowRetries {
+			return plan, failed, nil
+		}
+	}
+}
+
+// construct builds the workflow, either incrementally (querying the
+// community round by round) or from a full collection.
+func (sess *allocSession) construct(ctx context.Context) (*core.Result, error) {
+	m := sess.m
+	var checker core.FeasibilityChecker
+	if m.cfg.Feasibility {
+		checker = &communityFeasibility{m: m, wfID: sess.wfID}
+	}
+	opts := core.IncrementalOptions{
+		Feasibility: checker,
+		Exclude:     sess.excluded,
+	}
+	if m.cfg.Incremental {
+		src := &communityKnowledge{m: m, wfID: sess.wfID}
+		res, _, err := core.ConstructIncremental(ctx, src, sess.spec, opts)
+		return res, err
+	}
+	// Full collection: one query for every label any member knows.
+	frags, err := m.collectAll(ctx, sess.wfID)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.CollectAll(frags)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range sess.excluded {
+		g.MarkInfeasible(t)
+	}
+	res, err := core.Construct(g, sess.spec)
+	if err != nil {
+		return nil, err
+	}
+	if checker != nil {
+		infeasible, ferr := checker.InfeasibleTasks(ctx, res.Workflow.TaskIDs())
+		if ferr != nil {
+			return nil, ferr
+		}
+		if len(infeasible) > 0 {
+			for _, t := range infeasible {
+				g.MarkInfeasible(t)
+			}
+			res, err = core.Construct(g, sess.spec)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// InitiateBatch runs one allocation session per specification,
+// concurrently, and returns the plans in specification order. Workflow
+// IDs are minted in that same order before any session starts, so a
+// fixed community and specification list produce reproducible IDs
+// regardless of goroutine interleaving. Sessions that fail leave a nil
+// plan at their index; the returned error joins every session error
+// (nil when all succeed).
+func (m *Manager) InitiateBatch(ctx context.Context, specs []spec.Spec) ([]*Plan, error) {
+	// Validate everything before minting any session: a late validation
+	// error must not leave earlier specs' sessions registered forever.
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("spec %d: %w", i, err)
+		}
+	}
+	sessions := make([]*allocSession, len(specs))
+	for i, s := range specs {
+		sessions[i] = m.newSession(s)
+	}
+	plans := make([]*Plan, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer m.endSession(sessions[i])
+			plans[i], errs[i] = sessions[i].run(ctx)
+		}(i)
+	}
+	wg.Wait()
+	return plans, errors.Join(errs...)
+}

@@ -9,6 +9,8 @@ import (
 	"openwf/internal/community"
 	"openwf/internal/engine"
 	"openwf/internal/proto"
+	"openwf/internal/service"
+	"openwf/internal/spec"
 	"openwf/internal/stats"
 	"openwf/internal/transport/inmem"
 )
@@ -160,6 +162,91 @@ func BuildCommunity(sc *Scenario, cfg ExperimentConfig, rng *rand.Rand) (*commun
 		return nil, nil, err
 	}
 	return comm, addrs, nil
+}
+
+// BuildReplicatedCommunity materializes a scenario like BuildCommunity,
+// but with every service replicated on every host except the first (the
+// initiator stays service-free so each allocation crosses the network).
+// Knowhow is still spread randomly. With per-task sole providers
+// (BuildCommunity), concurrent sessions that need the same provider and
+// window can only resolve by postponing in lockstep; replication makes
+// capacity scale with the community, which is the configuration the
+// concurrent-allocation benchmarks measure.
+func BuildReplicatedCommunity(sc *Scenario, cfg ExperimentConfig, rng *rand.Rand) (*community.Community, []proto.Addr, error) {
+	fragParts, err := sc.DistributeFragments(cfg.Hosts, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	allServices := make([]service.Registration, 0, sc.NumTasks())
+	for i := 0; i < sc.NumTasks(); i++ {
+		allServices = append(allServices, service.Registration{
+			Descriptor: service.Descriptor{Task: sc.Task(i).ID, Specialization: 0.5},
+		})
+	}
+	engCfg := EvalEngineConfig()
+	if cfg.Engine != nil {
+		engCfg = *cfg.Engine
+	}
+	specs := make([]community.HostSpec, cfg.Hosts)
+	addrs := make([]proto.Addr, cfg.Hosts)
+	for i := 0; i < cfg.Hosts; i++ {
+		addr := proto.Addr(fmt.Sprintf("host%02d", i))
+		specs[i] = community.HostSpec{ID: addr, Fragments: fragParts[i]}
+		if i > 0 || cfg.Hosts == 1 {
+			specs[i].Services = allServices
+		}
+		addrs[i] = addr
+	}
+	comm, err := community.New(community.Options{
+		Transport:      cfg.Transport,
+		LinkModel:      cfg.LinkModel,
+		Seed:           cfg.Seed,
+		DisableMarshal: cfg.DisableMarshal,
+		Engine:         &engCfg,
+	}, specs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return comm, addrs, nil
+}
+
+// ConcurrentInitiateSetup builds the community and specification pool
+// shared by the concurrent-allocation benchmarks (the root
+// BenchmarkConcurrentInitiate and cmd/benchjson's ConcurrentInitiate
+// grid, which must measure the same configuration): a 100-task scenario
+// over `hosts` hosts with replicated services on the modeled 802.11g
+// medium, broadcast queries, generous window retries (contended
+// sessions postpone windows instead of excluding tasks), and a pool of
+// pre-sampled length-6 specifications. ok is false when the scenario
+// has no path of length 6.
+func ConcurrentInitiateSetup(hosts, poolSize int) (*community.Community, []proto.Addr, []spec.Spec, error) {
+	engCfg := EvalEngineConfig()
+	engCfg.ParallelQuery = true
+	engCfg.WindowRetries = 8
+	engCfg.MaxReplans = 5
+	rng := rand.New(rand.NewSource(1))
+	sc, err := Generate(100, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	comm, addrs, err := BuildReplicatedCommunity(sc, ExperimentConfig{
+		Tasks: 100, Hosts: hosts, Seed: 1,
+		LinkModel: Wireless80211g(),
+		Engine:    &engCfg,
+	}, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pool := make([]spec.Spec, 0, poolSize)
+	for len(pool) < poolSize {
+		s, ok := sc.SamplePath(6, rng)
+		if !ok {
+			_ = comm.Close()
+			return nil, nil, nil, fmt.Errorf("evalgen: scenario has no path of length 6")
+		}
+		pool = append(pool, s)
+	}
+	return comm, addrs, pool, nil
 }
 
 // Wireless80211g returns the link model used for the empirical (Figure 6)

@@ -1,0 +1,140 @@
+package host
+
+import (
+	"sync"
+
+	"openwf/internal/proto"
+)
+
+// DefaultWorkers is the dispatcher's worker-pool bound when the host
+// configuration does not set one. Session work is latency-bound (waiting
+// on auctions, schedules, and peers), not CPU-bound, so the default is
+// deliberately larger than typical core counts.
+const DefaultWorkers = 8
+
+// sessionQueue is the pending inbound traffic of one workflow session on
+// this host. Envelopes of one workflow are processed strictly in arrival
+// order (the per-link FIFO guarantee extends through the dispatcher);
+// envelopes of different workflows may be processed concurrently.
+type sessionQueue struct {
+	id    string
+	queue []proto.Envelope
+	// scheduled is true while the session is running on a worker or
+	// waiting in the runnable list; it is never in both places.
+	scheduled bool
+}
+
+// dispatcher fans a host's inbound envelopes out to per-workflow session
+// workers, bounded by a worker pool. It replaces the single-threaded
+// Handle loop: one slow session (a long service invocation, a blocked
+// auction) no longer stalls every other workflow on the host, which is
+// what lets N concurrent Initiates multiplex over one participant.
+//
+// Invariants:
+//   - per-workflow FIFO: a session's envelopes are handled one at a
+//     time, in arrival order;
+//   - bounded concurrency: at most `workers` envelopes are being
+//     handled at once across all sessions;
+//   - no idle goroutines: a drained session releases its worker, which
+//     adopts the next runnable session or exits.
+type dispatcher struct {
+	process func(proto.Envelope)
+	workers int
+
+	mu       sync.Mutex
+	sessions map[string]*sessionQueue
+	runnable []*sessionQueue // FIFO of scheduled sessions awaiting a worker
+	active   int             // workers currently live
+	closed   bool
+}
+
+func newDispatcher(process func(proto.Envelope), workers int) *dispatcher {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	return &dispatcher{
+		process:  process,
+		workers:  workers,
+		sessions: make(map[string]*sessionQueue),
+	}
+}
+
+// enqueue routes one envelope to its workflow's session, scheduling the
+// session on the worker pool if it is not already scheduled. It never
+// blocks.
+func (d *dispatcher) enqueue(env proto.Envelope) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	s, ok := d.sessions[env.Workflow]
+	if !ok {
+		s = &sessionQueue{id: env.Workflow}
+		d.sessions[env.Workflow] = s
+	}
+	s.queue = append(s.queue, env)
+	if !s.scheduled {
+		s.scheduled = true
+		if d.active < d.workers {
+			d.active++
+			go d.run(s)
+		} else {
+			d.runnable = append(d.runnable, s)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// run drains one session, then adopts further runnable sessions until
+// none remain, and exits.
+func (d *dispatcher) run(s *sessionQueue) {
+	for {
+		d.mu.Lock()
+		for len(s.queue) > 0 && !d.closed {
+			batch := s.queue
+			s.queue = nil
+			d.mu.Unlock()
+			for _, env := range batch {
+				d.process(env)
+			}
+			d.mu.Lock()
+		}
+		// Session drained (or the dispatcher is closing): retire it.
+		s.scheduled = false
+		if len(s.queue) == 0 {
+			delete(d.sessions, s.id)
+		}
+		if !d.closed && len(d.runnable) > 0 {
+			next := d.runnable[0]
+			d.runnable = d.runnable[1:]
+			d.mu.Unlock()
+			s = next
+			continue
+		}
+		d.active--
+		d.mu.Unlock()
+		return
+	}
+}
+
+// close stops the dispatcher: queued envelopes are dropped and new ones
+// refused. In-flight handlers finish their current envelope; close does
+// not wait for them (host shutdown cancels their contexts).
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.runnable = nil
+	for _, s := range d.sessions {
+		s.queue = nil
+	}
+	d.mu.Unlock()
+}
+
+// ActiveSessions returns how many workflow sessions currently have
+// queued or in-flight inbound traffic.
+func (d *dispatcher) ActiveSessions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.sessions)
+}

@@ -45,6 +45,12 @@ type Config struct {
 	// Engine configures this host's workflow engine (used when the host
 	// initiates workflows).
 	Engine engine.Config
+	// Workers bounds how many inbound envelopes the host handles
+	// concurrently (the dispatcher's worker pool; default
+	// DefaultWorkers). Envelopes of one workflow are always handled
+	// sequentially in arrival order; the bound caps cross-workflow
+	// parallelism.
+	Workers int
 	// Fragments is the host's initial knowhow.
 	Fragments []*model.Fragment
 	// Services are the host's initial capabilities.
@@ -71,6 +77,10 @@ type Host struct {
 	Exec        *exec.Manager
 	Participant *auction.Participant
 	Engine      *engine.Manager
+
+	// dispatch routes inbound envelopes to per-workflow session workers
+	// so concurrent allocation sessions multiplex over one host.
+	dispatch *dispatcher
 
 	mu       sync.Mutex
 	endpoint transport.Endpoint
@@ -103,6 +113,7 @@ func New(cfg Config) (*Host, error) {
 	h.Participant = auction.NewParticipant(clk, h.Services, h.Schedule, cfg.BidWindow)
 	h.Exec = exec.NewManager(cfg.Addr, clk, h.Services, h.Schedule, h.sendEnvelope)
 	h.Engine = engine.NewManager(h, cfg.Engine)
+	h.dispatch = newDispatcher(h.process, cfg.Workers)
 
 	for _, f := range cfg.Fragments {
 		if err := h.Fragments.Add(f); err != nil {
@@ -150,6 +161,7 @@ func (h *Host) Close() error {
 	}
 	h.mu.Unlock()
 	h.cancel()
+	h.dispatch.close()
 	h.Exec.Close()
 	if ep != nil {
 		return ep.Close()
@@ -256,12 +268,33 @@ func (h *Host) Call(ctx context.Context, to proto.Addr, workflow string, body pr
 	}
 }
 
-// Handle is the host's transport handler: it serves queries, routes
-// replies to waiting calls, and feeds one-way messages to the execution
-// subsystem. The transport invokes it sequentially, like a device
-// processing one message at a time.
+// Handle is the host's transport handler. Correlated replies are routed
+// straight to their waiting Call (a non-blocking channel send); every
+// other envelope is dispatched to its workflow's session worker, so the
+// traffic of N concurrent workflows is handled by up to Config.Workers
+// goroutines at once while each single workflow still sees its messages
+// strictly in arrival order. The transport may keep invoking Handle
+// sequentially (the in-memory network's endpoint pump does); the
+// dispatcher is what turns that serial feed into per-session
+// concurrency.
 func (h *Host) Handle(env proto.Envelope) {
 	h.record(trace.Recv, env.From, env)
+	switch env.Body.(type) {
+	case proto.FragmentReply, proto.FeasibilityReply, proto.Bid,
+		proto.Decline, proto.AwardAck, proto.Ack:
+		h.routeReply(env)
+	default:
+		h.dispatch.enqueue(env)
+	}
+}
+
+// ActiveSessions returns how many workflow sessions currently have
+// inbound traffic queued or in flight on this host's dispatcher.
+func (h *Host) ActiveSessions() int { return h.dispatch.ActiveSessions() }
+
+// process handles one dispatched envelope on a session worker: it serves
+// queries and feeds one-way messages to the execution subsystem.
+func (h *Host) process(env proto.Envelope) {
 	switch b := env.Body.(type) {
 	case proto.FragmentQuery:
 		var frags []*model.Fragment
@@ -305,10 +338,6 @@ func (h *Host) Handle(env proto.Envelope) {
 
 	case proto.TaskDone:
 		h.Engine.OnTaskDone(env.Workflow, b)
-
-	case proto.FragmentReply, proto.FeasibilityReply, proto.Bid,
-		proto.Decline, proto.AwardAck, proto.Ack:
-		h.routeReply(env)
 	}
 }
 

@@ -2,7 +2,10 @@ package host
 
 import (
 	"context"
+	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -323,5 +326,126 @@ func TestStrayReplyIgnored(t *testing.T) {
 	// A real call still works afterwards.
 	if _, err := a.Call(context.Background(), "b", "wf", proto.FeasibilityQuery{}, time.Second); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- Dispatcher tests ---
+
+// TestDispatcherPerWorkflowFIFO: envelopes of one workflow are processed
+// strictly in arrival order even when many workers are available.
+func TestDispatcherPerWorkflowFIFO(t *testing.T) {
+	var mu sync.Mutex
+	var got []uint64
+	d := newDispatcher(func(env proto.Envelope) {
+		mu.Lock()
+		got = append(got, env.ReqID)
+		mu.Unlock()
+	}, 8)
+	const n = 200
+	for i := 1; i <= n; i++ {
+		d.enqueue(proto.Envelope{Workflow: "wf", ReqID: uint64(i)})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		done := len(got) == n
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d envelopes processed", len(got), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, id := range got {
+		if id != uint64(i+1) {
+			t.Fatalf("envelope %d has ReqID %d: per-workflow FIFO violated", i, id)
+		}
+	}
+	if d.ActiveSessions() != 0 {
+		t.Errorf("ActiveSessions = %d after drain", d.ActiveSessions())
+	}
+}
+
+// TestDispatcherCrossWorkflowConcurrency: a blocked session must not
+// stall another workflow's traffic — the property the single-threaded
+// Handle loop lacked.
+func TestDispatcherCrossWorkflowConcurrency(t *testing.T) {
+	release := make(chan struct{})
+	fastDone := make(chan struct{})
+	d := newDispatcher(func(env proto.Envelope) {
+		switch env.Workflow {
+		case "slow":
+			<-release
+		case "fast":
+			close(fastDone)
+		}
+	}, 4)
+	d.enqueue(proto.Envelope{Workflow: "slow"})
+	d.enqueue(proto.Envelope{Workflow: "fast"})
+	select {
+	case <-fastDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fast workflow stalled behind the blocked slow workflow")
+	}
+	close(release)
+}
+
+// TestDispatcherWorkerPoolBound: concurrent in-flight handlers never
+// exceed the configured pool size, and all sessions are eventually
+// served as workers free up.
+func TestDispatcherWorkerPoolBound(t *testing.T) {
+	const workers = 3
+	const sessions = 12
+	var inFlight, peak, handled atomic.Int64
+	d := newDispatcher(func(env proto.Envelope) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		handled.Add(1)
+	}, workers)
+	for i := 0; i < sessions; i++ {
+		d.enqueue(proto.Envelope{Workflow: fmt.Sprintf("wf-%d", i)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for handled.Load() != sessions {
+		if time.Now().After(deadline) {
+			t.Fatalf("handled %d of %d sessions", handled.Load(), sessions)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+// TestDispatcherCloseDropsQueued: after close, queued and new envelopes
+// are dropped and workers wind down.
+func TestDispatcherCloseDropsQueued(t *testing.T) {
+	var handled atomic.Int64
+	block := make(chan struct{})
+	d := newDispatcher(func(env proto.Envelope) {
+		handled.Add(1)
+		<-block
+	}, 1)
+	d.enqueue(proto.Envelope{Workflow: "a"}) // occupies the only worker
+	deadline := time.Now().Add(time.Second)
+	for handled.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	d.enqueue(proto.Envelope{Workflow: "b"}) // queued behind the pool
+	d.close()
+	d.enqueue(proto.Envelope{Workflow: "c"}) // refused outright
+	close(block)
+	time.Sleep(10 * time.Millisecond)
+	if n := handled.Load(); n != 1 {
+		t.Errorf("handled = %d, want only the pre-close in-flight envelope", n)
 	}
 }

@@ -4,6 +4,26 @@
 // maintains the database of commitments — scheduled service invocations
 // with their location and travel-time details — that drives both
 // allocation (can this host bid?) and execution (when must it travel?).
+//
+// # Arbitration between concurrent allocation sessions
+//
+// A host carries several allocation sessions at once (one per open
+// workflow), and their auctions race for the same calendar. The manager
+// arbitrates deterministically:
+//
+//   - First-hold-wins. Every hold is stamped with a monotonically
+//     increasing sequence number when it is taken; a request that
+//     overlaps an earlier hold or commitment fails with ErrSlotBusy and
+//     never evicts the earlier reservation. The losing session receives
+//     a clean decline (its participant answers the call for bids with a
+//     Decline) instead of a stale commitment.
+//   - Conflicts are attributed deterministically: when a request
+//     overlaps several busy intervals, the reported blocker is the one
+//     with the lowest hold sequence (the first winner), so identical
+//     interleavings produce identical errors.
+//   - Readers never block each other: lookups (CanCommit, Get,
+//     Commitments, Holds) take a shared lock; only mutations
+//     (Hold/Commit/Release/ExpireHolds/Remove/Clear) serialize.
 package schedule
 
 import (
@@ -45,6 +65,15 @@ type key struct {
 	task     model.TaskID
 }
 
+// hold is a firm-bid reservation awaiting its award: the planned
+// commitment, the deadline after which it expires, and the arbitration
+// sequence number (lower = earlier = wins conflicts).
+type hold struct {
+	c      Commitment
+	expiry time.Time
+	seq    uint64
+}
+
 // Preferences expresses a participant's willingness (§3.2, condition 5):
 // hosts only bid on work they are willing to do.
 type Preferences struct {
@@ -57,16 +86,20 @@ type Preferences struct {
 }
 
 // Manager tracks one host's calendar and position. It is safe for
-// concurrent use.
+// concurrent use by any number of allocation sessions.
 type Manager struct {
 	clk      clock.Clock
 	mobility space.Mobility
 	prefs    Preferences
 
-	mu          sync.Mutex
+	mu          sync.RWMutex
 	commitments map[key]Commitment
-	holds       map[key]Commitment // firm-bid reservations awaiting award
-	holdExpiry  map[key]time.Time
+	// commitSeq remembers the hold sequence a commitment was converted
+	// from (or a fresh sequence for hold-less commits) so conflict
+	// attribution stays deterministic after conversion.
+	commitSeq map[key]uint64
+	holds     map[key]hold
+	seq       uint64
 }
 
 // NewManager returns a schedule manager for a host with the given mobility
@@ -83,8 +116,8 @@ func NewManager(clk clock.Clock, mobility space.Mobility, prefs Preferences) *Ma
 		mobility:    mobility,
 		prefs:       prefs,
 		commitments: make(map[key]Commitment),
-		holds:       make(map[key]Commitment),
-		holdExpiry:  make(map[key]time.Time),
+		commitSeq:   make(map[key]uint64),
+		holds:       make(map[key]hold),
 	}
 }
 
@@ -99,10 +132,22 @@ func (m *Manager) Position() space.Point { return m.mobility.Position(m.clk.Now(
 // outputs deliverable, willing). On success it returns the planned
 // commitment (with its travel block). It does not reserve anything.
 func (m *Manager) CanCommit(meta proto.TaskMeta) (Commitment, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.planLocked(meta)
 }
+
+// busyEntry pairs a busy interval with its arbitration sequence.
+type busyEntry struct {
+	c   Commitment
+	seq uint64
+}
+
+// ErrSlotBusy is wrapped in errors returned when a requested slot
+// overlaps a reservation or commitment made by an earlier request.
+// Arbitration is first-hold-wins: the earlier reservation stands and the
+// later session must bid elsewhere or retry with a different window.
+var ErrSlotBusy = errors.New("schedule: slot busy")
 
 func (m *Manager) planLocked(meta proto.TaskMeta) (Commitment, error) {
 	if m.prefs.Willing != nil && !m.prefs.Willing(meta) {
@@ -150,12 +195,23 @@ func (m *Manager) planLocked(meta proto.TaskMeta) (Commitment, error) {
 	}
 
 	// The busy interval is [TravelStart, End); it must not overlap any
-	// existing commitment or hold.
+	// existing commitment or hold. When it overlaps several, report the
+	// earliest winner (lowest sequence) so arbitration is deterministic.
+	var blocker *busyEntry
 	for _, existing := range m.allBusyLocked() {
-		if overlaps(c.TravelStart, c.End, existing.TravelStart, existing.End) {
-			return Commitment{}, fmt.Errorf("task %q conflicts with committed %q (%v–%v)",
-				meta.Task, existing.Task, existing.TravelStart, existing.End)
+		if !overlaps(c.TravelStart, c.End, existing.c.TravelStart, existing.c.End) {
+			continue
 		}
+		if blocker == nil || existing.seq < blocker.seq {
+			e := existing
+			blocker = &e
+		}
+	}
+	if blocker != nil {
+		return Commitment{}, fmt.Errorf(
+			"%w: task %q conflicts with %q of workflow %q (%v–%v)",
+			ErrSlotBusy, meta.Task, blocker.c.Task, blocker.c.Workflow,
+			blocker.c.TravelStart, blocker.c.End)
 	}
 	return c, nil
 }
@@ -166,7 +222,8 @@ func (m *Manager) planLocked(meta proto.TaskMeta) (Commitment, error) {
 func (m *Manager) originForLocked(t time.Time) (space.Point, time.Time) {
 	origin := m.mobility.Position(m.clk.Now())
 	free := m.clk.Now()
-	for _, c := range m.allBusyLocked() {
+	for _, e := range m.allBusyLocked() {
+		c := e.c
 		if !c.End.After(t) && c.End.After(free) && c.HasLocation {
 			origin = c.Location
 			free = c.End
@@ -175,13 +232,13 @@ func (m *Manager) originForLocked(t time.Time) (space.Point, time.Time) {
 	return origin, free
 }
 
-func (m *Manager) allBusyLocked() []Commitment {
-	out := make([]Commitment, 0, len(m.commitments)+len(m.holds))
-	for _, c := range m.commitments {
-		out = append(out, c)
+func (m *Manager) allBusyLocked() []busyEntry {
+	out := make([]busyEntry, 0, len(m.commitments)+len(m.holds))
+	for k, c := range m.commitments {
+		out = append(out, busyEntry{c: c, seq: m.commitSeq[k]})
 	}
-	for _, c := range m.holds {
-		out = append(out, c)
+	for _, h := range m.holds {
+		out = append(out, busyEntry{c: h.c, seq: h.seq})
 	}
 	return out
 }
@@ -198,7 +255,8 @@ var ErrAlreadyHeld = errors.New("schedule: already holding this task")
 // Hold reserves the schedule slot for a firm bid until deadline: the
 // bidder must be able to honor an award that arrives before then. The
 // reservation is released by Release, converted by Commit, or expired by
-// ExpireHolds.
+// ExpireHolds. Holds are sequence-stamped in arrival order; an
+// overlapping later Hold fails with ErrSlotBusy (first-hold-wins).
 func (m *Manager) Hold(workflow string, meta proto.TaskMeta, deadline time.Time) (Commitment, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -214,44 +272,51 @@ func (m *Manager) Hold(workflow string, meta proto.TaskMeta, deadline time.Time)
 		return Commitment{}, err
 	}
 	c.Workflow = workflow
-	m.holds[k] = c
-	m.holdExpiry[k] = deadline
+	m.seq++
+	m.holds[k] = hold{c: c, expiry: deadline, seq: m.seq}
 	return c, nil
 }
 
 // RefreshHold extends an existing reservation's deadline and returns the
-// held commitment. It fails if no hold exists.
+// held commitment. The reservation keeps its original arbitration
+// sequence: refreshing never lets a session jump the queue. It fails if
+// no hold exists.
 func (m *Manager) RefreshHold(workflow string, task model.TaskID, deadline time.Time) (Commitment, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	k := key{workflow, task}
-	c, ok := m.holds[k]
+	h, ok := m.holds[k]
 	if !ok {
 		return Commitment{}, fmt.Errorf("no hold for %q in workflow %q", task, workflow)
 	}
-	m.holdExpiry[k] = deadline
-	return c, nil
+	h.expiry = deadline
+	m.holds[k] = h
+	return h.c, nil
 }
 
 // Commit converts a hold into a firm commitment (on award). Committing
-// without a prior hold plans the commitment fresh, failing if the slot is
-// no longer available.
+// without a prior hold plans the commitment fresh, failing (ErrSlotBusy)
+// if the slot has meanwhile been reserved by another session — an award
+// arriving after its hold expired gets a clean refusal, never a
+// double-booked calendar.
 func (m *Manager) Commit(workflow string, meta proto.TaskMeta) (Commitment, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	k := key{workflow, meta.Task}
-	if held, ok := m.holds[k]; ok {
+	if h, ok := m.holds[k]; ok {
 		delete(m.holds, k)
-		delete(m.holdExpiry, k)
-		m.commitments[k] = held
-		return held, nil
+		m.commitments[k] = h.c
+		m.commitSeq[k] = h.seq
+		return h.c, nil
 	}
 	c, err := m.planLocked(meta)
 	if err != nil {
 		return Commitment{}, err
 	}
 	c.Workflow = workflow
+	m.seq++
 	m.commitments[k] = c
+	m.commitSeq[k] = m.seq
 	return c, nil
 }
 
@@ -259,9 +324,24 @@ func (m *Manager) Commit(workflow string, meta proto.TaskMeta) (Commitment, erro
 func (m *Manager) Release(workflow string, task model.TaskID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	k := key{workflow, task}
-	delete(m.holds, k)
-	delete(m.holdExpiry, k)
+	delete(m.holds, key{workflow, task})
+}
+
+// ReleaseWorkflow drops every hold of one workflow (session teardown,
+// e.g. after the session's auction failed wholesale) and returns how many
+// were released. Commitments are untouched; they are revoked per task by
+// Remove on compensation.
+func (m *Manager) ReleaseWorkflow(workflow string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for k := range m.holds {
+		if k.workflow == workflow {
+			delete(m.holds, k)
+			n++
+		}
+	}
+	return n
 }
 
 // ExpireHolds releases every hold whose deadline has passed and returns
@@ -270,10 +350,9 @@ func (m *Manager) ExpireHolds(now time.Time) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := 0
-	for k, deadline := range m.holdExpiry {
-		if now.After(deadline) {
+	for k, h := range m.holds {
+		if now.After(h.expiry) {
 			delete(m.holds, k)
-			delete(m.holdExpiry, k)
 			n++
 		}
 	}
@@ -290,21 +369,22 @@ func (m *Manager) Remove(workflow string, task model.TaskID) bool {
 		return false
 	}
 	delete(m.commitments, k)
+	delete(m.commitSeq, k)
 	return true
 }
 
 // Get returns the commitment for a task, if any.
 func (m *Manager) Get(workflow string, task model.TaskID) (Commitment, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	c, ok := m.commitments[key{workflow, task}]
 	return c, ok
 }
 
 // Commitments returns all commitments ordered by start time (then task).
 func (m *Manager) Commitments() []Commitment {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]Commitment, 0, len(m.commitments))
 	for _, c := range m.commitments {
 		out = append(out, c)
@@ -320,9 +400,27 @@ func (m *Manager) Commitments() []Commitment {
 
 // Holds returns the number of outstanding firm-bid reservations.
 func (m *Manager) Holds() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.holds)
+}
+
+// HeldTasks returns the (workflow, task) pairs currently reserved,
+// ordered by arbitration sequence (first winner first). Diagnostic: the
+// stress harness uses it to attribute leaked holds.
+func (m *Manager) HeldTasks() []Commitment {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	hs := make([]hold, 0, len(m.holds))
+	for _, h := range m.holds {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].seq < hs[j].seq })
+	out := make([]Commitment, len(hs))
+	for i, h := range hs {
+		out[i] = h.c
+	}
+	return out
 }
 
 // Clear removes every commitment and hold (used between evaluation runs).
@@ -330,6 +428,6 @@ func (m *Manager) Clear() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.commitments = make(map[key]Commitment)
-	m.holds = make(map[key]Commitment)
-	m.holdExpiry = make(map[key]time.Time)
+	m.commitSeq = make(map[key]uint64)
+	m.holds = make(map[key]hold)
 }

@@ -2,6 +2,9 @@ package schedule
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -280,6 +283,148 @@ func TestPosition(t *testing.T) {
 	if p := m.Position(); p != (space.Point{X: 5}) {
 		t.Errorf("Position after travel = %v", p)
 	}
+}
+
+// TestFirstHoldWinsArbitration: a later session's overlapping Hold loses
+// with ErrSlotBusy and the earlier reservation stands untouched.
+func TestFirstHoldWinsArbitration(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	first := meta("t-first", t0.Add(time.Hour), t0.Add(2*time.Hour))
+	if _, err := m.Hold("wf-a", first, t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Hold("wf-b", meta("t-second", t0.Add(90*time.Minute), t0.Add(3*time.Hour)), t0.Add(time.Minute))
+	if !errors.Is(err, ErrSlotBusy) {
+		t.Fatalf("overlapping Hold err = %v, want ErrSlotBusy", err)
+	}
+	if m.Holds() != 1 {
+		t.Fatalf("Holds = %d, want the first session's reservation only", m.Holds())
+	}
+	held := m.HeldTasks()
+	if len(held) != 1 || held[0].Workflow != "wf-a" || held[0].Task != "t-first" {
+		t.Fatalf("HeldTasks = %+v, want wf-a/t-first", held)
+	}
+	// A hold-less Commit into the same slot is refused cleanly too
+	// (award after expiry never double-books).
+	if _, err := m.Commit("wf-b", meta("t-second", t0.Add(90*time.Minute), t0.Add(3*time.Hour))); !errors.Is(err, ErrSlotBusy) {
+		t.Fatalf("fresh Commit into held slot err = %v, want ErrSlotBusy", err)
+	}
+}
+
+// TestReleaseWorkflowSweepsSessionHolds: session teardown drops only that
+// workflow's reservations.
+func TestReleaseWorkflowSweepsSessionHolds(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	if _, err := m.Hold("wf-a", meta("a1", t0.Add(time.Hour), t0.Add(2*time.Hour)), t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Hold("wf-a", meta("a2", t0.Add(3*time.Hour), t0.Add(4*time.Hour)), t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Hold("wf-b", meta("b1", t0.Add(5*time.Hour), t0.Add(6*time.Hour)), t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.ReleaseWorkflow("wf-a"); n != 2 {
+		t.Fatalf("ReleaseWorkflow released %d, want 2", n)
+	}
+	if m.Holds() != 1 {
+		t.Fatalf("Holds = %d after sweep, want wf-b's single hold", m.Holds())
+	}
+}
+
+// assertNoOverlap fails if any two busy intervals (commitments plus
+// holds) overlap — the calendar invariant every interleaving must keep.
+func assertNoOverlap(t *testing.T, m *Manager) {
+	t.Helper()
+	busy := append(m.Commitments(), m.HeldTasks()...)
+	for i := 0; i < len(busy); i++ {
+		for j := i + 1; j < len(busy); j++ {
+			if overlaps(busy[i].TravelStart, busy[i].End, busy[j].TravelStart, busy[j].End) {
+				t.Fatalf("busy intervals overlap: %s/%s (%v–%v) and %s/%s (%v–%v)",
+					busy[i].Workflow, busy[i].Task, busy[i].TravelStart, busy[i].End,
+					busy[j].Workflow, busy[j].Task, busy[j].TravelStart, busy[j].End)
+			}
+		}
+	}
+}
+
+// TestPropertyRandomInterleavingsNeverOverlap drives seeded random
+// interleavings of Hold/RefreshHold/Commit/Release/Remove/ExpireHolds
+// across several workflows and asserts after every operation that busy
+// intervals never overlap and bookkeeping stays consistent.
+func TestPropertyRandomInterleavingsNeverOverlap(t *testing.T) {
+	workflows := []string{"wf-0", "wf-1", "wf-2"}
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m, sim := newManager(Preferences{}, nil)
+			// Small discrete time grid so collisions are frequent.
+			slot := func() (time.Time, time.Time) {
+				start := t0.Add(time.Hour + time.Duration(rng.Intn(24))*15*time.Minute)
+				return start, start.Add(time.Duration(1+rng.Intn(3)) * 20 * time.Minute)
+			}
+			taskOf := func(i int) string { return fmt.Sprintf("t%02d", i) }
+			for op := 0; op < 600; op++ {
+				wf := workflows[rng.Intn(len(workflows))]
+				task := taskOf(rng.Intn(10))
+				start, end := slot()
+				md := meta(task, start, end)
+				switch rng.Intn(6) {
+				case 0:
+					_, _ = m.Hold(wf, md, sim.Now().Add(time.Duration(rng.Intn(120))*time.Second))
+				case 1:
+					_, _ = m.RefreshHold(wf, model.TaskID(task), sim.Now().Add(time.Duration(rng.Intn(120))*time.Second))
+				case 2:
+					_, _ = m.Commit(wf, md)
+				case 3:
+					m.Release(wf, model.TaskID(task))
+				case 4:
+					m.Remove(wf, model.TaskID(task))
+				case 5:
+					sim.Advance(time.Duration(rng.Intn(60)) * time.Second)
+					m.ExpireHolds(sim.Now())
+				}
+				assertNoOverlap(t, m)
+			}
+		})
+	}
+}
+
+// TestPropertyConcurrentSessionsNeverOverlap races several goroutines
+// (one per workflow) against one manager under -race; the calendar
+// invariant must hold at the end regardless of interleaving.
+func TestPropertyConcurrentSessionsNeverOverlap(t *testing.T) {
+	m, sim := newManager(Preferences{}, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			wf := fmt.Sprintf("wf-%d", w)
+			for op := 0; op < 300; op++ {
+				task := fmt.Sprintf("t%02d", rng.Intn(8))
+				start := t0.Add(time.Hour + time.Duration(rng.Intn(16))*30*time.Minute)
+				md := meta(task, start, start.Add(45*time.Minute))
+				switch rng.Intn(5) {
+				case 0:
+					_, _ = m.Hold(wf, md, sim.Now().Add(time.Minute))
+				case 1:
+					_, _ = m.Commit(wf, md)
+				case 2:
+					m.Release(wf, model.TaskID(task))
+				case 3:
+					m.Remove(wf, model.TaskID(task))
+				case 4:
+					m.ExpireHolds(sim.Now())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	assertNoOverlap(t, m)
 }
 
 // TestNoOverlappingCommitmentsInvariant: whatever sequence of holds,

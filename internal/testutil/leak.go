@@ -1,0 +1,86 @@
+// Package testutil holds shared test helpers: goroutine-leak and
+// commitment-leak (hold-leak) checks folded into the engine and
+// community test suites, so every test that spins up sessions proves it
+// tore them down — stable goroutine count and zero outstanding firm-bid
+// reservations after settle.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// goroutineSlack absorbs runtime/test-framework goroutines that come and
+// go independently of the code under test.
+const goroutineSlack = 3
+
+// CheckGoroutines records the goroutine count and, at cleanup, waits for
+// the count to return to (near) the baseline; it fails the test with a
+// full stack dump when goroutines leak. Call it first in a test, before
+// building any community or engine.
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			now := runtime.NumGoroutine()
+			if now <= base+goroutineSlack {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutines leaked: %d at start, %d after close\n%s", base, now, buf[:n])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// HoldReporter is anything that can report outstanding firm-bid
+// reservations (schedule.Manager, community.Community.TotalHolds via an
+// adapter, …).
+type HoldReporter interface {
+	// Holds returns the number of outstanding reservations.
+	Holds() int
+}
+
+// HoldReporterFunc adapts a function to HoldReporter.
+type HoldReporterFunc func() int
+
+// Holds implements HoldReporter.
+func (f HoldReporterFunc) Holds() int { return f() }
+
+// WaitNoHolds waits for every reporter to drain to zero outstanding
+// holds (bid windows expiring, cancels landing) and fails the test if
+// any reservation outlives the deadline — the commitment-leak check.
+func WaitNoHolds(t testing.TB, timeout time.Duration, reporters ...HoldReporter) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		total := 0
+		for _, r := range reporters {
+			total += r.Holds()
+		}
+		if total == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d firm-bid holds leaked after settle", total)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// CheckNoHolds registers a cleanup that runs WaitNoHolds — the
+// fold-into-every-test form: call it right after building the community
+// or schedule managers, and the leak check runs automatically after the
+// test settles.
+func CheckNoHolds(t testing.TB, timeout time.Duration, reporters ...HoldReporter) {
+	t.Helper()
+	t.Cleanup(func() { WaitNoHolds(t, timeout, reporters...) })
+}

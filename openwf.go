@@ -42,6 +42,16 @@
 //	    []openwf.LabelID{"need"}, []openwf.LabelID{"done"}))
 //	report, err := com.Execute(ctx, "requester", plan, nil)
 //
+// Communities are open: any member may initiate at any time, so a host
+// routinely carries several allocation sessions at once. Initiate calls
+// may overlap freely, or a batch can be multiplexed explicitly:
+//
+//	plans, err := com.InitiateAll(ctx, "requester", []openwf.Spec{specA, specB, specC})
+//
+// Sessions are isolated end to end (per-workflow dispatcher queues on
+// every host, per-session auction state, first-hold-wins schedule
+// arbitration); see DESIGN.md §8.
+//
 // For server-shaped workloads — many specifications constructed
 // concurrently against one pool of knowhow — snapshot the knowhow once
 // and plan from it in parallel, with no further community traffic:
@@ -255,6 +265,14 @@ func WithBidWindow(d time.Duration) Option {
 // in-memory network (delay-tolerant delivery) instead of losing them.
 func WithStoreAndForward() Option {
 	return func(s *settings) { s.comm.StoreAndForward = true }
+}
+
+// WithHostWorkers bounds each host's inbound-envelope worker pool: how
+// many workflow sessions a participant serves concurrently. Each
+// workflow's messages are always handled sequentially in arrival order;
+// the bound caps cross-workflow parallelism (default 8).
+func WithHostWorkers(n int) Option {
+	return func(s *settings) { s.comm.HostWorkers = n }
 }
 
 // NewCommunity builds and starts a community of hosts.

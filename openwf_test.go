@@ -111,3 +111,61 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatalf("report = %+v", report)
 	}
 }
+
+// TestFacadeInitiateAll: N allocation sessions multiplexed over one
+// initiator through the facade, with the worker-pool option applied.
+func TestFacadeInitiateAll(t *testing.T) {
+	cfg := openwf.DefaultEngineConfig()
+	cfg.StartDelay = 200 * time.Millisecond
+	cfg.TaskWindow = 30 * time.Millisecond
+	frag := func(name, task, in, out string) *openwf.Fragment {
+		return openwf.MustFragment(name, openwf.Task{
+			ID: openwf.TaskID(task), Mode: openwf.Conjunctive,
+			Inputs: lbl(in), Outputs: lbl(out),
+		})
+	}
+	com, err := openwf.NewCommunity([]openwf.HostSpec{
+		{ID: "asker"},
+		{
+			ID:        "w1",
+			Fragments: []*openwf.Fragment{frag("k1", "job1", "in1", "out1")},
+			Services:  []openwf.ServiceRegistration{openwf.SimpleService("job1")},
+		},
+		{
+			ID:        "w2",
+			Fragments: []*openwf.Fragment{frag("k2", "job2", "in2", "out2")},
+			Services:  []openwf.ServiceRegistration{openwf.SimpleService("job2")},
+		},
+		{
+			ID:        "w3",
+			Fragments: []*openwf.Fragment{frag("k3", "job3", "in3", "out3")},
+			Services:  []openwf.ServiceRegistration{openwf.SimpleService("job3")},
+		},
+	}, openwf.WithEngineConfig(cfg), openwf.WithHostWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer com.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	specs := []openwf.Spec{
+		openwf.MustSpec(lbl("in1"), lbl("out1")),
+		openwf.MustSpec(lbl("in2"), lbl("out2")),
+		openwf.MustSpec(lbl("in3"), lbl("out3")),
+	}
+	plans, err := com.InitiateAll(ctx, "asker", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plans {
+		if p == nil {
+			t.Fatalf("plan %d missing", i)
+		}
+		want := openwf.Addr("w" + string(rune('1'+i)))
+		task := openwf.TaskID("job" + string(rune('1'+i)))
+		if got := p.Allocations[task]; got != want {
+			t.Errorf("plan %d: %s allocated to %q, want %q", i, task, got, want)
+		}
+	}
+}
