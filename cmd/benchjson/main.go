@@ -4,7 +4,7 @@
 // (ns/op, B/op, allocs/op) in a BENCH_PR<n>.json at the repo root, so
 // regressions are visible in review without re-running the full sweep.
 //
-//	go run ./cmd/benchjson -o BENCH_PR4.json
+//	go run ./cmd/benchjson -o BENCH_PR5.json
 //
 // The grid points mirror the root bench_test.go benchmarks that the
 // paper's evaluation (§5) pins: the pure construction algorithm at
@@ -12,9 +12,11 @@
 // wire codec against its gob oracle (PR 3), the broadcast knowhow-query
 // path over the modeled 802.11g medium, the cached workflow accessors
 // (PR 2), the concurrent-construction grid (goroutines × supergraph
-// size) against a shared fragment store, and the concurrent-allocation
+// size) against a shared fragment store, the concurrent-allocation
 // grid (PR 4: K in-flight Initiates multiplexed over one host, serial
-// vs concurrent).
+// vs concurrent), and the batched-CFB differential on the BroadcastQuery
+// grid (PR 5: batched vs per-task calls for bids, with the transport's
+// Call round-trip count as its own column).
 package main
 
 import (
@@ -45,6 +47,11 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// RoundTrips is the inmem transport's Call round-trip count per
+	// operation (requests only — each opens one request/reply exchange),
+	// reported by the distributed grid points via b.ReportMetric. The
+	// batched CFB protocol (PR 5) is measured directly on this column.
+	RoundTrips float64 `json:"round_trips_per_op,omitempty"`
 }
 
 // report is the emitted file.
@@ -102,21 +109,23 @@ func bidEnvelope() proto.Envelope {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR4.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR5.json", "output file (- for stdout)")
 	flag.Parse()
 
 	var results []result
 	run := func(name string, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
-		results = append(results, result{
+		res := result{
 			Name:        name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
-		fmt.Fprintf(os.Stderr, "%-40s %10d iters %14.0f ns/op %10d B/op %8d allocs/op\n",
-			name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+			RoundTrips:  r.Extra["roundtrips/op"],
+		}
+		results = append(results, res)
+		fmt.Fprintf(os.Stderr, "%-44s %10d iters %14.0f ns/op %10d B/op %8d allocs/op %8.0f rt/op\n",
+			name, r.N, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.RoundTrips)
 	}
 
 	// The pure coloring algorithm against a fully assembled supergraph
@@ -287,48 +296,61 @@ func main() {
 		}
 	}
 
-	// Broadcast knowhow-query grid (PR 3): a full Initiate on the
-	// modeled 802.11g medium with broadcast (parallel) community queries
-	// — the distributed path where the per-envelope codec dominates,
-	// since every exploration round pays hosts × (query + reply).
+	// Broadcast knowhow-query grid (PR 3, re-pinned by PR 5): a full
+	// Initiate on the modeled 802.11g medium with broadcast (parallel)
+	// community queries — the distributed path where the medium
+	// dominates. The unsuffixed rows run the batched CFB protocol (the
+	// default); the batch=off rows run the per-task oracle, so the grid
+	// reads the round-collapse directly in both ns/op and the RoundTrips
+	// column (inmem Stats().Calls per Initiate).
 	for _, hosts := range []int{5, 10} {
-		hosts := hosts
-		run(fmt.Sprintf("BroadcastQuery/hosts=%d", hosts), func(b *testing.B) {
-			b.ReportAllocs()
-			engCfg := evalgen.EvalEngineConfig()
-			engCfg.ParallelQuery = true
-			rng := rand.New(rand.NewSource(1))
-			sc, err := evalgen.Generate(100, rng)
-			if err != nil {
-				b.Fatal(err)
+		for _, batch := range []bool{true, false} {
+			hosts, batch := hosts, batch
+			name := fmt.Sprintf("BroadcastQuery/hosts=%d", hosts)
+			if !batch {
+				name += "/batch=off"
 			}
-			comm, hostAddrs, err := evalgen.BuildCommunity(sc, evalgen.ExperimentConfig{
-				Tasks: 100, Hosts: hosts, Seed: 1,
-				LinkModel: evalgen.Wireless80211g(),
-				Engine:    &engCfg,
-			}, rng)
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer comm.Close()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				s, ok := sc.SamplePath(8, rng)
-				if !ok {
-					b.Skip("no path of length 8")
-				}
-				comm.ResetSchedules()
-				b.StartTimer()
-				plan, err := comm.Initiate(context.Background(), hostAddrs[0], s)
+			run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				engCfg := evalgen.EvalEngineConfig()
+				engCfg.ParallelQuery = true
+				engCfg.BatchCFB = batch
+				rng := rand.New(rand.NewSource(1))
+				sc, err := evalgen.Generate(100, rng)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if plan.Workflow.NumTasks() != 8 {
-					b.Fatalf("workflow has %d tasks", plan.Workflow.NumTasks())
+				comm, hostAddrs, err := evalgen.BuildCommunity(sc, evalgen.ExperimentConfig{
+					Tasks: 100, Hosts: hosts, Seed: 1,
+					LinkModel: evalgen.Wireless80211g(),
+					Engine:    &engCfg,
+				}, rng)
+				if err != nil {
+					b.Fatal(err)
 				}
-			}
-		})
+				defer comm.Close()
+				comm.Network().ResetCounters()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					s, ok := sc.SamplePath(8, rng)
+					if !ok {
+						b.Skip("no path of length 8")
+					}
+					comm.ResetSchedules()
+					b.StartTimer()
+					plan, err := comm.Initiate(context.Background(), hostAddrs[0], s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if plan.Workflow.NumTasks() != 8 {
+						b.Fatalf("workflow has %d tasks", plan.Workflow.NumTasks())
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(comm.Network().Stats().Calls)/float64(b.N), "roundtrips/op")
+			})
+		}
 	}
 
 	// Concurrent allocation sessions (PR 4): K Initiates multiplexed

@@ -542,3 +542,167 @@ func TestParticipantAwardPrunesSession(t *testing.T) {
 		t.Fatalf("Sessions = %v after release", p.Sessions())
 	}
 }
+
+// --- Batched call-for-bids (PR 5) ---
+
+// TestStartBatchedOnePerMember: the batched protocol sends exactly one
+// CallForBidsBatch per member, carrying every task in sorted order.
+func TestStartBatchedOnePerMember(t *testing.T) {
+	a, err := NewAuctioneer(members("h1", "h2", "h3"), []proto.TaskMeta{meta("t2"), meta("t1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.StartBatched()
+	if len(out) != 3 {
+		t.Fatalf("StartBatched emitted %d messages, want 3 (one per member)", len(out))
+	}
+	for i, o := range out {
+		b, ok := o.Body.(proto.CallForBidsBatch)
+		if !ok {
+			t.Fatalf("body = %T", o.Body)
+		}
+		if len(b.Metas) != 2 || b.Metas[0].Task != "t1" || b.Metas[1].Task != "t2" {
+			t.Fatalf("batch %d metas = %+v, want [t1 t2]", i, b.Metas)
+		}
+	}
+	if out[0].To != "h1" || out[1].To != "h2" || out[2].To != "h3" {
+		t.Errorf("recipients = %v %v %v", out[0].To, out[1].To, out[2].To)
+	}
+}
+
+// TestHandleBidBatchMatchesPerTask: feeding one member's batched reply
+// produces the same decisions as the equivalent per-task bid/decline
+// sequence on a second auctioneer.
+func TestHandleBidBatchMatchesPerTask(t *testing.T) {
+	metas := []proto.TaskMeta{meta("t1"), meta("t2"), meta("t3")}
+	dl := t0.Add(time.Minute)
+	batch := proto.BidBatch{
+		Bids:     []proto.Bid{bid("t1", 1, 0.5, dl), bid("t3", 2, 0.5, dl)},
+		Declines: []model.TaskID{"t2"},
+	}
+	decide := func(drive func(a *Auctioneer, from proto.Addr)) map[model.TaskID]proto.Addr {
+		a, err := NewAuctioneer(members("h1", "h2"), metas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(a, "h1")
+		drive(a, "h2")
+		if !a.Done() {
+			t.Fatal("auction not done")
+		}
+		return a.Allocations()
+	}
+	batched := decide(func(a *Auctioneer, from proto.Addr) {
+		a.HandleBidBatch(from, batch, t0)
+	})
+	perTask := decide(func(a *Auctioneer, from proto.Addr) {
+		for _, b := range batch.Bids {
+			a.HandleBid(from, b, t0)
+		}
+		for _, task := range batch.Declines {
+			a.HandleDecline(from, proto.Decline{Task: task}, t0)
+		}
+	})
+	if len(batched) != len(perTask) || len(batched) != 2 {
+		t.Fatalf("allocations differ: batched %v vs per-task %v", batched, perTask)
+	}
+	for task, winner := range perTask {
+		if batched[task] != winner {
+			t.Fatalf("task %q: batched winner %q vs per-task %q", task, batched[task], winner)
+		}
+	}
+}
+
+// TestParticipantBatchedCallMixedCapability: one batched call covering a
+// capable task, an unknown task, and a task blocked by another session
+// answers each per task — one bid, two declines, one hold.
+func TestParticipantBatchedCallMixedCapability(t *testing.T) {
+	p, _, sched := participant(schedule.Preferences{}, sreg("a", 0.7), sreg("b", 0.4))
+	// Session wf-1 already owns b's window.
+	if resp := p.HandleCallForBids("wf-1", proto.CallForBids{Meta: metaAt("b", t0.Add(time.Hour), t0.Add(2*time.Hour))}); resp.(proto.Bid).Task != "b" {
+		t.Fatalf("setup bid failed: %+v", resp)
+	}
+	reply := p.HandleCallForBidsBatch("wf-2", proto.CallForBidsBatch{Metas: []proto.TaskMeta{
+		metaAt("a", t0.Add(3*time.Hour), t0.Add(4*time.Hour)), // capable, free window
+		metaAt("b", t0.Add(time.Hour), t0.Add(2*time.Hour)),   // capable, slot busy
+		metaAt("x", t0.Add(5*time.Hour), t0.Add(6*time.Hour)), // no service
+	}})
+	if len(reply.Bids) != 1 || reply.Bids[0].Task != "a" {
+		t.Fatalf("bids = %+v, want one for a", reply.Bids)
+	}
+	if reply.Bids[0].ServicesOffered != 2 || reply.Bids[0].Specialization != 0.7 {
+		t.Errorf("bid = %+v", reply.Bids[0])
+	}
+	if len(reply.Declines) != 2 {
+		t.Fatalf("declines = %v, want [x b] in some order", reply.Declines)
+	}
+	if sched.Holds() != 2 { // wf-1's b + wf-2's a
+		t.Errorf("holds = %d, want 2", sched.Holds())
+	}
+	if p.SessionBids("wf-2") != 1 {
+		t.Errorf("wf-2 tracks %d bids, want 1", p.SessionBids("wf-2"))
+	}
+}
+
+// TestParticipantBatchedCallMatchesPerTask: for the same solicitation,
+// the batched reply carries exactly the bids and declines the per-task
+// path would produce, with the same schedule state afterwards.
+func TestParticipantBatchedCallMatchesPerTask(t *testing.T) {
+	metas := []proto.TaskMeta{
+		metaAt("a", t0.Add(time.Hour), t0.Add(2*time.Hour)),
+		metaAt("b", t0.Add(3*time.Hour), t0.Add(4*time.Hour)),
+		metaAt("x", t0.Add(5*time.Hour), t0.Add(6*time.Hour)), // no service
+	}
+	regs := []service.Registration{sreg("a", 0.5), sreg("b", 0.5)}
+	pb, _, schedBatch := participant(schedule.Preferences{}, regs...)
+	reply := pb.HandleCallForBidsBatch("wf", proto.CallForBidsBatch{Metas: metas})
+
+	pt, _, schedTask := participant(schedule.Preferences{}, regs...)
+	var bids []proto.Bid
+	var declines []model.TaskID
+	for _, m := range metas {
+		switch r := pt.HandleCallForBids("wf", proto.CallForBids{Meta: m}).(type) {
+		case proto.Bid:
+			bids = append(bids, r)
+		case proto.Decline:
+			declines = append(declines, r.Task)
+		}
+	}
+	if len(reply.Bids) != len(bids) || len(reply.Declines) != len(declines) {
+		t.Fatalf("batched %d bids/%d declines vs per-task %d/%d",
+			len(reply.Bids), len(reply.Declines), len(bids), len(declines))
+	}
+	for i := range bids {
+		if reply.Bids[i].Task != bids[i].Task ||
+			reply.Bids[i].ServicesOffered != bids[i].ServicesOffered ||
+			reply.Bids[i].Specialization != bids[i].Specialization ||
+			!reply.Bids[i].Deadline.Equal(bids[i].Deadline) {
+			t.Fatalf("bid %d: batched %+v vs per-task %+v", i, reply.Bids[i], bids[i])
+		}
+	}
+	if schedBatch.Holds() != schedTask.Holds() {
+		t.Fatalf("holds: batched %d vs per-task %d", schedBatch.Holds(), schedTask.Holds())
+	}
+}
+
+// TestParticipantBatchedRebidRefreshes: a re-solicited batch (engine
+// replanning) refreshes the session's existing holds and bids again.
+func TestParticipantBatchedRebidRefreshes(t *testing.T) {
+	p, sim, sched := participant(schedule.Preferences{}, sreg("a", 0.5))
+	metas := []proto.TaskMeta{metaAt("a", t0.Add(time.Hour), t0.Add(2*time.Hour))}
+	first := p.HandleCallForBidsBatch("wf", proto.CallForBidsBatch{Metas: metas})
+	if len(first.Bids) != 1 {
+		t.Fatalf("first reply = %+v", first)
+	}
+	sim.Advance(10 * time.Second)
+	second := p.HandleCallForBidsBatch("wf", proto.CallForBidsBatch{Metas: metas})
+	if len(second.Bids) != 1 {
+		t.Fatalf("second reply = %+v, want a refreshed bid", second)
+	}
+	if !second.Bids[0].Deadline.Equal(t0.Add(40 * time.Second)) {
+		t.Errorf("refreshed deadline = %v", second.Bids[0].Deadline)
+	}
+	if sched.Holds() != 1 {
+		t.Errorf("holds = %d, want 1", sched.Holds())
+	}
+}

@@ -108,6 +108,39 @@ func (a *Auctioneer) Start() []Outbound {
 	return out
 }
 
+// StartBatched returns the batched calls for bids: exactly one
+// CallForBidsBatch per member, carrying every task's metadata in sorted
+// task order. It collapses Start's member×task round count to one round
+// trip per member — the batched protocol of DESIGN.md §9; the engine
+// picks it via Config.BatchCFB.
+func (a *Auctioneer) StartBatched() []Outbound {
+	taskIDs := a.sortedTaskIDs()
+	metas := make([]proto.TaskMeta, 0, len(taskIDs))
+	for _, id := range taskIDs {
+		metas = append(metas, a.tasks[id].meta)
+	}
+	out := make([]Outbound, 0, len(a.members))
+	for _, m := range a.members {
+		out = append(out, Outbound{To: m, Body: proto.CallForBidsBatch{Metas: metas}})
+	}
+	return out
+}
+
+// HandleBidBatch processes one member's batched reply: every bid and
+// per-task decline it carries, in reply order. It returns all decisions
+// that became final, exactly as the equivalent sequence of HandleBid and
+// HandleDecline calls would.
+func (a *Auctioneer) HandleBidBatch(from proto.Addr, batch proto.BidBatch, now time.Time) []Decision {
+	var out []Decision
+	for _, bid := range batch.Bids {
+		out = append(out, a.HandleBid(from, bid, now)...)
+	}
+	for _, task := range batch.Declines {
+		out = append(out, a.HandleDecline(from, proto.Decline{Task: task}, now)...)
+	}
+	return out
+}
+
 func (a *Auctioneer) sortedTaskIDs() []model.TaskID {
 	ids := make([]model.TaskID, 0, len(a.tasks))
 	for id := range a.tasks {

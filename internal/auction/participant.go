@@ -138,6 +138,52 @@ func (p *Participant) HandleCallForBids(workflow string, cfb proto.CallForBids) 
 	}
 }
 
+// HandleCallForBidsBatch answers a batched call for bids: one reply
+// carrying a firm Bid for every task this host can commit to and a
+// per-task decline for the rest. All schedule reservations are taken
+// atomically under one schedule-manager lock acquisition (HoldBatch), so
+// a competing session cannot interleave between two tasks of the batch;
+// infeasible tasks decline individually without disturbing the rest. The
+// whole batch shares one bid deadline.
+func (p *Participant) HandleCallForBidsBatch(workflow string, batch proto.CallForBidsBatch) proto.BidBatch {
+	var reply proto.BidBatch
+	capable := make([]proto.TaskMeta, 0, len(batch.Metas))
+	descs := make([]service.Descriptor, 0, len(batch.Metas))
+	for _, meta := range batch.Metas {
+		desc, ok := p.services.CanPerform(meta.Task)
+		if !ok {
+			reply.Declines = append(reply.Declines, meta.Task)
+			continue
+		}
+		if !meta.HasLocation && desc.HasLocation {
+			meta.Location = desc.Location
+			meta.HasLocation = true
+		}
+		capable = append(capable, meta)
+		descs = append(descs, desc)
+	}
+	if len(capable) == 0 {
+		return reply
+	}
+	deadline := p.clk.Now().Add(p.bidWindow)
+	results := p.sched.HoldBatch(workflow, capable, deadline)
+	count := p.services.Count()
+	for i, res := range results {
+		if res.Err != nil {
+			reply.Declines = append(reply.Declines, capable[i].Task)
+			continue
+		}
+		p.trackBid(workflow, capable[i].Task, deadline)
+		reply.Bids = append(reply.Bids, proto.Bid{
+			Task:            capable[i].Task,
+			ServicesOffered: count,
+			Specialization:  descs[i].Specialization,
+			Deadline:        deadline,
+		})
+	}
+	return reply
+}
+
 // HandleAward converts the reservation into a commitment. It returns the
 // commitment (for execution registration) and the acknowledgment to send.
 // An award that can no longer be honored — the hold expired and the slot

@@ -23,6 +23,7 @@ package community
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"testing"
@@ -48,7 +49,11 @@ type stressLayout struct {
 	// (deterministic, contention-free); shared registers every service
 	// on every host (maximal contention).
 	disjoint bool
-	seed     int64
+	// legacyCFB runs the per-task call-for-bids oracle instead of the
+	// batched protocol. The OPENWF_LEGACY_CFB environment variable flips
+	// every layout to legacy — CI runs the whole harness once per mode.
+	legacyCFB bool
+	seed      int64
 }
 
 // stressTask names session k's i-th task.
@@ -118,6 +123,7 @@ func buildStress(t *testing.T, l stressLayout, sim *clock.Sim) *Community {
 	specs[0].Fragments = frags
 
 	cfg := engine.DefaultConfig()
+	cfg.BatchCFB = !l.legacyCFB && os.Getenv("OPENWF_LEGACY_CFB") == ""
 	// Window bands: StartDelay exceeds a whole chain of task windows, so
 	// a session retrying with postponed windows moves to a band disjoint
 	// from every session still on an earlier try.
@@ -322,6 +328,34 @@ func TestStressConcurrentInitiates(t *testing.T) {
 			runStress(t, l)
 		})
 	}
+}
+
+// TestStressBatchedLegacyEquivalentPlans: the batched protocol must be
+// plan-for-plan identical to the per-task oracle it replaces — the
+// differential property Config.BatchCFB exists for. The contention-free
+// disjoint layout pins the exact expected outcome in both modes.
+func TestStressBatchedLegacyEquivalentPlans(t *testing.T) {
+	if os.Getenv("OPENWF_LEGACY_CFB") != "" {
+		// The env var forces every layout legacy, which would make this
+		// comparison legacy-vs-legacy — vacuous. The real differential
+		// runs in the default (batched) job.
+		t.Skip("OPENWF_LEGACY_CFB forces both runs to the per-task path")
+	}
+	l := stressLayout{hosts: 5, sessions: 4, chain: 3, disjoint: true, seed: 1}
+	batched := runStress(t, l)
+	l.legacyCFB = true
+	legacy := runStress(t, l)
+	if batched != legacy {
+		t.Fatalf("batched and legacy CFB plans differ:\n--- batched ---\n%s--- legacy ---\n%s",
+			batched, legacy)
+	}
+}
+
+// TestStressLegacyCFBContended keeps the per-task oracle covered under
+// maximal contention (every host capable of every task) until the flag
+// retires: the calendar invariants must hold on the legacy path too.
+func TestStressLegacyCFBContended(t *testing.T) {
+	runStress(t, stressLayout{hosts: 4, sessions: 4, chain: 3, legacyCFB: true, seed: 1})
 }
 
 // TestStressSessionIsolationAcrossInitiators: concurrent batches from

@@ -41,32 +41,124 @@ func (sess *allocSession) allocate(ctx context.Context, res *core.Result, postpo
 		return nil, nil, err
 	}
 
-	var decisions []auction.Decision
-	record := func(ds []auction.Decision) { decisions = append(decisions, ds...) }
-
-	// Solicit bids pairwise from every member: the initiating host
-	// communicates with each participant in turn (§5: time linear in
-	// the number of hosts).
+	plan := &Plan{
+		WorkflowID:   sess.wfID,
+		Spec:         sess.spec,
+		Workflow:     w,
+		Allocations:  make(map[model.TaskID]proto.Addr, len(metas)),
+		Metas:        make(map[model.TaskID]proto.TaskMeta, len(metas)),
+		Construction: *res,
+	}
+	for _, meta := range metas {
+		plan.Metas[meta.Task] = meta
+	}
 	clk := m.net.Clock()
-	for _, out := range auc.Start() {
-		cfb, ok := out.Body.(proto.CallForBids)
-		if !ok {
-			return nil, nil, fmt.Errorf("auction emitted unexpected message %T", out.Body)
+
+	// fail is the single abort exit once decision-time awards may have
+	// gone out: whatever was already won is compensated (canceled) so no
+	// winner keeps a dead commitment blocking its schedule window. Before
+	// PR 5 awards only went out after the sweep, so mid-sweep error
+	// returns had nothing to release; now every one of them does.
+	fail := func(err error) (*Plan, []model.TaskID, error) {
+		sess.compensate(plan)
+		return nil, nil, err
+	}
+
+	// award finalizes one decision the moment the auctioneer makes it —
+	// inside the solicitation sweep, not after it. Awarding (and
+	// canceling losers) at decision time releases contended schedule
+	// slots a full round earlier than the old collect-then-award shape:
+	// under concurrent sessions a loser's reservation held until the end
+	// of the sweep blocks every other workflow racing for that window.
+	// A refused or undeliverable award re-enters the failure set for
+	// replanning.
+	award := func(d auction.Decision) error {
+		if d.Failed() {
+			m.cfg.Observer.taskDecided(sess.wfID, d.Task, "")
+			return nil
 		}
-		reply, err := m.net.Call(ctx, out.To, sess.wfID, cfb, m.cfg.CallTimeout)
+		// Release the losing bidders' reservations promptly: a Cancel
+		// for a task the host never committed drops exactly the hold.
+		for _, loser := range d.Losers {
+			_ = m.net.Send(ctx, loser, sess.wfID, proto.Cancel{Task: d.Task})
+		}
+		reply, err := m.net.Call(ctx, d.Winner, sess.wfID, d.Award, m.cfg.CallTimeout)
 		if err != nil {
 			if ctx.Err() != nil {
-				return nil, nil, ctx.Err()
+				// Canceled mid-award: the interrupted award may have
+				// reached its winner even though the ack never came
+				// back, so record it and let the caller's fail exit
+				// cancel it along with everything already won.
+				plan.Allocations[d.Task] = d.Winner
+				return ctx.Err()
+			}
+			// The call failed without the context being canceled (a
+			// timeout or a lost ack). The award itself may still have
+			// reached the winner, which would then hold a dead
+			// commitment blocking its schedule window while the task is
+			// replanned elsewhere — send a best-effort Cancel, exactly
+			// as the ctx-cancel path above compensates. Unlike
+			// compensate, ctx is still live here, so the send stays
+			// cancelable and cannot hang on the very peer that just
+			// failed to answer.
+			_ = m.net.Send(ctx, d.Winner, sess.wfID, proto.Cancel{Task: d.Task})
+			m.cfg.Observer.taskDecided(sess.wfID, d.Task, "")
+			return nil
+		}
+		ack, ok := reply.(proto.AwardAck)
+		if !ok {
+			return fmt.Errorf("award to %q: unexpected reply %T", d.Winner, reply)
+		}
+		if !ack.OK {
+			m.cfg.Observer.taskDecided(sess.wfID, d.Task, "")
+			return nil
+		}
+		plan.Allocations[d.Task] = d.Winner
+		m.cfg.Observer.taskDecided(sess.wfID, d.Task, d.Winner)
+		return nil
+	}
+	awardAll := func(ds []auction.Decision) error {
+		for _, d := range ds {
+			if err := award(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Solicit bids from every member in turn (§5: time linear in the
+	// number of hosts). With BatchCFB one CallForBidsBatch per member
+	// carries every task and comes back as one BidBatch — one round trip
+	// per member instead of member×task; the per-task path remains as
+	// the differential oracle. Either way, decisions are awarded as they
+	// finalize.
+	var solicitations []auction.Outbound
+	if m.cfg.BatchCFB {
+		solicitations = auc.StartBatched()
+	} else {
+		solicitations = auc.Start()
+	}
+	for _, out := range solicitations {
+		reply, err := m.net.Call(ctx, out.To, sess.wfID, out.Body, m.cfg.CallTimeout)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fail(ctx.Err())
 			}
 			continue // member unreachable: it simply does not bid
 		}
+		var ds []auction.Decision
 		switch b := reply.(type) {
+		case proto.BidBatch:
+			ds = auc.HandleBidBatch(out.To, b, clk.Now())
 		case proto.Bid:
-			record(auc.HandleBid(out.To, b, clk.Now()))
+			ds = auc.HandleBid(out.To, b, clk.Now())
 		case proto.Decline:
-			record(auc.HandleDecline(out.To, b, clk.Now()))
+			ds = auc.HandleDecline(out.To, b, clk.Now())
 		default:
-			return nil, nil, fmt.Errorf("call for bids to %q: unexpected reply %T", out.To, reply)
+			return fail(fmt.Errorf("call for bids to %q: unexpected reply %T", out.To, reply))
+		}
+		if err := awardAll(ds); err != nil {
+			return fail(err)
 		}
 	}
 
@@ -85,95 +177,22 @@ func (sess *allocSession) allocate(ctx context.Context, res *core.Result, postpo
 			select {
 			case <-clk.After(wait):
 			case <-ctx.Done():
-				return nil, nil, ctx.Err()
+				return fail(ctx.Err())
 			}
 		}
-		record(auc.Tick(clk.Now()))
+		if err := awardAll(auc.Tick(clk.Now())); err != nil {
+			return fail(err)
+		}
 	}
 
-	plan := &Plan{
-		WorkflowID:   sess.wfID,
-		Spec:         sess.spec,
-		Workflow:     w,
-		Allocations:  make(map[model.TaskID]proto.Addr, len(metas)),
-		Metas:        make(map[model.TaskID]proto.TaskMeta, len(metas)),
-		Construction: *res,
-	}
+	// Every task that did not end in a confirmed award — decided failed,
+	// award refused or undeliverable, or never decided at all (no bid,
+	// missing responses) — counts failed for the replanning loop.
+	failed := make([]model.TaskID, 0, len(metas))
 	for _, meta := range metas {
-		plan.Metas[meta.Task] = meta
-	}
-
-	failedSet := make(map[model.TaskID]struct{})
-	for _, t := range auc.FailedTasks() {
-		failedSet[t] = struct{}{}
-	}
-	// Tasks never decided (no bid, missing responses) also count failed.
-	// Allocations rebuilds the winners map, so take it once for the whole
-	// sweep rather than once per task.
-	won := auc.Allocations()
-	for _, meta := range metas {
-		if _, ok := won[meta.Task]; !ok {
-			failedSet[meta.Task] = struct{}{}
+		if _, ok := plan.Allocations[meta.Task]; !ok {
+			failed = append(failed, meta.Task)
 		}
-	}
-
-	// Award the winners; a refused award (expired hold) re-enters the
-	// failure set for replanning.
-	for _, d := range decisions {
-		if d.Failed() {
-			m.cfg.Observer.taskDecided(sess.wfID, d.Task, "")
-			continue
-		}
-		// Release the losing bidders' reservations promptly: each loser
-		// still holds its schedule slot, and under concurrent sessions
-		// a slot held until the bid window expires blocks every other
-		// workflow racing for the same window. A Cancel for a task the
-		// host never committed drops exactly the hold.
-		for _, loser := range d.Losers {
-			_ = m.net.Send(ctx, loser, sess.wfID, proto.Cancel{Task: d.Task})
-		}
-		reply, err := m.net.Call(ctx, d.Winner, sess.wfID, d.Award, m.cfg.CallTimeout)
-		if err != nil {
-			if ctx.Err() != nil {
-				// Canceled mid-award: release what was already won so
-				// the winners' schedules do not keep dead commitments.
-				// The interrupted award itself may have reached its
-				// winner even though the ack never came back, so it is
-				// canceled too.
-				plan.Allocations[d.Task] = d.Winner
-				sess.compensate(plan)
-				return nil, nil, ctx.Err()
-			}
-			// The call failed without the context being canceled (a
-			// timeout or a lost ack). The award itself may still have
-			// reached the winner, which would then hold a dead
-			// commitment blocking its schedule window while the task is
-			// replanned elsewhere — send a best-effort Cancel, exactly
-			// as the ctx-cancel path above compensates. Unlike
-			// compensate, ctx is still live here, so the send stays
-			// cancelable and cannot hang on the very peer that just
-			// failed to answer.
-			_ = m.net.Send(ctx, d.Winner, sess.wfID, proto.Cancel{Task: d.Task})
-			failedSet[d.Task] = struct{}{}
-			m.cfg.Observer.taskDecided(sess.wfID, d.Task, "")
-			continue
-		}
-		ack, ok := reply.(proto.AwardAck)
-		if !ok {
-			return nil, nil, fmt.Errorf("award to %q: unexpected reply %T", d.Winner, reply)
-		}
-		if !ack.OK {
-			failedSet[d.Task] = struct{}{}
-			m.cfg.Observer.taskDecided(sess.wfID, d.Task, "")
-			continue
-		}
-		plan.Allocations[d.Task] = d.Winner
-		m.cfg.Observer.taskDecided(sess.wfID, d.Task, d.Winner)
-	}
-
-	failed := make([]model.TaskID, 0, len(failedSet))
-	for t := range failedSet {
-		failed = append(failed, t)
 	}
 	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
 	return plan, failed, nil

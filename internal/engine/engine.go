@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openwf/internal/clock"
@@ -100,6 +101,14 @@ type Config struct {
 	// ablation benchmark quantifies how much of the pairwise latency is
 	// recovered.
 	ParallelQuery bool
+	// BatchCFB selects the batched auction protocol: one
+	// CallForBidsBatch per member carrying every task of the session
+	// (answered by one BidBatch), instead of one CallForBids per
+	// (member, task) pair — hosts × tasks round trips collapse to hosts.
+	// On by default (DefaultConfig); the per-task path remains for one
+	// release as a differential oracle and is selected by constructing a
+	// Config with BatchCFB false.
+	BatchCFB bool
 	// CallTimeout bounds each community query; hosts that do not answer
 	// in time are treated as unreachable for that query.
 	CallTimeout time.Duration
@@ -131,6 +140,7 @@ func DefaultConfig() Config {
 	return Config{
 		Incremental:   true,
 		Feasibility:   true,
+		BatchCFB:      true,
 		CallTimeout:   5 * time.Second,
 		StartDelay:    time.Second,
 		TaskWindow:    time.Second,
@@ -284,12 +294,41 @@ type memberReply struct {
 	body proto.Body
 }
 
+// defaultQueryWorkers bounds in-flight parallel queries when the
+// messenger does not expose its own worker count.
+const defaultQueryWorkers = 8
+
+// queryWorkerCounter is implemented by messengers (internal/host) that
+// know how many inbound envelopes they can usefully have in flight; the
+// engine matches its outbound parallel-query fan-out to it.
+type queryWorkerCounter interface {
+	QueryWorkers() int
+}
+
+// queryConcurrency returns the in-flight bound for parallel community
+// queries: the host's worker count when the messenger exposes one,
+// defaultQueryWorkers otherwise, and never more than the community size.
+func (m *Manager) queryConcurrency(members int) int {
+	bound := defaultQueryWorkers
+	if wc, ok := m.net.(queryWorkerCounter); ok {
+		if n := wc.QueryWorkers(); n > 0 {
+			bound = n
+		}
+	}
+	if bound > members {
+		bound = members
+	}
+	return bound
+}
+
 // queryAll sends one query to every member and gathers the replies —
-// pairwise in turn by default, or all at once with ParallelQuery.
-// Unreachable members are skipped; their knowledge and capabilities are
-// simply unavailable to this construction. Context cancellation aborts
-// the round and is returned (a canceled requester must not mistake "no
-// replies" for "no knowledge").
+// pairwise in turn by default, or concurrently with ParallelQuery.
+// Parallel mode bounds in-flight Calls by the host's worker count (a
+// 64-member community does not spawn 64 goroutines; workers adopt the
+// next member as each call completes). Unreachable members are skipped;
+// their knowledge and capabilities are simply unavailable to this
+// construction. Context cancellation aborts the round and is returned (a
+// canceled requester must not mistake "no replies" for "no knowledge").
 func (m *Manager) queryAll(ctx context.Context, wfID string, query proto.Body) ([]memberReply, error) {
 	members := m.net.Members()
 	if !m.cfg.ParallelQuery {
@@ -308,18 +347,25 @@ func (m *Manager) queryAll(ctx context.Context, wfID string, query proto.Body) (
 	}
 	results := make([]memberReply, len(members))
 	errs := make([]error, len(members))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, member := range members {
+	for w := m.queryConcurrency(len(members)); w > 0; w-- {
 		wg.Add(1)
-		go func(i int, member proto.Addr) {
+		go func() {
 			defer wg.Done()
-			reply, err := m.net.Call(ctx, member, wfID, query, m.cfg.CallTimeout)
-			if err != nil {
-				errs[i] = err
-				return
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(members) || ctx.Err() != nil {
+					return
+				}
+				reply, err := m.net.Call(ctx, members[i], wfID, query, m.cfg.CallTimeout)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i] = memberReply{from: members[i], body: reply}
 			}
-			results[i] = memberReply{from: member, body: reply}
-		}(i, member)
+		}()
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -327,7 +373,7 @@ func (m *Manager) queryAll(ctx context.Context, wfID string, query proto.Body) (
 	}
 	replies := make([]memberReply, 0, len(members))
 	for i := range results {
-		if errs[i] == nil {
+		if errs[i] == nil && results[i].body != nil {
 			replies = append(replies, results[i])
 		}
 	}

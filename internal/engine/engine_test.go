@@ -113,6 +113,24 @@ func (f *fakeNet) Call(ctx context.Context, to proto.Addr, workflow string, body
 		return nil, fmt.Errorf("unreachable %q", to)
 	}
 	switch b := body.(type) {
+	case proto.CallForBidsBatch:
+		// Answer each task exactly as the per-task path would: the
+		// scripted behaviors (declineAll, blockCFB gates) apply per task
+		// within the batch.
+		var reply proto.BidBatch
+		for _, meta := range b.Metas {
+			r, err := f.Call(ctx, to, workflow, proto.CallForBids{Meta: meta}, timeout)
+			if err != nil {
+				return nil, err
+			}
+			switch rb := r.(type) {
+			case proto.Bid:
+				reply.Bids = append(reply.Bids, rb)
+			case proto.Decline:
+				reply.Declines = append(reply.Declines, rb.Task)
+			}
+		}
+		return reply, nil
 	case proto.FragmentQuery:
 		var out []*model.Fragment
 		if b.Labels == nil {
@@ -906,4 +924,176 @@ func TestInitiateBatchInvalidSpecLeavesNoSessions(t *testing.T) {
 	if got := m.ActiveAllocations(); len(got) != 0 {
 		t.Fatalf("ActiveAllocations = %v after aborted batch, want none", got)
 	}
+}
+
+// boundedNet wraps fakeNet to expose a worker count (as internal/host
+// does) and track the peak number of in-flight Calls.
+type boundedNet struct {
+	*fakeNet
+	workers int
+
+	cmu      sync.Mutex
+	inflight int
+	peak     int
+}
+
+func (b *boundedNet) QueryWorkers() int { return b.workers }
+
+func (b *boundedNet) Call(ctx context.Context, to proto.Addr, workflow string, body proto.Body, timeout time.Duration) (proto.Body, error) {
+	b.cmu.Lock()
+	b.inflight++
+	if b.inflight > b.peak {
+		b.peak = b.inflight
+	}
+	b.cmu.Unlock()
+	// Hold the call open briefly so concurrent workers overlap and the
+	// peak is meaningful.
+	time.Sleep(time.Millisecond)
+	defer func() {
+		b.cmu.Lock()
+		b.inflight--
+		b.cmu.Unlock()
+	}()
+	return b.fakeNet.Call(ctx, to, workflow, body, timeout)
+}
+
+// TestParallelQueryBoundedByWorkerCount: with 64 members and a host
+// worker bound of 8, a parallel query round keeps at most 8 Calls in
+// flight yet still reaches every member.
+func TestParallelQueryBoundedByWorkerCount(t *testing.T) {
+	inner := newFakeNet("init")
+	for i := 0; i < 64; i++ {
+		addr := proto.Addr(fmt.Sprintf("m%02d", i))
+		inner.add(addr, &fakeMember{
+			fragments: []*model.Fragment{mkFrag(t, fmt.Sprintf("f%02d", i), "a", "g")},
+		})
+	}
+	net := &boundedNet{fakeNet: inner, workers: 8}
+	cfg := testConfig()
+	cfg.ParallelQuery = true
+	m := NewManager(net, cfg)
+	replies, err := m.queryAll(context.Background(), "wf", proto.FragmentQuery{Labels: lbl("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 64 {
+		t.Fatalf("replies = %d, want 64", len(replies))
+	}
+	net.cmu.Lock()
+	peak := net.peak
+	net.cmu.Unlock()
+	if peak > 8 {
+		t.Fatalf("peak in-flight calls = %d, want ≤ 8 (the worker bound)", peak)
+	}
+	if peak < 2 {
+		t.Fatalf("peak in-flight calls = %d; the round never actually overlapped", peak)
+	}
+}
+
+// TestBatchedAndLegacyCFBSamePlan: the batched protocol is a wire-shape
+// change, not a semantic one — for the same community and specification
+// the two paths must allocate identically (the differential-oracle
+// property the BatchCFB flag exists for).
+func TestBatchedAndLegacyCFBSamePlan(t *testing.T) {
+	run := func(batch bool) *Plan {
+		cfg := testConfig()
+		cfg.BatchCFB = batch
+		m := NewManager(chainNet(t), cfg)
+		plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
+		if err != nil {
+			t.Fatalf("batch=%v: %v", batch, err)
+		}
+		return plan
+	}
+	batched, legacy := run(true), run(false)
+	if len(batched.Allocations) != len(legacy.Allocations) {
+		t.Fatalf("allocations differ: batched %v vs legacy %v", batched.Allocations, legacy.Allocations)
+	}
+	for task, winner := range legacy.Allocations {
+		if batched.Allocations[task] != winner {
+			t.Fatalf("task %q: batched %q vs legacy %q", task, batched.Allocations[task], winner)
+		}
+	}
+	if batched.Replans != legacy.Replans {
+		t.Fatalf("replans differ: batched %d vs legacy %d", batched.Replans, legacy.Replans)
+	}
+}
+
+// TestLegacyCFBReplansWhenBidsFail re-runs the failure-feedback path
+// under the legacy per-task protocol, keeping the oracle's replanning
+// behavior covered until the flag retires.
+func TestLegacyCFBReplansWhenBidsFail(t *testing.T) {
+	net := newFakeNet("init")
+	net.add("init", &fakeMember{})
+	net.add("flaky", &fakeMember{
+		fragments:  []*model.Fragment{mkFrag(t, "short", "a", "g")},
+		capable:    map[model.TaskID]bool{"short": true},
+		declineAll: true,
+		services:   1,
+	})
+	net.add("steady", &fakeMember{
+		fragments: []*model.Fragment{
+			mkFrag(t, "long1", "a", "m"),
+			mkFrag(t, "long2", "m", "g"),
+		},
+		capable:  map[model.TaskID]bool{"long1": true, "long2": true},
+		services: 2,
+	})
+	cfg := testConfig()
+	cfg.BatchCFB = false
+	cfg.Feasibility = false
+	cfg.WindowRetries = 0
+	m := NewManager(net, cfg)
+	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.Workflow.Task("short"); ok {
+		t.Error("unallocatable short path kept")
+	}
+	if plan.Replans == 0 {
+		t.Error("Replans = 0, expected at least one replan")
+	}
+}
+
+// badAwardNet scripts a provider whose AwardAck for one task comes back
+// as the wrong body type — a protocol violation surfacing mid-sweep,
+// after earlier decision-time awards already confirmed.
+type badAwardNet struct {
+	*fakeNet
+	badTask model.TaskID
+}
+
+func (b *badAwardNet) Call(ctx context.Context, to proto.Addr, workflow string, body proto.Body, timeout time.Duration) (proto.Body, error) {
+	if award, ok := body.(proto.Award); ok && award.Meta.Task == b.badTask {
+		return proto.Ack{}, nil // wrong reply type for an Award
+	}
+	return b.fakeNet.Call(ctx, to, workflow, body, timeout)
+}
+
+// TestProtocolViolationMidSweepCompensatesAwards: with decision-time
+// awards, an abort after some awards confirmed must cancel them — a
+// winner must never keep a commitment for a session that erred out.
+// (Regression: the unexpected-reply exits used to return without
+// compensating, which was harmless when awards only went out after the
+// sweep but leaks commitments now that they go out inside it.)
+func TestProtocolViolationMidSweepCompensatesAwards(t *testing.T) {
+	net := &badAwardNet{fakeNet: chainNet(t), badTask: "t2"}
+	cfg := testConfig()
+	cfg.WindowRetries = 0
+	cfg.MaxReplans = 0
+	m := NewManager(net, cfg)
+	if _, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g"))); err == nil {
+		t.Fatal("Initiate succeeded despite a protocol-violating award reply")
+	}
+	// t1's award confirmed before t2's violation aborted the session;
+	// compensation must have canceled t1.
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	for _, b := range net.sent {
+		if c, ok := b.(proto.Cancel); ok && c.Task == "t1" {
+			return
+		}
+	}
+	t.Fatalf("confirmed award t1 never canceled after mid-sweep abort; sent = %v", net.sent)
 }

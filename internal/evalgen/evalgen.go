@@ -28,6 +28,14 @@ type Scenario struct {
 	succ [][]int
 	// pred[v] lists tasks whose output v consumes.
 	pred [][]int
+	// bfsDist and bfsQueue are bfs's visited and frontier buffers,
+	// reused across calls: spec sampling (SamplePath) runs bfs once or
+	// more per drawn specification, and per-call allocations here used
+	// to dominate benchmark-setup allocation counts, drowning the timed
+	// windows' -benchmem deltas. Reuse makes Scenario's samplers
+	// single-goroutine, like the rng they already share.
+	bfsDist  []int
+	bfsQueue []int
 }
 
 // taskID returns the identifier of task i.
@@ -207,16 +215,22 @@ func (sc *Scenario) DistributeServices(hosts int, rng *rand.Rand) ([][]service.R
 // bfs computes task distances from start: dist[v] is the number of tasks
 // on the shortest solution chain from start's output to v's output
 // (consumers of start's output are at distance 1). Unreached nodes get -1.
+// The returned slice is the scenario's reused buffer: it is valid until
+// the next bfs call (SamplePath and MaxPathLength consume it in place).
 func (sc *Scenario) bfs(start int) []int {
-	dist := make([]int, sc.n)
+	if sc.bfsDist == nil {
+		sc.bfsDist = make([]int, sc.n)
+		sc.bfsQueue = make([]int, 0, sc.n)
+	}
+	dist := sc.bfsDist
 	for i := range dist {
 		dist[i] = -1
 	}
-	queue := []int{start}
+	queue := sc.bfsQueue[:0]
+	queue = append(queue, start)
 	dist[start] = 0
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range sc.succ[u] {
 			if dist[v] == -1 {
 				dist[v] = dist[u] + 1
@@ -224,6 +238,7 @@ func (sc *Scenario) bfs(start int) []int {
 			}
 		}
 	}
+	sc.bfsQueue = queue
 	return dist
 }
 

@@ -179,6 +179,11 @@ func (h *Host) Self() proto.Addr { return h.addr }
 // Clock implements engine.Messenger.
 func (h *Host) Clock() clock.Clock { return h.clk }
 
+// QueryWorkers returns the host's dispatcher worker bound. The engine
+// matches its outbound parallel-query fan-out to it, so a host never has
+// more community queries in flight than it could itself serve inbound.
+func (h *Host) QueryWorkers() int { return h.dispatch.workers }
+
 // Members implements engine.Messenger.
 func (h *Host) Members() []proto.Addr {
 	h.mu.Lock()
@@ -278,9 +283,20 @@ func (h *Host) Call(ctx context.Context, to proto.Addr, workflow string, body pr
 // dispatcher is what turns that serial feed into per-session
 // concurrency.
 func (h *Host) Handle(env proto.Envelope) {
+	// Transports split coalesced frames before dispatching, but a batch
+	// reaching the handler anyway (a custom transport, a test feeding
+	// envelopes directly) is unwrapped here: its envelopes are handled
+	// in order, preserving the per-link FIFO guarantee through the
+	// per-workflow dispatcher queues.
+	if batch, ok := env.Body.(proto.EnvelopeBatch); ok {
+		for _, inner := range batch.Envelopes {
+			h.Handle(inner)
+		}
+		return
+	}
 	h.record(trace.Recv, env.From, env)
 	switch env.Body.(type) {
-	case proto.FragmentReply, proto.FeasibilityReply, proto.Bid,
+	case proto.FragmentReply, proto.FeasibilityReply, proto.Bid, proto.BidBatch,
 		proto.Decline, proto.AwardAck, proto.Ack:
 		h.routeReply(env)
 	default:
@@ -313,6 +329,16 @@ func (h *Host) process(env proto.Envelope) {
 		if bid, ok := resp.(proto.Bid); ok {
 			// Release the reservation if no award arrives in time.
 			window := bid.Deadline.Sub(h.clk.Now()) + 10*time.Millisecond
+			h.clk.AfterFunc(window, func() { h.Participant.ExpireHolds() })
+		}
+		h.reply(env, resp)
+
+	case proto.CallForBidsBatch:
+		resp := h.Participant.HandleCallForBidsBatch(env.Workflow, b)
+		if len(resp.Bids) > 0 {
+			// One expiry timer covers the whole batch: every bid shares
+			// the batch deadline.
+			window := resp.Bids[0].Deadline.Sub(h.clk.Now()) + 10*time.Millisecond
 			h.clk.AfterFunc(window, func() { h.Participant.ExpireHolds() })
 		}
 		h.reply(env, resp)

@@ -67,6 +67,9 @@ const (
 	kindLabelTransfer
 	kindTaskDone
 	kindAck
+	kindCallForBidsBatch
+	kindBidBatch
+	kindEnvelopeBatch
 )
 
 // encodeBinary appends the binary encoding of env to buf.
@@ -198,10 +201,7 @@ func (e *encoder) body(env Envelope) error {
 		e.meta(v.Meta)
 	case Bid:
 		e.header(kindBid, env)
-		e.str(string(v.Task))
-		e.int(int64(v.ServicesOffered))
-		e.f64(v.Specialization)
-		e.time(v.Deadline)
+		e.bid(v)
 	case Decline:
 		e.header(kindDecline, env)
 		e.str(string(v.Task))
@@ -233,10 +233,47 @@ func (e *encoder) body(env Envelope) error {
 		e.str(v.Err)
 	case Ack:
 		e.header(kindAck, env)
+	case CallForBidsBatch:
+		e.header(kindCallForBidsBatch, env)
+		e.uint(uint64(len(v.Metas)))
+		for _, m := range v.Metas {
+			e.meta(m)
+		}
+	case BidBatch:
+		e.header(kindBidBatch, env)
+		e.uint(uint64(len(v.Bids)))
+		for _, b := range v.Bids {
+			e.bid(b)
+		}
+		e.taskIDs(v.Declines)
+	case EnvelopeBatch:
+		e.header(kindEnvelopeBatch, env)
+		e.uint(uint64(len(v.Envelopes)))
+		for _, inner := range v.Envelopes {
+			if inner.Body == nil {
+				return errors.New("nil body in envelope batch")
+			}
+			if _, nested := inner.Body.(EnvelopeBatch); nested {
+				// Depth is bounded at one: transports coalesce already-
+				// framed envelopes, never batches of batches.
+				return errors.New("nested envelope batch")
+			}
+			if err := e.body(inner); err != nil {
+				return err
+			}
+		}
 	default:
 		return fmt.Errorf("unregistered body type %T", env.Body)
 	}
 	return nil
+}
+
+// bid writes one Bid's fields (shared by the Bid and BidBatch cases).
+func (e *encoder) bid(b Bid) {
+	e.str(string(b.Task))
+	e.int(int64(b.ServicesOffered))
+	e.f64(b.Specialization)
+	e.time(b.Deadline)
 }
 
 // header writes the kind tag and the envelope routing fields.
@@ -576,17 +613,27 @@ func (d *decoder) meta() (TaskMeta, error) {
 }
 
 func (d *decoder) envelope() (Envelope, error) {
-	var env Envelope
 	version, err := d.byte()
 	if err != nil {
-		return env, err
+		return Envelope{}, err
 	}
 	if version != wireVersion {
-		return env, fmt.Errorf("%w: wire version %d (want %d)", errCorrupt, version, wireVersion)
+		return Envelope{}, fmt.Errorf("%w: wire version %d (want %d)", errCorrupt, version, wireVersion)
 	}
+	return d.framedEnvelope(true)
+}
+
+// framedEnvelope decodes one kind-tagged envelope (header plus body).
+// allowBatch is true only at the top level: batches never nest, so an
+// EnvelopeBatch kind inside another batch is a corrupt frame.
+func (d *decoder) framedEnvelope(allowBatch bool) (Envelope, error) {
+	var env Envelope
 	kind, err := d.byte()
 	if err != nil {
 		return env, err
+	}
+	if kind == kindEnvelopeBatch && !allowBatch {
+		return env, fmt.Errorf("%w: nested envelope batch", errCorrupt)
 	}
 	from, err := d.str()
 	if err != nil {
@@ -649,24 +696,7 @@ func (d *decoder) body(kind byte) (Body, error) {
 		}
 		return CallForBids{Meta: meta}, nil
 	case kindBid:
-		var b Bid
-		task, err := d.str()
-		if err != nil {
-			return nil, err
-		}
-		services, err := d.int()
-		if err != nil {
-			return nil, err
-		}
-		if b.Specialization, err = d.f64(); err != nil {
-			return nil, err
-		}
-		if b.Deadline, err = d.time(); err != nil {
-			return nil, err
-		}
-		b.Task = model.TaskID(task)
-		b.ServicesOffered = int(services)
-		return b, nil
+		return d.bid()
 	case kindDecline:
 		task, err := d.str()
 		if err != nil {
@@ -747,9 +777,79 @@ func (d *decoder) body(kind byte) (Body, error) {
 		return t, nil
 	case kindAck:
 		return Ack{}, nil
+	case kindCallForBidsBatch:
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		var metas []TaskMeta
+		if n > 0 {
+			metas = make([]TaskMeta, n)
+			for i := range metas {
+				if metas[i], err = d.meta(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return CallForBidsBatch{Metas: metas}, nil
+	case kindBidBatch:
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		var bids []Bid
+		if n > 0 {
+			bids = make([]Bid, n)
+			for i := range bids {
+				if bids[i], err = d.bid(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		declines, err := d.taskIDs()
+		if err != nil {
+			return nil, err
+		}
+		return BidBatch{Bids: bids, Declines: declines}, nil
+	case kindEnvelopeBatch:
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		var envs []Envelope
+		if n > 0 {
+			envs = make([]Envelope, n)
+			for i := range envs {
+				if envs[i], err = d.framedEnvelope(false); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return EnvelopeBatch{Envelopes: envs}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown body kind %d", errCorrupt, kind)
 	}
+}
+
+func (d *decoder) bid() (Bid, error) {
+	var b Bid
+	task, err := d.str()
+	if err != nil {
+		return b, err
+	}
+	services, err := d.int()
+	if err != nil {
+		return b, err
+	}
+	if b.Specialization, err = d.f64(); err != nil {
+		return b, err
+	}
+	if b.Deadline, err = d.time(); err != nil {
+		return b, err
+	}
+	b.Task = model.TaskID(task)
+	b.ServicesOffered = int(services)
+	return b, nil
 }
 
 func (d *decoder) inputSources() (map[model.LabelID]Addr, error) {

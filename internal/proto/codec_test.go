@@ -117,6 +117,39 @@ func bodyEqual(a, b Body) bool {
 	case Ack:
 		_, ok := b.(Ack)
 		return ok
+	case CallForBidsBatch:
+		bv, ok := b.(CallForBidsBatch)
+		if !ok || len(av.Metas) != len(bv.Metas) {
+			return false
+		}
+		for i := range av.Metas {
+			if !metaEq(av.Metas[i], bv.Metas[i]) {
+				return false
+			}
+		}
+		return true
+	case BidBatch:
+		bv, ok := b.(BidBatch)
+		if !ok || len(av.Bids) != len(bv.Bids) || !taskIDsEq(av.Declines, bv.Declines) {
+			return false
+		}
+		for i := range av.Bids {
+			if !bodyEqual(av.Bids[i], bv.Bids[i]) {
+				return false
+			}
+		}
+		return true
+	case EnvelopeBatch:
+		bv, ok := b.(EnvelopeBatch)
+		if !ok || len(av.Envelopes) != len(bv.Envelopes) {
+			return false
+		}
+		for i := range av.Envelopes {
+			if !envEqual(av.Envelopes[i], bv.Envelopes[i]) {
+				return false
+			}
+		}
+		return true
 	default:
 		return false
 	}
@@ -264,7 +297,30 @@ func randMeta(rng *rand.Rand) TaskMeta {
 }
 
 func randBody(rng *rand.Rand) Body {
-	switch rng.Intn(14) {
+	switch rng.Intn(17) {
+	case 14:
+		var metas []TaskMeta
+		for i, n := 0, rng.Intn(5); i < n; i++ {
+			metas = append(metas, randMeta(rng))
+		}
+		return CallForBidsBatch{Metas: metas}
+	case 15:
+		var bids []Bid
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			bids = append(bids, Bid{
+				Task:            model.TaskID(randString(rng, 16)),
+				ServicesOffered: rng.Intn(100) - 50,
+				Specialization:  randFloat(rng),
+				Deadline:        randTime(rng),
+			})
+		}
+		return BidBatch{Bids: bids, Declines: randTaskIDs(rng)}
+	case 16:
+		var envs []Envelope
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			envs = append(envs, randInnerEnvelope(rng))
+		}
+		return EnvelopeBatch{Envelopes: envs}
 	case 0:
 		return FragmentQuery{Labels: randLabels(rng)}
 	case 1:
@@ -345,6 +401,17 @@ func randEnvelope(rng *rand.Rand) Envelope {
 		ReqID:    rng.Uint64() >> uint(rng.Intn(64)),
 		Workflow: randString(rng, 20),
 		Body:     randBody(rng),
+	}
+}
+
+// randInnerEnvelope draws an envelope that may sit inside an
+// EnvelopeBatch: any body but another batch (batches never nest).
+func randInnerEnvelope(rng *rand.Rand) Envelope {
+	for {
+		env := randEnvelope(rng)
+		if _, nested := env.Body.(EnvelopeBatch); !nested {
+			return env
+		}
 	}
 }
 
@@ -594,6 +661,118 @@ func TestWireFormatGolden(t *testing.T) {
 		"02797a" // "yz"
 	if got := hex.EncodeToString(data); got != want {
 		t.Fatalf("wire bytes changed:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestWireFormatGoldenBatches pins the byte layout of the three batch
+// bodies (PR 5) the same way TestWireFormatGolden pins a representative
+// per-task frame. Update the constants only with a wireVersion bump.
+func TestWireFormatGoldenBatches(t *testing.T) {
+	meta := TaskMeta{
+		Task: "t1", Mode: model.Conjunctive,
+		Inputs: []model.LabelID{"a"}, Outputs: []model.LabelID{"b"},
+		Start: time.Unix(1, 0), End: time.Unix(2, 0),
+	}
+	rows := []struct {
+		name string
+		env  Envelope
+		want string
+	}{
+		{
+			name: "call-for-bids-batch",
+			env: Envelope{From: "a", To: "b", ReqID: 7, Workflow: "wf",
+				Body: CallForBidsBatch{Metas: []TaskMeta{meta}}},
+			want: "01" + // version
+				"0f" + // kind: call-for-bids-batch
+				"0161" + "0162" + "07" + "027766" + // header a, b, 7, wf
+				"01" + // 1 meta
+				"027431" + // task "t1"
+				"01" + // mode conjunctive
+				"01" + "0161" + // inputs ["a"]
+				"01" + "0162" + // outputs ["b"]
+				"02" + "00" + // start: 1s (zigzag 2), 0ns
+				"04" + "00" + // end: 2s (zigzag 4), 0ns
+				"0000000000000000" + "0000000000000000" + // location
+				"00", // no location
+		},
+		{
+			name: "bid-batch",
+			env: Envelope{From: "a", To: "b", ReqID: 8, Workflow: "wf",
+				Body: BidBatch{
+					Bids:     []Bid{{Task: "t1", ServicesOffered: 2, Specialization: 0.5, Deadline: time.Unix(3, 0)}},
+					Declines: []model.TaskID{"t2"},
+				}},
+			want: "01" + // version
+				"10" + // kind: bid-batch
+				"0161" + "0162" + "08" + "027766" + // header a, b, 8, wf
+				"01" + // 1 bid
+				"027431" + // task "t1"
+				"04" + // services 2 (zigzag 4)
+				"3fe0000000000000" + // specialization 0.5
+				"06" + "00" + // deadline: 3s (zigzag 6), 0ns
+				"01" + "027432", // declines ["t2"]
+		},
+		{
+			name: "envelope-batch",
+			env: Envelope{From: "a", To: "b",
+				Body: EnvelopeBatch{Envelopes: []Envelope{
+					{From: "a", To: "b", ReqID: 1, Workflow: "w", Body: Decline{Task: "t"}},
+					{From: "a", To: "b", ReqID: 2, Workflow: "w", Body: Ack{}},
+				}}},
+			want: "01" + // version
+				"11" + // kind: envelope-batch
+				"0161" + "0162" + "00" + "00" + // header a, b, 0, ""
+				"02" + // 2 envelopes
+				"07" + "0161" + "0162" + "01" + "0177" + "0174" + // decline "t"
+				"0e" + "0161" + "0162" + "02" + "0177", // ack
+		},
+	}
+	for _, row := range rows {
+		t.Run(row.name, func(t *testing.T) {
+			data, err := binEncode(row.env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hex.EncodeToString(data); got != row.want {
+				t.Fatalf("wire bytes changed:\ngot  %s\nwant %s", got, row.want)
+			}
+			back, err := binDecode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !envEqual(row.env, back) {
+				t.Fatalf("golden frame round trip lost information:\nwant %+v\ngot  %+v", row.env, back)
+			}
+		})
+	}
+}
+
+// TestEnvelopeBatchNeverNests pins the depth bound from both sides: the
+// encoder refuses a batch inside a batch, and a hand-crafted frame whose
+// inner kind tag is another batch is rejected as corrupt.
+func TestEnvelopeBatchNeverNests(t *testing.T) {
+	inner := Envelope{From: "a", To: "b", Body: Ack{}}
+	nested := Envelope{From: "a", To: "b", Body: EnvelopeBatch{
+		Envelopes: []Envelope{{From: "a", To: "b", Body: EnvelopeBatch{Envelopes: []Envelope{inner}}}},
+	}}
+	if _, err := binEncode(nested); err == nil {
+		t.Fatal("nested envelope batch encoded")
+	}
+	if _, err := binEncode(Envelope{From: "a", To: "b", Body: EnvelopeBatch{
+		Envelopes: []Envelope{{From: "a", To: "b"}},
+	}}); err == nil {
+		t.Fatal("batch with nil inner body encoded")
+	}
+	// Craft the nested frame by hand; the decoder must reject it.
+	var buf bytes.Buffer
+	e := encoder{buf: &buf}
+	e.byte(wireVersion)
+	e.header(kindEnvelopeBatch, Envelope{From: "a", To: "b"})
+	e.uint(1)
+	e.header(kindEnvelopeBatch, Envelope{From: "a", To: "b"})
+	e.uint(0)
+	if _, err := binDecode(buf.Bytes()); err == nil {
+		t.Fatal("nested envelope batch decoded")
 	}
 }
 

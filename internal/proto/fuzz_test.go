@@ -48,6 +48,15 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 		LabelTransfer{Label: "a", Data: []byte{0, 1, 255}, Producer: "h1"},
 		TaskDone{Task: "t", Err: "boom"},
 		Ack{},
+		CallForBidsBatch{Metas: []TaskMeta{meta, meta}},
+		BidBatch{
+			Bids:     []Bid{{Task: "t", ServicesOffered: 3, Specialization: 0.5, Deadline: time.Unix(50, 0)}},
+			Declines: []model.TaskID{"u", "v"},
+		},
+		EnvelopeBatch{Envelopes: []Envelope{
+			{From: "a", To: "b", ReqID: 1, Workflow: "wf", Body: CallForBidsBatch{Metas: []TaskMeta{meta}}},
+			{From: "a", To: "b", ReqID: 2, Workflow: "wf", Body: Decline{Task: "t"}},
+		}},
 	}
 	for _, body := range seeds {
 		data, err := Encode(Envelope{From: "a", To: "b", ReqID: 42, Workflow: "wf", Body: body})

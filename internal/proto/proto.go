@@ -137,6 +137,31 @@ type Decline struct {
 // Kind implements Body.
 func (Decline) Kind() string { return "decline" }
 
+// CallForBidsBatch solicits bids for every task of one allocation session
+// from a participant in a single round trip: one call carries all of the
+// session's task metas, and the participant answers each task with a bid
+// or a per-task decline in one BidBatch reply. Batching collapses the
+// member×task pairwise round count of the per-task protocol to one round
+// per member (DESIGN.md §9).
+type CallForBidsBatch struct {
+	Metas []TaskMeta
+}
+
+// Kind implements Body.
+func (CallForBidsBatch) Kind() string { return "call-for-bids-batch" }
+
+// BidBatch answers a CallForBidsBatch: firm bids for the tasks the
+// participant can commit to and per-task declines for the rest. Every
+// task of the soliciting batch appears in exactly one of the two lists.
+type BidBatch struct {
+	Bids []Bid
+	// Declines lists the tasks the participant will not bid on.
+	Declines []model.TaskID
+}
+
+// Kind implements Body.
+func (BidBatch) Kind() string { return "bid-batch" }
+
 // Award allocates a task to the winning bidder, who converts its
 // reservation into a commitment.
 type Award struct {
@@ -217,12 +242,38 @@ type Ack struct{}
 // Kind implements Body.
 func (Ack) Kind() string { return "ack" }
 
+// EnvelopeBatch is a frame-level coalescing body: one wire frame carrying
+// several queued envelopes to the same destination, so a burst of
+// messages on one link pays the per-frame overhead (framing, syscall,
+// modeled MAC latency) once. Transports build and split batches
+// transparently; protocol components never see one — a batch arriving at
+// a handler is unwrapped into its envelopes, in order, preserving the
+// per-link FIFO guarantee. Batches never nest.
+type EnvelopeBatch struct {
+	Envelopes []Envelope
+}
+
+// Kind implements Body.
+func (EnvelopeBatch) Kind() string { return "envelope-batch" }
+
+// IsRequest reports whether the body opens a Call round trip (a request
+// expecting a correlated reply). Transports use it for round-trip
+// accounting; see inmem's Stats.
+func IsRequest(b Body) bool {
+	switch b.(type) {
+	case FragmentQuery, FeasibilityQuery, CallForBids, CallForBidsBatch, Award, PlanSegment:
+		return true
+	}
+	return false
+}
+
 // bodies lists every concrete message type for gob registration.
 var bodies = []Body{
 	FragmentQuery{}, FragmentReply{},
 	FeasibilityQuery{}, FeasibilityReply{},
 	CallForBids{}, Bid{}, Decline{}, Award{}, AwardAck{}, Cancel{},
 	PlanSegment{}, LabelTransfer{}, TaskDone{}, Ack{},
+	CallForBidsBatch{}, BidBatch{}, EnvelopeBatch{},
 }
 
 func init() {

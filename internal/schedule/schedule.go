@@ -260,6 +260,13 @@ var ErrAlreadyHeld = errors.New("schedule: already holding this task")
 func (m *Manager) Hold(workflow string, meta proto.TaskMeta, deadline time.Time) (Commitment, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.holdLocked(workflow, meta, deadline)
+}
+
+// holdLocked is the single reservation body shared by Hold and
+// HoldBatch, so the per-task and batched protocols stay equivalent by
+// construction. Callers hold m.mu.
+func (m *Manager) holdLocked(workflow string, meta proto.TaskMeta, deadline time.Time) (Commitment, error) {
 	k := key{workflow, meta.Task}
 	if _, dup := m.holds[k]; dup {
 		return Commitment{}, fmt.Errorf("%w: %q in workflow %q", ErrAlreadyHeld, meta.Task, workflow)
@@ -275,6 +282,47 @@ func (m *Manager) Hold(workflow string, meta proto.TaskMeta, deadline time.Time)
 	m.seq++
 	m.holds[k] = hold{c: c, expiry: deadline, seq: m.seq}
 	return c, nil
+}
+
+// HoldResult is one task's outcome of a HoldBatch: the reserved (or
+// refreshed) commitment, or the error that declined it.
+type HoldResult struct {
+	Commitment Commitment
+	Err        error
+}
+
+// HoldBatch reserves schedule slots for a whole batched call for bids
+// under one lock acquisition: each meta is evaluated in order with
+// exactly the per-task Hold semantics — earlier successes in the batch
+// count as busy intervals for later metas, first-hold-wins arbitration
+// against other sessions is unchanged, and a meta whose (workflow, task)
+// is already held refreshes that hold's deadline instead of failing
+// (the replanning re-solicitation path, like Hold + RefreshHold). Results
+// are per task: a failed meta leaves no reservation behind while the
+// rest of the batch proceeds, so a partially-infeasible batch yields
+// partial declines, never leaked holds.
+//
+// Taking the lock once for the whole batch is what makes a participant's
+// answer to a CallForBidsBatch atomic: no competing session can
+// interleave a reservation between two tasks of the same batch.
+func (m *Manager) HoldBatch(workflow string, metas []proto.TaskMeta, deadline time.Time) []HoldResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]HoldResult, len(metas))
+	for i, meta := range metas {
+		// Refresh-on-existing-hold replaces the per-task path's
+		// Hold → ErrAlreadyHeld → RefreshHold round, keeping the
+		// original arbitration sequence.
+		if h, dup := m.holds[key{workflow, meta.Task}]; dup {
+			h.expiry = deadline
+			m.holds[key{workflow, meta.Task}] = h
+			out[i] = HoldResult{Commitment: h.c}
+			continue
+		}
+		c, err := m.holdLocked(workflow, meta, deadline)
+		out[i] = HoldResult{Commitment: c, Err: err}
+	}
+	return out
 }
 
 // RefreshHold extends an existing reservation's deadline and returns the

@@ -445,3 +445,115 @@ func TestNoOverlappingCommitmentsInvariant(t *testing.T) {
 		}
 	}
 }
+
+// --- HoldBatch (batched call-for-bids reservations) ---
+
+// TestHoldBatchPartialFailureLeaksNoHolds: a batch mixing feasible and
+// infeasible metas reserves exactly the feasible ones — per-task
+// declines, never leaked holds, and the failed entries carry errors.
+func TestHoldBatchPartialFailureLeaksNoHolds(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	deadline := t0.Add(time.Minute)
+	// "blocker" belongs to another session and owns 2h–3h.
+	if _, err := m.Hold("other", meta("blocker", t0.Add(2*time.Hour), t0.Add(3*time.Hour)), deadline); err != nil {
+		t.Fatal(err)
+	}
+	results := m.HoldBatch("wf", []proto.TaskMeta{
+		meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour)),       // fine
+		meta("b", t0.Add(150*time.Minute), t0.Add(4*time.Hour)), // overlaps blocker
+		meta("c", t0.Add(5*time.Hour), t0.Add(6*time.Hour)),     // fine
+		meta("d", t0.Add(-time.Hour), t0),                       // already started
+	}, deadline)
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("feasible metas failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	if !errors.Is(results[1].Err, ErrSlotBusy) {
+		t.Fatalf("overlapping meta err = %v, want ErrSlotBusy", results[1].Err)
+	}
+	if results[3].Err == nil {
+		t.Fatal("past window accepted")
+	}
+	if got := m.Holds(); got != 3 { // blocker + a + c
+		t.Fatalf("holds = %d, want 3 (failed entries must not leak)", got)
+	}
+	if _, err := m.Hold("wf", meta("e", t0.Add(150*time.Minute), t0.Add(4*time.Hour)), deadline); !errors.Is(err, ErrSlotBusy) {
+		t.Fatalf("declined slot unexpectedly reusable: %v", err)
+	}
+}
+
+// TestHoldBatchIntraBatchConflict: within one batch, earlier metas win
+// the calendar exactly as sequential Holds would — the second of two
+// overlapping metas is declined.
+func TestHoldBatchIntraBatchConflict(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	results := m.HoldBatch("wf", []proto.TaskMeta{
+		meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour)),
+		meta("b", t0.Add(90*time.Minute), t0.Add(3*time.Hour)),
+	}, t0.Add(time.Minute))
+	if results[0].Err != nil {
+		t.Fatalf("first meta failed: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, ErrSlotBusy) {
+		t.Fatalf("second overlapping meta err = %v, want ErrSlotBusy", results[1].Err)
+	}
+	if m.Holds() != 1 {
+		t.Fatalf("holds = %d, want 1", m.Holds())
+	}
+}
+
+// TestHoldBatchRefreshesExistingHold: re-soliciting a task the session
+// already reserved (engine replanning) refreshes the hold's deadline and
+// keeps its arbitration sequence, mirroring Hold + RefreshHold.
+func TestHoldBatchRefreshesExistingHold(t *testing.T) {
+	m, sim := newManager(Preferences{}, nil)
+	md := meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour))
+	if _, err := m.Hold("wf", md, t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	sim.Advance(30 * time.Second)
+	results := m.HoldBatch("wf", []proto.TaskMeta{md}, sim.Now().Add(time.Minute))
+	if results[0].Err != nil {
+		t.Fatalf("refresh via batch failed: %v", results[0].Err)
+	}
+	if m.Holds() != 1 {
+		t.Fatalf("holds = %d, want 1", m.Holds())
+	}
+	// The original deadline (t0+1min) would have expired by +2min; the
+	// refreshed one (t0+30s+1min) has not at +80s.
+	if n := m.ExpireHolds(t0.Add(80 * time.Second)); n != 0 {
+		t.Fatalf("refreshed hold expired early (%d expired)", n)
+	}
+	if n := m.ExpireHolds(t0.Add(3 * time.Minute)); n != 1 {
+		t.Fatalf("ExpireHolds = %d, want 1", n)
+	}
+}
+
+// TestHoldBatchMatchesSequentialHolds: for a conflict-free batch the
+// batched and per-task paths produce identical reservations.
+func TestHoldBatchMatchesSequentialHolds(t *testing.T) {
+	metas := []proto.TaskMeta{
+		meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour)),
+		meta("b", t0.Add(3*time.Hour), t0.Add(4*time.Hour)),
+		meta("c", t0.Add(5*time.Hour), t0.Add(6*time.Hour)),
+	}
+	deadline := t0.Add(time.Minute)
+	batched, _ := newManager(Preferences{}, nil)
+	results := batched.HoldBatch("wf", metas, deadline)
+	sequential, _ := newManager(Preferences{}, nil)
+	for i, md := range metas {
+		c, err := sequential.Hold("wf", md, deadline)
+		if err != nil || results[i].Err != nil {
+			t.Fatalf("meta %d: sequential err=%v batch err=%v", i, err, results[i].Err)
+		}
+		if got := results[i].Commitment; got.Task != c.Task || !got.Start.Equal(c.Start) ||
+			!got.End.Equal(c.End) || !got.TravelStart.Equal(c.TravelStart) {
+			t.Fatalf("meta %d: batch commitment %+v != sequential %+v", i, got, c)
+		}
+	}
+	if batched.Holds() != sequential.Holds() {
+		t.Fatalf("holds: batch %d vs sequential %d", batched.Holds(), sequential.Holds())
+	}
+}

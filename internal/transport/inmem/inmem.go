@@ -110,6 +110,9 @@ type Network struct {
 	endpoints map[proto.Addr]*endpoint
 	links     map[linkKey]*link
 	partition map[proto.Addr]int
+	// outboxes hold per-directed-link send queues for the write-side
+	// coalescer (see send).
+	outboxes map[linkKey]*transport.Coalescer
 	// stored holds store-and-forward messages awaiting reachability,
 	// in arrival order per (from, to) pair.
 	stored map[linkKey][]delivery
@@ -123,6 +126,34 @@ type Network struct {
 	delivered atomic.Int64
 	dropped   atomic.Int64
 	bytes     atomic.Int64
+	frames    atomic.Int64
+	batches   atomic.Int64
+	calls     atomic.Int64
+}
+
+// Stats is the network's round-trip and framing accounting, the
+// diagnostic counterpart of the paper's message counts: Envelopes is the
+// number of logical envelopes accepted for transmission, Frames the wire
+// frames they traveled in (coalescing makes Frames ≤ Envelopes), Batches
+// the frames that carried more than one envelope, and Calls the request
+// envelopes — each one opens a Call round trip, so Calls per Initiate is
+// the round-trip count the batched protocol collapses (the ≥3x
+// acceptance bar of PR 5 reads directly off it).
+type Stats struct {
+	Envelopes int64
+	Frames    int64
+	Batches   int64
+	Calls     int64
+}
+
+// Stats returns the current counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Envelopes: n.sent.Load(),
+		Frames:    n.frames.Load(),
+		Batches:   n.batches.Load(),
+		Calls:     n.calls.Load(),
+	}
 }
 
 type linkKey struct{ from, to proto.Addr }
@@ -135,6 +166,7 @@ func NewNetwork(opts ...Option) *Network {
 		seed:      1,
 		endpoints: make(map[proto.Addr]*endpoint),
 		links:     make(map[linkKey]*link),
+		outboxes:  make(map[linkKey]*transport.Coalescer),
 		stored:    make(map[linkKey][]delivery),
 		done:      make(chan struct{}),
 	}
@@ -220,7 +252,7 @@ func (n *Network) collectFlushableLocked() []storedDelivery {
 func (n *Network) deliverStored(flush []storedDelivery) {
 	for _, sd := range flush {
 		if !sd.target.box.push(sd.d) {
-			n.dropped.Add(1)
+			n.dropped.Add(envelopeCount(sd.d.env))
 		}
 	}
 }
@@ -257,6 +289,9 @@ func (n *Network) ResetCounters() {
 	n.delivered.Store(0)
 	n.dropped.Store(0)
 	n.bytes.Store(0)
+	n.frames.Store(0)
+	n.batches.Store(0)
+	n.calls.Store(0)
 }
 
 // Close tears down the network and all endpoints.
@@ -292,13 +327,82 @@ func (n *Network) Close() error {
 // churning the GC with per-envelope buffer growth.
 var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// send implements the delivery decision for one envelope.
+// outboxFor returns (creating on first use) the write-side coalescer for
+// a directed link (the state machine itself is transport.Coalescer,
+// shared with tcpnet).
+func (n *Network) outboxFor(from, to proto.Addr) *transport.Coalescer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := linkKey{from, to}
+	ob, ok := n.outboxes[key]
+	if !ok {
+		ob = &transport.Coalescer{}
+		n.outboxes[key] = ob
+	}
+	return ob
+}
+
+// send queues one envelope through the link's write coalescer: an idle
+// link transmits it immediately as its own frame (zero added latency when
+// the queue has one entry); a busy link queues it for the busy sender to
+// flush as part of an EnvelopeBatch frame.
 func (n *Network) send(ctx context.Context, from *endpoint, to proto.Addr, env proto.Envelope) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	env.From = from.addr
 	env.To = to
+	ob := n.outboxFor(from.addr, to)
+	writer, dropped := ob.Admit(env)
+	if dropped {
+		// Queue at capacity behind a stalled link: silent loss, like the
+		// wireless medium (counted on both sides of the Sent =
+		// Delivered + Dropped identity).
+		n.sent.Add(1)
+		n.dropped.Add(1)
+		return nil
+	}
+	if !writer {
+		return nil
+	}
+	err := n.transmit(from, to, env)
+	n.drainOutbox(from, to, ob)
+	return err
+}
+
+// drainOutbox flushes everything queued while the caller was
+// transmitting, one EnvelopeBatch frame per flush, until the queue is
+// empty.
+func (n *Network) drainOutbox(from *endpoint, to proto.Addr, ob *transport.Coalescer) {
+	ob.Drain(from.addr, to, func(env proto.Envelope) error {
+		return n.transmit(from, to, env)
+	})
+}
+
+// envelopeCount returns how many logical envelopes a frame carries, so
+// the sent/delivered/dropped counters stay in envelope units (Sent =
+// Delivered + Dropped) whether or not the frame was coalesced.
+func envelopeCount(env proto.Envelope) int64 {
+	if batch, ok := env.Body.(proto.EnvelopeBatch); ok {
+		return int64(len(batch.Envelopes))
+	}
+	return 1
+}
+
+// transmit implements the delivery decision for one frame (a single
+// envelope or a coalesced batch).
+func (n *Network) transmit(from *endpoint, to proto.Addr, env proto.Envelope) error {
+	count := envelopeCount(env)
+	callCount := int64(0)
+	if batch, ok := env.Body.(proto.EnvelopeBatch); ok {
+		for _, inner := range batch.Envelopes {
+			if proto.IsRequest(inner.Body) {
+				callCount++
+			}
+		}
+	} else if proto.IsRequest(env.Body) {
+		callCount = 1
+	}
 
 	var payload []byte
 	size := 0
@@ -319,7 +423,12 @@ func (n *Network) send(ctx context.Context, from *endpoint, to proto.Addr, env p
 		n.mu.Unlock()
 		return fmt.Errorf("inmem: network closed")
 	}
-	n.sent.Add(1)
+	n.sent.Add(count)
+	n.frames.Add(1)
+	if count > 1 {
+		n.batches.Add(1)
+	}
+	n.calls.Add(callCount)
 	n.bytes.Add(int64(size))
 
 	target, ok := n.endpoints[to]
@@ -333,7 +442,7 @@ func (n *Network) send(ctx context.Context, from *endpoint, to proto.Addr, env p
 			return nil
 		}
 		n.mu.Unlock()
-		n.dropped.Add(1)
+		n.dropped.Add(count)
 		return nil // silent loss, like a wireless medium
 	}
 	var latency time.Duration
@@ -342,7 +451,7 @@ func (n *Network) send(ctx context.Context, from *endpoint, to proto.Addr, env p
 		latency, drop = n.model(from.addr, to, size, n.rng)
 		if drop {
 			n.mu.Unlock()
-			n.dropped.Add(1)
+			n.dropped.Add(count)
 			return nil
 		}
 	}
@@ -350,14 +459,14 @@ func (n *Network) send(ctx context.Context, from *endpoint, to proto.Addr, env p
 	if latency <= 0 {
 		n.mu.Unlock()
 		if !target.box.push(d) {
-			n.dropped.Add(1)
+			n.dropped.Add(count)
 		}
 		return nil
 	}
 	l := n.linkLocked(from.addr, to, target)
 	n.mu.Unlock()
 	if !l.box.push(d) {
-		n.dropped.Add(1)
+		n.dropped.Add(count)
 	}
 	return nil
 }
@@ -407,7 +516,7 @@ func (l *link) pump() {
 			}
 		}
 		if !l.target.box.push(d) {
-			l.net.dropped.Add(1)
+			l.net.dropped.Add(envelopeCount(d.env))
 		}
 	}
 }
@@ -447,7 +556,10 @@ func (e *endpoint) Close() error {
 
 func (e *endpoint) closeLocal() { e.box.close() }
 
-// pump delivers queued messages to the handler, one at a time.
+// pump delivers queued messages to the handler, one at a time. Coalesced
+// frames are split here: the handler sees only plain envelopes, in the
+// order they were queued on the sending side (the per-link FIFO
+// guarantee passes through batching intact).
 func (e *endpoint) pump() {
 	for {
 		d, ok := e.box.pop()
@@ -458,10 +570,17 @@ func (e *endpoint) pump() {
 		if e.net.marshal {
 			decoded, err := proto.Decode(d.payload)
 			if err != nil {
-				e.net.dropped.Add(1)
+				e.net.dropped.Add(envelopeCount(d.env))
 				continue
 			}
 			env = decoded
+		}
+		if batch, ok := env.Body.(proto.EnvelopeBatch); ok {
+			for _, inner := range batch.Envelopes {
+				e.net.delivered.Add(1)
+				e.handler(inner)
+			}
+			continue
 		}
 		e.net.delivered.Add(1)
 		e.handler(env)

@@ -448,3 +448,218 @@ func TestStoreAndForwardDisabledByDefault(t *testing.T) {
 		t.Errorf("Dropped = %d", net.Dropped())
 	}
 }
+
+// --- write-side coalescer (PR 5) ---
+
+// TestCoalescerFlushesQueueAsOneBatch: envelopes queued behind an
+// in-flight write on the same link flush as a single EnvelopeBatch
+// frame, delivered split and in order at the receiver.
+func TestCoalescerFlushesQueueAsOneBatch(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	recv := newCollector()
+	if _, err := n.Endpoint("b", recv.handler); err != nil {
+		t.Fatal(err)
+	}
+	epA, err := n.Endpoint("a", func(proto.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := epA.(*endpoint)
+	// Simulate a write in flight on a→b: everything sent meanwhile
+	// queues behind it.
+	ob := n.outboxFor("a", "b")
+	// Become the writer without transmitting: everything sent while the
+	// "write" is in flight queues behind it.
+	if w, _ := ob.Admit(proto.Envelope{From: "a", To: "b", Body: proto.Ack{}}); !w {
+		t.Fatal("expected to become the writer on an idle link")
+	}
+	for i := 1; i <= 3; i++ {
+		if err := a.Send(context.Background(), "b", ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := recv.count(); got != 0 {
+		t.Fatalf("%d envelopes delivered while the link was busy", got)
+	}
+	n.drainOutbox(a, "b", ob)
+	got := recv.waitN(t, 3, time.Second)
+	for i, env := range got {
+		if env.ReqID != uint64(i+1) {
+			t.Fatalf("order broken: got %v", got)
+		}
+		if _, ok := env.Body.(proto.EnvelopeBatch); ok {
+			t.Fatal("handler saw a raw EnvelopeBatch; transports must split")
+		}
+	}
+	st := n.Stats()
+	if st.Envelopes != 3 || st.Frames != 1 || st.Batches != 1 {
+		t.Fatalf("Stats = %+v, want 3 envelopes in 1 batched frame", st)
+	}
+}
+
+// TestCoalescerSingleEntryStaysUnbatched: an idle link transmits a lone
+// envelope as its own frame — no batching overhead, no added latency.
+func TestCoalescerSingleEntryStaysUnbatched(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	recv := newCollector()
+	if _, err := n.Endpoint("b", recv.handler); err != nil {
+		t.Fatal(err)
+	}
+	a, err := n.Endpoint("a", func(proto.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(context.Background(), "b", ping(1)); err != nil {
+		t.Fatal(err)
+	}
+	recv.waitN(t, 1, time.Second)
+	st := n.Stats()
+	if st.Envelopes != 1 || st.Frames != 1 || st.Batches != 0 {
+		t.Fatalf("Stats = %+v, want one plain frame", st)
+	}
+}
+
+// TestCoalescerBoundsBatchSize: a queue longer than maxCoalesce drains
+// in several bounded frames, never one oversized frame.
+func TestCoalescerBoundsBatchSize(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	recv := newCollector()
+	if _, err := n.Endpoint("b", recv.handler); err != nil {
+		t.Fatal(err)
+	}
+	epA, err := n.Endpoint("a", func(proto.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := epA.(*endpoint)
+	ob := n.outboxFor("a", "b")
+	// Become the writer without transmitting: everything sent while the
+	// "write" is in flight queues behind it.
+	if w, _ := ob.Admit(proto.Envelope{From: "a", To: "b", Body: proto.Ack{}}); !w {
+		t.Fatal("expected to become the writer on an idle link")
+	}
+	total := transport.MaxCoalesce + 5
+	for i := 1; i <= total; i++ {
+		if err := a.Send(context.Background(), "b", ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.drainOutbox(a, "b", ob)
+	got := recv.waitN(t, total, time.Second)
+	for i, env := range got {
+		if env.ReqID != uint64(i+1) {
+			t.Fatalf("order broken at %d: got ReqID %d", i, env.ReqID)
+		}
+	}
+	st := n.Stats()
+	if st.Envelopes != int64(total) || st.Frames != 2 || st.Batches != 2 {
+		t.Fatalf("Stats = %+v, want %d envelopes in 2 bounded batch frames", st, total)
+	}
+}
+
+// TestStatsCountsCallRoundTrips: request bodies (queries, calls for
+// bids, awards) count as Calls; replies and one-way messages do not.
+func TestStatsCountsCallRoundTrips(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	recv := newCollector()
+	if _, err := n.Endpoint("b", recv.handler); err != nil {
+		t.Fatal(err)
+	}
+	a, err := n.Endpoint("a", func(proto.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sends := []proto.Envelope{
+		{ReqID: 1, Body: proto.FragmentQuery{Labels: nil}}, // request
+		{ReqID: 2, Body: proto.CallForBidsBatch{}},         // request
+		{ReqID: 2, Body: proto.BidBatch{}},                 // reply
+		{Body: proto.Cancel{Task: "t"}},                    // one-way
+	}
+	for _, env := range sends {
+		if err := a.Send(context.Background(), "b", env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv.waitN(t, len(sends), time.Second)
+	if st := n.Stats(); st.Calls != 2 {
+		t.Fatalf("Stats.Calls = %d, want 2 (requests only); full stats %+v", st.Calls, st)
+	}
+	n.ResetCounters()
+	if st := n.Stats(); st != (Stats{}) {
+		t.Fatalf("Stats after reset = %+v", st)
+	}
+}
+
+// TestCoalescerConcurrentSendersDeliverAll: hammering one link from many
+// goroutines loses nothing and preserves nothing less than total
+// delivery, whatever batching happened underneath.
+func TestCoalescerConcurrentSendersDeliverAll(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	recv := newCollector()
+	if _, err := n.Endpoint("b", recv.handler); err != nil {
+		t.Fatal(err)
+	}
+	a, err := n.Endpoint("a", func(proto.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const senders, each = 8, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_ = a.Send(context.Background(), "b", ping(s*each+i))
+			}
+		}(s)
+	}
+	wg.Wait()
+	recv.waitN(t, senders*each, 5*time.Second)
+	st := n.Stats()
+	if st.Envelopes != senders*each {
+		t.Fatalf("Stats.Envelopes = %d, want %d", st.Envelopes, senders*each)
+	}
+	if st.Frames > st.Envelopes {
+		t.Fatalf("Frames %d > Envelopes %d", st.Frames, st.Envelopes)
+	}
+}
+
+// TestDroppedCountsBatchedEnvelopes: losing a coalesced frame loses all
+// of its envelopes — the Sent = Delivered + Dropped identity must hold
+// in envelope units, not frame units.
+func TestDroppedCountsBatchedEnvelopes(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	epA, err := n.Endpoint("a", func(proto.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := epA.(*endpoint)
+	// Queue three envelopes behind a busy link to "ghost" (never
+	// attached), then flush: the whole batch frame drops.
+	ob := n.outboxFor("a", "ghost")
+	if w, _ := ob.Admit(proto.Envelope{From: "a", To: "ghost", Body: proto.Ack{}}); !w {
+		t.Fatal("expected to become the writer on an idle link")
+	}
+	for i := 1; i <= 3; i++ {
+		if err := a.Send(context.Background(), "ghost", ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.drainOutbox(a, "ghost", ob)
+	if got := n.Messages(); got != 3 {
+		t.Fatalf("Messages = %d, want 3", got)
+	}
+	if got := n.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3 (every envelope of the lost batch)", got)
+	}
+	if got := n.Delivered(); got != 0 {
+		t.Fatalf("Delivered = %d, want 0", got)
+	}
+}

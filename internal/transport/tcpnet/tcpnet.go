@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"openwf/internal/proto"
 	"openwf/internal/transport"
@@ -36,10 +37,17 @@ type Transport struct {
 	registry map[proto.Addr]string
 	conns    map[proto.Addr]net.Conn
 	inbound  map[net.Conn]struct{}
+	outboxes map[proto.Addr]*transport.Coalescer
 	closed   bool
 
 	wg sync.WaitGroup
 }
+
+// drainDialTimeout bounds connection establishment for queued envelopes:
+// they detached from their callers' contexts when they were accepted, so
+// the drain loop supplies its own deadline — a blackholed peer costs one
+// bounded dial per flush, never a wedged coalescer.
+const drainDialTimeout = 10 * time.Second
 
 var _ transport.Endpoint = (*Transport)(nil)
 
@@ -61,6 +69,7 @@ func Listen(addr proto.Addr, handler transport.Handler) (*Transport, string, err
 		registry: make(map[proto.Addr]string),
 		conns:    make(map[proto.Addr]net.Conn),
 		inbound:  make(map[net.Conn]struct{}),
+		outboxes: make(map[proto.Addr]*transport.Coalescer),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -91,12 +100,56 @@ var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // abstract layer; local failures (closed transport, encoding, canceled
 // context) error. The context bounds connection establishment: a
 // canceled context aborts an in-flight dial promptly.
+//
+// Sends to one peer pass through a write-side coalescer
+// (transport.Coalescer, shared with inmem): an envelope arriving while
+// another write to the same peer is in flight is queued (bounded; a
+// stalled peer drops the overflow like the lossy medium it models) and
+// flushed by the busy sender as part of one EnvelopeBatch frame. Queued
+// envelopes detach from their caller's context — like the wireless
+// medium, once accepted they are the transport's to deliver or lose.
 func (t *Transport) Send(ctx context.Context, to proto.Addr, env proto.Envelope) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	env.From = t.addr
 	env.To = to
+	ob := t.outboxFor(to)
+	writer, dropped := ob.Admit(env)
+	if dropped || !writer {
+		return nil // queued for the busy writer, or overflow-dropped
+	}
+	err := t.transmit(ctx, to, env)
+	t.drainOutbox(to, ob)
+	return err
+}
+
+// outboxFor returns (creating on first use) the coalescer for a peer.
+func (t *Transport) outboxFor(to proto.Addr) *transport.Coalescer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ob, ok := t.outboxes[to]
+	if !ok {
+		ob = &transport.Coalescer{}
+		t.outboxes[to] = ob
+	}
+	return ob
+}
+
+// drainOutbox flushes everything queued while the caller was writing,
+// one EnvelopeBatch frame per flush, until the queue is empty. Each
+// flush dials (if needed) under its own bounded context.
+func (t *Transport) drainOutbox(to proto.Addr, ob *transport.Coalescer) {
+	ob.Drain(t.addr, to, func(env proto.Envelope) error {
+		ctx, cancel := context.WithTimeout(context.Background(), drainDialTimeout)
+		defer cancel()
+		return t.transmit(ctx, to, env)
+	})
+}
+
+// transmit frames and writes one envelope (or coalesced batch) to the
+// peer's connection.
+func (t *Transport) transmit(ctx context.Context, to proto.Addr, env proto.Envelope) error {
 	buf := encPool.Get().(*bytes.Buffer)
 	defer encPool.Put(buf)
 	buf.Reset()
@@ -268,6 +321,16 @@ func (t *Transport) readLoop(conn net.Conn) {
 		t.mu.Unlock()
 		if closed {
 			return
+		}
+		// A coalesced frame splits here without re-allocating: Decode
+		// already produced the inner envelopes backed by the frame's one
+		// string copy, so dispatching them is pure iteration, in queue
+		// order (per-connection FIFO extends through batching).
+		if batch, ok := env.Body.(proto.EnvelopeBatch); ok {
+			for _, inner := range batch.Envelopes {
+				t.handler(inner)
+			}
+			continue
 		}
 		t.handler(env)
 	}

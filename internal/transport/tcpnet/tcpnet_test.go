@@ -276,3 +276,59 @@ func TestNilHandlerRejected(t *testing.T) {
 		t.Error("nil handler accepted")
 	}
 }
+
+// --- write-side coalescer (PR 5) ---
+
+// TestCoalescedBatchSplitsAtReceiver: envelopes queued behind an
+// in-flight socket write flush as one EnvelopeBatch frame; readLoop
+// splits it and the handler sees plain envelopes in send order.
+func TestCoalescedBatchSplitsAtReceiver(t *testing.T) {
+	ta, _, _, colB := pair(t)
+	ob := ta.outboxFor("b")
+	// Become the writer without writing: everything sent meanwhile
+	// queues behind the simulated in-flight write.
+	if w, _ := ob.Admit(proto.Envelope{From: "a", To: "b", Body: proto.Ack{}}); !w {
+		t.Fatal("expected to become the writer on an idle peer")
+	}
+	for i := 1; i <= 4; i++ {
+		if err := ta.Send(context.Background(), "b", ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := colB.count(); got != 0 {
+		t.Fatalf("%d envelopes arrived while the writer was busy", got)
+	}
+	ta.drainOutbox("b", ob)
+	got := colB.waitN(t, 4, 2*time.Second)
+	for i, env := range got {
+		if env.ReqID != uint64(i+1) {
+			t.Fatalf("order broken: got %+v", got)
+		}
+		if _, ok := env.Body.(proto.EnvelopeBatch); ok {
+			t.Fatal("handler saw a raw EnvelopeBatch; readLoop must split")
+		}
+		if env.From != "a" || env.To != "b" {
+			t.Fatalf("inner routing lost: %+v", env)
+		}
+	}
+}
+
+// TestCoalescerConcurrentSendersDeliverAll: many goroutines writing to
+// one peer through the coalescer lose nothing, whatever batching
+// happened underneath.
+func TestCoalescerConcurrentSendersDeliverAll(t *testing.T) {
+	ta, _, _, colB := pair(t)
+	const senders, each = 8, 25
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_ = ta.Send(context.Background(), "b", ping(s*each+i))
+			}
+		}(s)
+	}
+	wg.Wait()
+	colB.waitN(t, senders*each, 5*time.Second)
+}

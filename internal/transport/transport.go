@@ -12,6 +12,7 @@ package transport
 
 import (
 	"context"
+	"sync"
 
 	"openwf/internal/proto"
 )
@@ -20,6 +21,83 @@ import (
 // sequentially from a single goroutine (a device processes one message at
 // a time); handlers may call Send freely.
 type Handler func(env proto.Envelope)
+
+// MaxCoalesce bounds how many envelopes one proto.EnvelopeBatch frame
+// carries: large enough to absorb any realistic burst on one link, small
+// enough that a frame never approaches the latency of the burst it
+// replaces.
+const MaxCoalesce = 32
+
+// MaxOutboxQueue caps how many envelopes may queue behind an in-flight
+// write on one link. Beyond it new envelopes are dropped — the lossy
+// wireless semantics of the layer — so a stalled peer cannot grow a
+// sender's memory without bound.
+const MaxOutboxQueue = 1024
+
+// Coalescer is the write-side batching state machine shared by the
+// transports: the envelopes queued behind an in-flight write on one
+// directed link. The first sender on an idle link transmits its envelope
+// immediately (zero added latency when the queue has one entry) and then
+// drains whatever queued behind it into proto.EnvelopeBatch frames, so a
+// burst on one link pays the per-frame overhead (framing + syscall on
+// TCP, modeled MAC latency on the simulated medium) once per flush.
+// It is concurrency-sensitive and deliberately lives in one place.
+type Coalescer struct {
+	mu    sync.Mutex
+	queue []proto.Envelope
+	busy  bool
+}
+
+// Admit offers env to the coalescer. When a write is already in flight
+// the envelope is queued for the busy writer to flush (dropped reports a
+// full queue — the envelope is lost) and writer is false; otherwise the
+// caller becomes the writer: it must transmit env itself, then call
+// Drain.
+func (c *Coalescer) Admit(env proto.Envelope) (writer, dropped bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.busy {
+		if len(c.queue) >= MaxOutboxQueue {
+			return false, true
+		}
+		c.queue = append(c.queue, env)
+		return false, false
+	}
+	c.busy = true
+	return true, false
+}
+
+// Drain flushes everything queued while the writer was transmitting —
+// one frame per flush: a lone envelope as itself, several as one
+// proto.EnvelopeBatch of at most MaxCoalesce addressed from→to — until
+// the queue empties and the coalescer goes idle. Transmit errors are
+// discarded: accepted envelopes are the transport's to deliver or lose.
+func (c *Coalescer) Drain(from, to proto.Addr, transmit func(proto.Envelope) error) {
+	for {
+		c.mu.Lock()
+		if len(c.queue) == 0 {
+			c.busy = false
+			c.queue = nil
+			c.mu.Unlock()
+			return
+		}
+		k := len(c.queue)
+		if k > MaxCoalesce {
+			k = MaxCoalesce
+		}
+		batch := c.queue[:k:k]
+		c.queue = c.queue[k:]
+		c.mu.Unlock()
+		if len(batch) == 1 {
+			_ = transmit(batch[0])
+		} else {
+			_ = transmit(proto.Envelope{
+				From: from, To: to,
+				Body: proto.EnvelopeBatch{Envelopes: batch},
+			})
+		}
+	}
+}
 
 // Endpoint is one host's attachment to the network.
 type Endpoint interface {

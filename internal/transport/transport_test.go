@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"testing"
+
+	"openwf/internal/proto"
+)
+
+func env(n int) proto.Envelope {
+	return proto.Envelope{From: "a", To: "b", ReqID: uint64(n), Body: proto.Ack{}}
+}
+
+// TestCoalescerProtocol drives the shared write-side state machine
+// directly: the first Admit on an idle coalescer elects the writer,
+// subsequent Admits queue, Drain flushes everything in order in frames
+// of at most MaxCoalesce, and the coalescer then goes idle again.
+func TestCoalescerProtocol(t *testing.T) {
+	var c Coalescer
+	if w, d := c.Admit(env(0)); !w || d {
+		t.Fatalf("first Admit: writer=%v dropped=%v, want writer", w, d)
+	}
+	total := MaxCoalesce + 7
+	for i := 1; i <= total; i++ {
+		if w, d := c.Admit(env(i)); w || d {
+			t.Fatalf("Admit %d while busy: writer=%v dropped=%v", i, w, d)
+		}
+	}
+	var frames [][]proto.Envelope
+	c.Drain("a", "b", func(e proto.Envelope) error {
+		if b, ok := e.Body.(proto.EnvelopeBatch); ok {
+			frames = append(frames, b.Envelopes)
+		} else {
+			frames = append(frames, []proto.Envelope{e})
+		}
+		return nil
+	})
+	seen := 0
+	for _, f := range frames {
+		if len(f) > MaxCoalesce {
+			t.Fatalf("frame of %d envelopes exceeds MaxCoalesce", len(f))
+		}
+		for _, e := range f {
+			seen++
+			if e.ReqID != uint64(seen) {
+				t.Fatalf("order broken: envelope %d has ReqID %d", seen, e.ReqID)
+			}
+		}
+	}
+	if seen != total {
+		t.Fatalf("drained %d envelopes, want %d", seen, total)
+	}
+	// Idle again: the next Admit elects a writer.
+	if w, _ := c.Admit(env(0)); !w {
+		t.Fatal("coalescer did not go idle after Drain")
+	}
+}
+
+// TestCoalescerQueueCap: a stalled writer cannot grow the queue without
+// bound — Admits beyond MaxOutboxQueue report the envelope dropped.
+func TestCoalescerQueueCap(t *testing.T) {
+	var c Coalescer
+	if w, _ := c.Admit(env(0)); !w {
+		t.Fatal("first Admit must elect the writer")
+	}
+	for i := 0; i < MaxOutboxQueue; i++ {
+		if _, d := c.Admit(env(i)); d {
+			t.Fatalf("Admit %d dropped below the cap", i)
+		}
+	}
+	if _, d := c.Admit(env(MaxOutboxQueue)); !d {
+		t.Fatal("Admit beyond MaxOutboxQueue not dropped")
+	}
+	// Draining frees capacity again.
+	kept := 0
+	c.Drain("a", "b", func(e proto.Envelope) error {
+		if b, ok := e.Body.(proto.EnvelopeBatch); ok {
+			kept += len(b.Envelopes)
+		} else {
+			kept++
+		}
+		return nil
+	})
+	if kept != MaxOutboxQueue {
+		t.Fatalf("drained %d envelopes, want %d", kept, MaxOutboxQueue)
+	}
+	if _, d := c.Admit(env(1)); d {
+		t.Fatal("Admit dropped on a drained coalescer")
+	}
+}
