@@ -4,19 +4,20 @@
 // (ns/op, B/op, allocs/op) in a BENCH_PR<n>.json at the repo root, so
 // regressions are visible in review without re-running the full sweep.
 //
-//	go run ./cmd/benchjson -o BENCH_PR5.json
+//	go run ./cmd/benchjson -o BENCH_PR6.json
 //
 // The grid points mirror the root bench_test.go benchmarks that the
 // paper's evaluation (§5) pins: the pure construction algorithm at
 // supergraph sizes 25–500, the per-envelope marshal cost of the binary
-// wire codec against its gob oracle (PR 3), the broadcast knowhow-query
-// path over the modeled 802.11g medium, the cached workflow accessors
-// (PR 2), the concurrent-construction grid (goroutines × supergraph
-// size) against a shared fragment store, the concurrent-allocation
-// grid (PR 4: K in-flight Initiates multiplexed over one host, serial
-// vs concurrent), and the batched-CFB differential on the BroadcastQuery
-// grid (PR 5: batched vs per-task calls for bids, with the transport's
-// Call round-trip count as its own column).
+// wire codec (PR 3; the gob oracle retired in PR 6), the broadcast
+// knowhow-query path over the modeled 802.11g medium with the transport's
+// Call round-trip count as its own column (PR 5), the cached workflow
+// accessors (PR 2), the concurrent-construction grid (goroutines ×
+// supergraph size) against a shared fragment store, the
+// concurrent-allocation grid (PR 4: K in-flight Initiates multiplexed
+// over one host, serial vs concurrent), and the repair-vs-replan grid
+// (PR 6: recovering a mid-execution workflow from a single provider
+// death by incremental plan repair versus a full replan from scratch).
 package main
 
 import (
@@ -33,10 +34,13 @@ import (
 	"testing"
 	"time"
 
+	"openwf/internal/community"
 	"openwf/internal/core"
+	"openwf/internal/engine"
 	"openwf/internal/evalgen"
 	"openwf/internal/model"
 	"openwf/internal/proto"
+	"openwf/internal/service"
 	"openwf/internal/spec"
 )
 
@@ -108,8 +112,47 @@ func bidEnvelope() proto.Envelope {
 	}
 }
 
+// repairCommunity builds the repair-vs-replan fixture: host00 initiates
+// and knows the whole chain; every provider offers every service, so any
+// survivor can absorb a dead provider's tasks.
+func repairCommunity(b *testing.B, hosts, chain int, cfg *engine.Config) (*community.Community, spec.Spec) {
+	b.Helper()
+	var frags []*model.Fragment
+	var regs []service.Registration
+	for i := 0; i < chain; i++ {
+		task := model.Task{
+			ID:      model.TaskID(fmt.Sprintf("r-t%02d", i)),
+			Mode:    model.Conjunctive,
+			Inputs:  []model.LabelID{model.LabelID(fmt.Sprintf("r-l%02d", i))},
+			Outputs: []model.LabelID{model.LabelID(fmt.Sprintf("r-l%02d", i+1))},
+		}
+		f, err := model.NewFragment(fmt.Sprintf("know-r%02d", i), task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frags = append(frags, f)
+		regs = append(regs, service.Registration{
+			Descriptor: service.Descriptor{Task: task.ID, Duration: 10 * time.Millisecond, Specialization: 0.5},
+		})
+	}
+	specs := make([]community.HostSpec, hosts)
+	for h := 0; h < hosts; h++ {
+		specs[h] = community.HostSpec{ID: proto.Addr(fmt.Sprintf("host%02d", h))}
+		if h > 0 {
+			specs[h].Services = regs
+		}
+	}
+	specs[0].Fragments = frags
+	comm, err := community.New(community.Options{Engine: cfg, Seed: 1}, specs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	goal := model.LabelID(fmt.Sprintf("r-l%02d", chain))
+	return comm, spec.Must([]model.LabelID{"r-l00"}, []model.LabelID{goal})
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR6.json", "output file (- for stdout)")
 	flag.Parse()
 
 	var results []result
@@ -257,10 +300,10 @@ func main() {
 		}
 	})
 
-	// Marshal grid (PR 3): full encode+decode per envelope for the two
-	// broadcast-hot message shapes, binary wire codec vs the gob oracle.
-	// The acceptance bar is ≥5x on ns/op with allocs/op ≤5 for the
-	// binary rows.
+	// Marshal grid (PR 3, gob oracle retired in PR 6): full encode+decode
+	// per envelope for the two broadcast-hot message shapes through the
+	// binary wire codec. Row names stay comparable with earlier BENCH
+	// files' codec=binary rows.
 	for _, shape := range []struct {
 		name string
 		env  proto.Envelope
@@ -268,89 +311,72 @@ func main() {
 		{"FragmentQuery", queryEnvelope()},
 		{"Bid", bidEnvelope()},
 	} {
-		for _, codec := range []struct {
-			name   string
-			encode func(*bytes.Buffer, proto.Envelope) error
-			decode func([]byte) (proto.Envelope, error)
-		}{
-			{"binary", proto.EncodeTo, proto.Decode},
-			{"gob", proto.EncodeGobTo, proto.DecodeGob},
-		} {
-			shape, codec := shape, codec
-			run(fmt.Sprintf("Marshal/%s/codec=%s", shape.name, codec.name), func(b *testing.B) {
-				b.ReportAllocs()
-				pool := sync.Pool{New: func() any { return new(bytes.Buffer) }}
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					buf := pool.Get().(*bytes.Buffer)
-					buf.Reset()
-					if err := codec.encode(buf, shape.env); err != nil {
-						b.Fatal(err)
-					}
-					if _, err := codec.decode(buf.Bytes()); err != nil {
-						b.Fatal(err)
-					}
-					pool.Put(buf)
+		shape := shape
+		run(fmt.Sprintf("Marshal/%s/codec=binary", shape.name), func(b *testing.B) {
+			b.ReportAllocs()
+			pool := sync.Pool{New: func() any { return new(bytes.Buffer) }}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf := pool.Get().(*bytes.Buffer)
+				buf.Reset()
+				if err := proto.EncodeTo(buf, shape.env); err != nil {
+					b.Fatal(err)
 				}
-			})
-		}
+				if _, err := proto.Decode(buf.Bytes()); err != nil {
+					b.Fatal(err)
+				}
+				pool.Put(buf)
+			}
+		})
 	}
 
 	// Broadcast knowhow-query grid (PR 3, re-pinned by PR 5): a full
 	// Initiate on the modeled 802.11g medium with broadcast (parallel)
 	// community queries — the distributed path where the medium
-	// dominates. The unsuffixed rows run the batched CFB protocol (the
-	// default); the batch=off rows run the per-task oracle, so the grid
-	// reads the round-collapse directly in both ns/op and the RoundTrips
-	// column (inmem Stats().Calls per Initiate).
+	// dominates. All rows run the batched CFB protocol (the per-task
+	// oracle retired in PR 6); the RoundTrips column is the inmem
+	// Stats().Calls per Initiate.
 	for _, hosts := range []int{5, 10} {
-		for _, batch := range []bool{true, false} {
-			hosts, batch := hosts, batch
-			name := fmt.Sprintf("BroadcastQuery/hosts=%d", hosts)
-			if !batch {
-				name += "/batch=off"
+		hosts := hosts
+		run(fmt.Sprintf("BroadcastQuery/hosts=%d", hosts), func(b *testing.B) {
+			b.ReportAllocs()
+			engCfg := evalgen.EvalEngineConfig()
+			engCfg.ParallelQuery = true
+			rng := rand.New(rand.NewSource(1))
+			sc, err := evalgen.Generate(100, rng)
+			if err != nil {
+				b.Fatal(err)
 			}
-			run(name, func(b *testing.B) {
-				b.ReportAllocs()
-				engCfg := evalgen.EvalEngineConfig()
-				engCfg.ParallelQuery = true
-				engCfg.BatchCFB = batch
-				rng := rand.New(rand.NewSource(1))
-				sc, err := evalgen.Generate(100, rng)
-				if err != nil {
-					b.Fatal(err)
-				}
-				comm, hostAddrs, err := evalgen.BuildCommunity(sc, evalgen.ExperimentConfig{
-					Tasks: 100, Hosts: hosts, Seed: 1,
-					LinkModel: evalgen.Wireless80211g(),
-					Engine:    &engCfg,
-				}, rng)
-				if err != nil {
-					b.Fatal(err)
-				}
-				defer comm.Close()
-				comm.Network().ResetCounters()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					b.StopTimer()
-					s, ok := sc.SamplePath(8, rng)
-					if !ok {
-						b.Skip("no path of length 8")
-					}
-					comm.ResetSchedules()
-					b.StartTimer()
-					plan, err := comm.Initiate(context.Background(), hostAddrs[0], s)
-					if err != nil {
-						b.Fatal(err)
-					}
-					if plan.Workflow.NumTasks() != 8 {
-						b.Fatalf("workflow has %d tasks", plan.Workflow.NumTasks())
-					}
-				}
+			comm, hostAddrs, err := evalgen.BuildCommunity(sc, evalgen.ExperimentConfig{
+				Tasks: 100, Hosts: hosts, Seed: 1,
+				LinkModel: evalgen.Wireless80211g(),
+				Engine:    &engCfg,
+			}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer comm.Close()
+			comm.Network().ResetCounters()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				b.ReportMetric(float64(comm.Network().Stats().Calls)/float64(b.N), "roundtrips/op")
-			})
-		}
+				s, ok := sc.SamplePath(8, rng)
+				if !ok {
+					b.Skip("no path of length 8")
+				}
+				comm.ResetSchedules()
+				b.StartTimer()
+				plan, err := comm.Initiate(context.Background(), hostAddrs[0], s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if plan.Workflow.NumTasks() != 8 {
+					b.Fatalf("workflow has %d tasks", plan.Workflow.NumTasks())
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(comm.Network().Stats().Calls)/float64(b.N), "roundtrips/op")
+		})
 	}
 
 	// Concurrent allocation sessions (PR 4): K Initiates multiplexed
@@ -402,6 +428,103 @@ func main() {
 					}
 				}
 			}
+		})
+	}
+
+	// Repair-vs-replan grid (PR 6): a provider dies under a mid-execution
+	// workflow. mode=repair measures the engine's recovery path end to
+	// end — lease-refresh failure detection, re-auctioning the dead
+	// host's tasks among the survivors, redistributing the repaired
+	// segments — timed from the crash to the Repaired event. mode=replan
+	// measures the baseline strategy: discard the plan and run a fresh
+	// Initiate around the dead member, timed from the re-Initiate alone
+	// (detection latency excluded, which biases the comparison *toward*
+	// replan — repair must win anyway). Both modes run on the real clock
+	// over the instantaneous in-memory network, so every non-trivial cost
+	// is either a dead-host call timeout or protocol work; RoundTrips
+	// counts the Calls each recovery strategy spends.
+	for _, mode := range []string{"repair", "replan"} {
+		mode := mode
+		run(fmt.Sprintf("RepairVsReplan/hosts=6/chain=8/mode=%s", mode), func(b *testing.B) {
+			b.ReportAllocs()
+			const hosts, chain = 6, 8
+			cfg := engine.DefaultConfig()
+			cfg.StartDelay = time.Hour // windows far out: allocation machinery only, no service runs
+			cfg.TaskWindow = time.Minute
+			cfg.CallTimeout = 100 * time.Millisecond // a dead host costs one bounded timeout per call
+			cfg.LeaseRefreshInterval = 20 * time.Millisecond
+			repaired := make(chan struct{}, 1)
+			cfg.Observer.Repaired = func(string, []proto.Addr, []model.TaskID) {
+				select {
+				case repaired <- struct{}{}:
+				default:
+				}
+			}
+			comm, s := repairCommunity(b, hosts, chain, &cfg)
+			defer comm.Close()
+			ctx := context.Background()
+			var roundTrips int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				comm.ResetSchedules()
+				plan, err := comm.Initiate(ctx, "host00", s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				victim := plan.Allocations[model.TaskID("r-t00")]
+				if mode == "repair" {
+					ectx, ecancel := context.WithCancel(ctx)
+					done := make(chan error, 1)
+					go func() {
+						_, err := comm.Execute(ectx, "host00", plan, nil)
+						done <- err
+					}()
+					// Wall time for segment distribution; the refresher is
+					// ticking once Execute has handed out the plan.
+					time.Sleep(20 * time.Millisecond)
+					select {
+					case <-repaired: // drop any stale signal
+					default:
+					}
+					comm.Network().ResetCounters()
+					b.StartTimer()
+					if err := comm.CrashHost(victim); err != nil {
+						b.Fatal(err)
+					}
+					select {
+					case <-repaired:
+					case err := <-done:
+						b.Fatalf("execution ended before repair: %v", err)
+					case <-time.After(10 * time.Second):
+						b.Fatal("repair did not complete within 10s")
+					}
+					b.StopTimer()
+					roundTrips += comm.Network().Stats().Calls
+					ecancel()
+					<-done
+				} else {
+					if err := comm.CrashHost(victim); err != nil {
+						b.Fatal(err)
+					}
+					comm.ResetSchedules() // the discarded plan's slots are released
+					comm.Network().ResetCounters()
+					b.StartTimer()
+					plan2, err := comm.Initiate(ctx, "host00", s)
+					b.StopTimer()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(plan2.Allocations) != chain {
+						b.Fatalf("replan allocated %d of %d tasks", len(plan2.Allocations), chain)
+					}
+					roundTrips += comm.Network().Stats().Calls
+				}
+				if err := comm.RestartHost(victim); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(roundTrips)/float64(b.N), "roundtrips/op")
 		})
 	}
 

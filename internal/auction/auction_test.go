@@ -2,6 +2,7 @@ package auction
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -386,9 +387,11 @@ func TestParticipantAwardWithoutServiceRefused(t *testing.T) {
 	}
 }
 
-func TestParticipantAwardAfterExpiryMayStillCommit(t *testing.T) {
-	// The hold expired but the slot is still free: the fresh plan
-	// succeeds.
+func TestParticipantAwardAfterExpiryRefused(t *testing.T) {
+	// The hold expired before the award arrived: the slot already
+	// returned to the pool, so the stale award is refused even though
+	// the slot happens to still be free — never a silent commitment the
+	// auctioneer cannot account for.
 	p, sim, sched := participant(schedule.Preferences{}, sreg("t", 0.5))
 	p.HandleCallForBids("wf", proto.CallForBids{Meta: meta("t")})
 	sim.Advance(time.Minute)
@@ -396,8 +399,14 @@ func TestParticipantAwardAfterExpiryMayStillCommit(t *testing.T) {
 		t.Fatalf("ExpireHolds = %d", n)
 	}
 	_, ack := p.HandleAward("wf", proto.Award{Meta: meta("t")})
-	if !ack.OK {
-		t.Fatalf("award refused after expiry with free slot: %s", ack.Reason)
+	if ack.OK {
+		t.Fatal("stale award accepted after the hold expired")
+	}
+	if !strings.Contains(ack.Reason, schedule.ErrNoHold.Error()) {
+		t.Fatalf("refusal reason = %q, want it to name the dead hold", ack.Reason)
+	}
+	if _, ok := sched.Get("wf", "t"); ok {
+		t.Error("refused award left a commitment")
 	}
 	if sched.Holds() != 0 {
 		t.Error("stray hold")
@@ -407,7 +416,7 @@ func TestParticipantAwardAfterExpiryMayStillCommit(t *testing.T) {
 func TestParticipantAwardConflictRefused(t *testing.T) {
 	p, _, sched := participant(schedule.Preferences{}, sreg("t", 0.5), sreg("u", 0.5))
 	// Another workflow already took the slot.
-	if _, err := sched.Commit("other", meta("u")); err != nil {
+	if _, err := sched.Commit("other", meta("u"), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	_, ack := p.HandleAward("wf", proto.Award{Meta: meta("t")})

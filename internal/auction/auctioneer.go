@@ -111,8 +111,9 @@ func (a *Auctioneer) Start() []Outbound {
 // StartBatched returns the batched calls for bids: exactly one
 // CallForBidsBatch per member, carrying every task's metadata in sorted
 // task order. It collapses Start's member×task round count to one round
-// trip per member — the batched protocol of DESIGN.md §9; the engine
-// picks it via Config.BatchCFB.
+// trip per member — the batched protocol of DESIGN.md §9 and the
+// engine's only allocation path (the per-task sweep survives as a
+// protocol primitive: participants still answer lone CallForBids).
 func (a *Auctioneer) StartBatched() []Outbound {
 	taskIDs := a.sortedTaskIDs()
 	metas := make([]proto.TaskMeta, 0, len(taskIDs))

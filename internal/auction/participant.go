@@ -42,6 +42,10 @@ type Participant struct {
 	// to decide; its firm bid (and schedule reservation) expires after
 	// this window.
 	bidWindow time.Duration
+	// commitLease is how long an awarded commitment stays valid without a
+	// refresh from the initiator (DefaultCommitLease when unset; ≤ 0 via
+	// SetCommitLease disables leasing — commitments never expire).
+	commitLease time.Duration
 
 	mu       sync.Mutex
 	sessions map[string]*bidSession
@@ -50,6 +54,13 @@ type Participant struct {
 // DefaultBidWindow is the deadline participants give auction managers when
 // none is configured.
 const DefaultBidWindow = 200 * time.Millisecond
+
+// DefaultCommitLease is how long an awarded commitment survives without a
+// lease refresh from its initiator. Generous relative to bid windows and
+// execution spans: a live initiator refreshes leases far more often,
+// while a dead one stops and the slot returns to the pool one lease
+// later.
+const DefaultCommitLease = 5 * time.Minute
 
 // NewParticipant wires a participant to its host's service and schedule
 // managers. bidWindow ≤ 0 selects DefaultBidWindow.
@@ -62,8 +73,24 @@ func NewParticipant(clk clock.Clock, services *service.Manager, sched *schedule.
 	}
 	return &Participant{
 		clk: clk, services: services, sched: sched, bidWindow: bidWindow,
-		sessions: make(map[string]*bidSession),
+		commitLease: DefaultCommitLease,
+		sessions:    make(map[string]*bidSession),
 	}
+}
+
+// SetCommitLease overrides the commitment lease duration. d ≤ 0 disables
+// leasing: awards commit without an expiry.
+func (p *Participant) SetCommitLease(d time.Duration) { p.commitLease = d }
+
+// CommitLease returns the configured commitment lease duration.
+func (p *Participant) CommitLease() time.Duration { return p.commitLease }
+
+// leaseExpiry computes the lease for a commitment made or refreshed now.
+func (p *Participant) leaseExpiry(now time.Time) time.Time {
+	if p.commitLease <= 0 {
+		return time.Time{}
+	}
+	return now.Add(p.commitLease)
 }
 
 // trackBid records a firm bid in the workflow's session.
@@ -184,23 +211,22 @@ func (p *Participant) HandleCallForBidsBatch(workflow string, batch proto.CallFo
 	return reply
 }
 
-// HandleAward converts the reservation into a commitment. It returns the
-// commitment (for execution registration) and the acknowledgment to send.
-// An award that can no longer be honored — the hold expired and the slot
-// was lost — is refused, and the engine replans.
+// HandleAward converts the reservation into a leased commitment. It
+// returns the commitment (for execution registration) and the
+// acknowledgment to send. An award without a live hold — the bid
+// window expired before the award arrived — is refused even when the
+// slot is still free: under leases the slot already returned to the
+// pool and may back a rival session's fresh hold, so a stale award must
+// never silently commit. The refusal (AwardAck.OK=false) cancels the
+// award back to the auctioneer, which replans the task.
 func (p *Participant) HandleAward(workflow string, award proto.Award) (schedule.Commitment, proto.AwardAck) {
 	meta := award.Meta
-	desc, ok := p.services.CanPerform(meta.Task)
-	if !ok {
+	if _, ok := p.services.CanPerform(meta.Task); !ok {
 		return schedule.Commitment{}, proto.AwardAck{
 			Task: meta.Task, OK: false, Reason: "service no longer offered",
 		}
 	}
-	if !meta.HasLocation && desc.HasLocation {
-		meta.Location = desc.Location
-		meta.HasLocation = true
-	}
-	c, err := p.sched.Commit(workflow, meta)
+	c, err := p.sched.CommitHeld(workflow, meta.Task, p.leaseExpiry(p.clk.Now()))
 	if err != nil {
 		return schedule.Commitment{}, proto.AwardAck{
 			Task: meta.Task, OK: false, Reason: err.Error(),
@@ -208,6 +234,28 @@ func (p *Participant) HandleAward(workflow string, award proto.Award) (schedule.
 	}
 	p.untrackBid(workflow, meta.Task)
 	return c, proto.AwardAck{Task: meta.Task, OK: true}
+}
+
+// HandleLeaseRefresh extends the leases of the listed tasks' commitments
+// and reports back the tasks whose commitments are gone (lease already
+// expired and swept, or canceled): the initiator repairs those.
+func (p *Participant) HandleLeaseRefresh(workflow string, lr proto.LeaseRefresh) proto.LeaseRefreshAck {
+	lease := p.leaseExpiry(p.clk.Now())
+	var ack proto.LeaseRefreshAck
+	for _, task := range lr.Tasks {
+		if err := p.sched.RefreshCommitLease(workflow, task, lease); err != nil {
+			ack.Missing = append(ack.Missing, task)
+		}
+	}
+	return ack
+}
+
+// SweepLeases removes every commitment whose lease has expired and
+// returns them so the host can drop dependent execution state. The
+// sweep is what makes a dead initiator's slots come back: nobody
+// refreshes, the lease runs out, the calendar heals.
+func (p *Participant) SweepLeases() []schedule.Commitment {
+	return p.sched.ExpireCommitments(p.clk.Now())
 }
 
 // HandleCancel revokes an awarded task (replanning compensation): the
@@ -256,6 +304,15 @@ func (p *Participant) ReleaseSession(workflow string) int {
 	defer p.mu.Unlock()
 	delete(p.sessions, workflow)
 	return n
+}
+
+// ResetSessions wipes every workflow's bid bookkeeping (crash
+// simulation: a restarted participant remembers no firm bids). The
+// schedule manager's holds are cleared separately (schedule.Clear).
+func (p *Participant) ResetSessions() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sessions = make(map[string]*bidSession)
 }
 
 // Sessions returns the workflow IDs with outstanding firm bids, sorted.

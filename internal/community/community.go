@@ -231,6 +231,84 @@ func (c *Community) InitiateAll(ctx context.Context, id proto.Addr, specs []spec
 	return h.Engine.InitiateBatch(ctx, specs)
 }
 
+// CrashHost kills a host: its network endpoint goes dark (frames to and
+// from it drop, queued messages are purged) and its volatile protocol
+// state — calendar, firm bids, commitment leases, execution runs,
+// buffered labels — is wiped, so a later RestartHost revives a blank
+// participant that kept only its static configuration. In-memory
+// transport only.
+func (c *Community) CrashHost(id proto.Addr) error {
+	if c.network == nil {
+		return fmt.Errorf("community: fault injection requires the in-memory transport")
+	}
+	h, ok := c.hosts[id]
+	if !ok {
+		return fmt.Errorf("community: no host %q", id)
+	}
+	c.network.Crash(id)
+	h.Reset()
+	return nil
+}
+
+// RestartHost revives a crashed host with empty volatile state (a crash
+// is loss: nothing is replayed, nothing is restored).
+func (c *Community) RestartHost(id proto.Addr) error {
+	if c.network == nil {
+		return fmt.Errorf("community: fault injection requires the in-memory transport")
+	}
+	h, ok := c.hosts[id]
+	if !ok {
+		return fmt.Errorf("community: no host %q", id)
+	}
+	// Wipe again at revival: anything the host accumulated locally while
+	// dark (it could not hear the community, but local timers still ran)
+	// did not survive the outage either.
+	h.Reset()
+	c.network.Restart(id)
+	return nil
+}
+
+// ScheduleFaults arms a timed fault schedule against the community's
+// clock: transport faults apply on the network, and a FaultCrash
+// additionally wipes the host's volatile protocol state (the transport
+// cannot reach it; the "restart loses everything" semantics live here).
+// notify, when non-nil, observes each fault after it is applied; it runs
+// on the clock's timer goroutine and must not block on further clock
+// advances. In-memory transport only.
+func (c *Community) ScheduleFaults(faults []inmem.Fault, notify func(inmem.Fault)) error {
+	if c.network == nil {
+		return fmt.Errorf("community: fault injection requires the in-memory transport")
+	}
+	c.network.ScheduleFaults(faults, func(f inmem.Fault) {
+		switch f.Kind {
+		case inmem.FaultCrash:
+			if h, ok := c.hosts[f.Host]; ok {
+				h.Reset()
+			}
+		case inmem.FaultRestart:
+			if h, ok := c.hosts[f.Host]; ok {
+				h.Reset()
+			}
+		}
+		if notify != nil {
+			notify(f)
+		}
+	})
+	return nil
+}
+
+// TotalCommitments sums the committed (awarded, unreleased) schedule
+// entries across every host. After every workflow has completed or
+// aborted and the lease horizon has passed, it must drain to zero — the
+// orphaned-commitment check the chaos harness asserts.
+func (c *Community) TotalCommitments() int {
+	total := 0
+	for _, id := range c.order {
+		total += len(c.hosts[id].Schedule.Commitments())
+	}
+	return total
+}
+
 // TotalHolds sums the outstanding firm-bid reservations across every
 // host's schedule manager. After all allocation sessions settle and the
 // bid windows pass, it must drain to zero — the commitment-leak check

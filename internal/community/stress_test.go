@@ -23,7 +23,6 @@ package community
 import (
 	"context"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 	"testing"
@@ -49,11 +48,7 @@ type stressLayout struct {
 	// (deterministic, contention-free); shared registers every service
 	// on every host (maximal contention).
 	disjoint bool
-	// legacyCFB runs the per-task call-for-bids oracle instead of the
-	// batched protocol. The OPENWF_LEGACY_CFB environment variable flips
-	// every layout to legacy — CI runs the whole harness once per mode.
-	legacyCFB bool
-	seed      int64
+	seed     int64
 }
 
 // stressTask names session k's i-th task.
@@ -66,13 +61,14 @@ func stressLabel(k, i int) model.LabelID {
 	return model.LabelID(fmt.Sprintf("s%02d-l%02d", k, i))
 }
 
-// stressSpecs returns the K chain specifications.
-func stressSpecs(l stressLayout) []spec.Spec {
-	specs := make([]spec.Spec, l.sessions)
+// stressSpecs returns K chain specifications of the given length (shared
+// with the chaos harness).
+func stressSpecs(sessions, chain int) []spec.Spec {
+	specs := make([]spec.Spec, sessions)
 	for k := range specs {
 		specs[k] = spec.Must(
 			[]model.LabelID{stressLabel(k, 0)},
-			[]model.LabelID{stressLabel(k, l.chain)},
+			[]model.LabelID{stressLabel(k, chain)},
 		)
 	}
 	return specs
@@ -123,7 +119,6 @@ func buildStress(t *testing.T, l stressLayout, sim *clock.Sim) *Community {
 	specs[0].Fragments = frags
 
 	cfg := engine.DefaultConfig()
-	cfg.BatchCFB = !l.legacyCFB && os.Getenv("OPENWF_LEGACY_CFB") == ""
 	// Window bands: StartDelay exceeds a whole chain of task windows, so
 	// a session retrying with postponed windows moves to a band disjoint
 	// from every session still on an earlier try.
@@ -261,7 +256,7 @@ func runStress(t *testing.T, l stressLayout) string {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	plans, err := c.InitiateAll(ctx, "host00", stressSpecs(l))
+	plans, err := c.InitiateAll(ctx, "host00", stressSpecs(l.sessions, l.chain))
 	if err != nil {
 		t.Fatalf("InitiateAll: %v", err)
 	}
@@ -330,34 +325,6 @@ func TestStressConcurrentInitiates(t *testing.T) {
 	}
 }
 
-// TestStressBatchedLegacyEquivalentPlans: the batched protocol must be
-// plan-for-plan identical to the per-task oracle it replaces — the
-// differential property Config.BatchCFB exists for. The contention-free
-// disjoint layout pins the exact expected outcome in both modes.
-func TestStressBatchedLegacyEquivalentPlans(t *testing.T) {
-	if os.Getenv("OPENWF_LEGACY_CFB") != "" {
-		// The env var forces every layout legacy, which would make this
-		// comparison legacy-vs-legacy — vacuous. The real differential
-		// runs in the default (batched) job.
-		t.Skip("OPENWF_LEGACY_CFB forces both runs to the per-task path")
-	}
-	l := stressLayout{hosts: 5, sessions: 4, chain: 3, disjoint: true, seed: 1}
-	batched := runStress(t, l)
-	l.legacyCFB = true
-	legacy := runStress(t, l)
-	if batched != legacy {
-		t.Fatalf("batched and legacy CFB plans differ:\n--- batched ---\n%s--- legacy ---\n%s",
-			batched, legacy)
-	}
-}
-
-// TestStressLegacyCFBContended keeps the per-task oracle covered under
-// maximal contention (every host capable of every task) until the flag
-// retires: the calendar invariants must hold on the legacy path too.
-func TestStressLegacyCFBContended(t *testing.T) {
-	runStress(t, stressLayout{hosts: 4, sessions: 4, chain: 3, legacyCFB: true, seed: 1})
-}
-
 // TestStressSessionIsolationAcrossInitiators: concurrent batches from
 // two different initiator hosts share the provider pool; both batches
 // must settle with the global calendar invariants intact.
@@ -368,7 +335,7 @@ func TestStressSessionIsolationAcrossInitiators(t *testing.T) {
 	c := buildStress(t, l, sim)
 	t.Cleanup(func() { _ = c.Close() })
 
-	specs := stressSpecs(l)
+	specs := stressSpecs(l.sessions, l.chain)
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	type batch struct {

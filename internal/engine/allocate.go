@@ -36,11 +36,6 @@ func (sess *allocSession) allocate(ctx context.Context, res *core.Result, postpo
 		members = append(append(make([]proto.Addr, 0, n), members[rot:]...), members[:rot]...)
 	}
 
-	auc, err := auction.NewAuctioneer(members, metas)
-	if err != nil {
-		return nil, nil, err
-	}
-
 	plan := &Plan{
 		WorkflowID:   sess.wfID,
 		Spec:         sess.spec,
@@ -52,57 +47,73 @@ func (sess *allocSession) allocate(ctx context.Context, res *core.Result, postpo
 	for _, meta := range metas {
 		plan.Metas[meta.Task] = meta
 	}
-	clk := m.net.Clock()
 
-	// fail is the single abort exit once decision-time awards may have
-	// gone out: whatever was already won is compensated (canceled) so no
-	// winner keeps a dead commitment blocking its schedule window. Before
-	// PR 5 awards only went out after the sweep, so mid-sweep error
-	// returns had nothing to release; now every one of them does.
-	fail := func(err error) (*Plan, []model.TaskID, error) {
+	failed, err := m.runAuction(ctx, sess.wfID, members, metas, plan.Allocations)
+	if err != nil {
+		// Whatever was already won is compensated (canceled) so no winner
+		// keeps a dead commitment blocking its schedule window: decision-
+		// time awards go out during the sweep, so a mid-sweep error always
+		// has something to release.
 		sess.compensate(plan)
 		return nil, nil, err
 	}
+	return plan, failed, nil
+}
 
-	// award finalizes one decision the moment the auctioneer makes it —
-	// inside the solicitation sweep, not after it. Awarding (and
-	// canceling losers) at decision time releases contended schedule
-	// slots a full round earlier than the old collect-then-award shape:
-	// under concurrent sessions a loser's reservation held until the end
-	// of the sweep blocks every other workflow racing for that window.
-	// A refused or undeliverable award re-enters the failure set for
-	// replanning.
+// runAuction solicits bids for metas from members (one batched
+// CallForBids per member, answered by one BidBatch — one round trip per
+// member instead of member×task), awards each decision the moment the
+// auctioneer makes it, and records confirmed winners in alloc. It returns
+// the tasks that ended unallocated — decided failed, award refused or
+// undeliverable, or never decided at all.
+//
+// Awarding (and canceling losers) at decision time releases contended
+// schedule slots a full round earlier than a collect-then-award shape:
+// under concurrent sessions a loser's reservation held until the end of
+// the sweep blocks every other workflow racing for that window.
+//
+// On error the awards already recorded in alloc are NOT compensated —
+// the caller owns cleanup (allocate compensates the failed plan; repair
+// aborts the execution, compensating everything unfinished).
+func (m *Manager) runAuction(ctx context.Context, wfID string, members []proto.Addr, metas []proto.TaskMeta, alloc map[model.TaskID]proto.Addr) ([]model.TaskID, error) {
+	auc, err := auction.NewAuctioneer(members, metas)
+	if err != nil {
+		return nil, err
+	}
+	clk := m.net.Clock()
+
+	// award finalizes one decision. A refused or undeliverable award
+	// re-enters the failure set for replanning.
 	award := func(d auction.Decision) error {
 		if d.Failed() {
-			m.cfg.Observer.taskDecided(sess.wfID, d.Task, "")
+			m.cfg.Observer.taskDecided(wfID, d.Task, "")
 			return nil
 		}
 		// Release the losing bidders' reservations promptly: a Cancel
 		// for a task the host never committed drops exactly the hold.
 		for _, loser := range d.Losers {
-			_ = m.net.Send(ctx, loser, sess.wfID, proto.Cancel{Task: d.Task})
+			_ = m.net.Send(ctx, loser, wfID, proto.Cancel{Task: d.Task})
 		}
-		reply, err := m.net.Call(ctx, d.Winner, sess.wfID, d.Award, m.cfg.CallTimeout)
+		reply, err := m.net.Call(ctx, d.Winner, wfID, d.Award, m.cfg.CallTimeout)
 		if err != nil {
 			if ctx.Err() != nil {
 				// Canceled mid-award: the interrupted award may have
 				// reached its winner even though the ack never came
-				// back, so record it and let the caller's fail exit
+				// back, so record it and let the caller's cleanup
 				// cancel it along with everything already won.
-				plan.Allocations[d.Task] = d.Winner
+				alloc[d.Task] = d.Winner
 				return ctx.Err()
 			}
 			// The call failed without the context being canceled (a
 			// timeout or a lost ack). The award itself may still have
 			// reached the winner, which would then hold a dead
 			// commitment blocking its schedule window while the task is
-			// replanned elsewhere — send a best-effort Cancel, exactly
-			// as the ctx-cancel path above compensates. Unlike
+			// replanned elsewhere — send a best-effort Cancel. Unlike
 			// compensate, ctx is still live here, so the send stays
 			// cancelable and cannot hang on the very peer that just
 			// failed to answer.
-			_ = m.net.Send(ctx, d.Winner, sess.wfID, proto.Cancel{Task: d.Task})
-			m.cfg.Observer.taskDecided(sess.wfID, d.Task, "")
+			_ = m.net.Send(ctx, d.Winner, wfID, proto.Cancel{Task: d.Task})
+			m.cfg.Observer.taskDecided(wfID, d.Task, "")
 			return nil
 		}
 		ack, ok := reply.(proto.AwardAck)
@@ -110,11 +121,11 @@ func (sess *allocSession) allocate(ctx context.Context, res *core.Result, postpo
 			return fmt.Errorf("award to %q: unexpected reply %T", d.Winner, reply)
 		}
 		if !ack.OK {
-			m.cfg.Observer.taskDecided(sess.wfID, d.Task, "")
+			m.cfg.Observer.taskDecided(wfID, d.Task, "")
 			return nil
 		}
-		plan.Allocations[d.Task] = d.Winner
-		m.cfg.Observer.taskDecided(sess.wfID, d.Task, d.Winner)
+		alloc[d.Task] = d.Winner
+		m.cfg.Observer.taskDecided(wfID, d.Task, d.Winner)
 		return nil
 	}
 	awardAll := func(ds []auction.Decision) error {
@@ -127,22 +138,12 @@ func (sess *allocSession) allocate(ctx context.Context, res *core.Result, postpo
 	}
 
 	// Solicit bids from every member in turn (§5: time linear in the
-	// number of hosts). With BatchCFB one CallForBidsBatch per member
-	// carries every task and comes back as one BidBatch — one round trip
-	// per member instead of member×task; the per-task path remains as
-	// the differential oracle. Either way, decisions are awarded as they
-	// finalize.
-	var solicitations []auction.Outbound
-	if m.cfg.BatchCFB {
-		solicitations = auc.StartBatched()
-	} else {
-		solicitations = auc.Start()
-	}
-	for _, out := range solicitations {
-		reply, err := m.net.Call(ctx, out.To, sess.wfID, out.Body, m.cfg.CallTimeout)
+	// number of hosts); decisions are awarded as they finalize.
+	for _, out := range auc.StartBatched() {
+		reply, err := m.net.Call(ctx, out.To, wfID, out.Body, m.cfg.CallTimeout)
 		if err != nil {
 			if ctx.Err() != nil {
-				return fail(ctx.Err())
+				return nil, ctx.Err()
 			}
 			continue // member unreachable: it simply does not bid
 		}
@@ -155,10 +156,10 @@ func (sess *allocSession) allocate(ctx context.Context, res *core.Result, postpo
 		case proto.Decline:
 			ds = auc.HandleDecline(out.To, b, clk.Now())
 		default:
-			return fail(fmt.Errorf("call for bids to %q: unexpected reply %T", out.To, reply))
+			return nil, fmt.Errorf("call for bids to %q: unexpected reply %T", out.To, reply)
 		}
 		if err := awardAll(ds); err != nil {
-			return fail(err)
+			return nil, err
 		}
 	}
 
@@ -177,25 +178,22 @@ func (sess *allocSession) allocate(ctx context.Context, res *core.Result, postpo
 			select {
 			case <-clk.After(wait):
 			case <-ctx.Done():
-				return fail(ctx.Err())
+				return nil, ctx.Err()
 			}
 		}
 		if err := awardAll(auc.Tick(clk.Now())); err != nil {
-			return fail(err)
+			return nil, err
 		}
 	}
 
-	// Every task that did not end in a confirmed award — decided failed,
-	// award refused or undeliverable, or never decided at all (no bid,
-	// missing responses) — counts failed for the replanning loop.
 	failed := make([]model.TaskID, 0, len(metas))
 	for _, meta := range metas {
-		if _, ok := plan.Allocations[meta.Task]; !ok {
+		if _, ok := alloc[meta.Task]; !ok {
 			failed = append(failed, meta.Task)
 		}
 	}
 	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
-	return plan, failed, nil
+	return failed, nil
 }
 
 // taskMetas computes the auction metadata for every task (§3.2: "the
@@ -204,10 +202,16 @@ func (sess *allocSession) allocate(ctx context.Context, res *core.Result, postpo
 // from the workflow and execution windows staggered by topological order,
 // so data dependencies and single-host schedules are both satisfiable.
 func (m *Manager) taskMetas(w *model.Workflow, postpone time.Duration) []proto.TaskMeta {
+	return m.taskMetasFor(w, w.TopoOrder(), postpone)
+}
+
+// taskMetasFor computes fresh auction metadata for a subset of a
+// workflow's tasks, in the given order (plan repair re-auctions only the
+// affected tasks, with windows starting from now).
+func (m *Manager) taskMetasFor(w *model.Workflow, ids []model.TaskID, postpone time.Duration) []proto.TaskMeta {
 	base := m.net.Clock().Now().Add(m.cfg.StartDelay + postpone)
-	order := w.TopoOrder()
-	metas := make([]proto.TaskMeta, 0, len(order))
-	for i, id := range order {
+	metas := make([]proto.TaskMeta, 0, len(ids))
+	for i, id := range ids {
 		t, _ := w.Task(id)
 		start := base.Add(time.Duration(i) * m.cfg.TaskWindow)
 		metas = append(metas, proto.TaskMeta{

@@ -62,6 +62,10 @@ type Observer struct {
 	// Replanned fires when allocation failure feedback (§5.1) excludes
 	// tasks and reconstructs; attempt counts from 1.
 	Replanned func(workflowID string, attempt int, excluded []model.TaskID)
+	// Repaired fires when a mid-execution plan repair completes: dead
+	// lists the executors declared failed, reallocated the tasks that
+	// were re-auctioned onto surviving hosts.
+	Repaired func(workflowID string, dead []proto.Addr, reallocated []model.TaskID)
 }
 
 // constructionDone invokes the callback when set.
@@ -85,6 +89,13 @@ func (o Observer) replanned(wfID string, attempt int, excluded []model.TaskID) {
 	}
 }
 
+// repaired invokes the callback when set.
+func (o Observer) repaired(wfID string, dead []proto.Addr, reallocated []model.TaskID) {
+	if o.Repaired != nil {
+		o.Repaired(wfID, dead, reallocated)
+	}
+}
+
 // Config tunes the engine.
 type Config struct {
 	// Incremental selects on-demand fragment collection (the paper's
@@ -101,17 +112,18 @@ type Config struct {
 	// ablation benchmark quantifies how much of the pairwise latency is
 	// recovered.
 	ParallelQuery bool
-	// BatchCFB selects the batched auction protocol: one
-	// CallForBidsBatch per member carrying every task of the session
-	// (answered by one BidBatch), instead of one CallForBids per
-	// (member, task) pair — hosts × tasks round trips collapse to hosts.
-	// On by default (DefaultConfig); the per-task path remains for one
-	// release as a differential oracle and is selected by constructing a
-	// Config with BatchCFB false.
-	BatchCFB bool
 	// CallTimeout bounds each community query; hosts that do not answer
 	// in time are treated as unreachable for that query.
 	CallTimeout time.Duration
+	// LeaseRefreshInterval is how often an initiator refreshes the
+	// commitment leases behind an in-flight execution (awards are
+	// leased, not permanent — see internal/auction). The refresher
+	// doubles as the failure detector: an executor that cannot be
+	// reached, or that reports a lease it no longer holds, triggers
+	// incremental plan repair against the surviving community. Zero
+	// selects the default; negative disables refreshing (leases then
+	// lapse unless execution finishes within one lease).
+	LeaseRefreshInterval time.Duration
 	// StartDelay is how far in the future the first execution window is
 	// placed, leaving time for allocation to finish.
 	StartDelay time.Duration
@@ -138,14 +150,14 @@ type Config struct {
 // incremental strategy with feasibility filtering.
 func DefaultConfig() Config {
 	return Config{
-		Incremental:   true,
-		Feasibility:   true,
-		BatchCFB:      true,
-		CallTimeout:   5 * time.Second,
-		StartDelay:    time.Second,
-		TaskWindow:    time.Second,
-		MaxReplans:    3,
-		WindowRetries: 2,
+		Incremental:          true,
+		Feasibility:          true,
+		CallTimeout:          5 * time.Second,
+		LeaseRefreshInterval: time.Minute,
+		StartDelay:           time.Second,
+		TaskWindow:           time.Second,
+		MaxReplans:           3,
+		WindowRetries:        2,
 	}
 }
 
@@ -198,6 +210,15 @@ type execution struct {
 	done      chan struct{}
 	finished  bool
 	completed bool
+	// finishedTasks records successful completions — the complement of
+	// remaining, kept explicitly so plan repair can tell "finished" from
+	// "never part of the workflow" after the workflow itself changes.
+	finishedTasks map[model.TaskID]struct{}
+	// triggers retains the initiator-supplied trigger data so a repair
+	// can re-inject the workflow sources to re-allocated consumers.
+	triggers map[model.LabelID][]byte
+	// repairs counts completed mid-execution plan repairs.
+	repairs int
 }
 
 // NewManager returns an engine bound to its host messenger.
@@ -210,6 +231,9 @@ func NewManager(net Messenger, cfg Config) *Manager {
 	}
 	if cfg.TaskWindow <= 0 {
 		cfg.TaskWindow = DefaultConfig().TaskWindow
+	}
+	if cfg.LeaseRefreshInterval == 0 {
+		cfg.LeaseRefreshInterval = DefaultConfig().LeaseRefreshInterval
 	}
 	return &Manager{
 		net: net, cfg: cfg,
@@ -266,6 +290,9 @@ func (m *Manager) AllocateWorkflow(ctx context.Context, w *model.Workflow, s spe
 type communityKnowledge struct {
 	m    *Manager
 	wfID string
+	// members restricts the queried community (plan repair consults only
+	// the survivors); nil means every current member.
+	members []proto.Addr
 }
 
 var _ core.KnowledgeSource = (*communityKnowledge)(nil)
@@ -274,7 +301,7 @@ var _ core.KnowledgeSource = (*communityKnowledge)(nil)
 func (ck *communityKnowledge) FragmentsConsuming(ctx context.Context, labels []model.LabelID) ([]*model.Fragment, error) {
 	var out []*model.Fragment
 	query := proto.FragmentQuery{Labels: labels}
-	replies, err := ck.m.queryAll(ctx, ck.wfID, query)
+	replies, err := ck.m.queryMembers(ctx, ck.wfID, query, ck.members)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +357,15 @@ func (m *Manager) queryConcurrency(members int) int {
 // construction. Context cancellation aborts the round and is returned (a
 // canceled requester must not mistake "no replies" for "no knowledge").
 func (m *Manager) queryAll(ctx context.Context, wfID string, query proto.Body) ([]memberReply, error) {
-	members := m.net.Members()
+	return m.queryMembers(ctx, wfID, query, nil)
+}
+
+// queryMembers is queryAll restricted to an explicit member list (plan
+// repair queries only the survivors); nil means the full community view.
+func (m *Manager) queryMembers(ctx context.Context, wfID string, query proto.Body, members []proto.Addr) ([]memberReply, error) {
+	if members == nil {
+		members = m.net.Members()
+	}
 	if !m.cfg.ParallelQuery {
 		replies := make([]memberReply, 0, len(members))
 		for _, member := range members {
@@ -415,6 +450,8 @@ func (m *Manager) CollectKnowhow(ctx context.Context) ([]*model.Fragment, error)
 type communityFeasibility struct {
 	m    *Manager
 	wfID string
+	// members restricts the queried community; nil means everyone.
+	members []proto.Addr
 }
 
 var _ core.FeasibilityChecker = (*communityFeasibility)(nil)
@@ -422,7 +459,7 @@ var _ core.FeasibilityChecker = (*communityFeasibility)(nil)
 // InfeasibleTasks implements core.FeasibilityChecker.
 func (cf *communityFeasibility) InfeasibleTasks(ctx context.Context, tasks []model.TaskID) ([]model.TaskID, error) {
 	capable := make(map[model.TaskID]struct{}, len(tasks))
-	replies, err := cf.m.queryAll(ctx, cf.wfID, proto.FeasibilityQuery{Tasks: tasks})
+	replies, err := cf.m.queryMembers(ctx, cf.wfID, proto.FeasibilityQuery{Tasks: tasks}, cf.members)
 	if err != nil {
 		return nil, err
 	}

@@ -70,6 +70,16 @@ type fakeNet struct {
 	sent    []proto.Body
 	calls   int
 	blocked int // calls currently gated on a blockCFB channel
+	// down hosts fail every Call (a crashed or partitioned executor).
+	down map[proto.Addr]bool
+	// lostOnce scripts leases a host reports Missing on its next
+	// LeaseRefresh, then forgets (a swept commitment is gone exactly once).
+	lostOnce map[proto.Addr][]model.TaskID
+	// segs, when non-nil, receives every PlanSegment call (tests use it
+	// to observe distribution and re-distribution).
+	segs chan proto.PlanSegment
+	// refreshes records every LeaseRefresh call received.
+	refreshes []proto.LeaseRefresh
 }
 
 func newFakeNet(self proto.Addr) *fakeNet {
@@ -101,13 +111,51 @@ func (f *fakeNet) Send(_ context.Context, to proto.Addr, workflow string, body p
 	return nil
 }
 
+// setDown marks a host dead: every Call to it fails from now on.
+func (f *fakeNet) setDown(addr proto.Addr) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down == nil {
+		f.down = make(map[proto.Addr]bool)
+	}
+	f.down[addr] = true
+}
+
+// loseLease scripts the host's next LeaseRefresh to report tasks Missing.
+func (f *fakeNet) loseLease(addr proto.Addr, tasks ...model.TaskID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.lostOnce == nil {
+		f.lostOnce = make(map[proto.Addr][]model.TaskID)
+	}
+	f.lostOnce[addr] = append(f.lostOnce[addr], tasks...)
+}
+
+// setCapable flips one host's feasibility/bidding capability for a task.
+func (f *fakeNet) setCapable(addr proto.Addr, task model.TaskID, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.members[addr].capable[task] = ok
+}
+
+// setDeclineAll flips one host's blanket bid refusal.
+func (f *fakeNet) setDeclineAll(addr proto.Addr, v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.members[addr].declineAll = v
+}
+
 func (f *fakeNet) Call(ctx context.Context, to proto.Addr, workflow string, body proto.Body, timeout time.Duration) (proto.Body, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	f.mu.Lock()
 	f.calls++
+	isDown := f.down[to]
 	f.mu.Unlock()
+	if isDown {
+		return nil, fmt.Errorf("host %q is down", to)
+	}
 	m, ok := f.members[to]
 	if !ok {
 		return nil, fmt.Errorf("unreachable %q", to)
@@ -149,11 +197,13 @@ func (f *fakeNet) Call(ctx context.Context, to proto.Addr, workflow string, body
 		return proto.FragmentReply{Fragments: out}, nil
 	case proto.FeasibilityQuery:
 		var capable []model.TaskID
+		f.mu.Lock()
 		for _, task := range b.Tasks {
 			if m.capable[task] {
 				capable = append(capable, task)
 			}
 		}
+		f.mu.Unlock()
 		return proto.FeasibilityReply{Capable: capable}, nil
 	case proto.CallForBids:
 		if gate, ok := m.blockCFB[b.Meta.Task]; ok {
@@ -171,7 +221,10 @@ func (f *fakeNet) Call(ctx context.Context, to proto.Addr, workflow string, body
 				return nil, ctx.Err()
 			}
 		}
-		if m.declineAll || !m.capable[b.Meta.Task] {
+		f.mu.Lock()
+		decline := m.declineAll || !m.capable[b.Meta.Task]
+		f.mu.Unlock()
+		if decline {
 			return proto.Decline{Task: b.Meta.Task}, nil
 		}
 		window := f.bidDeadline
@@ -193,7 +246,30 @@ func (f *fakeNet) Call(ctx context.Context, to proto.Addr, workflow string, body
 		}
 		return proto.AwardAck{Task: b.Meta.Task, OK: true}, nil
 	case proto.PlanSegment:
+		f.mu.Lock()
+		segCh := f.segs
+		f.mu.Unlock()
+		if segCh != nil {
+			segCh <- b
+		}
 		return proto.Ack{}, nil
+	case proto.LeaseRefresh:
+		f.mu.Lock()
+		f.refreshes = append(f.refreshes, b)
+		missing := f.lostOnce[to]
+		delete(f.lostOnce, to)
+		f.mu.Unlock()
+		requested := make(map[model.TaskID]struct{}, len(b.Tasks))
+		for _, task := range b.Tasks {
+			requested[task] = struct{}{}
+		}
+		var ack proto.LeaseRefreshAck
+		for _, task := range missing {
+			if _, ok := requested[task]; ok {
+				ack.Missing = append(ack.Missing, task)
+			}
+		}
+		return ack, nil
 	default:
 		return nil, fmt.Errorf("unexpected call body %T", body)
 	}
@@ -987,72 +1063,6 @@ func TestParallelQueryBoundedByWorkerCount(t *testing.T) {
 	}
 	if peak < 2 {
 		t.Fatalf("peak in-flight calls = %d; the round never actually overlapped", peak)
-	}
-}
-
-// TestBatchedAndLegacyCFBSamePlan: the batched protocol is a wire-shape
-// change, not a semantic one — for the same community and specification
-// the two paths must allocate identically (the differential-oracle
-// property the BatchCFB flag exists for).
-func TestBatchedAndLegacyCFBSamePlan(t *testing.T) {
-	run := func(batch bool) *Plan {
-		cfg := testConfig()
-		cfg.BatchCFB = batch
-		m := NewManager(chainNet(t), cfg)
-		plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
-		if err != nil {
-			t.Fatalf("batch=%v: %v", batch, err)
-		}
-		return plan
-	}
-	batched, legacy := run(true), run(false)
-	if len(batched.Allocations) != len(legacy.Allocations) {
-		t.Fatalf("allocations differ: batched %v vs legacy %v", batched.Allocations, legacy.Allocations)
-	}
-	for task, winner := range legacy.Allocations {
-		if batched.Allocations[task] != winner {
-			t.Fatalf("task %q: batched %q vs legacy %q", task, batched.Allocations[task], winner)
-		}
-	}
-	if batched.Replans != legacy.Replans {
-		t.Fatalf("replans differ: batched %d vs legacy %d", batched.Replans, legacy.Replans)
-	}
-}
-
-// TestLegacyCFBReplansWhenBidsFail re-runs the failure-feedback path
-// under the legacy per-task protocol, keeping the oracle's replanning
-// behavior covered until the flag retires.
-func TestLegacyCFBReplansWhenBidsFail(t *testing.T) {
-	net := newFakeNet("init")
-	net.add("init", &fakeMember{})
-	net.add("flaky", &fakeMember{
-		fragments:  []*model.Fragment{mkFrag(t, "short", "a", "g")},
-		capable:    map[model.TaskID]bool{"short": true},
-		declineAll: true,
-		services:   1,
-	})
-	net.add("steady", &fakeMember{
-		fragments: []*model.Fragment{
-			mkFrag(t, "long1", "a", "m"),
-			mkFrag(t, "long2", "m", "g"),
-		},
-		capable:  map[model.TaskID]bool{"long1": true, "long2": true},
-		services: 2,
-	})
-	cfg := testConfig()
-	cfg.BatchCFB = false
-	cfg.Feasibility = false
-	cfg.WindowRetries = 0
-	m := NewManager(net, cfg)
-	plan, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g")))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, ok := plan.Workflow.Task("short"); ok {
-		t.Error("unallocatable short path kept")
-	}
-	if plan.Replans == 0 {
-		t.Error("Replans = 0, expected at least one replan")
 	}
 }
 

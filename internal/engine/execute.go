@@ -47,11 +47,13 @@ func (m *Manager) Execute(ctx context.Context, plan *Plan, triggers map[model.La
 	goalWant := len(w.Out())
 
 	ex := &execution{
-		plan:      plan,
-		remaining: make(map[model.TaskID]struct{}, w.NumTasks()),
-		goals:     make(map[model.LabelID][]byte, goalWant),
-		goalWant:  goalWant,
-		done:      make(chan struct{}),
+		plan:          plan,
+		remaining:     make(map[model.TaskID]struct{}, w.NumTasks()),
+		goals:         make(map[model.LabelID][]byte, goalWant),
+		goalWant:      goalWant,
+		done:          make(chan struct{}),
+		finishedTasks: make(map[model.TaskID]struct{}, w.NumTasks()),
+		triggers:      triggers,
 	}
 	for _, id := range w.TaskIDs() {
 		ex.remaining[id] = struct{}{}
@@ -105,6 +107,13 @@ func (m *Manager) Execute(ctx context.Context, plan *Plan, triggers map[model.La
 				return nil, fmt.Errorf("injecting trigger %q: %w", l, err)
 			}
 		}
+	}
+
+	// Keep the executors' commitment leases alive while the workflow
+	// runs; the refresher is also the failure detector behind plan
+	// repair. It exits on its own when the execution finishes.
+	if m.cfg.LeaseRefreshInterval > 0 {
+		go m.refreshLoop(ctx, ex)
 	}
 
 	// Wait for completion (all tasks done and all goals delivered) or
@@ -203,6 +212,9 @@ func (m *Manager) OnTaskDone(workflow string, td proto.TaskDone) {
 		// the wait immediately, reporting the failure.
 		ex.finishLocked(false)
 		return
+	}
+	if _, known := ex.remaining[td.Task]; known {
+		ex.finishedTasks[td.Task] = struct{}{}
 	}
 	delete(ex.remaining, td.Task)
 	ex.maybeCompleteLocked()

@@ -1,0 +1,514 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"openwf/internal/core"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/spec"
+)
+
+// Plan repair: commitments are leases, and the initiator's lease
+// refresher doubles as the failure detector. When an executor dies (or a
+// partition makes it unreachable, or it reports a lease it no longer
+// holds), the affected tasks are re-auctioned among the survivors; tasks
+// nobody can take trigger an incremental reconstruction against the
+// surviving community's knowledge — not a full replan — and the diff is
+// applied to the running execution: dropped tasks are canceled, new ones
+// auctioned, routing segments re-distributed, triggers re-injected.
+// Executors retain the outputs of finished runs, so a repaired route
+// re-publishes data instead of re-executing services wherever possible.
+
+// refreshLoop keeps the commitment leases behind an execution alive,
+// ticking every LeaseRefreshInterval until the execution finishes or the
+// initiating context is canceled.
+func (m *Manager) refreshLoop(ctx context.Context, ex *execution) {
+	clk := m.net.Clock()
+	for {
+		select {
+		case <-ex.done:
+			return
+		case <-ctx.Done():
+			return
+		case <-clk.After(m.cfg.LeaseRefreshInterval):
+		}
+		m.refreshLeases(ctx, ex)
+	}
+}
+
+// refreshLeases sends one LeaseRefresh per executor still owing tasks.
+// An executor that cannot be reached is presumed dead; a lease the
+// executor reports missing was swept (expired) on its side and the slot
+// is gone. Either finding triggers plan repair; a repair that fails
+// aborts the execution cleanly, compensating everything unfinished.
+func (m *Manager) refreshLeases(ctx context.Context, ex *execution) {
+	m.mu.Lock()
+	if ex.finished {
+		m.mu.Unlock()
+		return
+	}
+	wfID := ex.plan.WorkflowID
+	byHost := make(map[proto.Addr][]model.TaskID)
+	for t := range ex.remaining {
+		if host, ok := ex.plan.Allocations[t]; ok {
+			byHost[host] = append(byHost[host], t)
+		}
+	}
+	m.mu.Unlock()
+
+	hosts := make([]proto.Addr, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+
+	var dead []proto.Addr
+	var lost []model.TaskID
+	for _, h := range hosts {
+		tasks := byHost[h]
+		sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+		reply, err := m.net.Call(ctx, h, wfID, proto.LeaseRefresh{Tasks: tasks}, m.cfg.CallTimeout)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			dead = append(dead, h)
+			continue
+		}
+		ack, ok := reply.(proto.LeaseRefreshAck)
+		if !ok {
+			dead = append(dead, h)
+			continue
+		}
+		lost = append(lost, ack.Missing...)
+	}
+	if len(dead) == 0 && len(lost) == 0 {
+		return
+	}
+	if err := m.repairPlan(ctx, ex, dead, lost); err != nil {
+		m.abortExecution(ex, fmt.Sprintf("plan repair after losing hosts %v, leases %v: %v", dead, lost, err))
+	}
+}
+
+// taskCancel is one pending compensation send.
+type taskCancel struct {
+	host proto.Addr
+	task model.TaskID
+}
+
+// repairPlan re-homes the tasks stranded by dead executors and lost
+// leases. It runs on the refresher goroutine, so repairs never overlap;
+// everything that mutates the plan or the execution happens under m.mu,
+// and all network traffic happens outside it.
+func (m *Manager) repairPlan(ctx context.Context, ex *execution, dead []proto.Addr, lost []model.TaskID) error {
+	deadSet := make(map[proto.Addr]struct{}, len(dead))
+	for _, h := range dead {
+		deadSet[h] = struct{}{}
+	}
+
+	m.mu.Lock()
+	if ex.finished {
+		m.mu.Unlock()
+		return nil
+	}
+	plan := ex.plan
+	wfID := plan.WorkflowID
+	w := plan.Workflow
+
+	affected := make(map[model.TaskID]struct{})
+	for _, t := range lost {
+		if _, unfinished := ex.remaining[t]; unfinished {
+			affected[t] = struct{}{}
+		}
+	}
+	for t := range ex.remaining {
+		if _, gone := deadSet[plan.Allocations[t]]; gone {
+			affected[t] = struct{}{}
+		}
+	}
+	// A finished task whose executor died must re-run when a task being
+	// re-allocated still consumes its outputs: the retained outputs died
+	// with the host (surviving consumers hold their copies, but a fresh
+	// executor holds nothing).
+	for changed := true; changed; {
+		changed = false
+		for t := range ex.finishedTasks {
+			if _, already := affected[t]; already {
+				continue
+			}
+			if _, gone := deadSet[plan.Allocations[t]]; !gone {
+				continue
+			}
+			if feedsAny(w, t, affected) {
+				affected[t] = struct{}{}
+				changed = true
+			}
+		}
+	}
+	if len(affected) == 0 {
+		m.mu.Unlock()
+		return nil
+	}
+	// Invalidate the affected allocations: dead executors are gone, and a
+	// lost lease means the executor already returned the slot to its pool.
+	for t := range affected {
+		delete(plan.Allocations, t)
+		delete(ex.finishedTasks, t)
+		ex.remaining[t] = struct{}{}
+	}
+	survivors := survivorsOf(m.net.Members(), deadSet)
+	m.mu.Unlock()
+
+	// Re-auction the affected tasks among the survivors, with fresh
+	// execution windows starting now. Wins accumulate in won/wonMetas and
+	// are merged into the plan only once the whole repair holds together.
+	//
+	// Window conflicts are retried exactly like allocateWithRetries:
+	// concurrent executions repairing after the same fault all re-auction
+	// at the same instant, so without banded postponement they would
+	// collide on the survivors' schedules and abort spuriously. Only the
+	// still-failed subset retries — execution is data-driven (a task
+	// whose window passed starts when its inputs arrive), so a retried
+	// task's later window cannot stall tasks already won.
+	won := make(map[model.TaskID]proto.Addr, len(affected))
+	wonMetas := make(map[model.TaskID]proto.TaskMeta, len(affected))
+	band := 0
+	for _, ch := range wfID {
+		band = (band*31 + int(ch)) % retryBandPeriod
+	}
+	reauction := func(target *model.Workflow, set map[model.TaskID]struct{}) ([]model.TaskID, error) {
+		remaining := set
+		for try := 0; ; try++ {
+			var postpone time.Duration
+			if try > 0 {
+				postpone = time.Duration((try-1)*retryBandPeriod+band+1) * m.cfg.StartDelay
+			}
+			metas := m.taskMetasFor(target, topoFilter(target, remaining), postpone)
+			alloc := make(map[model.TaskID]proto.Addr, len(metas))
+			failed, err := m.runAuction(ctx, wfID, survivors, metas, alloc)
+			for t, host := range alloc {
+				won[t] = host
+			}
+			for _, meta := range metas {
+				if _, ok := alloc[meta.Task]; ok {
+					wonMetas[meta.Task] = meta
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			if len(failed) == 0 || try >= m.cfg.WindowRetries {
+				return failed, nil
+			}
+			remaining = make(map[model.TaskID]struct{}, len(failed))
+			for _, t := range failed {
+				remaining[t] = struct{}{}
+			}
+		}
+	}
+	failed, err := reauction(w, affected)
+	if err != nil {
+		m.cancelAwards(wfID, won)
+		return err
+	}
+
+	if len(failed) > 0 {
+		// Nobody among the survivors can take some of the tasks:
+		// reconstruct incrementally from the surviving community's
+		// knowledge with the unplaceable tasks excluded — an incremental
+		// repair, not a full replan. Finished work and live allocations
+		// are kept wherever the new workflow still uses them.
+		res, rerr := m.reconstruct(ctx, wfID, plan.Spec, survivors, failed)
+		if rerr != nil {
+			m.cancelAwards(wfID, won)
+			return fmt.Errorf("reconstructing around unallocatable tasks %v: %w", failed, rerr)
+		}
+		need, cancels := m.swapWorkflow(ex, res, deadSet, won, wonMetas)
+		sort.Slice(cancels, func(i, j int) bool { return cancels[i].task < cancels[j].task })
+		for _, c := range cancels {
+			_ = m.net.Send(context.Background(), c.host, wfID, proto.Cancel{Task: c.task})
+		}
+		w = res.Workflow
+		if len(need) > 0 {
+			failed2, aerr := reauction(w, need)
+			if aerr != nil {
+				m.cancelAwards(wfID, won)
+				return aerr
+			}
+			if len(failed2) > 0 {
+				m.cancelAwards(wfID, won)
+				return fmt.Errorf("%w: tasks %v unallocatable on the surviving community", ErrAllocationFailed, failed2)
+			}
+		}
+	}
+
+	// Commit the repaired allocation and snapshot what must be re-sent.
+	m.mu.Lock()
+	if ex.finished {
+		m.mu.Unlock()
+		m.cancelAwards(wfID, won)
+		return nil
+	}
+	for t, host := range won {
+		plan.Allocations[t] = host
+	}
+	for t, meta := range wonMetas {
+		plan.Metas[t] = meta
+	}
+	ex.repairs++
+	reallocated := make([]model.TaskID, 0, len(won))
+	for t := range won {
+		reallocated = append(reallocated, t)
+	}
+	sort.Slice(reallocated, func(i, j int) bool { return reallocated[i] < reallocated[j] })
+	segs := m.planSegments(plan)
+	alloc := make(map[model.TaskID]proto.Addr, len(plan.Allocations))
+	for t, h := range plan.Allocations {
+		alloc[t] = h
+	}
+	wNow := plan.Workflow
+	triggers := ex.triggers
+	// A reconstruction may have shrunk the workflow to already-finished
+	// work; nothing is left to distribute then.
+	ex.maybeCompleteLocked()
+	finished := ex.finished
+	m.mu.Unlock()
+
+	if !finished {
+		if err := m.redistribute(ctx, wfID, wNow, alloc, segs, triggers); err != nil {
+			return err
+		}
+	}
+	deadSorted := append([]proto.Addr(nil), dead...)
+	sort.Slice(deadSorted, func(i, j int) bool { return deadSorted[i] < deadSorted[j] })
+	m.cfg.Observer.repaired(wfID, deadSorted, reallocated)
+	return nil
+}
+
+// reconstruct rebuilds the workflow from the surviving community's
+// knowledge (a dead provider's unique fragments are simply not offered),
+// excluding the tasks proven unallocatable on the survivors. Repair is
+// always incremental — querying round by round is exactly what makes it
+// cheaper than replanning from a full collection.
+func (m *Manager) reconstruct(ctx context.Context, wfID string, s spec.Spec, survivors []proto.Addr, exclude []model.TaskID) (*core.Result, error) {
+	var checker core.FeasibilityChecker
+	if m.cfg.Feasibility {
+		checker = &communityFeasibility{m: m, wfID: wfID, members: survivors}
+	}
+	opts := core.IncrementalOptions{
+		Feasibility: checker,
+		Exclude:     append(append([]model.TaskID(nil), m.cfg.Constraints.ExcludeTasks...), exclude...),
+	}
+	src := &communityKnowledge{m: m, wfID: wfID, members: survivors}
+	res, _, err := core.ConstructIncremental(ctx, src, s, opts)
+	return res, err
+}
+
+// swapWorkflow applies a reconstructed workflow to a running execution:
+// tasks the new workflow dropped are canceled at their executors (the
+// returned sends happen outside the lock), state is re-pointed at the new
+// workflow, and the tasks still needing an executor are returned.
+func (m *Manager) swapWorkflow(ex *execution, res *core.Result, deadSet map[proto.Addr]struct{}, won map[model.TaskID]proto.Addr, wonMetas map[model.TaskID]proto.TaskMeta) (map[model.TaskID]struct{}, []taskCancel) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	plan := ex.plan
+	newW := res.Workflow
+	inNew := make(map[model.TaskID]struct{}, newW.NumTasks())
+	for _, t := range newW.TaskIDs() {
+		inNew[t] = struct{}{}
+	}
+	var cancels []taskCancel
+	// Drop what the new workflow no longer needs, releasing unfinished
+	// commitments (finished executors hold nothing worth canceling, and
+	// dead ones hold nothing at all).
+	for _, t := range plan.Workflow.TaskIDs() {
+		if _, kept := inNew[t]; kept {
+			continue
+		}
+		if host, ok := won[t]; ok {
+			cancels = append(cancels, taskCancel{host, t})
+			delete(won, t)
+			delete(wonMetas, t)
+		} else if host, ok := plan.Allocations[t]; ok {
+			_, fin := ex.finishedTasks[t]
+			_, gone := deadSet[host]
+			if !fin && !gone {
+				cancels = append(cancels, taskCancel{host, t})
+			}
+		}
+		delete(plan.Allocations, t)
+		delete(plan.Metas, t)
+		delete(ex.remaining, t)
+		delete(ex.finishedTasks, t)
+	}
+	plan.Workflow = newW
+	plan.Construction = *res
+	// New-workflow tasks without a live executor need an auction;
+	// anything unfinished re-enters remaining.
+	need := make(map[model.TaskID]struct{})
+	for _, t := range newW.TaskIDs() {
+		_, allocated := plan.Allocations[t]
+		_, rewon := won[t]
+		if !allocated && !rewon {
+			need[t] = struct{}{}
+			ex.remaining[t] = struct{}{}
+		} else if _, fin := ex.finishedTasks[t]; !fin {
+			ex.remaining[t] = struct{}{}
+		}
+	}
+	// The dead-producer closure again, against the new topology: a
+	// finished task on a dead executor feeding anything that moved must
+	// re-run, because its retained outputs are gone.
+	moved := make(map[model.TaskID]struct{}, len(won)+len(need))
+	for t := range won {
+		moved[t] = struct{}{}
+	}
+	for t := range need {
+		moved[t] = struct{}{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for t := range ex.finishedTasks {
+			if _, gone := deadSet[plan.Allocations[t]]; !gone {
+				continue
+			}
+			if _, already := moved[t]; already {
+				continue
+			}
+			if feedsAny(newW, t, moved) {
+				delete(ex.finishedTasks, t)
+				delete(plan.Allocations, t)
+				delete(plan.Metas, t)
+				ex.remaining[t] = struct{}{}
+				need[t] = struct{}{}
+				moved[t] = struct{}{}
+				changed = true
+			}
+		}
+	}
+	// Goals follow the new workflow (the spec is unchanged, so in
+	// practice the goal set is too; pruning keeps the count honest).
+	goalSet := make(map[model.LabelID]struct{}, len(newW.Out()))
+	for _, g := range newW.Out() {
+		goalSet[g] = struct{}{}
+	}
+	for l := range ex.goals {
+		if _, ok := goalSet[l]; !ok {
+			delete(ex.goals, l)
+		}
+	}
+	ex.goalWant = len(newW.Out())
+	return need, cancels
+}
+
+// redistribute re-sends every routing segment and re-injects the
+// triggering labels after a repair. Segments are idempotent: a fresh
+// executor arms its run, a surviving one updates its sinks, and a
+// finished run re-publishes its retained outputs to the new consumers.
+func (m *Manager) redistribute(ctx context.Context, wfID string, w *model.Workflow, alloc map[model.TaskID]proto.Addr, segs []proto.PlanSegment, triggers map[model.LabelID][]byte) error {
+	for _, seg := range segs {
+		to := alloc[seg.Task]
+		reply, err := m.net.Call(ctx, to, wfID, seg, m.cfg.CallTimeout)
+		if err != nil {
+			return fmt.Errorf("re-distributing plan segment for %q to %q: %w", seg.Task, to, err)
+		}
+		if _, ok := reply.(proto.Ack); !ok {
+			return fmt.Errorf("plan segment to %q: unexpected reply %T", to, reply)
+		}
+	}
+	for _, l := range w.In() {
+		sent := make(map[proto.Addr]struct{})
+		for _, consumer := range w.Consumers(l) {
+			host := alloc[consumer]
+			if _, dup := sent[host]; dup {
+				continue
+			}
+			sent[host] = struct{}{}
+			lt := proto.LabelTransfer{Label: l, Data: triggers[l], Producer: m.net.Self()}
+			if err := m.net.Send(ctx, host, wfID, lt); err != nil {
+				return fmt.Errorf("re-injecting trigger %q: %w", l, err)
+			}
+		}
+	}
+	return nil
+}
+
+// abortExecution fails an execution cleanly: the waiting Execute returns,
+// and every unfinished allocation is compensated so no surviving host
+// keeps a commitment for a workflow that will never proceed.
+func (m *Manager) abortExecution(ex *execution, reason string) {
+	m.mu.Lock()
+	if ex.finished {
+		m.mu.Unlock()
+		return
+	}
+	ex.failures = append(ex.failures, reason)
+	wfID := ex.plan.WorkflowID
+	cancels := make(map[model.TaskID]proto.Addr, len(ex.remaining))
+	for t := range ex.remaining {
+		if host, ok := ex.plan.Allocations[t]; ok {
+			cancels[t] = host
+		}
+	}
+	ex.finishLocked(false)
+	m.mu.Unlock()
+	m.cancelAwards(wfID, cancels)
+}
+
+// cancelAwards compensates auction wins that will not be used, under a
+// fresh context (compensation must go out even when the initiating
+// request was canceled), in sorted order for reproducibility.
+func (m *Manager) cancelAwards(wfID string, alloc map[model.TaskID]proto.Addr) {
+	ids := make([]model.TaskID, 0, len(alloc))
+	for t := range alloc {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, t := range ids {
+		_ = m.net.Send(context.Background(), alloc[t], wfID, proto.Cancel{Task: t})
+	}
+}
+
+// feedsAny reports whether any output of task t is consumed by a task in
+// set.
+func feedsAny(w *model.Workflow, t model.TaskID, set map[model.TaskID]struct{}) bool {
+	task, ok := w.Task(t)
+	if !ok {
+		return false
+	}
+	for _, out := range task.Outputs {
+		for _, c := range w.Consumers(out) {
+			if _, hit := set[c]; hit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// topoFilter returns the members of set in the workflow's topological
+// order (auction windows are staggered in dependency order).
+func topoFilter(w *model.Workflow, set map[model.TaskID]struct{}) []model.TaskID {
+	out := make([]model.TaskID, 0, len(set))
+	for _, id := range w.TopoOrder() {
+		if _, hit := set[id]; hit {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// survivorsOf filters the dead out of a member list.
+func survivorsOf(members []proto.Addr, dead map[proto.Addr]struct{}) []proto.Addr {
+	out := make([]proto.Addr, 0, len(members))
+	for _, m := range members {
+		if _, gone := dead[m]; !gone {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -60,7 +60,12 @@ type run struct {
 	hasSeg     bool
 	traveling  bool
 	started    bool
-	timers     []clock.Timer
+	// finished marks a successful invocation; outputs retains its results
+	// so a repaired plan (new consumers for the same task) can re-publish
+	// them without re-executing the service.
+	finished bool
+	outputs  service.Outputs
+	timers   []clock.Timer
 }
 
 // NewManager returns an execution manager for one host.
@@ -128,6 +133,20 @@ func (m *Manager) SetPlan(workflow string, seg proto.PlanSegment) {
 	}
 	r.seg = seg
 	r.hasSeg = true
+	if r.finished {
+		// The task already ran; a refreshed segment (plan repair after a
+		// provider died) may route its outputs to new consumers.
+		// Re-publish to the new sinks — receivers deduplicate labels, so
+		// surviving consumers see nothing new.
+		c, outputs := r.commitment, r.outputs
+		m.mu.Unlock()
+		go func() {
+			if err := m.publish(workflow, c, seg, outputs); err == nil {
+				m.notifyDone(workflow, seg, nil)
+			}
+		}()
+		return
+	}
 	m.armTimersLocked(workflow, r)
 	m.mu.Unlock()
 	m.tryStart(workflow, seg.Task)
@@ -214,6 +233,22 @@ func (m *Manager) Cancel(workflow string, task model.TaskID) {
 		}
 		delete(m.runs, k)
 	}
+}
+
+// Reset wipes every run and buffered label across all workflows — the
+// crash-simulation counterpart of ClearWorkflow. Timers are stopped; the
+// manager itself stays usable (the restarted host re-registers from
+// scratch).
+func (m *Manager) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, r := range m.runs {
+		for _, t := range r.timers {
+			t.Stop()
+		}
+		delete(m.runs, k)
+	}
+	m.labels = make(map[string]map[model.LabelID][]byte)
 }
 
 // ClearWorkflow drops all state for a workflow (after completion).
@@ -308,8 +343,24 @@ func (m *Manager) invoke(workflow string, c schedule.Commitment, seg proto.PlanS
 		m.notifyDone(workflow, seg, fmt.Errorf("executing %q: %w", c.Task, err))
 		return
 	}
-	// Communicate the outputs to every participant that requires them
-	// (§3.2: the participant's final responsibility).
+	// Retain the results: a plan repair may later route them to new
+	// consumers (SetPlan re-publishes for finished runs).
+	m.mu.Lock()
+	if r, ok := m.runs[runKey{workflow, c.Task}]; ok {
+		r.finished = true
+		r.outputs = outputs
+	}
+	m.mu.Unlock()
+	if err := m.publish(workflow, c, seg, outputs); err != nil {
+		m.notifyDone(workflow, seg, err)
+		return
+	}
+	m.notifyDone(workflow, seg, nil)
+}
+
+// publish communicates the outputs to every participant that requires
+// them (§3.2: the participant's final responsibility).
+func (m *Manager) publish(workflow string, c schedule.Commitment, seg proto.PlanSegment, outputs service.Outputs) error {
 	for _, out := range c.Meta.Outputs {
 		for _, sink := range seg.OutputSinks[out] {
 			env := proto.Envelope{
@@ -321,12 +372,11 @@ func (m *Manager) invoke(workflow string, c schedule.Commitment, seg proto.PlanS
 				},
 			}
 			if sendErr := m.send(m.ctx, sink, env); sendErr != nil {
-				m.notifyDone(workflow, seg, fmt.Errorf("publishing %q: %w", out, sendErr))
-				return
+				return fmt.Errorf("publishing %q: %w", out, sendErr)
 			}
 		}
 	}
-	m.notifyDone(workflow, seg, nil)
+	return nil
 }
 
 func (m *Manager) notifyDone(workflow string, seg proto.PlanSegment, err error) {

@@ -199,7 +199,7 @@ func TestPlanBeforeRegisterUsesScheduleCommitment(t *testing.T) {
 		Inputs: []model.LabelID{"in"}, Outputs: []model.LabelID{"out"},
 		Start: time.Now().Add(20 * time.Millisecond), End: time.Now().Add(time.Second),
 	}
-	if _, err := r.sched.Commit("wf", meta); err != nil {
+	if _, err := r.sched.Commit("wf", meta, time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	r.mgr.SetPlan("wf", seg("t", "boss", nil))

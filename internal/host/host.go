@@ -42,6 +42,10 @@ type Config struct {
 	// BidWindow is the deadline the host gives auction managers
 	// (default auction.DefaultBidWindow).
 	BidWindow time.Duration
+	// CommitLease is how long an awarded commitment stays valid without
+	// a lease refresh from its initiator (default
+	// auction.DefaultCommitLease; negative disables leasing).
+	CommitLease time.Duration
 	// Engine configures this host's workflow engine (used when the host
 	// initiates workflows).
 	Engine engine.Config
@@ -111,6 +115,9 @@ func New(cfg Config) (*Host, error) {
 	h.ctx, h.cancel = context.WithCancel(context.Background())
 	h.Schedule = schedule.NewManager(clk, cfg.Mobility, cfg.Prefs)
 	h.Participant = auction.NewParticipant(clk, h.Services, h.Schedule, cfg.BidWindow)
+	if cfg.CommitLease != 0 {
+		h.Participant.SetCommitLease(cfg.CommitLease)
+	}
 	h.Exec = exec.NewManager(cfg.Addr, clk, h.Services, h.Schedule, h.sendEnvelope)
 	h.Engine = engine.NewManager(h, cfg.Engine)
 	h.dispatch = newDispatcher(h.process, cfg.Workers)
@@ -297,7 +304,7 @@ func (h *Host) Handle(env proto.Envelope) {
 	h.record(trace.Recv, env.From, env)
 	switch env.Body.(type) {
 	case proto.FragmentReply, proto.FeasibilityReply, proto.Bid, proto.BidBatch,
-		proto.Decline, proto.AwardAck, proto.Ack:
+		proto.Decline, proto.AwardAck, proto.LeaseRefreshAck, proto.Ack:
 		h.routeReply(env)
 	default:
 		h.dispatch.enqueue(env)
@@ -347,7 +354,13 @@ func (h *Host) process(env proto.Envelope) {
 		c, ack := h.Participant.HandleAward(env.Workflow, b)
 		if ack.OK {
 			h.Exec.Register(env.Workflow, c)
+			h.armLeaseSweep()
 		}
+		h.reply(env, ack)
+
+	case proto.LeaseRefresh:
+		ack := h.Participant.HandleLeaseRefresh(env.Workflow, b)
+		h.armLeaseSweep()
 		h.reply(env, ack)
 
 	case proto.Cancel:
@@ -365,6 +378,48 @@ func (h *Host) process(env proto.Envelope) {
 	case proto.TaskDone:
 		h.Engine.OnTaskDone(env.Workflow, b)
 	}
+}
+
+// armLeaseSweep schedules a sweep at the earliest commitment lease
+// expiry. A fresh timer is armed on every award and refresh (mirroring
+// the bid-expiry timers); a sweep that still finds future leases re-arms,
+// so the chain only goes quiet when the calendar holds no leased
+// commitments.
+func (h *Host) armLeaseSweep() {
+	next, ok := h.Schedule.NextLeaseExpiry()
+	if !ok {
+		return
+	}
+	window := next.Sub(h.clk.Now()) + 10*time.Millisecond
+	h.clk.AfterFunc(window, h.sweepLeases)
+}
+
+// sweepLeases drops every commitment whose lease lapsed — the initiator
+// stopped refreshing (it died, or it canceled and the cancel was lost) —
+// and the execution state that depended on it, returning the slots to the
+// pool.
+func (h *Host) sweepLeases() {
+	h.mu.Lock()
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		return
+	}
+	for _, c := range h.Participant.SweepLeases() {
+		h.Exec.Cancel(c.Workflow, c.Task)
+	}
+	h.armLeaseSweep()
+}
+
+// Reset wipes the host's volatile protocol state — calendar, firm bids,
+// commitment leases, execution runs, buffered labels — simulating a
+// crash/restart that loses everything but the host's static configuration
+// (fragments, services, mobility). The community layer calls it when the
+// fault schedule kills the host.
+func (h *Host) Reset() {
+	h.Schedule.Clear()
+	h.Participant.ResetSessions()
+	h.Exec.Reset()
 }
 
 // reply echoes the request's correlation ID back to the sender. Replies

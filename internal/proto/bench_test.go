@@ -101,32 +101,3 @@ func BenchmarkRoundTrip(b *testing.B) {
 		})
 	}
 }
-
-// BenchmarkRoundTripGob is the same measurement through the gob oracle —
-// the pre-codec wire format and the baseline the binary codec is measured
-// against (≥5x on ns/op, allocs/op cut to ≤5; recorded in BENCH_PR3.json).
-func BenchmarkRoundTripGob(b *testing.B) {
-	for _, c := range []struct {
-		name string
-		env  Envelope
-	}{
-		{"fragment-query", benchEnvelope()},
-		{"bid", benchBidEnvelope()},
-	} {
-		b.Run(c.name, func(b *testing.B) {
-			pool := sync.Pool{New: func() any { return new(bytes.Buffer) }}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				buf := pool.Get().(*bytes.Buffer)
-				buf.Reset()
-				if err := EncodeGobTo(buf, c.env); err != nil {
-					b.Fatal(err)
-				}
-				if _, err := DecodeGob(buf.Bytes()); err != nil {
-					b.Fatal(err)
-				}
-				pool.Put(buf)
-			}
-		})
-	}
-}

@@ -1,5 +1,6 @@
-// Hand-rolled binary wire codec (the default; see wire_binary.go /
-// wire_gob.go for the gob-oracle toggle).
+// Hand-rolled binary wire codec — the sole wire format (the gob oracle
+// that shipped alongside it for one release is gone; the golden
+// wire-bytes and fuzz tests below are the codec's correctness pins).
 //
 // Frame layout, documented in DESIGN.md §"Wire format":
 //
@@ -70,6 +71,8 @@ const (
 	kindCallForBidsBatch
 	kindBidBatch
 	kindEnvelopeBatch
+	kindLeaseRefresh
+	kindLeaseRefreshAck
 )
 
 // encodeBinary appends the binary encoding of env to buf.
@@ -262,6 +265,12 @@ func (e *encoder) body(env Envelope) error {
 				return err
 			}
 		}
+	case LeaseRefresh:
+		e.header(kindLeaseRefresh, env)
+		e.taskIDs(v.Tasks)
+	case LeaseRefreshAck:
+		e.header(kindLeaseRefreshAck, env)
+		e.taskIDs(v.Missing)
 	default:
 		return fmt.Errorf("unregistered body type %T", env.Body)
 	}
@@ -811,6 +820,18 @@ func (d *decoder) body(kind byte) (Body, error) {
 			return nil, err
 		}
 		return BidBatch{Bids: bids, Declines: declines}, nil
+	case kindLeaseRefresh:
+		tasks, err := d.taskIDs()
+		if err != nil {
+			return nil, err
+		}
+		return LeaseRefresh{Tasks: tasks}, nil
+	case kindLeaseRefreshAck:
+		missing, err := d.taskIDs()
+		if err != nil {
+			return nil, err
+		}
+		return LeaseRefreshAck{Missing: missing}, nil
 	case kindEnvelopeBatch:
 		n, err := d.count()
 		if err != nil {

@@ -53,6 +53,8 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 			Bids:     []Bid{{Task: "t", ServicesOffered: 3, Specialization: 0.5, Deadline: time.Unix(50, 0)}},
 			Declines: []model.TaskID{"u", "v"},
 		},
+		LeaseRefresh{Tasks: []model.TaskID{"t", "u"}},
+		LeaseRefreshAck{Missing: []model.TaskID{"t"}},
 		EnvelopeBatch{Envelopes: []Envelope{
 			{From: "a", To: "b", ReqID: 1, Workflow: "wf", Body: CallForBidsBatch{Metas: []TaskMeta{meta}}},
 			{From: "a", To: "b", ReqID: 2, Workflow: "wf", Body: Decline{Task: "t"}},

@@ -2,14 +2,12 @@
 // system: the message bodies exchanged between hosts over the abstract
 // communications layer (the Fragment Messages, Service Feasibility
 // Messages, Auction Messages, and Inter-service Messages of the paper's
-// architecture, Fig. 3), plus the envelope framing and gob codec shared by
-// every transport.
+// architecture, Fig. 3), plus the envelope framing and the hand-rolled
+// binary codec (codec.go) shared by every transport.
 package proto
 
 import (
 	"bytes"
-	"encoding/gob"
-	"fmt"
 	"time"
 
 	"openwf/internal/model"
@@ -242,6 +240,28 @@ type Ack struct{}
 // Kind implements Body.
 func (Ack) Kind() string { return "ack" }
 
+// LeaseRefresh extends the leases on an executor's commitments for one
+// workflow. The initiating engine sends it periodically while the
+// execution is in flight; a commitment whose lease is never refreshed
+// expires and is swept, returning the slot to the pool — the mechanism
+// that heals calendars after an initiator dies mid-execution.
+type LeaseRefresh struct {
+	Tasks []model.TaskID
+}
+
+// Kind implements Body.
+func (LeaseRefresh) Kind() string { return "lease-refresh" }
+
+// LeaseRefreshAck answers a LeaseRefresh: Missing lists the tasks whose
+// commitments no longer exist on this host (lease already expired and
+// swept, or canceled). The initiator repairs those tasks.
+type LeaseRefreshAck struct {
+	Missing []model.TaskID
+}
+
+// Kind implements Body.
+func (LeaseRefreshAck) Kind() string { return "lease-refresh-ack" }
+
 // EnvelopeBatch is a frame-level coalescing body: one wire frame carrying
 // several queued envelopes to the same destination, so a burst of
 // messages on one link pays the per-frame overhead (framing, syscall,
@@ -261,36 +281,14 @@ func (EnvelopeBatch) Kind() string { return "envelope-batch" }
 // accounting; see inmem's Stats.
 func IsRequest(b Body) bool {
 	switch b.(type) {
-	case FragmentQuery, FeasibilityQuery, CallForBids, CallForBidsBatch, Award, PlanSegment:
+	case FragmentQuery, FeasibilityQuery, CallForBids, CallForBidsBatch, Award, PlanSegment, LeaseRefresh:
 		return true
 	}
 	return false
 }
 
-// bodies lists every concrete message type for gob registration.
-var bodies = []Body{
-	FragmentQuery{}, FragmentReply{},
-	FeasibilityQuery{}, FeasibilityReply{},
-	CallForBids{}, Bid{}, Decline{}, Award{}, AwardAck{}, Cancel{},
-	PlanSegment{}, LabelTransfer{}, TaskDone{}, Ack{},
-	CallForBidsBatch{}, BidBatch{}, EnvelopeBatch{},
-}
-
-func init() {
-	// gob requires concrete types carried in interface fields to be
-	// registered; an encoding registry is the conventional use of init.
-	// The registry stays even though the hand-rolled binary codec is the
-	// default wire format: gob remains available as the correctness
-	// oracle (EncodeGob/DecodeGob, and the whole wire under the
-	// `protogob` build tag — see wire_binary.go / wire_gob.go).
-	for _, b := range bodies {
-		gob.Register(b)
-	}
-}
-
 // Encode serializes an envelope with the wire codec (the hand-rolled
-// binary format documented in codec.go and DESIGN.md, or gob when built
-// with the `protogob` tag).
+// binary format documented in codec.go and DESIGN.md §7).
 func Encode(env Envelope) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := EncodeTo(&buf, env); err != nil {
@@ -300,13 +298,10 @@ func Encode(env Envelope) ([]byte, error) {
 }
 
 // EncodeTo appends the wire encoding of env to buf. Transports call this
-// with a pooled buffer: with the binary codec the encode path performs no
-// allocations of its own, so the per-envelope marshal cost is pure
-// byte-writing into the recycled backing array.
+// with a pooled buffer: the encode path performs no allocations of its
+// own, so the per-envelope marshal cost is pure byte-writing into the
+// recycled backing array.
 func EncodeTo(buf *bytes.Buffer, env Envelope) error {
-	if gobWire {
-		return EncodeGobTo(buf, env)
-	}
 	return encodeBinary(buf, env)
 }
 
@@ -314,47 +309,5 @@ func EncodeTo(buf *bytes.Buffer, env Envelope) error {
 // envelope shares no memory with data: callers may reuse the input buffer
 // for the next frame immediately.
 func Decode(data []byte) (Envelope, error) {
-	if gobWire {
-		return DecodeGob(data)
-	}
 	return decodeBinary(data)
-}
-
-// EncodeGob serializes an envelope with gob — the previous wire format,
-// kept for one release as the correctness oracle for the binary codec
-// (differential and fuzz tests in codec_test.go decode both and compare).
-func EncodeGob(env Envelope) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := EncodeGobTo(&buf, env); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-// EncodeGobTo appends the gob encoding of env to buf. Each envelope is an
-// independent gob stream (encoders cannot be pooled because type
-// descriptors must be retransmitted per message — the cost that motivated
-// the binary codec).
-func EncodeGobTo(buf *bytes.Buffer, env Envelope) error {
-	if env.Body == nil {
-		// Same clean error as the binary path; without the guard the
-		// failure formatting below would fault on env.Body.Kind().
-		return fmt.Errorf("encoding envelope: nil body")
-	}
-	if err := gob.NewEncoder(buf).Encode(env); err != nil {
-		return fmt.Errorf("encoding %s envelope: %w", env.Body.Kind(), err)
-	}
-	return nil
-}
-
-// DecodeGob deserializes an envelope encoded by EncodeGob.
-func DecodeGob(data []byte) (Envelope, error) {
-	var env Envelope
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
-		return Envelope{}, fmt.Errorf("decoding envelope: %w", err)
-	}
-	if env.Body == nil {
-		return Envelope{}, fmt.Errorf("decoded envelope has no body")
-	}
-	return env, nil
 }

@@ -119,8 +119,16 @@ func TestRoundTripTaskMeta(t *testing.T) {
 }
 
 func TestKinds(t *testing.T) {
+	// Every body type, mirroring the codec's kind table.
+	all := []Body{
+		FragmentQuery{}, FragmentReply{}, FeasibilityQuery{}, FeasibilityReply{},
+		CallForBids{}, Bid{}, Decline{}, Award{}, AwardAck{}, Cancel{},
+		PlanSegment{}, LabelTransfer{}, TaskDone{}, Ack{},
+		CallForBidsBatch{}, BidBatch{}, EnvelopeBatch{},
+		LeaseRefresh{}, LeaseRefreshAck{},
+	}
 	seen := make(map[string]bool)
-	for _, b := range bodies {
+	for _, b := range all {
 		k := b.Kind()
 		if k == "" {
 			t.Errorf("%T has empty kind", b)

@@ -98,8 +98,12 @@ type Manager struct {
 	// from (or a fresh sequence for hold-less commits) so conflict
 	// attribution stays deterministic after conversion.
 	commitSeq map[key]uint64
-	holds     map[key]hold
-	seq       uint64
+	// commitLease holds each commitment's lease expiry. A missing entry
+	// means the commitment never expires (lease-less commit, the
+	// pre-fault-model behavior kept for direct scheduling).
+	commitLease map[key]time.Time
+	holds       map[key]hold
+	seq         uint64
 }
 
 // NewManager returns a schedule manager for a host with the given mobility
@@ -117,6 +121,7 @@ func NewManager(clk clock.Clock, mobility space.Mobility, prefs Preferences) *Ma
 		prefs:       prefs,
 		commitments: make(map[key]Commitment),
 		commitSeq:   make(map[key]uint64),
+		commitLease: make(map[key]time.Time),
 		holds:       make(map[key]hold),
 	}
 }
@@ -342,20 +347,24 @@ func (m *Manager) RefreshHold(workflow string, task model.TaskID, deadline time.
 	return h.c, nil
 }
 
-// Commit converts a hold into a firm commitment (on award). Committing
+// ErrNoHold is returned by CommitHeld when no live hold backs the
+// commitment: the firm bid's reservation expired (or was released)
+// before the award arrived.
+var ErrNoHold = errors.New("schedule: no live hold")
+
+// Commit converts a hold into a firm commitment (on award), leased until
+// lease (the zero time means the commitment never expires). Committing
 // without a prior hold plans the commitment fresh, failing (ErrSlotBusy)
-// if the slot has meanwhile been reserved by another session — an award
-// arriving after its hold expired gets a clean refusal, never a
-// double-booked calendar.
-func (m *Manager) Commit(workflow string, meta proto.TaskMeta) (Commitment, error) {
+// if the slot has meanwhile been reserved by another session. The
+// auction path never takes the fresh-plan branch — participants use
+// CommitHeld so a stale award cannot land on a slot whose hold expired —
+// but direct scheduling (tests, pre-planned calendars) keeps it.
+func (m *Manager) Commit(workflow string, meta proto.TaskMeta, lease time.Time) (Commitment, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	k := key{workflow, meta.Task}
 	if h, ok := m.holds[k]; ok {
-		delete(m.holds, k)
-		m.commitments[k] = h.c
-		m.commitSeq[k] = h.seq
-		return h.c, nil
+		return m.commitHoldLocked(k, h, lease), nil
 	}
 	c, err := m.planLocked(meta)
 	if err != nil {
@@ -365,7 +374,100 @@ func (m *Manager) Commit(workflow string, meta proto.TaskMeta) (Commitment, erro
 	m.seq++
 	m.commitments[k] = c
 	m.commitSeq[k] = m.seq
+	if !lease.IsZero() {
+		m.commitLease[k] = lease
+	}
 	return c, nil
+}
+
+// CommitHeld converts a live hold into a leased commitment and fails
+// with ErrNoHold when the hold is gone — the award arrived after the
+// firm bid's reservation expired, so under lease semantics it must be
+// refused (the slot may meanwhile back a rival's fresh hold, and even a
+// still-free slot belongs to whoever holds it next, not to a stale
+// award).
+func (m *Manager) CommitHeld(workflow string, task model.TaskID, lease time.Time) (Commitment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key{workflow, task}
+	h, ok := m.holds[k]
+	if !ok {
+		return Commitment{}, fmt.Errorf("%w for %q in workflow %q (bid window expired before the award)", ErrNoHold, task, workflow)
+	}
+	return m.commitHoldLocked(k, h, lease), nil
+}
+
+// commitHoldLocked converts one live hold into a commitment with the
+// given lease. Callers hold m.mu.
+func (m *Manager) commitHoldLocked(k key, h hold, lease time.Time) Commitment {
+	delete(m.holds, k)
+	m.commitments[k] = h.c
+	m.commitSeq[k] = h.seq
+	if !lease.IsZero() {
+		m.commitLease[k] = lease
+	}
+	return h.c
+}
+
+// RefreshCommitLease extends a commitment's lease (the initiator's
+// engine refreshes its executors' leases for the lifetime of the
+// execution). It fails when the commitment does not exist — the lease
+// already expired and was swept, or the task was never committed here —
+// which tells the refresher that this executor no longer backs the task.
+func (m *Manager) RefreshCommitLease(workflow string, task model.TaskID, lease time.Time) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key{workflow, task}
+	if _, ok := m.commitments[k]; !ok {
+		return fmt.Errorf("no commitment for %q in workflow %q", task, workflow)
+	}
+	if !lease.IsZero() {
+		m.commitLease[k] = lease
+	} else {
+		delete(m.commitLease, k)
+	}
+	return nil
+}
+
+// ExpireCommitments removes every commitment whose lease has passed and
+// returns them (sorted by start time, then task) so the caller can
+// release dependent state (execution runs, buffered labels). Lease-less
+// commitments never expire. This is the sweep that returns a dead
+// initiator's slots to the pool: when nobody refreshes the lease, the
+// calendar heals by itself.
+func (m *Manager) ExpireCommitments(now time.Time) []Commitment {
+	m.mu.Lock()
+	var out []Commitment
+	for k, lease := range m.commitLease {
+		if now.After(lease) {
+			out = append(out, m.commitments[k])
+			delete(m.commitments, k)
+			delete(m.commitSeq, k)
+			delete(m.commitLease, k)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Task < out[j].Task
+	})
+	return out
+}
+
+// NextLeaseExpiry returns the earliest commitment lease expiry, if any
+// commitment carries a lease (the host uses it to arm its sweep timer).
+func (m *Manager) NextLeaseExpiry() (time.Time, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var min time.Time
+	for _, lease := range m.commitLease {
+		if min.IsZero() || lease.Before(min) {
+			min = lease
+		}
+	}
+	return min, !min.IsZero()
 }
 
 // Release drops a hold without committing (the auction was lost).
@@ -418,6 +520,7 @@ func (m *Manager) Remove(workflow string, task model.TaskID) bool {
 	}
 	delete(m.commitments, k)
 	delete(m.commitSeq, k)
+	delete(m.commitLease, k)
 	return true
 }
 
@@ -477,5 +580,6 @@ func (m *Manager) Clear() {
 	defer m.mu.Unlock()
 	m.commitments = make(map[key]Commitment)
 	m.commitSeq = make(map[key]uint64)
+	m.commitLease = make(map[key]time.Time)
 	m.holds = make(map[key]hold)
 }

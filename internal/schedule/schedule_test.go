@@ -76,7 +76,7 @@ func TestCanCommitWillingness(t *testing.T) {
 
 func TestCanCommitCapacity(t *testing.T) {
 	m, _ := newManager(Preferences{MaxCommitments: 1}, nil)
-	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour))); err != nil {
+	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour)), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := m.CanCommit(meta("b", t0.Add(3*time.Hour), t0.Add(4*time.Hour))); err == nil {
@@ -86,7 +86,7 @@ func TestCanCommitCapacity(t *testing.T) {
 
 func TestCommitConflictDetection(t *testing.T) {
 	m, _ := newManager(Preferences{}, nil)
-	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour))); err != nil {
+	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour)), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	// Overlapping window conflicts.
@@ -141,7 +141,7 @@ func TestTravelChainsFromPreviousCommitment(t *testing.T) {
 	// the origin) to the next location.
 	mobility := space.NewMover(space.Point{}, 1)
 	m, _ := newManager(Preferences{}, mobility)
-	if _, err := m.Commit("wf", locMeta("first", t0.Add(2*time.Minute), t0.Add(3*time.Minute), space.Point{X: 60})); err != nil {
+	if _, err := m.Commit("wf", locMeta("first", t0.Add(2*time.Minute), t0.Add(3*time.Minute), space.Point{X: 60}), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	// Second task back at the origin 30 s after the first ends: travel
@@ -200,7 +200,7 @@ func TestCommitConvertsHold(t *testing.T) {
 	if _, err := m.Hold("wf", md, t0.Add(time.Minute)); err != nil {
 		t.Fatal(err)
 	}
-	c, err := m.Commit("wf", md)
+	c, err := m.Commit("wf", md, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,11 +215,11 @@ func TestCommitConvertsHold(t *testing.T) {
 func TestCommitWithoutHoldPlansFresh(t *testing.T) {
 	m, _ := newManager(Preferences{}, nil)
 	md := meta("t", t0.Add(time.Hour), t0.Add(2*time.Hour))
-	if _, err := m.Commit("wf", md); err != nil {
+	if _, err := m.Commit("wf", md, time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	// A second, conflicting fresh commit fails.
-	if _, err := m.Commit("wf2", meta("u", t0.Add(time.Hour), t0.Add(2*time.Hour))); err == nil {
+	if _, err := m.Commit("wf2", meta("u", t0.Add(time.Hour), t0.Add(2*time.Hour)), time.Time{}); err == nil {
 		t.Error("conflicting fresh commit accepted")
 	}
 }
@@ -234,7 +234,7 @@ func TestReleaseAndRemove(t *testing.T) {
 	if m.Holds() != 0 {
 		t.Error("Release did not drop hold")
 	}
-	if _, err := m.Commit("wf", md); err != nil {
+	if _, err := m.Commit("wf", md, time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	if !m.Remove("wf", "t") {
@@ -247,10 +247,10 @@ func TestReleaseAndRemove(t *testing.T) {
 
 func TestCommitmentsSorted(t *testing.T) {
 	m, _ := newManager(Preferences{}, nil)
-	if _, err := m.Commit("wf", meta("b", t0.Add(3*time.Hour), t0.Add(4*time.Hour))); err != nil {
+	if _, err := m.Commit("wf", meta("b", t0.Add(3*time.Hour), t0.Add(4*time.Hour)), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour))); err != nil {
+	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour)), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	cs := m.Commitments()
@@ -261,7 +261,7 @@ func TestCommitmentsSorted(t *testing.T) {
 
 func TestClear(t *testing.T) {
 	m, _ := newManager(Preferences{}, nil)
-	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour))); err != nil {
+	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour)), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := m.Hold("wf", meta("b", t0.Add(5*time.Hour), t0.Add(6*time.Hour)), t0.Add(time.Minute)); err != nil {
@@ -306,7 +306,7 @@ func TestFirstHoldWinsArbitration(t *testing.T) {
 	}
 	// A hold-less Commit into the same slot is refused cleanly too
 	// (award after expiry never double-books).
-	if _, err := m.Commit("wf-b", meta("t-second", t0.Add(90*time.Minute), t0.Add(3*time.Hour))); !errors.Is(err, ErrSlotBusy) {
+	if _, err := m.Commit("wf-b", meta("t-second", t0.Add(90*time.Minute), t0.Add(3*time.Hour)), time.Time{}); !errors.Is(err, ErrSlotBusy) {
 		t.Fatalf("fresh Commit into held slot err = %v, want ErrSlotBusy", err)
 	}
 }
@@ -376,7 +376,7 @@ func TestPropertyRandomInterleavingsNeverOverlap(t *testing.T) {
 				case 1:
 					_, _ = m.RefreshHold(wf, model.TaskID(task), sim.Now().Add(time.Duration(rng.Intn(120))*time.Second))
 				case 2:
-					_, _ = m.Commit(wf, md)
+					_, _ = m.Commit(wf, md, time.Time{})
 				case 3:
 					m.Release(wf, model.TaskID(task))
 				case 4:
@@ -412,7 +412,7 @@ func TestPropertyConcurrentSessionsNeverOverlap(t *testing.T) {
 				case 0:
 					_, _ = m.Hold(wf, md, sim.Now().Add(time.Minute))
 				case 1:
-					_, _ = m.Commit(wf, md)
+					_, _ = m.Commit(wf, md, time.Time{})
 				case 2:
 					m.Release(wf, model.TaskID(task))
 				case 3:
@@ -434,7 +434,7 @@ func TestNoOverlappingCommitmentsInvariant(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		start := t0.Add(time.Duration(i%13) * 20 * time.Minute).Add(time.Hour)
 		md := meta(string(rune('a'+i)), start, start.Add(30*time.Minute))
-		_, _ = m.Commit("wf", md)
+		_, _ = m.Commit("wf", md, time.Time{})
 	}
 	cs := m.Commitments()
 	for i := 0; i < len(cs); i++ {
@@ -443,6 +443,113 @@ func TestNoOverlappingCommitmentsInvariant(t *testing.T) {
 				t.Fatalf("commitments overlap: %+v and %+v", cs[i], cs[j])
 			}
 		}
+	}
+}
+
+// --- Commitment leases (PR 6 fault tolerance) ---
+
+func TestCommitHeldRequiresLiveHold(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	md := meta("t", t0.Add(time.Hour), t0.Add(2*time.Hour))
+	// No hold at all: refused even though the slot is free.
+	if _, err := m.CommitHeld("wf", "t", time.Time{}); !errors.Is(err, ErrNoHold) {
+		t.Fatalf("CommitHeld without hold err = %v, want ErrNoHold", err)
+	}
+	if _, err := m.Hold("wf", md, t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.CommitHeld("wf", "t", t0.Add(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Task != "t" || m.Holds() != 0 {
+		t.Errorf("CommitHeld did not convert hold: %+v holds=%d", c, m.Holds())
+	}
+	// An expired-then-swept hold refuses too.
+	if _, err := m.Hold("wf2", meta("u", t0.Add(3*time.Hour), t0.Add(4*time.Hour)), t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	m.ExpireHolds(t0.Add(2 * time.Minute))
+	if _, err := m.CommitHeld("wf2", "u", time.Time{}); !errors.Is(err, ErrNoHold) {
+		t.Fatalf("CommitHeld after expiry err = %v, want ErrNoHold", err)
+	}
+}
+
+func TestExpireCommitmentsSweepsOnlyLapsedLeases(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	// a: lease lapses at +1min; b: lease at +1h; c: no lease (permanent).
+	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour)), t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit("wf", meta("b", t0.Add(3*time.Hour), t0.Add(4*time.Hour)), t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit("wf", meta("c", t0.Add(5*time.Hour), t0.Add(6*time.Hour)), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if swept := m.ExpireCommitments(t0.Add(30 * time.Second)); len(swept) != 0 {
+		t.Fatalf("early sweep removed %d commitments", len(swept))
+	}
+	swept := m.ExpireCommitments(t0.Add(2 * time.Minute))
+	if len(swept) != 1 || swept[0].Task != "a" {
+		t.Fatalf("sweep at +2min = %+v, want just a", swept)
+	}
+	if _, ok := m.Get("wf", "a"); ok {
+		t.Error("swept commitment still stored")
+	}
+	// The slot is free again for another session.
+	if _, err := m.Hold("wf2", meta("a2", t0.Add(time.Hour), t0.Add(2*time.Hour)), t0.Add(3*time.Minute)); err != nil {
+		t.Fatalf("slot not returned to the pool: %v", err)
+	}
+	// b survives until its lease lapses; c never expires.
+	swept = m.ExpireCommitments(t0.Add(24 * time.Hour))
+	if len(swept) != 1 || swept[0].Task != "b" {
+		t.Fatalf("final sweep = %+v, want just b", swept)
+	}
+}
+
+func TestRefreshCommitLeaseExtendsAndClears(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	if err := m.RefreshCommitLease("wf", "t", t0.Add(time.Hour)); err == nil {
+		t.Fatal("refresh of missing commitment succeeded")
+	}
+	if _, err := m.Commit("wf", meta("t", t0.Add(time.Hour), t0.Add(2*time.Hour)), t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RefreshCommitLease("wf", "t", t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if swept := m.ExpireCommitments(t0.Add(10 * time.Minute)); len(swept) != 0 {
+		t.Fatalf("refreshed lease swept early: %+v", swept)
+	}
+	// Zero lease makes the commitment permanent.
+	if err := m.RefreshCommitLease("wf", "t", time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if swept := m.ExpireCommitments(t0.Add(1000 * time.Hour)); len(swept) != 0 {
+		t.Fatalf("permanent commitment swept: %+v", swept)
+	}
+}
+
+func TestNextLeaseExpiry(t *testing.T) {
+	m, _ := newManager(Preferences{}, nil)
+	if _, ok := m.NextLeaseExpiry(); ok {
+		t.Fatal("NextLeaseExpiry on empty manager")
+	}
+	if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(2*time.Hour)), t0.Add(10*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit("wf", meta("b", t0.Add(3*time.Hour), t0.Add(4*time.Hour)), t0.Add(2*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	next, ok := m.NextLeaseExpiry()
+	if !ok || !next.Equal(t0.Add(2*time.Minute)) {
+		t.Fatalf("NextLeaseExpiry = %v ok=%v, want %v", next, ok, t0.Add(2*time.Minute))
+	}
+	m.ExpireCommitments(t0.Add(3 * time.Minute))
+	next, ok = m.NextLeaseExpiry()
+	if !ok || !next.Equal(t0.Add(10*time.Minute)) {
+		t.Fatalf("NextLeaseExpiry after sweep = %v ok=%v", next, ok)
 	}
 }
 

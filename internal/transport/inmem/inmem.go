@@ -110,6 +110,14 @@ type Network struct {
 	endpoints map[proto.Addr]*endpoint
 	links     map[linkKey]*link
 	partition map[proto.Addr]int
+	// crashed marks hosts that are dark (see Crash/Restart in faults.go);
+	// crashEpoch counts each host's crashes so frames in flight across a
+	// crash are severed even when the host restarts before their due time;
+	// linkLoss holds per-directed-link loss overrides (SetLinkLoss). All
+	// are nil until first used.
+	crashed    map[proto.Addr]bool
+	crashEpoch map[proto.Addr]uint64
+	linkLoss   map[linkKey]float64
 	// outboxes hold per-directed-link send queues for the write-side
 	// coalescer (see send).
 	outboxes map[linkKey]*transport.Coalescer
@@ -122,13 +130,14 @@ type Network struct {
 	// modeled delays.
 	done chan struct{}
 
-	sent      atomic.Int64
-	delivered atomic.Int64
-	dropped   atomic.Int64
-	bytes     atomic.Int64
-	frames    atomic.Int64
-	batches   atomic.Int64
-	calls     atomic.Int64
+	sent          atomic.Int64
+	delivered     atomic.Int64
+	dropped       atomic.Int64
+	bytes         atomic.Int64
+	frames        atomic.Int64
+	batches       atomic.Int64
+	calls         atomic.Int64
+	framesDropped atomic.Int64
 }
 
 // Stats is the network's round-trip and framing accounting, the
@@ -139,20 +148,26 @@ type Network struct {
 // envelopes — each one opens a Call round trip, so Calls per Initiate is
 // the round-trip count the batched protocol collapses (the ≥3x
 // acceptance bar of PR 5 reads directly off it).
+// FramesDropped counts whole wire frames lost after framing (loss model,
+// per-link loss, crash, missing recipient): a coalesced batch that drops
+// loses all its member envelopes but counts once here — loss is at frame
+// granularity, never a partial batch.
 type Stats struct {
-	Envelopes int64
-	Frames    int64
-	Batches   int64
-	Calls     int64
+	Envelopes     int64
+	Frames        int64
+	Batches       int64
+	Calls         int64
+	FramesDropped int64
 }
 
 // Stats returns the current counters.
 func (n *Network) Stats() Stats {
 	return Stats{
-		Envelopes: n.sent.Load(),
-		Frames:    n.frames.Load(),
-		Batches:   n.batches.Load(),
-		Calls:     n.calls.Load(),
+		Envelopes:     n.sent.Load(),
+		Frames:        n.frames.Load(),
+		Batches:       n.batches.Load(),
+		Calls:         n.calls.Load(),
+		FramesDropped: n.framesDropped.Load(),
 	}
 }
 
@@ -237,7 +252,7 @@ func (n *Network) collectFlushableLocked() []storedDelivery {
 	var out []storedDelivery
 	for key, msgs := range n.stored {
 		target, ok := n.endpoints[key.to]
-		if !ok || !n.reachableLocked(key.from, key.to) {
+		if !ok || !n.reachableLocked(key.from, key.to) || n.crashed[key.to] {
 			continue
 		}
 		for _, d := range msgs {
@@ -253,6 +268,7 @@ func (n *Network) deliverStored(flush []storedDelivery) {
 	for _, sd := range flush {
 		if !sd.target.box.push(sd.d) {
 			n.dropped.Add(envelopeCount(sd.d.env))
+			n.framesDropped.Add(1)
 		}
 	}
 }
@@ -292,6 +308,7 @@ func (n *Network) ResetCounters() {
 	n.frames.Store(0)
 	n.batches.Store(0)
 	n.calls.Store(0)
+	n.framesDropped.Store(0)
 }
 
 // Close tears down the network and all endpoints.
@@ -423,6 +440,12 @@ func (n *Network) transmit(from *endpoint, to proto.Addr, env proto.Envelope) er
 		n.mu.Unlock()
 		return fmt.Errorf("inmem: network closed")
 	}
+	if n.crashed[from.addr] {
+		// A crashed host cannot transmit: the failure is loud on the
+		// sender's side (its own Call fails) rather than silent loss.
+		n.mu.Unlock()
+		return fmt.Errorf("inmem: host %q crashed", from.addr)
+	}
 	n.sent.Add(count)
 	n.frames.Add(1)
 	if count > 1 {
@@ -431,6 +454,14 @@ func (n *Network) transmit(from *endpoint, to proto.Addr, env proto.Envelope) er
 	n.calls.Add(callCount)
 	n.bytes.Add(int64(size))
 
+	if n.crashed[to] {
+		// Dark recipient: the frame is lost, never stored — a crash is
+		// loss, unlike a partition.
+		n.mu.Unlock()
+		n.dropped.Add(count)
+		n.framesDropped.Add(1)
+		return nil
+	}
 	target, ok := n.endpoints[to]
 	if !ok || !n.reachableLocked(from.addr, to) {
 		if n.storeAndForward {
@@ -443,7 +474,14 @@ func (n *Network) transmit(from *endpoint, to proto.Addr, env proto.Envelope) er
 		}
 		n.mu.Unlock()
 		n.dropped.Add(count)
+		n.framesDropped.Add(1)
 		return nil // silent loss, like a wireless medium
+	}
+	if p, ok := n.linkLoss[linkKey{from.addr, to}]; ok && n.rng.Float64() < p {
+		n.mu.Unlock()
+		n.dropped.Add(count)
+		n.framesDropped.Add(1)
+		return nil
 	}
 	var latency time.Duration
 	if n.model != nil {
@@ -452,14 +490,16 @@ func (n *Network) transmit(from *endpoint, to proto.Addr, env proto.Envelope) er
 		if drop {
 			n.mu.Unlock()
 			n.dropped.Add(count)
+			n.framesDropped.Add(1)
 			return nil
 		}
 	}
-	d := delivery{env: env, payload: payload, due: n.clock.Now().Add(latency)}
+	d := delivery{env: env, payload: payload, due: n.clock.Now().Add(latency), epoch: n.crashEpoch[to]}
 	if latency <= 0 {
 		n.mu.Unlock()
 		if !target.box.push(d) {
 			n.dropped.Add(count)
+			n.framesDropped.Add(1)
 		}
 		return nil
 	}
@@ -467,6 +507,7 @@ func (n *Network) transmit(from *endpoint, to proto.Addr, env proto.Envelope) er
 	n.mu.Unlock()
 	if !l.box.push(d) {
 		n.dropped.Add(count)
+		n.framesDropped.Add(1)
 	}
 	return nil
 }
@@ -515,8 +556,15 @@ func (l *link) pump() {
 				return // network closed: drop in-flight latency waits
 			}
 		}
-		if !l.target.box.push(d) {
+		// Re-check at delivery time: a frame is lost if its recipient is
+		// dark now, or crashed at any point since the frame was sent (the
+		// epoch moved) — a restart never resurrects in-flight traffic.
+		l.net.mu.Lock()
+		dark := l.net.crashed[l.target.addr] || l.net.crashEpoch[l.target.addr] != d.epoch
+		l.net.mu.Unlock()
+		if dark || !l.target.box.push(d) {
 			l.net.dropped.Add(envelopeCount(d.env))
+			l.net.framesDropped.Add(1)
 		}
 	}
 }
@@ -525,6 +573,9 @@ type delivery struct {
 	env     proto.Envelope
 	payload []byte
 	due     time.Time
+	// epoch is the recipient's crash epoch at send time; a mismatch at
+	// delivery means the recipient crashed while the frame was in flight.
+	epoch uint64
 }
 
 // endpoint implements transport.Endpoint.
@@ -571,6 +622,7 @@ func (e *endpoint) pump() {
 			decoded, err := proto.Decode(d.payload)
 			if err != nil {
 				e.net.dropped.Add(envelopeCount(d.env))
+				e.net.framesDropped.Add(1)
 				continue
 			}
 			env = decoded
@@ -612,6 +664,16 @@ func (m *mailbox) push(d delivery) bool {
 	m.items = append(m.items, d)
 	m.cond.Signal()
 	return true
+}
+
+// purge drops every queued item, returning them for loss accounting; the
+// mailbox stays open (a crashed host's endpoint survives to be restarted).
+func (m *mailbox) purge() []delivery {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.items
+	m.items = nil
+	return out
 }
 
 // pop dequeues the oldest item, blocking as needed; ok is false once the

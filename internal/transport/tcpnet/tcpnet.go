@@ -3,8 +3,8 @@
 // laptops on an 802.11g ad hoc network): every host binds a loopback
 // listener, a registry maps community addresses to socket addresses, and
 // envelopes travel as length-prefixed frames of proto's binary wire
-// codec (or gob under the `protogob` oracle build). Unlike the simulated
-// network it exercises real kernel sockets, framing, and scheduling.
+// codec. Unlike the simulated network it exercises real kernel sockets,
+// framing, and scheduling.
 package tcpnet
 
 import (
