@@ -4,7 +4,7 @@
 // (ns/op, B/op, allocs/op) in a BENCH_PR<n>.json at the repo root, so
 // regressions are visible in review without re-running the full sweep.
 //
-//	go run ./cmd/benchjson -o BENCH_PR6.json
+//	go run ./cmd/benchjson -o BENCH_PR7.json
 //
 // The grid points mirror the root bench_test.go benchmarks that the
 // paper's evaluation (§5) pins: the pure construction algorithm at
@@ -15,9 +15,12 @@
 // accessors (PR 2), the concurrent-construction grid (goroutines ×
 // supergraph size) against a shared fragment store, the
 // concurrent-allocation grid (PR 4: K in-flight Initiates multiplexed
-// over one host, serial vs concurrent), and the repair-vs-replan grid
+// over one host, serial vs concurrent), the repair-vs-replan grid
 // (PR 6: recovering a mid-execution workflow from a single provider
-// death by incremental plan repair versus a full replan from scratch).
+// death by incremental plan repair versus a full replan from scratch),
+// and the sustained-serving rows (PR 7: a daemon under closed-loop load
+// for a virtual minute, reported as throughput and latency quantiles in
+// the report's "sustained" section; cmd/loadgen runs the wider grid).
 package main
 
 import (
@@ -65,6 +68,11 @@ type report struct {
 	NumCPU     int      `json:"num_cpu"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Benchmarks []result `json:"benchmarks"`
+	// Sustained holds the PR 7 daemon serving rows: closed-loop
+	// sustained load on the virtual clock, measured in throughput and
+	// latency quantiles rather than ns/op (see evalgen.SustainedLoad and
+	// cmd/loadgen for the full grid).
+	Sustained []evalgen.SustainedResult `json:"sustained,omitempty"`
 }
 
 // chainWorkflow builds a valid n-task chain workflow for the cached
@@ -152,7 +160,7 @@ func repairCommunity(b *testing.B, hosts, chain int, cfg *engine.Config) (*commu
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR7.json", "output file (- for stdout)")
 	flag.Parse()
 
 	var results []result
@@ -528,12 +536,35 @@ func main() {
 		})
 	}
 
+	// The sustained serving rows (PR 7): a daemon on the virtual clock
+	// under closed-loop load for a virtual minute — one under-capacity
+	// row (no shedding expected) and one overload row (admission control
+	// is the story). These are duration runs, not per-op benchmarks, so
+	// they land in their own report section.
+	var sustained []evalgen.SustainedResult
+	for _, row := range []evalgen.SustainedConfig{
+		{Clients: 8, Seed: 1},
+		{Clients: 16, Workers: 2, Backlog: 2, Seed: 2},
+	} {
+		sr, err := evalgen.SustainedLoad(row)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: sustained: %v\n", err)
+			os.Exit(1)
+		}
+		sustained = append(sustained, *sr)
+		fmt.Fprintf(os.Stderr,
+			"SustainedLoad/clients=%d/workers=%d/backlog=%d  %6.2f initiates/s  p50 %6.2fs p99 %6.2fs p999 %6.2fs  rejected %d\n",
+			sr.Clients, sr.Workers, sr.Backlog, sr.Throughput,
+			sr.LatencyP50, sr.LatencyP99, sr.LatencyP999, sr.Rejected)
+	}
+
 	rep := report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		Benchmarks: results,
+		Sustained:  sustained,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,231 @@
+package backlog
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func bg() context.Context { return context.Background() }
+
+func TestPriorityOrder(t *testing.T) {
+	q := New[int](10)
+	// Insert low first, high last: service order must invert arrival.
+	if err := q.Submit(Low, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(Normal, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(High, 3); err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []struct {
+		item  int
+		class Class
+	}{{3, High}, {2, Normal}, {1, Low}}
+	for _, want := range wantOrder {
+		item, class, err := q.Next(bg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item != want.item || class != want.class {
+			t.Errorf("Next = (%d, %s), want (%d, %s)", item, class, want.item, want.class)
+		}
+	}
+}
+
+func TestFIFOWithinClass(t *testing.T) {
+	q := New[int](10)
+	for i := 1; i <= 5; i++ {
+		if err := q.Submit(Normal, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 5; i++ {
+		item, _, err := q.Next(bg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item != i {
+			t.Errorf("Next = %d, want %d", item, i)
+		}
+	}
+}
+
+func TestAdmissionRejectsTyped(t *testing.T) {
+	q := New[int](2)
+	if err := q.Submit(Normal, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(Normal, 2); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Submit(Normal, 3)
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("overflow Submit err = %v, want *RejectedError", err)
+	}
+	if rej.Class != Normal || rej.Depth != 2 || rej.Capacity != 2 {
+		t.Errorf("rejection = %+v", rej)
+	}
+	// Per-class admission: another class still has room.
+	if err := q.Submit(High, 9); err != nil {
+		t.Errorf("High rejected while only Normal is full: %v", err)
+	}
+	if q.Depth(Normal) != 2 || q.Depth(High) != 1 || q.TotalDepth() != 3 {
+		t.Errorf("depths = %d/%d/%d", q.Depth(Normal), q.Depth(High), q.TotalDepth())
+	}
+}
+
+func TestNextBlocksUntilSubmit(t *testing.T) {
+	q := New[int](4)
+	got := make(chan int, 1)
+	go func() {
+		item, _, err := q.Next(bg())
+		if err != nil {
+			t.Error(err)
+		}
+		got <- item
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block
+	if err := q.Submit(Normal, 42); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case item := <-got:
+		if item != 42 {
+			t.Errorf("item = %d", item)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next never woke")
+	}
+}
+
+func TestNextContextCancel(t *testing.T) {
+	q := New[int](4)
+	ctx, cancel := context.WithCancel(bg())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := q.Next(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next ignored cancellation")
+	}
+}
+
+// TestCloseDrains: Close stops admission immediately but Next keeps
+// serving what was admitted — the daemon's drain semantics.
+func TestCloseDrains(t *testing.T) {
+	q := New[int](4)
+	for i := 1; i <= 3; i++ {
+		if err := q.Submit(Normal, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if err := q.Submit(Normal, 4); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	for i := 1; i <= 3; i++ {
+		item, _, err := q.Next(bg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item != i {
+			t.Errorf("drained %d, want %d", item, i)
+		}
+	}
+	if _, _, err := q.Next(bg()); !errors.Is(err, ErrClosed) {
+		t.Errorf("Next on drained closed queue = %v, want ErrClosed", err)
+	}
+	q.Close() // idempotent
+}
+
+// TestCloseWakesBlockedWaiters: every goroutine parked in Next must
+// return ErrClosed promptly when the queue closes empty.
+func TestCloseWakesBlockedWaiters(t *testing.T) {
+	q := New[int](4)
+	const waiters = 4
+	done := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, _, err := q.Next(bg())
+			done <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrClosed) {
+				t.Errorf("waiter err = %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("waiter never woke after Close")
+		}
+	}
+}
+
+// TestConcurrentProducersConsumers: nothing admitted is lost or
+// duplicated under contention, and wakeups chain to every consumer.
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New[int](10_000)
+	const producers, each, consumers = 4, 500, 4
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := q.Submit(Class(i%int(numClasses)), p*each+i); err != nil {
+					t.Error(err)
+				}
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				item, _, err := q.Next(bg())
+				if err != nil {
+					return // ErrClosed after drain
+				}
+				mu.Lock()
+				if seen[item] {
+					t.Errorf("item %d delivered twice", item)
+				}
+				seen[item] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// Close only stops admission; consumers drain the rest then exit.
+	q.Close()
+	cwg.Wait()
+	if len(seen) != producers*each {
+		t.Errorf("delivered %d items, want %d", len(seen), producers*each)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Low.String() != "low" || Normal.String() != "normal" || High.String() != "high" {
+		t.Error("class names wrong")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"openwf/internal/proto"
 	"openwf/internal/schedule"
 	"openwf/internal/service"
+	"openwf/internal/transport"
 	"openwf/internal/space"
 	"openwf/internal/spec"
 	"openwf/internal/trace"
@@ -202,6 +203,29 @@ func (c *Community) Members() []proto.Addr {
 
 // Network returns the simulated network, or nil when running over TCP.
 func (c *Community) Network() *inmem.Network { return c.network }
+
+// Clock returns the clock pacing the community's hosts and network.
+func (c *Community) Clock() clock.Clock { return c.clk }
+
+// TransportStats returns the community's framing and round-trip counters
+// regardless of substrate: the simulated network's counters as-is, or
+// the sum over every host's TCP transport — the uniform surface the
+// daemon's metrics registry scrapes.
+func (c *Community) TransportStats() transport.Stats {
+	if c.network != nil {
+		return c.network.TransportStats()
+	}
+	var sum transport.Stats
+	for _, tr := range c.tcps {
+		st := tr.TransportStats()
+		sum.Envelopes += st.Envelopes
+		sum.Frames += st.Frames
+		sum.Batches += st.Batches
+		sum.Calls += st.Calls
+		sum.FramesDropped += st.FramesDropped
+	}
+	return sum
+}
 
 // Initiate poses a problem specification at the given host and returns
 // the allocated plan — the operation the evaluation times. The context

@@ -66,6 +66,11 @@ type Observer struct {
 	// lists the executors declared failed, reallocated the tasks that
 	// were re-auctioned onto surviving hosts.
 	Repaired func(workflowID string, dead []proto.Addr, reallocated []model.TaskID)
+	// SessionDone fires when an allocation session ends (Initiate,
+	// InitiateBatch, or AllocateWorkflow): err is nil on a fully
+	// allocated plan, the session's failure otherwise. This is the hook
+	// the daemon's completed/aborted counters hang off.
+	SessionDone func(workflowID string, err error)
 }
 
 // constructionDone invokes the callback when set.
@@ -93,6 +98,13 @@ func (o Observer) replanned(wfID string, attempt int, excluded []model.TaskID) {
 func (o Observer) repaired(wfID string, dead []proto.Addr, reallocated []model.TaskID) {
 	if o.Repaired != nil {
 		o.Repaired(wfID, dead, reallocated)
+	}
+}
+
+// sessionDone invokes the callback when set.
+func (o Observer) sessionDone(wfID string, err error) {
+	if o.SessionDone != nil {
+		o.SessionDone(wfID, err)
 	}
 }
 
@@ -198,6 +210,12 @@ type Manager struct {
 	seq        int
 	executions map[string]*execution
 	allocs     map[string]*allocSession
+
+	// Session accounting (see SessionStats): lifetime counters the
+	// daemon's metrics registry reads without locking the engine.
+	sessStarted   atomic.Int64
+	sessCompleted atomic.Int64
+	sessFailed    atomic.Int64
 }
 
 // execution tracks an in-flight Execute call on the initiator.
@@ -258,7 +276,9 @@ func (m *Manager) Initiate(ctx context.Context, s spec.Spec) (*Plan, error) {
 	}
 	sess := m.newSession(s)
 	defer m.endSession(sess)
-	return sess.run(ctx)
+	plan, err := sess.run(ctx)
+	m.noteSessionDone(sess, err)
+	return plan, err
 }
 
 // AllocateWorkflow allocates a pre-specified workflow without any
@@ -275,11 +295,12 @@ func (m *Manager) AllocateWorkflow(ctx context.Context, w *model.Workflow, s spe
 	defer m.endSession(sess)
 	res := &core.Result{Workflow: w}
 	plan, failed, err := sess.allocateWithRetries(ctx, res)
+	if err == nil && len(failed) > 0 {
+		err = fmt.Errorf("%w: tasks %v unallocatable", ErrAllocationFailed, failed)
+	}
+	m.noteSessionDone(sess, err)
 	if err != nil {
 		return nil, err
-	}
-	if len(failed) > 0 {
-		return nil, fmt.Errorf("%w: tasks %v unallocatable", ErrAllocationFailed, failed)
 	}
 	return plan, nil
 }

@@ -1107,3 +1107,48 @@ func TestProtocolViolationMidSweepCompensatesAwards(t *testing.T) {
 	}
 	t.Fatalf("confirmed award t1 never canceled after mid-sweep abort; sent = %v", net.sent)
 }
+
+// TestSessionStatsAndSessionDone pins the engine's session accounting
+// (the daemon's completed/aborted counters read it): Started counts every
+// minted session, Completed/Failed partition the outcomes, and the
+// SessionDone observer fires once per session with the matching error.
+func TestSessionStatsAndSessionDone(t *testing.T) {
+	net := chainNet(t)
+	cfg := testConfig()
+	var mu sync.Mutex
+	var done, failed int
+	cfg.Observer.SessionDone = func(wfID string, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if err != nil {
+			failed++
+		}
+		if wfID == "" {
+			t.Error("SessionDone with empty workflow ID")
+		}
+	}
+	m := NewManager(net, cfg)
+	if st := m.SessionStats(); st != (SessionStats{}) {
+		t.Fatalf("fresh engine SessionStats = %+v", st)
+	}
+	if _, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("g"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Initiate(context.Background(), spec.Must(lbl("a"), lbl("unreachable"))); err == nil {
+		t.Fatal("Initiate with unknown goal succeeded")
+	}
+	// A validation error never mints a session and must not count.
+	if _, err := m.Initiate(context.Background(), spec.Spec{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	want := SessionStats{Started: 2, Completed: 1, Failed: 1, Active: 0}
+	if st := m.SessionStats(); st != want {
+		t.Errorf("SessionStats = %+v, want %+v", st, want)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if done != 2 || failed != 1 {
+		t.Errorf("SessionDone fired %d times (%d failed), want 2 (1 failed)", done, failed)
+	}
+}

@@ -49,6 +49,7 @@ func (m *Manager) newSession(s spec.Spec) *allocSession {
 	m.allocs[sess.wfID] = sess
 	m.mu.Unlock()
 	sess.excluded = append([]model.TaskID(nil), m.cfg.Constraints.ExcludeTasks...)
+	m.sessStarted.Add(1)
 	return sess
 }
 
@@ -64,6 +65,41 @@ func (m *Manager) endSession(sess *allocSession) {
 	m.mu.Lock()
 	delete(m.allocs, sess.wfID)
 	m.mu.Unlock()
+}
+
+// noteSessionDone records a session's outcome in the lifetime counters
+// and fires the SessionDone observer hook.
+func (m *Manager) noteSessionDone(sess *allocSession, err error) {
+	if err == nil {
+		m.sessCompleted.Add(1)
+	} else {
+		m.sessFailed.Add(1)
+	}
+	m.cfg.Observer.sessionDone(sess.wfID, err)
+}
+
+// SessionStats is a snapshot of the engine's allocation-session
+// accounting: lifetime Started/Completed/Failed counts plus the sessions
+// currently in flight. Started = Completed + Failed + Active once the
+// engine is quiescent.
+type SessionStats struct {
+	Started   int64
+	Completed int64
+	Failed    int64
+	Active    int64
+}
+
+// SessionStats returns the current session accounting.
+func (m *Manager) SessionStats() SessionStats {
+	m.mu.Lock()
+	active := int64(len(m.allocs))
+	m.mu.Unlock()
+	return SessionStats{
+		Started:   m.sessStarted.Load(),
+		Completed: m.sessCompleted.Load(),
+		Failed:    m.sessFailed.Load(),
+		Active:    active,
+	}
 }
 
 // ActiveAllocations returns the workflow IDs of the allocation sessions
@@ -235,6 +271,7 @@ func (m *Manager) InitiateBatch(ctx context.Context, specs []spec.Spec) ([]*Plan
 			defer wg.Done()
 			defer m.endSession(sessions[i])
 			plans[i], errs[i] = sessions[i].run(ctx)
+			m.noteSessionDone(sessions[i], errs[i])
 		}(i)
 	}
 	wg.Wait()

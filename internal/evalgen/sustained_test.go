@@ -1,0 +1,89 @@
+package evalgen
+
+import (
+	"testing"
+	"time"
+
+	"openwf/internal/testutil"
+)
+
+// TestSustainedLoadSmoke is the CI sustained-load gate: a short
+// under-capacity closed-loop run on the virtual clock must serve
+// requests without shedding a single one, account for everything
+// admitted, and shut down without leaking holds, commitments, backlog,
+// or goroutines.
+func TestSustainedLoadSmoke(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	res, err := SustainedLoad(SustainedConfig{
+		Tasks:    40,
+		Hosts:    4,
+		Clients:  3,
+		Backlog:  32,
+		Duration: 30 * time.Second, // virtual
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sustained smoke: %+v", *res)
+	if res.Completed == 0 {
+		t.Fatal("no Initiates completed during the serving window")
+	}
+	// Under-capacity (3 clients against a 32-deep backlog): admission
+	// must never shed.
+	if res.Rejected != 0 || res.ClientRejected != 0 {
+		t.Errorf("rejections under-capacity: server %d, client %d", res.Rejected, res.ClientRejected)
+	}
+	if res.Accepted != res.Completed+res.Aborted {
+		t.Errorf("accounting: accepted %d != completed %d + aborted %d",
+			res.Accepted, res.Completed, res.Aborted)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v", res.Throughput)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP99 < res.LatencyP50 {
+		t.Errorf("latency quantiles p50=%v p99=%v", res.LatencyP50, res.LatencyP99)
+	}
+	// The ISSUE's acceptance bar: a clean drain.
+	if res.FinalBacklog != 0 || res.FinalHolds != 0 || res.FinalCommitments != 0 {
+		t.Errorf("unclean shutdown: backlog %d, holds %d, commitments %d",
+			res.FinalBacklog, res.FinalHolds, res.FinalCommitments)
+	}
+}
+
+// TestSustainedLoadShedsUnderOverload: a tiny backlog against many
+// clients must produce typed rejections (backpressure reaches the
+// submitter) while still draining cleanly.
+func TestSustainedLoadShedsUnderOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	testutil.CheckGoroutines(t)
+	res, err := SustainedLoad(SustainedConfig{
+		Tasks:    40,
+		Hosts:    4,
+		Clients:  12,
+		Workers:  1,
+		Backlog:  1,
+		Duration: 30 * time.Second, // virtual
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sustained overload: %+v", *res)
+	if res.Completed == 0 {
+		t.Fatal("no Initiates completed under overload")
+	}
+	if res.Rejected == 0 {
+		t.Error("overload never shed: want typed rejections with 12 clients on a 1-deep backlog")
+	}
+	if res.Rejected != res.ClientRejected {
+		t.Errorf("every server-side rejection must reach a client: server %d, client %d",
+			res.Rejected, res.ClientRejected)
+	}
+	if res.FinalBacklog != 0 || res.FinalHolds != 0 || res.FinalCommitments != 0 {
+		t.Errorf("unclean shutdown: backlog %d, holds %d, commitments %d",
+			res.FinalBacklog, res.FinalHolds, res.FinalCommitments)
+	}
+}

@@ -94,6 +94,39 @@ func (s *Sample) Percentile(p float64) float64 {
 	}
 	sorted := append([]float64(nil), s.xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// Percentiles returns the requested percentiles in argument order,
+// sorting the sample once — the tail-latency scrape path (p50/p99/p999
+// from one histogram) pays one sort instead of one per quantile.
+func (s *Sample) Percentiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(s.xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), s.xs...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// P50 returns the median.
+func (s *Sample) P50() float64 { return s.Percentile(50) }
+
+// P99 returns the 99th percentile.
+func (s *Sample) P99() float64 { return s.Percentile(99) }
+
+// P999 returns the 99.9th percentile — the deep-tail quantile the
+// daemon's latency histograms report.
+func (s *Sample) P999() float64 { return s.Percentile(99.9) }
+
+// percentileSorted interpolates the p-th percentile of an ascending
+// slice (closest-ranks linear interpolation; callers guarantee
+// len(sorted) > 0).
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -73,6 +73,76 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileHelpers pins the p50/p99/p999 helpers against known
+// distributions: the uniform 1..100 grid (closest-rank interpolation has
+// closed-form answers), the uniform 0..999 grid (large enough that p999
+// falls strictly inside the tail), a constant sample, and insertion order
+// independence (percentiles sort internally).
+func TestPercentileHelpers(t *testing.T) {
+	var u Sample
+	for i := 100; i >= 1; i-- { // reversed insertion: order must not matter
+		u.Add(float64(i))
+	}
+	// rank = p/100*(n-1) over sorted[0..99] = 1..100, so value = rank+1.
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"P50", u.P50(), 0.50*99 + 1},    // 50.5
+		{"P99", u.P99(), 0.99*99 + 1},    // 99.01
+		{"P999", u.P999(), 0.999*99 + 1}, // 99.901
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-9 {
+			t.Errorf("uniform[1,100] %s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+
+	var big Sample
+	for i := 0; i < 1000; i++ {
+		big.Add(float64(i))
+	}
+	if got, want := big.P999(), 0.999*999; math.Abs(got-want) > 1e-9 {
+		t.Errorf("uniform[0,999] P999 = %v, want %v", got, want)
+	}
+	if got, want := big.P50(), 0.5*999; math.Abs(got-want) > 1e-9 {
+		t.Errorf("uniform[0,999] P50 = %v, want %v", got, want)
+	}
+
+	var flat Sample
+	for i := 0; i < 50; i++ {
+		flat.Add(42)
+	}
+	for _, p := range []float64{flat.P50(), flat.P99(), flat.P999()} {
+		if p != 42 {
+			t.Errorf("constant sample percentile = %v, want 42", p)
+		}
+	}
+}
+
+// TestPercentilesSingleSort pins the batch form against the one-at-a-time
+// helpers and checks argument-order preservation.
+func TestPercentilesSingleSort(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{9, 1, 5, 3, 7, 2, 8, 4, 6, 10} {
+		s.Add(x)
+	}
+	got := s.Percentiles(99.9, 50, 99)
+	want := []float64{s.P999(), s.P50(), s.P99()}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	var empty Sample
+	for _, v := range empty.Percentiles(50, 99) {
+		if v != 0 {
+			t.Errorf("empty Percentiles = %v, want zeros", v)
+		}
+	}
+}
+
 func TestSeries(t *testing.T) {
 	s := NewSeries("5 host")
 	s.At(4).Add(0.01)

@@ -140,25 +140,12 @@ type Network struct {
 	framesDropped atomic.Int64
 }
 
-// Stats is the network's round-trip and framing accounting, the
-// diagnostic counterpart of the paper's message counts: Envelopes is the
-// number of logical envelopes accepted for transmission, Frames the wire
-// frames they traveled in (coalescing makes Frames ≤ Envelopes), Batches
-// the frames that carried more than one envelope, and Calls the request
-// envelopes — each one opens a Call round trip, so Calls per Initiate is
-// the round-trip count the batched protocol collapses (the ≥3x
-// acceptance bar of PR 5 reads directly off it).
-// FramesDropped counts whole wire frames lost after framing (loss model,
-// per-link loss, crash, missing recipient): a coalesced batch that drops
-// loses all its member envelopes but counts once here — loss is at frame
-// granularity, never a partial batch.
-type Stats struct {
-	Envelopes     int64
-	Frames        int64
-	Batches       int64
-	Calls         int64
-	FramesDropped int64
-}
+// Stats is the network's round-trip and framing accounting — the shared
+// transport.Stats shape (see its field documentation), kept as an alias
+// so existing callers and the daemon's metrics scrape read the same
+// counters from either substrate. The Calls column is where PR 5's ≥3x
+// round-trip acceptance bar reads directly.
+type Stats = transport.Stats
 
 // Stats returns the current counters.
 func (n *Network) Stats() Stats {
@@ -170,6 +157,11 @@ func (n *Network) Stats() Stats {
 		FramesDropped: n.framesDropped.Load(),
 	}
 }
+
+var _ transport.Reporter = (*Network)(nil)
+
+// TransportStats implements transport.Reporter.
+func (n *Network) TransportStats() transport.Stats { return n.Stats() }
 
 type linkKey struct{ from, to proto.Addr }
 

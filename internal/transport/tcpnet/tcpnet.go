@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openwf/internal/proto"
@@ -41,7 +42,34 @@ type Transport struct {
 	closed   bool
 
 	wg sync.WaitGroup
+
+	// Framing and round-trip counters mirroring inmem's accounting (see
+	// transport.Stats): envelopes at frame granularity in transmit plus
+	// overflow-dropped admits, calls by unwrapping coalesced batches,
+	// framesDropped per lost frame — so daemon metrics read identically
+	// off either substrate.
+	envelopes     atomic.Int64
+	frames        atomic.Int64
+	batches       atomic.Int64
+	calls         atomic.Int64
+	framesDropped atomic.Int64
 }
+
+var _ transport.Reporter = (*Transport)(nil)
+
+// Stats returns the transport's framing and round-trip counters.
+func (t *Transport) Stats() transport.Stats {
+	return transport.Stats{
+		Envelopes:     t.envelopes.Load(),
+		Frames:        t.frames.Load(),
+		Batches:       t.batches.Load(),
+		Calls:         t.calls.Load(),
+		FramesDropped: t.framesDropped.Load(),
+	}
+}
+
+// TransportStats implements transport.Reporter.
+func (t *Transport) TransportStats() transport.Stats { return t.Stats() }
 
 // drainDialTimeout bounds connection establishment for queued envelopes:
 // they detached from their callers' contexts when they were accepted, so
@@ -116,8 +144,15 @@ func (t *Transport) Send(ctx context.Context, to proto.Addr, env proto.Envelope)
 	env.To = to
 	ob := t.outboxFor(to)
 	writer, dropped := ob.Admit(env)
-	if dropped || !writer {
-		return nil // queued for the busy writer, or overflow-dropped
+	if dropped {
+		// Accepted then lost at the queue cap, like inmem's overflow
+		// accounting: the envelope counts, but no frame ever existed to
+		// count under FramesDropped.
+		t.envelopes.Add(1)
+		return nil
+	}
+	if !writer {
+		return nil // queued for the busy writer to flush
 	}
 	err := t.transmit(ctx, to, env)
 	t.drainOutbox(to, ob)
@@ -163,10 +198,30 @@ func (t *Transport) transmit(ctx context.Context, to proto.Addr, env proto.Envel
 	frame := buf.Bytes()
 	binary.BigEndian.PutUint32(frame, uint32(len(frame)-4))
 
+	count := int64(1)
+	callCount := int64(0)
+	if batch, ok := env.Body.(proto.EnvelopeBatch); ok {
+		count = int64(len(batch.Envelopes))
+		for _, inner := range batch.Envelopes {
+			if proto.IsRequest(inner.Body) {
+				callCount++
+			}
+		}
+	} else if proto.IsRequest(env.Body) {
+		callCount = 1
+	}
+	t.envelopes.Add(count)
+	t.frames.Add(1)
+	if count > 1 {
+		t.batches.Add(1)
+	}
+	t.calls.Add(callCount)
+
 	// Two attempts: a cached connection may have gone stale.
 	for attempt := 0; attempt < 2; attempt++ {
 		conn, err := t.conn(ctx, to)
 		if err != nil {
+			t.framesDropped.Add(1)
 			if errors.Is(err, errClosed) || ctx.Err() != nil {
 				return err
 			}
@@ -177,6 +232,7 @@ func (t *Transport) transmit(ctx context.Context, to proto.Addr, env proto.Envel
 		}
 		t.dropConn(to, conn)
 	}
+	t.framesDropped.Add(1)
 	return nil
 }
 

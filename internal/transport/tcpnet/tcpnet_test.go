@@ -313,6 +313,63 @@ func TestCoalescedBatchSplitsAtReceiver(t *testing.T) {
 	}
 }
 
+// TestStatsCounters pins the framing accounting against inmem's
+// semantics: envelopes and calls per logical envelope (batches
+// unwrapped), frames per wire write, batches only for coalesced frames,
+// framesDropped per lost frame — one frame even when it carried several
+// envelopes.
+func TestStatsCounters(t *testing.T) {
+	ta, _, _, colB := pair(t)
+	// Sequential sends from one goroutine never coalesce: each transmit
+	// finishes before the next Admit.
+	if err := ta.Send(context.Background(), "b", proto.Envelope{
+		ReqID: 1, Body: proto.FragmentQuery{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Send(context.Background(), "b", ping(2)); err != nil {
+		t.Fatal(err)
+	}
+	colB.waitN(t, 2, 2*time.Second)
+	st := ta.Stats()
+	if st.Envelopes != 2 || st.Frames != 2 || st.Batches != 0 {
+		t.Errorf("after 2 sequential sends: %+v", st)
+	}
+	if st.Calls != 1 {
+		t.Errorf("Calls = %d, want 1 (only FragmentQuery is a request)", st.Calls)
+	}
+	if st.FramesDropped != 0 {
+		t.Errorf("FramesDropped = %d at idle", st.FramesDropped)
+	}
+
+	// Unreachable recipient: the frame is framed, then silently lost.
+	if err := ta.Send(context.Background(), "ghost", ping(3)); err != nil {
+		t.Fatal(err)
+	}
+	st = ta.Stats()
+	if st.Envelopes != 3 || st.Frames != 3 || st.FramesDropped != 1 {
+		t.Errorf("after ghost send: %+v", st)
+	}
+
+	// A forced coalesced flush: three envelopes queued behind a busy
+	// writer land as one EnvelopeBatch frame.
+	ob := ta.outboxFor("b")
+	if w, _ := ob.Admit(proto.Envelope{From: "a", To: "b", Body: proto.Ack{}}); !w {
+		t.Fatal("expected to become the writer on an idle peer")
+	}
+	for i := 4; i <= 6; i++ {
+		if err := ta.Send(context.Background(), "b", ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ta.drainOutbox("b", ob)
+	colB.waitN(t, 5, 2*time.Second)
+	st = ta.Stats()
+	if st.Envelopes != 6 || st.Frames != 4 || st.Batches != 1 {
+		t.Errorf("after coalesced flush: %+v", st)
+	}
+}
+
 // TestCoalescerConcurrentSendersDeliverAll: many goroutines writing to
 // one peer through the coalescer lose nothing, whatever batching
 // happened underneath.

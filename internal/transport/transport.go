@@ -99,6 +99,34 @@ func (c *Coalescer) Drain(from, to proto.Addr, transmit func(proto.Envelope) err
 	}
 }
 
+// Stats is the framing and round-trip accounting shared by both
+// transports — the diagnostic counterpart of the paper's message counts,
+// and the seed of the daemon's transport metrics. Envelopes is the number
+// of logical envelopes accepted for transmission, Frames the wire frames
+// they traveled in (coalescing makes Frames ≤ Envelopes), Batches the
+// frames that carried more than one envelope, and Calls the request
+// envelopes — each opens a Call round trip, so Calls per Initiate is the
+// round-trip count the batched protocol collapses. FramesDropped counts
+// whole wire frames lost after framing (loss model, crash, unreachable
+// peer, failed socket write): a coalesced batch that drops loses all its
+// member envelopes but counts once here — loss is at frame granularity,
+// never a partial batch.
+type Stats struct {
+	Envelopes     int64
+	Frames        int64
+	Batches       int64
+	Calls         int64
+	FramesDropped int64
+}
+
+// Reporter is implemented by transports that export their counters
+// (inmem.Network, tcpnet.Transport); the daemon's metrics registry
+// scrapes it uniformly across substrates.
+type Reporter interface {
+	// TransportStats returns a snapshot of the counters.
+	TransportStats() Stats
+}
+
 // Endpoint is one host's attachment to the network.
 type Endpoint interface {
 	// Addr returns this endpoint's address.
