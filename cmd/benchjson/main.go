@@ -546,7 +546,7 @@ func main() {
 		{Clients: 8, Seed: 1},
 		{Clients: 16, Workers: 2, Backlog: 2, Seed: 2},
 	} {
-		sr, err := evalgen.SustainedLoad(row)
+		sr, err := evalgen.SustainedLoad(context.Background(), row)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: sustained: %v\n", err)
 			os.Exit(1)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -74,7 +75,7 @@ func figure4(cfg sweepConfig) error {
 	figure := stats.NewFigure("Figure 4 — simulation, 100 task nodes, 2..15 hosts")
 	for _, hosts := range []int{15, 10, 5, 4, 3, 2} {
 		name := fmt.Sprintf("%d host", hosts)
-		res, err := evalgen.RunExperiment(evalgen.ExperimentConfig{
+		res, err := evalgen.RunExperiment(context.Background(), evalgen.ExperimentConfig{
 			Tasks:          100,
 			Hosts:          hosts,
 			PathLengths:    lengths(2, 22, 2),
@@ -98,7 +99,7 @@ func figure5(cfg sweepConfig) error {
 	figure := stats.NewFigure("Figure 5 — simulation, 2 hosts, 25..500 task nodes")
 	for _, tasks := range []int{500, 250, 100, 50, 25} {
 		name := fmt.Sprintf("%d task", tasks)
-		res, err := evalgen.RunExperiment(evalgen.ExperimentConfig{
+		res, err := evalgen.RunExperiment(context.Background(), evalgen.ExperimentConfig{
 			Tasks:          tasks,
 			Hosts:          2,
 			PathLengths:    lengths(2, 14, 2),
@@ -138,7 +139,7 @@ func figure6(cfg sweepConfig, transport string) error {
 		default:
 			return fmt.Errorf("unknown transport %q", transport)
 		}
-		res, err := evalgen.RunExperiment(expCfg, name)
+		res, err := evalgen.RunExperiment(context.Background(), expCfg, name)
 		if err != nil {
 			return err
 		}

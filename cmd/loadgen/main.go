@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -88,7 +89,7 @@ func run() error {
 		cfg.Hosts = *hosts
 		cfg.Duration = *duration
 		cfg.Seed = *seed + int64(i)
-		res, err := evalgen.SustainedLoad(cfg)
+		res, err := evalgen.SustainedLoad(context.Background(), cfg)
 		if err != nil {
 			return err
 		}

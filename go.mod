@@ -1,3 +1,13 @@
 module openwf
 
 go 1.24
+
+// Tool/test-scoped dependency: powers the openwfvet analyzer suite
+// (internal/analysis, cmd/openwfvet) only. No non-test package under
+// internal/ outside internal/analysis may import it — depcheck (one of
+// the openwfvet analyzers) enforces that, so the runtime import graph
+// stays dependency-free. The tree is vendored (vendor/golang.org/x/tools)
+// from the subset the Go distribution itself ships under
+// src/cmd/vendor, so builds never need the network; go.sum pins the
+// vendored file tree (see internal/analysis/vendorhash_test.go).
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

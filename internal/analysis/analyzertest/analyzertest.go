@@ -1,0 +1,218 @@
+// Package analyzertest runs a go/analysis analyzer over fixture
+// packages and checks its diagnostics against `// want "regexp"`
+// expectations, in the style of x/tools' analysistest.
+//
+// It exists because analysistest depends on go/packages, which is not
+// part of the x/tools subset the Go distribution vendors (the only
+// copy reachable offline — see the go.mod note). The harness
+// typechecks fixtures itself with the source importer, so fixtures may
+// import the standard library freely; imports that cannot be resolved
+// (e.g. a deliberately forbidden golang.org/x/tools import in a
+// depcheck fixture) are satisfied with an empty placeholder package,
+// so fixtures reference them with blank imports only.
+//
+// Expectation syntax, one per line, on the line the diagnostic points
+// at:
+//
+//	time.Now() // want `direct call to time\.Now`
+//
+// The argument is a regular expression in a Go string or raw-string
+// literal that must match the diagnostic message. Lines without a
+// want comment must produce no diagnostics.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Option configures a Run.
+type Option func(*config)
+
+type config struct {
+	pkgPath string
+}
+
+// WithPkgPath overrides the fixture's package import path (default: the
+// fixture directory name). Analyzers keyed on real tree paths —
+// depcheck's internal/-prefix rule, clockcheck's internal/clock
+// exemption — are tested by simulating those paths.
+func WithPkgPath(path string) Option {
+	return func(c *config) { c.pkgPath = path }
+}
+
+// Run loads testdata/src/<fixture>, typechecks it, applies a to the
+// package, and reports any mismatch between the diagnostics and the
+// fixture's // want expectations as test failures.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string, opts ...Option) {
+	t.Helper()
+	cfg := config{pkgPath: fixture}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no .go files", fixture)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tcfg := types.Config{Importer: lenientImporter{importer.ForCompiler(fset, "source", nil)}}
+	pkg, err := tcfg.Check(cfg.pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", fixture, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	runRequires(t, pass, a)
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	checkExpectations(t, fset, files, diags)
+}
+
+// runRequires runs a's dependency analyzers (transitively) and fills
+// pass.ResultOf. Fact-producing dependencies are not supported — the
+// suite has none.
+func runRequires(t *testing.T, pass *analysis.Pass, a *analysis.Analyzer) {
+	t.Helper()
+	for _, dep := range a.Requires {
+		if _, done := pass.ResultOf[dep]; done {
+			continue
+		}
+		runRequires(t, pass, dep)
+		depPass := *pass
+		depPass.Analyzer = dep
+		depPass.Report = func(analysis.Diagnostic) {}
+		res, err := dep.Run(&depPass)
+		if err != nil {
+			t.Fatalf("dependency analyzer %s: %v", dep.Name, err)
+		}
+		pass.ResultOf[dep] = res
+	}
+}
+
+// lenientImporter resolves what it can from source and substitutes an
+// empty package for anything unresolvable, so fixtures can carry
+// deliberately forbidden imports (blank-identifier form).
+type lenientImporter struct{ base types.Importer }
+
+func (l lenientImporter) Import(path string) (*types.Package, error) {
+	pkg, err := l.base.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	name := path[strings.LastIndex(path, "/")+1:]
+	fake := types.NewPackage(path, name)
+	fake.MarkComplete()
+	return fake, nil
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.+)$`)
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				lit := strings.TrimSpace(m[1])
+				pattern, err := strconv.Unquote(lit)
+				if err != nil {
+					t.Fatalf("%s: malformed want comment %q: %v", fset.Position(c.Pos()), lit, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), pattern, err)
+				}
+				p := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: p.Filename, line: p.Line, re: re, raw: pattern})
+			}
+		}
+	}
+
+	var unexpected []string
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			unexpected = append(unexpected, fmt.Sprintf("%s: unexpected diagnostic: %s", p, d.Message))
+		}
+	}
+	sort.Strings(unexpected)
+	for _, u := range unexpected {
+		t.Error(u)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

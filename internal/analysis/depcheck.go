@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// forbiddenDepPrefix is the tool/test-scoped dependency that must stay
+// out of the runtime import graph (see the go.mod note): it exists for
+// the analyzer suite alone.
+const forbiddenDepPrefix = "golang.org/x/tools"
+
+// Depcheck asserts the dependency boundary: no non-test file of a
+// package under internal/ outside internal/analysis imports
+// golang.org/x/tools. cmd/openwfvet (a main package outside internal/)
+// is the only runtime-adjacent importer, and it is a build tool.
+var Depcheck = &analysis.Analyzer{
+	Name: "depcheck",
+	Doc: "forbid golang.org/x/tools imports in non-test internal/ packages outside internal/analysis: " +
+		"the analyzer-suite dependency must not leak into the runtime import graph",
+	Run: runDepcheck,
+}
+
+func runDepcheck(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, "openwf/internal/") {
+		return nil, nil
+	}
+	if path == "openwf/internal/analysis" || strings.HasPrefix(path, "openwf/internal/analysis/") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p != forbiddenDepPrefix && !strings.HasPrefix(p, forbiddenDepPrefix+"/") {
+				continue
+			}
+			if isTestFile(pass, imp.Pos()) {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"import of %s outside internal/analysis: the analyzer toolchain dependency is tool/test-scoped", p)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// parsePass builds the minimal pass parseDirectives needs: parsed
+// files, a fileset, and a diagnostic collector.
+func parsePass(t *testing.T, src string) (*analysis.Pass, *[]analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "directive.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Fset:   fset,
+		Files:  []*ast.File{f},
+		Report: func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	return pass, &diags
+}
+
+func TestDirectiveCoversOwnAndNextLine(t *testing.T) {
+	pass, diags := parsePass(t, `package p
+
+func f() {
+	//openwf:allow-wallclock measuring wall elapsed
+	covered()
+	notCovered()
+}
+
+func covered() {}
+func notCovered() {}
+`)
+	idx := parseDirectives(pass, AllowWallclock)
+	if len(*diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", *diags)
+	}
+	linePos := func(line int) token.Pos {
+		return pass.Fset.File(pass.Files[0].Pos()).LineStart(line)
+	}
+	if !idx.allows(pass, linePos(4), AllowWallclock) {
+		t.Error("directive does not cover its own line")
+	}
+	if !idx.allows(pass, linePos(5), AllowWallclock) {
+		t.Error("directive does not cover the next line")
+	}
+	if idx.allows(pass, linePos(6), AllowWallclock) {
+		t.Error("directive leaks past the next line")
+	}
+	if idx.allows(pass, linePos(5), AllowBackground) {
+		t.Error("directive granted a verb it does not carry")
+	}
+}
+
+func TestDirectiveRequiresReason(t *testing.T) {
+	pass, diags := parsePass(t, `package p
+
+func f() {
+	//openwf:allow-wallclock
+	bare()
+}
+
+func bare() {}
+`)
+	idx := parseDirectives(pass, AllowWallclock)
+	if len(*diags) != 1 || !strings.Contains((*diags)[0].Message, "requires a reason") {
+		t.Fatalf("want one missing-reason diagnostic, got %v", *diags)
+	}
+	// The bare directive still covers its lines: the missing reason is
+	// reported once, not compounded with the underlying violation.
+	linePos := pass.Fset.File(pass.Files[0].Pos()).LineStart(5)
+	if !idx.allows(pass, linePos, AllowWallclock) {
+		t.Error("bare directive does not cover the next line")
+	}
+}
+
+func TestDirectiveUnknownVerbIgnored(t *testing.T) {
+	pass, diags := parsePass(t, `package p
+
+//openwf:allow-background some reason
+func f() {}
+`)
+	idx := parseDirectives(pass, AllowWallclock) // analyzer owns only allow-wallclock
+	if len(*diags) != 0 {
+		t.Fatalf("foreign verb drew diagnostics: %v", *diags)
+	}
+	linePos := pass.Fset.File(pass.Files[0].Pos()).LineStart(4)
+	if idx.allows(pass, linePos, AllowBackground) {
+		t.Error("foreign verb was indexed")
+	}
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// randConstructors are the package-level math/rand functions that build
+// a generator rather than drawing from the unseeded global one. They
+// are the only top-level entry points allowed: everything drawn after
+// them is a method on the threaded value.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Seedcheck reports draws from the global math/rand generator. There is
+// deliberately no directive escape hatch and no test-file exemption:
+// one global draw anywhere makes a stress/chaos/load run
+// unreproducible from its seed.
+var Seedcheck = &analysis.Analyzer{
+	Name: "seedcheck",
+	Doc: "forbid top-level math/rand functions (rand.Intn, rand.Shuffle, …) everywhere, tests included; " +
+		"draw only from a seeded *rand.Rand threaded to the use site",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runSeedcheck,
+}
+
+func runSeedcheck(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+			return
+		}
+		if fn.Signature().Recv() != nil || randConstructors[fn.Name()] {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"draw from global math/rand generator rand.%s: thread a seeded *rand.Rand instead",
+			fn.Name())
+	})
+	return nil, nil
+}

@@ -1,0 +1,34 @@
+// Package clockfixture seeds clockcheck violations: direct wall-clock
+// reads that must flow through the injected clock.Clock, plus the
+// directive escape hatch for genuine wall-time measurement.
+package clockfixture
+
+import "time"
+
+func violations() {
+	_ = time.Now()                             // want `direct call to time\.Now`
+	time.Sleep(time.Millisecond)               // want `direct call to time\.Sleep`
+	<-time.After(time.Millisecond)             // want `direct call to time\.After`
+	_ = time.AfterFunc(time.Second, func() {}) // want `direct call to time\.AfterFunc`
+	_ = time.NewTimer(time.Second)             // want `direct call to time\.NewTimer`
+	_ = time.NewTicker(time.Second)            // want `direct call to time\.NewTicker`
+	_ = time.Tick(time.Second)                 // want `direct call to time\.Tick`
+}
+
+func sinceToo(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `direct call to time\.Since`
+}
+
+func allowedAbove() time.Duration {
+	//openwf:allow-wallclock wall-elapsed reporting must use real time
+	start := time.Now()
+	return time.Since(start) //openwf:allow-wallclock wall-elapsed reporting must use real time
+}
+
+// Methods on time values are not wall-clock reads: only the package
+// functions are forbidden.
+func methodsFine(t0 time.Time, timer *time.Timer) {
+	_ = t0.Add(time.Second)
+	_ = t0.Unix()
+	timer.Stop()
+}

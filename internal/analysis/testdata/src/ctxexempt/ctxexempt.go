@@ -1,0 +1,11 @@
+// Package ctxexempt mints root contexts; the suite test analyzes it
+// under a cmd/ package path, where entry points own their roots. The
+// first-parameter rule still applies there — orderings stay checked.
+package ctxexempt
+
+import "context"
+
+func root() context.Context { return context.Background() }
+func todo() context.Context { return context.TODO() }
+
+func run(ctx context.Context, name string) { _ = ctx; _ = name }

@@ -1,0 +1,31 @@
+// Package ctxfixture seeds ctxcheck violations: misplaced
+// context.Context parameters and fresh root contexts minted outside
+// main packages and tests.
+package ctxfixture
+
+import "context"
+
+func ctxSecond(name string, ctx context.Context) { // want `context\.Context must be the first parameter`
+	_ = name
+	_ = ctx
+}
+
+func ctxSecondLit() {
+	f := func(n int, ctx context.Context) { _ = n; _ = ctx } // want `context\.Context must be the first parameter`
+	f(0, nil)
+}
+
+func freshRoot() context.Context {
+	return context.Background() // want `context\.Background severs the caller's cancellation`
+}
+
+func freshTODO() context.Context {
+	return context.TODO() // want `context\.TODO severs the caller's cancellation`
+}
+
+func allowedRoot() context.Context {
+	//openwf:allow-background deliberate lifecycle root, canceled by Close
+	return context.Background()
+}
+
+func ctxFirst(ctx context.Context, name string) { _ = ctx; _ = name }

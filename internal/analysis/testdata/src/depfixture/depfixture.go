@@ -1,0 +1,14 @@
+// Package depfixture seeds a depcheck violation: run with package path
+// openwf/internal/transport, the golang.org/x/tools import below is
+// outside internal/analysis and must be reported. (The import is
+// blank: the harness satisfies unresolvable imports with an empty
+// placeholder package.)
+package depfixture
+
+import (
+	"fmt"
+
+	_ "golang.org/x/tools/go/analysis" // want `import of golang\.org/x/tools/go/analysis outside internal/analysis`
+)
+
+func hello() string { return fmt.Sprint("hello") }

@@ -1,0 +1,11 @@
+// Package depfixtureok carries the same golang.org/x/tools import as
+// depfixture but is run with package path
+// openwf/internal/analysis/sub, where the dependency is sanctioned:
+// depcheck must stay silent.
+package depfixtureok
+
+import (
+	_ "golang.org/x/tools/go/analysis"
+)
+
+func hello() string { return "hello" }

@@ -1,0 +1,59 @@
+// Package protocomplete mirrors internal/proto's codec structure with
+// every body type registered at every site: protokind must stay
+// silent.
+package protocomplete
+
+// Body mirrors proto.Body.
+type Body interface {
+	Kind() string
+}
+
+type Ping struct{ N int }
+
+func (Ping) Kind() string { return "ping" }
+
+type Pong struct{ M string }
+
+func (Pong) Kind() string { return "pong" }
+
+const (
+	kindInvalid byte = iota
+	kindPing
+	kindPong
+)
+
+type encoder struct{ out []byte }
+
+func (e *encoder) body(b Body) {
+	switch b.(type) {
+	case Ping:
+		e.out = append(e.out, kindPing)
+	case Pong:
+		e.out = append(e.out, kindPong)
+	}
+}
+
+type decoder struct{ in []byte }
+
+func (d *decoder) body(kind byte) (Body, error) {
+	switch kind {
+	case kindPing:
+		return Ping{N: 1}, nil
+	case kindPong:
+		var p Pong
+		p.M = "m"
+		return p, nil
+	}
+	return nil, nil
+}
+
+func randBody(n int) Body {
+	if n%2 == 0 {
+		return Ping{N: n}
+	}
+	return Pong{M: "x"}
+}
+
+func init() {
+	_ = kindInvalid
+}

@@ -1,0 +1,105 @@
+// Package protomissing mirrors internal/proto's codec structure with a
+// deliberately incomplete registration at each site: a body type
+// missing its kind constant, one missing from the encoder switch, one
+// the decoder never constructs, one forgotten in the randBody
+// differential arms (the "new body type forgotten in randBody" failure
+// mode), and a kind constant with no body type.
+package protomissing
+
+// Body mirrors proto.Body.
+type Body interface {
+	Kind() string
+}
+
+// Ping is registered at every site: no diagnostics.
+type Ping struct{ N int }
+
+func (Ping) Kind() string { return "ping" }
+
+type MissingKind struct{} // want `proto body type MissingKind has no kind tag constant kindMissingKind`
+
+func (MissingKind) Kind() string { return "missing-kind" }
+
+type MissingEncode struct{} // want `proto body type MissingEncode missing from the \(\*encoder\)\.body type switch`
+
+func (MissingEncode) Kind() string { return "missing-encode" }
+
+type MissingDecode struct{} // want `proto body type MissingDecode is never constructed by any decoder method`
+
+func (MissingDecode) Kind() string { return "missing-decode" }
+
+type MissingRand struct{} // want `proto body type MissingRand missing from the randBody differential arms`
+
+func (MissingRand) Kind() string { return "missing-rand" }
+
+const (
+	kindInvalid byte = iota
+	kindPing
+	kindMissingEncode
+	kindMissingDecode
+	kindMissingRand
+	kindGhost // want `kind tag constant kindGhost has no matching proto body type Ghost`
+)
+
+type encoder struct{ out []byte }
+
+func (e *encoder) body(b Body) {
+	switch b.(type) {
+	case Ping:
+		e.out = append(e.out, kindPing)
+	case MissingKind:
+		e.out = append(e.out, 99)
+	case MissingDecode:
+		e.out = append(e.out, kindMissingDecode)
+	case MissingRand:
+		e.out = append(e.out, kindMissingRand)
+	}
+}
+
+type decoder struct{ in []byte }
+
+func (d *decoder) body(kind byte) (Body, error) {
+	switch kind {
+	case kindPing:
+		return Ping{N: 1}, nil
+	case kindMissingEncode:
+		return MissingEncode{}, nil
+	}
+	return d.slow()
+}
+
+// slow proves construction anywhere in a decoder method counts,
+// composite literal or zero-value var alike.
+func (d *decoder) slow() (Body, error) {
+	var mk MissingKind
+	var mr MissingRand
+	_ = mr
+	return mk, nil
+}
+
+// randBody mirrors the differential test's generator arms. In the real
+// tree it lives in a _test.go file of the proto package; the site is
+// checked whenever the analyzed unit contains the function.
+func randBody(n int) Body {
+	switch n % 4 {
+	case 0:
+		return Ping{N: n}
+	case 1:
+		return MissingEncode{}
+	case 2:
+		return MissingKind{}
+	default:
+		var md MissingDecode
+		return md
+	}
+}
+
+func init() {
+	var mk MissingKind
+	_ = mk.Kind()
+	_ = MissingEncode{}.Kind()
+	_ = MissingDecode{}.Kind()
+	_ = MissingRand{}.Kind()
+	_ = kindInvalid
+	_ = kindGhost
+}

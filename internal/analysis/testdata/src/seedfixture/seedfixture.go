@@ -1,0 +1,24 @@
+// Package seedfixture seeds seedcheck violations: draws from the
+// global math/rand generator, which no seed controls.
+package seedfixture
+
+import "math/rand"
+
+func violations(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want `draw from global math/rand generator rand\.Shuffle`
+	_ = rand.Float64()                 // want `draw from global math/rand generator rand\.Float64`
+	_ = rand.Perm(n)                   // want `draw from global math/rand generator rand\.Perm`
+	return rand.Intn(n)                // want `draw from global math/rand generator rand\.Intn`
+}
+
+// Methods on a threaded, seeded *rand.Rand are the sanctioned form.
+func threaded(rng *rand.Rand, n int) int {
+	rng.Shuffle(n, func(i, j int) {})
+	_ = rng.Float64()
+	return rng.Intn(n)
+}
+
+// The constructors are package-level but build the threaded value.
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

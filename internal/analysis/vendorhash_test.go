@@ -1,0 +1,145 @@
+package analysis_test
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestVendoredToolsMatchesGoSum pins the vendored golang.org/x/tools
+// subset to go.sum. Vendor mode never consults go.sum, so without this
+// test the pin would be decorative: anyone could edit a vendored file
+// and neither `go build` nor `go mod verify` would notice. Here we
+// recompute the module-aware dirhash (the H1 algorithm go.sum uses:
+// sha256 over the sorted "sha256(file)  name" lines, names of the form
+// module@version/relpath) over vendor/golang.org/x/tools and require
+// go.sum to carry exactly that digest.
+//
+// The digest covers our vendored 14-package subset, not the full
+// upstream module, so it will not equal the upstream h1 — go.mod
+// documents this. The /go.mod line hashes the synthesized go.mod
+// below, since the Go distribution's cmd/vendor tree (our offline
+// source) does not ship the module's own go.mod file.
+//
+// Bootstrap / intentional update: OPENWF_WRITE_GOSUM=1 go test
+// -run VendoredTools ./internal/analysis/ rewrites go.sum.
+func TestVendoredToolsMatchesGoSum(t *testing.T) {
+	root := repoRoot(t)
+	version := requiredToolsVersion(t, root)
+	mod := "golang.org/x/tools"
+
+	vendorDir := filepath.Join(root, "vendor", "golang.org", "x", "tools")
+	var names []string
+	content := map[string][]byte{}
+	err := filepath.WalkDir(vendorDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(vendorDir, path)
+		if err != nil {
+			return err
+		}
+		name := mod + "@" + version + "/" + filepath.ToSlash(rel)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		names = append(names, name)
+		content[name] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 40 {
+		t.Fatalf("vendored tree has only %d files; expected the full 14-package subset", len(names))
+	}
+
+	treeHash := hash1(names, content)
+
+	// The distribution's cmd/vendor tree has no go.mod for x/tools;
+	// hash the minimal equivalent (module path + language version).
+	goModName := mod + "@" + version + "/go.mod"
+	goModHash := hash1([]string{goModName}, map[string][]byte{
+		goModName: []byte("module golang.org/x/tools\n\ngo 1.22.0\n"),
+	})
+
+	want := fmt.Sprintf("%s %s %s\n%s %s/go.mod %s\n",
+		mod, version, treeHash, mod, version, goModHash)
+
+	sumPath := filepath.Join(root, "go.sum")
+	if os.Getenv("OPENWF_WRITE_GOSUM") == "1" {
+		if err := os.WriteFile(sumPath, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", sumPath)
+		return
+	}
+	got, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatalf("go.sum unreadable (bootstrap with OPENWF_WRITE_GOSUM=1): %v", err)
+	}
+	if string(got) != want {
+		t.Fatalf("go.sum does not match the vendored golang.org/x/tools tree.\n"+
+			"If the vendored subset changed on purpose, refresh with:\n"+
+			"  OPENWF_WRITE_GOSUM=1 go test -run VendoredTools ./internal/analysis/\n"+
+			"go.sum has:\n%swant:\n%s", got, want)
+	}
+}
+
+// hash1 is dirhash.Hash1: sorted "sha256(content)  name" lines, hashed
+// together, base64-encoded with the h1: prefix.
+func hash1(names []string, content map[string][]byte) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	for _, name := range sorted {
+		fmt.Fprintf(h, "%x  %s\n", sha256.Sum256(content[name]), name)
+	}
+	return "h1:" + base64.StdEncoding.EncodeToString(h.Sum(nil))
+}
+
+// repoRoot walks up from the test's working directory to the go.mod
+// that declares module openwf.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if data, err := os.ReadFile(filepath.Join(dir, "go.mod")); err == nil {
+			if strings.HasPrefix(string(data), "module openwf\n") {
+				return dir
+			}
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module openwf root not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// requiredToolsVersion extracts the pinned x/tools version from go.mod
+// so the hash names track the require line instead of a second copy of
+// the version string.
+func requiredToolsVersion(t *testing.T, root string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`golang\.org/x/tools (v\S+)`).FindSubmatch(data)
+	if m == nil {
+		t.Fatal("go.mod does not require golang.org/x/tools")
+	}
+	return string(m[1])
+}

@@ -20,10 +20,10 @@ import (
 	"openwf/internal/proto"
 	"openwf/internal/schedule"
 	"openwf/internal/service"
-	"openwf/internal/transport"
 	"openwf/internal/space"
 	"openwf/internal/spec"
 	"openwf/internal/trace"
+	"openwf/internal/transport"
 	"openwf/internal/transport/inmem"
 	"openwf/internal/transport/tcpnet"
 )

@@ -203,7 +203,7 @@ func newServer(comm *community.Community, initiator proto.Addr, cfg Config, repa
 	if cfg.Backlog <= 0 {
 		cfg.Backlog = DefaultBacklog
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //openwf:allow-background lifecycle root for the worker pool, canceled by Close
 	s := &Server{
 		comm:      comm,
 		initiator: initiator,
@@ -394,7 +394,11 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 	// Workers are gone; fail whatever was admitted but never served.
 	for {
-		j, class, err := s.q.Next(context.Background())
+		// s.ctx is already canceled here, which is exactly right:
+		// Next drains queued items before consulting the context, so
+		// every admitted job is failed, and an (impossible) empty
+		// unclosed queue returns ctx.Err instead of blocking Close.
+		j, class, err := s.q.Next(s.ctx)
 		if err != nil {
 			break
 		}

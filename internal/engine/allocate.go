@@ -238,6 +238,6 @@ func (sess *allocSession) compensate(plan *Plan) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, t := range ids {
-		_ = sess.m.net.Send(context.Background(), plan.Allocations[t], sess.wfID, proto.Cancel{Task: t})
+		_ = sess.m.net.Send(context.Background(), plan.Allocations[t], sess.wfID, proto.Cancel{Task: t}) //openwf:allow-background compensation must out-live the canceled request ctx or winners keep dead commitments
 	}
 }

@@ -230,7 +230,7 @@ func (m *Manager) repairPlan(ctx context.Context, ex *execution, dead []proto.Ad
 		need, cancels := m.swapWorkflow(ex, res, deadSet, won, wonMetas)
 		sort.Slice(cancels, func(i, j int) bool { return cancels[i].task < cancels[j].task })
 		for _, c := range cancels {
-			_ = m.net.Send(context.Background(), c.host, wfID, proto.Cancel{Task: c.task})
+			_ = m.net.Send(context.Background(), c.host, wfID, proto.Cancel{Task: c.task}) //openwf:allow-background swap compensation must land even when the repair's request ctx is gone
 		}
 		w = res.Workflow
 		if len(need) > 0 {
@@ -469,7 +469,7 @@ func (m *Manager) cancelAwards(wfID string, alloc map[model.TaskID]proto.Addr) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, t := range ids {
-		_ = m.net.Send(context.Background(), alloc[t], wfID, proto.Cancel{Task: t})
+		_ = m.net.Send(context.Background(), alloc[t], wfID, proto.Cancel{Task: t}) //openwf:allow-background compensation must out-live the canceled request ctx or winners keep dead commitments
 	}
 }
 

@@ -1,12 +1,14 @@
 package evalgen
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"openwf/internal/core"
 	"openwf/internal/model"
+	"openwf/internal/testutil"
 )
 
 func TestGenerateValidatesInput(t *testing.T) {
@@ -238,7 +240,7 @@ func TestMaxPathLengthGrowsWithGraphSize(t *testing.T) {
 }
 
 func TestRunExperimentSmoke(t *testing.T) {
-	res, err := RunExperiment(ExperimentConfig{
+	res, err := RunExperiment(context.Background(), ExperimentConfig{
 		Tasks:       25,
 		Hosts:       3,
 		PathLengths: []int{2, 4},
@@ -267,13 +269,13 @@ func TestRunExperimentSmoke(t *testing.T) {
 }
 
 func TestRunExperimentValidation(t *testing.T) {
-	if _, err := RunExperiment(ExperimentConfig{}, "x"); err == nil {
+	if _, err := RunExperiment(context.Background(), ExperimentConfig{}, "x"); err == nil {
 		t.Error("zero config accepted")
 	}
 }
 
 func TestRunExperimentSkipsImpossibleLengths(t *testing.T) {
-	res, err := RunExperiment(ExperimentConfig{
+	res, err := RunExperiment(context.Background(), ExperimentConfig{
 		Tasks:       10,
 		Hosts:       2,
 		PathLengths: []int{2, 40}, // 40 exceeds any 10-node graph's diameter
@@ -301,12 +303,7 @@ func TestBFSReusesBuffers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc.bfs(0) // warmup allocates the buffers once
-	if allocs := testing.AllocsPerRun(50, func() {
-		sc.bfs(7)
-	}); allocs != 0 {
-		t.Fatalf("bfs allocates %.1f objects per run after warmup, want 0", allocs)
-	}
+	testutil.AllocBound(t, 0, func() { sc.bfs(7) })
 	// The reused buffers must not corrupt results: fresh-scenario BFS
 	// from the same seed agrees at every start node.
 	rng2 := rand.New(rand.NewSource(1))

@@ -108,9 +108,11 @@ var sustainedT0 = time.Date(2009, 11, 30, 12, 0, 0, 0, time.UTC)
 // SustainedLoad builds a daemon-owned community on a simulated clock and
 // serves a closed-loop workload against it. It is the one harness behind
 // cmd/loadgen, the benchjson SustainedLoad row, and the CI smoke test.
-func SustainedLoad(cfg SustainedConfig) (*SustainedResult, error) {
+// Canceling ctx unwinds the closed loop: clients stop on their next
+// request and the drain deadline collapses to the cancellation.
+func SustainedLoad(ctx context.Context, cfg SustainedConfig) (*SustainedResult, error) {
 	cfg.setDefaults()
-	wallStart := time.Now()
+	wallStart := time.Now() //openwf:allow-wallclock wall-elapsed reporting: WallElapsed records real harness runtime alongside the virtual duration
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sc, err := Generate(cfg.Tasks, rng)
@@ -187,7 +189,7 @@ func SustainedLoad(cfg SustainedConfig) (*SustainedResult, error) {
 				return
 			default:
 				sim.Advance(200 * time.Millisecond)
-				time.Sleep(time.Millisecond)
+				time.Sleep(time.Millisecond) //openwf:allow-wallclock paces the virtual-clock driver so worker goroutines get real scheduler time between advances
 			}
 		}
 	}()
@@ -207,14 +209,15 @@ func SustainedLoad(cfg SustainedConfig) (*SustainedResult, error) {
 					Class: classes[i%len(classes)],
 				}
 				i += cfg.Clients
-				res, err := srv.Do(context.Background(), req)
+				res, err := srv.Do(ctx, req)
 				var rej *backlog.RejectedError
 				switch {
 				case errors.As(err, &rej):
 					// Typed backpressure: shed and come back — a tiny
 					// wall pause keeps a saturated loop from spinning.
 					clientRejected.Add(1)
-					time.Sleep(time.Millisecond)
+					time.Sleep(time.Millisecond) //openwf:allow-wallclock real pause on shed keeps a saturated closed loop from spinning the CPU; virtual time is advanced by the driver
+
 				case err != nil:
 					return // draining: the window closed under us
 				default:
@@ -230,7 +233,7 @@ func SustainedLoad(cfg SustainedConfig) (*SustainedResult, error) {
 	virtualElapsed := sim.Now().Sub(sustainedT0)
 
 	// Clean shutdown: finish everything admitted...
-	drainCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	drainCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
 	err = srv.Drain(drainCtx)
 	cancel()
 	if err != nil {
@@ -243,7 +246,7 @@ func SustainedLoad(cfg SustainedConfig) (*SustainedResult, error) {
 	// commitment and hold is swept (awards are leased, never permanent).
 	for i := 0; i < 600 && comm.TotalCommitments()+comm.TotalHolds() > 0; i++ {
 		sim.Advance(time.Minute)
-		time.Sleep(time.Millisecond)
+		time.Sleep(time.Millisecond) //openwf:allow-wallclock yields real scheduler time so lease sweeps triggered by the advance can land
 	}
 	close(stopDriver)
 	driverWG.Wait()
@@ -263,7 +266,7 @@ func SustainedLoad(cfg SustainedConfig) (*SustainedResult, error) {
 		LatencyP99:       snap.LatencyP99,
 		LatencyP999:      snap.LatencyP999,
 		VirtualElapsed:   virtualElapsed,
-		WallElapsed:      time.Since(wallStart),
+		WallElapsed:      time.Since(wallStart), //openwf:allow-wallclock wall-elapsed reporting: real harness runtime alongside the virtual duration
 		FinalBacklog:     snap.Backlog,
 		FinalHolds:       comm.TotalHolds(),
 		FinalCommitments: comm.TotalCommitments(),

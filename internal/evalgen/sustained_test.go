@@ -1,6 +1,7 @@
 package evalgen
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -14,7 +15,7 @@ import (
 // or goroutines.
 func TestSustainedLoadSmoke(t *testing.T) {
 	testutil.CheckGoroutines(t)
-	res, err := SustainedLoad(SustainedConfig{
+	res, err := SustainedLoad(context.Background(), SustainedConfig{
 		Tasks:    40,
 		Hosts:    4,
 		Clients:  3,
@@ -59,7 +60,7 @@ func TestSustainedLoadShedsUnderOverload(t *testing.T) {
 		t.Skip("short mode")
 	}
 	testutil.CheckGoroutines(t)
-	res, err := SustainedLoad(SustainedConfig{
+	res, err := SustainedLoad(context.Background(), SustainedConfig{
 		Tasks:    40,
 		Hosts:    4,
 		Clients:  12,

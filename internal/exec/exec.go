@@ -82,7 +82,7 @@ func NewManager(self proto.Addr, clk clock.Clock, services *service.Manager, sch
 		runs:     make(map[runKey]*run),
 		labels:   make(map[string]map[model.LabelID][]byte),
 	}
-	m.ctx, m.cancel = context.WithCancel(context.Background())
+	m.ctx, m.cancel = context.WithCancel(context.Background()) //openwf:allow-background lifecycle root spanning every execution on this host, canceled by Close
 	return m
 }
 

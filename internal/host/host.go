@@ -112,7 +112,7 @@ func New(cfg Config) (*Host, error) {
 		Services:  service.NewManager(clk),
 		pending:   make(map[uint64]chan proto.Envelope),
 	}
-	h.ctx, h.cancel = context.WithCancel(context.Background())
+	h.ctx, h.cancel = context.WithCancel(context.Background()) //openwf:allow-background lifecycle root for the host's dispatcher and invocations, canceled by Close
 	h.Schedule = schedule.NewManager(clk, cfg.Mobility, cfg.Prefs)
 	h.Participant = auction.NewParticipant(clk, h.Services, h.Schedule, cfg.BidWindow)
 	if cfg.CommitLease != 0 {

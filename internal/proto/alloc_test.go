@@ -1,0 +1,38 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"openwf/internal/testutil"
+)
+
+// TestEncodeToAllocFree pins the transports' marshal path:
+// EncodeTo into a reused buffer (the pooled-buffer steady state, once
+// the backing array has grown to fit the envelope) performs no heap
+// allocations. BenchmarkEncodeToPooled reports the same number, but a
+// benchmark only shows regressions to whoever runs it — this fails
+// `go test ./...`.
+func TestEncodeToAllocFree(t *testing.T) {
+	env := benchEnvelope()
+	buf := new(bytes.Buffer)
+	testutil.AllocBound(t, 0, func() {
+		buf.Reset()
+		if err := EncodeTo(buf, env); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestEncodeToBidAllocFree pins the other hot message shape, the
+// auction reply, on the same path.
+func TestEncodeToBidAllocFree(t *testing.T) {
+	env := benchBidEnvelope()
+	buf := new(bytes.Buffer)
+	testutil.AllocBound(t, 0, func() {
+		buf.Reset()
+		if err := EncodeTo(buf, env); err != nil {
+			t.Error(err)
+		}
+	})
+}

@@ -180,7 +180,7 @@ func (m *Manager) Tasks() []model.TaskID {
 // and is passed through to the service body.
 func (m *Manager) Invoke(inv Invocation, declaredOutputs []model.LabelID) (Outputs, error) {
 	if inv.Ctx == nil {
-		inv.Ctx = context.Background()
+		inv.Ctx = context.Background() //openwf:allow-background nil-ctx fallback for direct library callers; engine-driven invocations always carry the run ctx
 	}
 	m.mu.RLock()
 	reg, ok := m.services[inv.Task]

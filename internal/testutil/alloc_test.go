@@ -1,0 +1,72 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// recordingTB captures Fatalf/Skip calls so AllocBound's failure path
+// can itself be tested. Methods record instead of aborting, so a
+// "failed" AllocBound returns normally here.
+type recordingTB struct {
+	testing.TB // promote the real test's methods for everything else
+	fatal      string
+	skipped    bool
+}
+
+func (r *recordingTB) Helper() {}
+func (r *recordingTB) Fatalf(format string, args ...interface{}) {
+	r.fatal = format
+}
+func (r *recordingTB) Skip(args ...interface{}) { r.skipped = true }
+
+func TestAllocBoundPassesUnderBound(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("AllocBound self-checks need the unskipped path")
+	}
+	var sink int
+	AllocBound(t, 0, func() { sink++ })
+	if sink == 0 {
+		t.Fatal("f never ran")
+	}
+}
+
+func TestAllocBoundAllowsExactBound(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("AllocBound self-checks need the unskipped path")
+	}
+	var sink []byte
+	AllocBound(t, 1, func() { sink = make([]byte, 4096) })
+	_ = sink
+}
+
+func TestAllocBoundFailsOverBound(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("AllocBound self-checks need the unskipped path")
+	}
+	rec := &recordingTB{TB: t}
+	var sink []byte
+	AllocBound(rec, 0, func() { sink = make([]byte, 4096) })
+	_ = sink
+	if rec.fatal == "" {
+		t.Fatal("an allocating f passed a 0-alloc bound")
+	}
+	if !strings.Contains(rec.fatal, "allocations") {
+		t.Fatalf("unexpected failure message format %q", rec.fatal)
+	}
+}
+
+func TestAllocBoundSkipsUnderRace(t *testing.T) {
+	if !RaceEnabled {
+		t.Skip("only meaningful under -race")
+	}
+	rec := &recordingTB{TB: t}
+	ran := false
+	AllocBound(rec, 0, func() { ran = true })
+	if !rec.skipped {
+		t.Fatal("AllocBound did not skip under the race detector")
+	}
+	if ran {
+		t.Fatal("AllocBound measured despite the race detector")
+	}
+}

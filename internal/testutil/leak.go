@@ -23,19 +23,21 @@ func CheckGoroutines(t testing.TB) {
 	t.Helper()
 	base := runtime.NumGoroutine()
 	t.Cleanup(func() {
-		deadline := time.Now().Add(5 * time.Second)
+		// The leak deadline is real time by design: many tests park the
+		// simulated clock, so a virtual deadline would never arrive.
+		deadline := time.Now().Add(5 * time.Second) //openwf:allow-wallclock leak-check deadline must elapse even when the Sim clock is frozen
 		for {
 			now := runtime.NumGoroutine()
 			if now <= base+goroutineSlack {
 				return
 			}
-			if time.Now().After(deadline) {
+			if time.Now().After(deadline) { //openwf:allow-wallclock leak-check deadline must elapse even when the Sim clock is frozen
 				buf := make([]byte, 1<<20)
 				n := runtime.Stack(buf, true)
 				t.Fatalf("goroutines leaked: %d at start, %d after close\n%s", base, now, buf[:n])
 				return
 			}
-			time.Sleep(10 * time.Millisecond)
+			time.Sleep(10 * time.Millisecond) //openwf:allow-wallclock polls runtime goroutine count, which only changes in real time
 		}
 	})
 }
@@ -59,7 +61,7 @@ func (f HoldReporterFunc) Holds() int { return f() }
 // any reservation outlives the deadline — the commitment-leak check.
 func WaitNoHolds(t testing.TB, timeout time.Duration, reporters ...HoldReporter) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //openwf:allow-wallclock leak-check deadline must elapse even when the Sim clock is frozen
 	for {
 		total := 0
 		for _, r := range reporters {
@@ -68,11 +70,11 @@ func WaitNoHolds(t testing.TB, timeout time.Duration, reporters ...HoldReporter)
 		if total == 0 {
 			return
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //openwf:allow-wallclock leak-check deadline must elapse even when the Sim clock is frozen
 			t.Fatalf("%d firm-bid holds leaked after settle", total)
 			return
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond) //openwf:allow-wallclock polls cross-goroutine hold counters that settle in real time
 	}
 }
 

@@ -1,0 +1,26 @@
+package transport
+
+import (
+	"testing"
+
+	"openwf/internal/proto"
+	"openwf/internal/testutil"
+)
+
+// TestCoalescerIdleLinkAllocFree pins the uncontended send path: on an
+// idle link every Admit elects the caller as writer and the following
+// Drain hands the single envelope straight to transmit, with no queue
+// growth and no batch assembly — zero heap allocations per message.
+// This is the common case under light load, so a regression here taxes
+// every envelope the transports carry.
+func TestCoalescerIdleLinkAllocFree(t *testing.T) {
+	var c Coalescer
+	e := env(1)
+	transmit := func(proto.Envelope) error { return nil }
+	testutil.AllocBound(t, 0, func() {
+		if w, d := c.Admit(e); !w || d {
+			t.Errorf("Admit on idle link: writer=%v dropped=%v, want writer", w, d)
+		}
+		c.Drain("a", "b", transmit)
+	})
+}

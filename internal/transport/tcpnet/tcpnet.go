@@ -176,7 +176,7 @@ func (t *Transport) outboxFor(to proto.Addr) *transport.Coalescer {
 // flush dials (if needed) under its own bounded context.
 func (t *Transport) drainOutbox(to proto.Addr, ob *transport.Coalescer) {
 	ob.Drain(t.addr, to, func(env proto.Envelope) error {
-		ctx, cancel := context.WithTimeout(context.Background(), drainDialTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainDialTimeout) //openwf:allow-background the drain out-lives the admitting writer's request ctx; the dial timeout bounds it instead
 		defer cancel()
 		return t.transmit(ctx, to, env)
 	})
