@@ -360,3 +360,41 @@ func BenchmarkConcurrentInitiate(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDiscoveryInitiate — capability-index routing vs full
+// broadcast (PR 9): one Initiate over a community where only 5 fixed
+// providers are relevant and every other member is junk. The
+// roundtrips/op metric is the story: indexed rows stay flat as the
+// community grows, broadcast rows grow O(hosts). The full grid
+// (100/300/1000 hosts) runs in cmd/benchjson (BENCH_PR9.json).
+func BenchmarkDiscoveryInitiate(b *testing.B) {
+	for _, hosts := range []int{10, 100} {
+		for _, mode := range []string{"indexed", "broadcast"} {
+			b.Run(fmt.Sprintf("hosts=%d/mode=%s", hosts, mode), func(b *testing.B) {
+				ctx := context.Background()
+				comm, initiator, s, err := evalgen.DiscoverySetup(ctx, hosts, 5, 6, mode == "indexed", 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer comm.Close()
+				comm.Network().ResetCounters()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					comm.ResetSchedules()
+					b.StartTimer()
+					plan, err := comm.Initiate(ctx, initiator, s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if plan.Workflow.NumTasks() != 6 {
+						b.Fatalf("workflow has %d tasks", plan.Workflow.NumTasks())
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(comm.Network().Stats().Calls)/float64(b.N), "roundtrips/op")
+			})
+		}
+	}
+}

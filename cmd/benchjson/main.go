@@ -4,7 +4,7 @@
 // (ns/op, B/op, allocs/op) in a BENCH_PR<n>.json at the repo root, so
 // regressions are visible in review without re-running the full sweep.
 //
-//	go run ./cmd/benchjson -o BENCH_PR7.json
+//	go run ./cmd/benchjson -o BENCH_PR9.json
 //
 // The grid points mirror the root bench_test.go benchmarks that the
 // paper's evaluation (§5) pins: the pure construction algorithm at
@@ -18,9 +18,13 @@
 // over one host, serial vs concurrent), the repair-vs-replan grid
 // (PR 6: recovering a mid-execution workflow from a single provider
 // death by incremental plan repair versus a full replan from scratch),
-// and the sustained-serving rows (PR 7: a daemon under closed-loop load
+// the sustained-serving rows (PR 7: a daemon under closed-loop load
 // for a virtual minute, reported as throughput and latency quantiles in
-// the report's "sustained" section; cmd/loadgen runs the wider grid).
+// the report's "sustained" section; cmd/loadgen runs the wider grid),
+// and the capability-discovery grid (PR 9: one Initiate over 10–1000
+// hosts with a fixed 5-provider relevant set, index-routed vs broadcast
+// — the RoundTrips column shows indexed rows flat in community size
+// while broadcast grows O(hosts)).
 package main
 
 import (
@@ -160,7 +164,7 @@ func repairCommunity(b *testing.B, hosts, chain int, cfg *engine.Config) (*commu
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR9.json", "output file (- for stdout)")
 	flag.Parse()
 
 	var results []result
@@ -534,6 +538,42 @@ func main() {
 			}
 			b.ReportMetric(float64(roundTrips)/float64(b.N), "roundtrips/op")
 		})
+	}
+
+	// Capability-discovery grid (PR 9): one Initiate over a community
+	// where only 5 fixed providers are relevant and every other member is
+	// junk, index-routed vs broadcast. The RoundTrips column is the bar:
+	// indexed Calls/Initiate must stay within 2x of the 10-host figure all
+	// the way to 1000 hosts, while broadcast grows O(hosts).
+	for _, hosts := range []int{10, 100, 300, 1000} {
+		for _, mode := range []string{"indexed", "broadcast"} {
+			hosts, mode := hosts, mode
+			run(fmt.Sprintf("Discovery/hosts=%d/providers=5/mode=%s", hosts, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				ctx := context.Background()
+				comm, initiator, s, err := evalgen.DiscoverySetup(ctx, hosts, 5, 6, mode == "indexed", 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer comm.Close()
+				comm.Network().ResetCounters()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					comm.ResetSchedules()
+					b.StartTimer()
+					plan, err := comm.Initiate(ctx, initiator, s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if plan.Workflow.NumTasks() != 6 {
+						b.Fatalf("workflow has %d tasks", plan.Workflow.NumTasks())
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(comm.Network().Stats().Calls)/float64(b.N), "roundtrips/op")
+			})
+		}
 	}
 
 	// The sustained serving rows (PR 7): a daemon on the virtual clock

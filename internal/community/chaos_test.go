@@ -32,10 +32,12 @@ import (
 
 	"openwf/internal/clock"
 	"openwf/internal/engine"
+	"openwf/internal/host"
 	"openwf/internal/model"
 	"openwf/internal/proto"
 	"openwf/internal/service"
 	"openwf/internal/testutil"
+	"openwf/internal/trace"
 	"openwf/internal/transport/inmem"
 )
 
@@ -51,13 +53,26 @@ type chaosLayout struct {
 	// partition additionally splits the community mid-flight and heals
 	// it a few virtual seconds later.
 	partition bool
-	seed      int64
+	// indexed enables capability-index discovery (warmed before
+	// allocation) and asserts, from the message trace, that the
+	// initiator sends zero solicitations to any crashed-for-good host
+	// once its advertisement has lapsed past the TTL horizon.
+	indexed bool
+	// ttl overrides the advertisement TTL for indexed rounds (default
+	// chaosDiscoveryTTL).
+	ttl  time.Duration
+	seed int64
 }
+
+// chaosDiscoveryTTL is short enough that a crash victim's advertisement
+// lapses while the fault schedule is still in flight.
+const chaosDiscoveryTTL = 4 * time.Second
 
 // buildChaos materializes a layout: host00 carries every fragment and
 // initiates; every provider host registers every service (shared mode),
-// so any survivor can take over any task during repair.
-func buildChaos(t *testing.T, l chaosLayout, sim *clock.Sim) *Community {
+// so any survivor can take over any task during repair. rec, when
+// non-nil, records every message for post-run assertions.
+func buildChaos(t *testing.T, l chaosLayout, sim *clock.Sim, rec trace.Recorder) *Community {
 	t.Helper()
 	var frags []*model.Fragment
 	for k := 0; k < l.sessions; k++ {
@@ -95,11 +110,16 @@ func buildChaos(t *testing.T, l chaosLayout, sim *clock.Sim) *Community {
 	cfg.CallTimeout = 10 * time.Second
 	cfg.LeaseRefreshInterval = 2 * time.Second
 
-	c, err := New(Options{
+	opts := Options{
 		Clock:  sim,
 		Engine: &cfg,
 		Seed:   l.seed,
-	}, specs...)
+		Trace:  rec,
+	}
+	if l.indexed {
+		opts.Discovery = &host.DiscoveryConfig{TTL: l.ttl, RefreshEvery: l.ttl / 4}
+	}
+	c, err := New(opts, specs...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,8 +169,17 @@ func chaosFaults(l chaosLayout, members []proto.Addr, rng *rand.Rand) []inmem.Fa
 func runChaos(t *testing.T, l chaosLayout) {
 	t.Helper()
 	testutil.CheckGoroutines(t)
+	if l.indexed && l.ttl == 0 {
+		l.ttl = chaosDiscoveryTTL
+	}
 	sim := clock.NewSim(chaosT0)
-	c := buildChaos(t, l, sim)
+	var buf *trace.Buffer
+	var rec trace.Recorder
+	if l.indexed {
+		buf = trace.NewBuffer(0)
+		rec = buf
+	}
+	c := buildChaos(t, l, sim, rec)
 	t.Cleanup(func() { _ = c.Close() })
 	rng := rand.New(rand.NewSource(l.seed))
 
@@ -158,6 +187,11 @@ func runChaos(t *testing.T, l chaosLayout) {
 	// harness owns allocation-time contention; chaos targets execution).
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
+	if l.indexed {
+		if err := c.WarmDiscovery(ctx, "host00"); err != nil {
+			t.Fatalf("WarmDiscovery: %v", err)
+		}
+	}
 	plans, err := c.InitiateAll(ctx, "host00", stressSpecs(l.sessions, l.chain))
 	if err != nil {
 		t.Fatalf("InitiateAll: %v", err)
@@ -172,7 +206,8 @@ func runChaos(t *testing.T, l chaosLayout) {
 	// concurrently. Faults fire from virtual +3s; the clock is frozen
 	// until the driver starts, so every session distributes its segments
 	// and injects its triggers on an intact community first.
-	if err := c.ScheduleFaults(chaosFaults(l, c.Members(), rng), nil); err != nil {
+	faults := chaosFaults(l, c.Members(), rng)
+	if err := c.ScheduleFaults(faults, nil); err != nil {
 		t.Fatal(err)
 	}
 	type outcome struct {
@@ -259,6 +294,56 @@ func runChaos(t *testing.T, l chaosLayout) {
 		sim.Advance(time.Minute)
 		time.Sleep(2 * time.Millisecond)
 	}
+
+	if l.indexed {
+		assertNoSolicitationPastTTL(t, buf, faults, l.ttl)
+	}
+}
+
+// solicitationKinds are the message kinds the capability index routes:
+// construction queries and auction solicitations. Lease refreshes and
+// execution traffic go to committed plan participants regardless of
+// advertisement state and are exempt.
+var solicitationKinds = map[string]bool{
+	"fragment-query":      true,
+	"feasibility-query":   true,
+	"call-for-bids":       true,
+	"call-for-bids-batch": true,
+}
+
+// assertNoSolicitationPastTTL scans the message trace for solicitations
+// the initiator sent to a crashed-for-good host after that host's
+// advertisement lapsed: the stale index entry must stop routing within
+// one TTL of the crash. Restarted victims re-advertise and are exempt.
+func assertNoSolicitationPastTTL(t *testing.T, buf *trace.Buffer, faults []inmem.Fault, ttl time.Duration) {
+	t.Helper()
+	crashedAt := make(map[proto.Addr]time.Time)
+	for _, f := range faults {
+		switch f.Kind {
+		case inmem.FaultCrash:
+			crashedAt[f.Host] = chaosT0.Add(f.At)
+		case inmem.FaultRestart:
+			delete(crashedAt, f.Host)
+		}
+	}
+	stale := 0
+	for _, ev := range buf.Events() {
+		if ev.Dir != trace.Send || ev.Host != "host00" || !solicitationKinds[ev.Kind] {
+			continue
+		}
+		at, dead := crashedAt[ev.Peer]
+		if !dead {
+			continue
+		}
+		if horizon := at.Add(ttl); !ev.At.Before(horizon) {
+			stale++
+			t.Errorf("solicitation %s to crashed %s at +%v, %v past its TTL horizon",
+				ev.Kind, ev.Peer, ev.At.Sub(chaosT0), ev.At.Sub(horizon))
+		}
+	}
+	if stale == 0 {
+		t.Logf("no solicitation reached a lapsed host (%d events scanned)", buf.Total())
+	}
 }
 
 // TestChaosCrashRepairPartition is the seeded chaos matrix the CI job
@@ -285,4 +370,28 @@ func TestChaosCrashRepairPartition(t *testing.T) {
 // partition: every session must still settle and the calendars drain.
 func TestChaosKillsOnly(t *testing.T) {
 	runChaos(t, chaosLayout{hosts: 8, sessions: 8, chain: 3, kills: 2, restarts: 2, seed: 7})
+}
+
+// TestChaosIndexedDiscovery runs the chaos matrix with capability-index
+// routing enabled: providers are killed (one restarting) and the
+// community partitioned mid-round while the initiator routes every
+// solicitation through its warmed index. On top of the standard chaos
+// invariants (complete-or-clean-abort, drained calendars, no leaked
+// goroutines), the message trace must show zero solicitations from the
+// initiator to any crashed-for-good host after its advertisement lapsed
+// — the index's TTL doubles as a failure detector for routing.
+func TestChaosIndexedDiscovery(t *testing.T) {
+	grid := []chaosLayout{
+		{hosts: 8, sessions: 8, chain: 3, kills: 2, restarts: 1, partition: true, indexed: true, seed: 44},
+		{hosts: 9, sessions: 8, chain: 3, kills: 3, restarts: 1, indexed: true, seed: 55},
+	}
+	if testing.Short() {
+		grid = grid[:1]
+	}
+	for _, l := range grid {
+		l := l
+		t.Run(fmt.Sprintf("hosts=%d/kills=%d/seed=%d", l.hosts, l.kills, l.seed), func(t *testing.T) {
+			runChaos(t, l)
+		})
+	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"openwf/internal/clock"
 	"openwf/internal/core"
+	"openwf/internal/discovery"
 	"openwf/internal/engine"
 	"openwf/internal/host"
 	"openwf/internal/model"
@@ -67,6 +68,13 @@ type Options struct {
 	// Trace, when non-nil, records every message every host sends or
 	// receives (one shared recorder across the community).
 	Trace trace.Recorder
+	// Discovery, when non-nil, enables the capability index on every
+	// host: members advertise their label/task capabilities on the
+	// configured cadence and initiators route solicitation through the
+	// index instead of broadcasting (internal/discovery). Each host's
+	// advertiser jitter is seeded deterministically from Seed and its
+	// creation ordinal.
+	Discovery *host.DiscoveryConfig
 }
 
 // HostSpec describes one participant device.
@@ -113,9 +121,15 @@ func New(opts Options, specs ...HostSpec) (*Community, error) {
 
 	c := &Community{clk: clk, hosts: make(map[proto.Addr]*host.Host, len(specs))}
 	members := make([]proto.Addr, 0, len(specs))
-	for _, hs := range specs {
+	for i, hs := range specs {
 		if _, dup := c.hosts[hs.ID]; dup {
 			return nil, fmt.Errorf("community: duplicate host %q", hs.ID)
+		}
+		var disc *host.DiscoveryConfig
+		if opts.Discovery != nil {
+			dc := *opts.Discovery
+			dc.Seed = opts.Seed*1_000_003 + int64(i)
+			disc = &dc
 		}
 		var mobility space.Mobility
 		if hs.Speed > 0 {
@@ -134,6 +148,7 @@ func New(opts Options, specs ...HostSpec) (*Community, error) {
 			Fragments: hs.Fragments,
 			Services:  hs.Services,
 			Trace:     opts.Trace,
+			Discovery: disc,
 		})
 		if err != nil {
 			return nil, err
@@ -255,6 +270,31 @@ func (c *Community) InitiateAll(ctx context.Context, id proto.Addr, specs []spec
 	return h.Engine.InitiateBatch(ctx, specs)
 }
 
+// WarmDiscovery synchronously populates the capability index from the
+// given host's point of view: one pull sweep over the community
+// (Advertise request + AdvertiseAck per member) after which its
+// solicitations route by capability instead of broadcasting. Requires
+// Options.Discovery.
+func (c *Community) WarmDiscovery(ctx context.Context, id proto.Addr) error {
+	h, ok := c.hosts[id]
+	if !ok {
+		return fmt.Errorf("community: no host %q", id)
+	}
+	return h.AdvertiseNow(ctx)
+}
+
+// DiscoveryStats aggregates every host's capability-index counters.
+// Zero value when discovery is disabled.
+func (c *Community) DiscoveryStats() discovery.Stats {
+	var sum discovery.Stats
+	for _, id := range c.order {
+		if x := c.hosts[id].Discovery(); x != nil {
+			sum.Add(x.Stats())
+		}
+	}
+	return sum
+}
+
 // CrashHost kills a host: its network endpoint goes dark (frames to and
 // from it drop, queued messages are purged) and its volatile protocol
 // state — calendar, firm bids, commitment leases, execution runs,
@@ -289,6 +329,10 @@ func (c *Community) RestartHost(id proto.Addr) error {
 	// did not survive the outage either.
 	h.Reset()
 	c.network.Restart(id)
+	// A revived member re-announces itself right away instead of waiting
+	// out a refresh interval, so the community's indexes repopulate its
+	// entry (the crash wiped everyone's trust in the old one by TTL).
+	h.AdvertiseSoon()
 	return nil
 }
 
@@ -312,6 +356,9 @@ func (c *Community) ScheduleFaults(faults []inmem.Fault, notify func(inmem.Fault
 		case inmem.FaultRestart:
 			if h, ok := c.hosts[f.Host]; ok {
 				h.Reset()
+				// Re-advertise asynchronously: this callback runs on the
+				// clock's timer goroutine and must not block on sends.
+				h.AdvertiseSoon()
 			}
 		}
 		if notify != nil {

@@ -1,0 +1,229 @@
+package community
+
+// Differential and fallback tests for capability-index discovery: the
+// index may only change WHO is asked during solicitation sweeps, never
+// WHAT plan comes out. Every test builds the same seeded layout twice —
+// once routing through a warmed index, once broadcasting — on a frozen
+// virtual clock and compares canonical plan bytes.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"openwf/internal/clock"
+	"openwf/internal/discovery"
+	"openwf/internal/engine"
+	"openwf/internal/host"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/service"
+	"openwf/internal/testutil"
+	"openwf/internal/transport"
+)
+
+// discLayout describes one discovery differential configuration: host00
+// initiates and carries all session knowhow, hosts 1..sessions are each
+// one session's dedicated service provider, and every remaining host is
+// a "junk" member whose fragments and services use labels and tasks
+// disjoint from every session — the population the index should learn
+// to skip.
+type discLayout struct {
+	hosts    int
+	sessions int
+	chain    int
+	seed     int64
+}
+
+// buildDiscoveryGrid materializes a layout; indexed selects whether the
+// community runs with the capability index enabled.
+func buildDiscoveryGrid(t *testing.T, l discLayout, sim *clock.Sim, indexed bool) *Community {
+	t.Helper()
+	if l.hosts-1 < l.sessions {
+		t.Fatalf("layout needs one provider host per session: hosts=%d sessions=%d", l.hosts, l.sessions)
+	}
+	var frags []*model.Fragment
+	for k := 0; k < l.sessions; k++ {
+		for i := 0; i < l.chain; i++ {
+			frags = append(frags, frag(t, fmt.Sprintf("know-%s", stressTask(k, i)),
+				ctask(string(stressTask(k, i)),
+					[]model.LabelID{stressLabel(k, i)},
+					[]model.LabelID{stressLabel(k, i+1)})))
+		}
+	}
+	specs := make([]HostSpec, l.hosts)
+	for h := 0; h < l.hosts; h++ {
+		hs := HostSpec{ID: proto.Addr(fmt.Sprintf("host%02d", h))}
+		switch {
+		case h == 0:
+			hs.Fragments = frags
+		case h <= l.sessions: // dedicated provider for session h-1
+			var regs []service.Registration
+			for i := 0; i < l.chain; i++ {
+				regs = append(regs, svc(string(stressTask(h-1, i)), 0))
+			}
+			hs.Services = regs
+		default: // junk member: capabilities disjoint from every session
+			hs.Fragments = []*model.Fragment{
+				frag(t, fmt.Sprintf("junk-know-%02d", h),
+					ctask(fmt.Sprintf("junk-t%02d", h),
+						lbl(fmt.Sprintf("junk-l%02d", h)),
+						lbl(fmt.Sprintf("junk-m%02d", h)))),
+			}
+			hs.Services = []service.Registration{svc(fmt.Sprintf("junk-t%02d", h), 0)}
+		}
+		specs[h] = hs
+	}
+
+	cfg := engine.DefaultConfig()
+	cfg.TaskWindow = time.Second
+	cfg.StartDelay = time.Duration(l.chain+2) * time.Second
+	cfg.WindowRetries = l.sessions + 2
+	cfg.CallTimeout = time.Hour // virtual: all members answer, nothing times out
+
+	opts := Options{Clock: sim, Engine: &cfg, Seed: l.seed}
+	if indexed {
+		opts.Discovery = &host.DiscoveryConfig{}
+	}
+	c, err := New(opts, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// runDiscoveryGrid executes one differential round: build, optionally
+// warm the initiator's index, initiate every session concurrently on the
+// frozen clock, settle, and return the canonical plans plus the traffic
+// and index counters of the Initiate phase alone.
+func runDiscoveryGrid(t *testing.T, l discLayout, indexed, warm bool) (string, transport.Stats, discovery.Stats) {
+	t.Helper()
+	testutil.CheckGoroutines(t)
+	sim := clock.NewSim(stressT0)
+	c := buildDiscoveryGrid(t, l, sim, indexed)
+	t.Cleanup(func() { _ = c.Close() })
+
+	ctx := ctxTimeout(t, 60*time.Second)
+	if warm {
+		if err := c.WarmDiscovery(ctx, "host00"); err != nil {
+			t.Fatalf("WarmDiscovery: %v", err)
+		}
+	}
+	c.Network().ResetCounters()
+
+	plans, err := c.InitiateAll(ctx, "host00", stressSpecs(l.sessions, l.chain))
+	if err != nil {
+		t.Fatalf("InitiateAll: %v", err)
+	}
+	total := 0
+	for i, p := range plans {
+		if p == nil {
+			t.Fatalf("plan %d missing", i)
+		}
+		if p.Workflow.NumTasks() != l.chain || len(p.Allocations) != l.chain {
+			t.Fatalf("plan %d incomplete: %d tasks, %d allocated (want %d)",
+				i, p.Workflow.NumTasks(), len(p.Allocations), l.chain)
+		}
+		total += l.chain
+	}
+	traffic := c.TransportStats()
+	settleStress(t, c, sim, total)
+	assertCalendarInvariants(t, c, plans)
+	return canonicalPlans(plans), traffic, c.DiscoveryStats()
+}
+
+// TestIndexedDiscoveryMatchesBroadcastPlans is the differential
+// guarantee behind index-aware routing: on seeded 6- and 10-host
+// communities, routing solicitation through a warmed capability index
+// produces byte-identical canonical plans to full broadcast — while
+// spending strictly fewer Call round trips and actually exercising the
+// index (hits recorded, junk members skipped).
+func TestIndexedDiscoveryMatchesBroadcastPlans(t *testing.T) {
+	layouts := []discLayout{
+		{hosts: 6, sessions: 2, chain: 3, seed: 7},
+		{hosts: 10, sessions: 4, chain: 3, seed: 11},
+	}
+	for _, l := range layouts {
+		l := l
+		t.Run(fmt.Sprintf("hosts=%d/sessions=%d", l.hosts, l.sessions), func(t *testing.T) {
+			indexedPlans, indexedTraffic, stats := runDiscoveryGrid(t, l, true, true)
+			broadcastPlans, broadcastTraffic, _ := runDiscoveryGrid(t, l, false, false)
+			if indexedPlans != broadcastPlans {
+				t.Fatalf("indexed and broadcast plans diverge:\n--- indexed ---\n%s--- broadcast ---\n%s",
+					indexedPlans, broadcastPlans)
+			}
+			if indexedTraffic.Calls >= broadcastTraffic.Calls {
+				t.Errorf("indexed routing did not save round trips: indexed=%d broadcast=%d",
+					indexedTraffic.Calls, broadcastTraffic.Calls)
+			}
+			if stats.Hits == 0 {
+				t.Errorf("index never restricted a sweep: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestColdStartFallsBackToBroadcast pins the fallback half of the
+// routing contract: with discovery enabled but the index never warmed,
+// every sweep falls back to full broadcast (junk members never prove any
+// capability, so they stay unknown) and the plans are identical to a
+// community without discovery at all. The misses surface on the counter
+// the daemon exports via internal/metrics.
+func TestColdStartFallsBackToBroadcast(t *testing.T) {
+	l := discLayout{hosts: 8, sessions: 2, chain: 3, seed: 13}
+	coldPlans, coldTraffic, stats := runDiscoveryGrid(t, l, true, false)
+	broadcastPlans, broadcastTraffic, _ := runDiscoveryGrid(t, l, false, false)
+	if coldPlans != broadcastPlans {
+		t.Fatalf("cold-start plans diverge from broadcast:\n--- cold ---\n%s--- broadcast ---\n%s",
+			coldPlans, broadcastPlans)
+	}
+	if stats.Misses == 0 {
+		t.Errorf("cold index should have recorded fallback misses: %+v", stats)
+	}
+	if coldTraffic.Calls != broadcastTraffic.Calls {
+		t.Errorf("cold start must broadcast exactly like no index: cold=%d broadcast=%d",
+			coldTraffic.Calls, broadcastTraffic.Calls)
+	}
+}
+
+// TestForcedIndexMissFallsBack pins the never-seen-member rule at the
+// community level: warming the index and then forgetting one junk member
+// forces every sweep whose candidates include it back to full broadcast
+// — the plan is still constructed and identical to the broadcast plan.
+func TestForcedIndexMissFallsBack(t *testing.T) {
+	l := discLayout{hosts: 8, sessions: 2, chain: 3, seed: 17}
+
+	testutil.CheckGoroutines(t)
+	sim := clock.NewSim(stressT0)
+	c := buildDiscoveryGrid(t, l, sim, true)
+	t.Cleanup(func() { _ = c.Close() })
+	ctx := ctxTimeout(t, 60*time.Second)
+	if err := c.WarmDiscovery(ctx, "host00"); err != nil {
+		t.Fatalf("WarmDiscovery: %v", err)
+	}
+	h, _ := c.Host("host00")
+	h.Discovery().Forget("host07") // junk member drops off the index
+
+	plans, err := c.InitiateAll(ctx, "host00", stressSpecs(l.sessions, l.chain))
+	if err != nil {
+		t.Fatalf("InitiateAll: %v", err)
+	}
+	total := 0
+	for i, p := range plans {
+		if p == nil || len(p.Allocations) != l.chain {
+			t.Fatalf("plan %d incomplete after forced miss", i)
+		}
+		total += l.chain
+	}
+	if stats := h.Discovery().Stats(); stats.Misses == 0 {
+		t.Errorf("forgotten member should force fallback misses: %+v", stats)
+	}
+	got := canonicalPlans(plans)
+	settleStress(t, c, sim, total)
+
+	want, _, _ := runDiscoveryGrid(t, l, false, false)
+	if got != want {
+		t.Fatalf("forced-miss plans diverge from broadcast:\n--- forced miss ---\n%s--- broadcast ---\n%s",
+			got, want)
+	}
+}

@@ -257,6 +257,15 @@ func newServer(comm *community.Community, initiator proto.Addr, cfg Config, repa
 	reg.GaugeFunc("openwf_transport_frames_dropped_total",
 		"Wire frames lost after framing (loss, crash, unreachable peer).",
 		func() float64 { return float64(comm.TransportStats().FramesDropped) })
+	reg.GaugeFunc("openwf_discovery_hits_total",
+		"Solicitation sweeps the capability index restricted.",
+		func() float64 { return float64(comm.DiscoveryStats().Hits) })
+	reg.GaugeFunc("openwf_discovery_misses_total",
+		"Sweeps that fell back to full broadcast (cold or incomplete index).",
+		func() float64 { return float64(comm.DiscoveryStats().Misses) })
+	reg.GaugeFunc("openwf_discovery_excluded_total",
+		"Members skipped because their advertisement lapsed past the TTL.",
+		func() float64 { return float64(comm.DiscoveryStats().Excluded) })
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)

@@ -1,0 +1,265 @@
+package discovery
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"openwf/internal/clock"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+)
+
+var discT0 = time.Date(2026, 6, 12, 9, 0, 0, 0, time.UTC)
+
+func lbls(ss ...string) []model.LabelID {
+	out := make([]model.LabelID, len(ss))
+	for i, s := range ss {
+		out[i] = model.LabelID(s)
+	}
+	return out
+}
+
+func tsks(ss ...string) []model.TaskID {
+	out := make([]model.TaskID, len(ss))
+	for i, s := range ss {
+		out[i] = model.TaskID(s)
+	}
+	return out
+}
+
+func contains(addrs []proto.Addr, a proto.Addr) bool {
+	for _, x := range addrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAdExpiresExactlyAtTTL pins the TTL boundary: an advertisement is
+// fresh strictly before now+TTL and lapsed at exactly now+TTL.
+func TestAdExpiresExactlyAtTTL(t *testing.T) {
+	sim := clock.NewSim(discT0)
+	x := New(sim, 10*time.Second)
+	members := []proto.Addr{"h1", "h2"}
+	x.ObserveAdvertise("h1", lbls("a"), nil)
+	x.ObserveAdvertise("h2", lbls("a"), nil)
+
+	sim.Advance(10*time.Second - time.Nanosecond)
+	sel, ok := x.SelectByLabels(members, lbls("a"))
+	if !ok || !contains(sel, "h1") || !contains(sel, "h2") {
+		t.Fatalf("one nanosecond before TTL: want both fresh, got %v (ok=%v)", sel, ok)
+	}
+
+	x.ObserveAdvertise("h2", lbls("a"), nil) // h2 refreshes; h1 does not
+	sim.Advance(time.Nanosecond)             // h1's ad is now exactly TTL old
+	sel, ok = x.SelectByLabels(members, lbls("a"))
+	if !ok {
+		t.Fatalf("fresh h2 should still route: got fallback")
+	}
+	if contains(sel, "h1") {
+		t.Fatalf("h1's ad lapsed exactly at TTL but was selected: %v", sel)
+	}
+	if !contains(sel, "h2") {
+		t.Fatalf("refreshed h2 missing from selection %v", sel)
+	}
+	if st := x.Stats(); st.Excluded == 0 {
+		t.Fatalf("expired exclusion not counted: %+v", st)
+	}
+}
+
+// TestRefreshExtendsTTL pins that a refresh restarts the TTL from the
+// refresh instant, not the original advertisement.
+func TestRefreshExtendsTTL(t *testing.T) {
+	sim := clock.NewSim(discT0)
+	x := New(sim, 10*time.Second)
+	x.ObserveAdvertise("h1", lbls("a"), nil)
+	sim.Advance(8 * time.Second)
+	x.ObserveAdvertise("h1", lbls("a"), nil)
+	sim.Advance(8 * time.Second) // 16s after the first ad, 8s after refresh
+	if !x.Fresh("h1") {
+		t.Fatal("refreshed ad lapsed before its extended TTL")
+	}
+	sim.Advance(2 * time.Second)
+	if x.Fresh("h1") {
+		t.Fatal("ad survived past the refreshed TTL")
+	}
+}
+
+// TestCompleteAdReplacesCapabilities pins replace-not-merge semantics
+// for complete advertisements: capabilities may shrink.
+func TestCompleteAdReplacesCapabilities(t *testing.T) {
+	sim := clock.NewSim(discT0)
+	x := New(sim, 10*time.Second)
+	members := []proto.Addr{"h1", "h2"}
+	x.ObserveAdvertise("h1", lbls("a", "b"), nil)
+	x.ObserveAdvertise("h2", lbls("a"), nil)
+	x.ObserveAdvertise("h1", lbls("c"), nil) // h1 dropped a and b
+	sel, ok := x.SelectByLabels(members, lbls("a"))
+	if !ok || contains(sel, "h1") {
+		t.Fatalf("h1 no longer advertises a but was selected: %v (ok=%v)", sel, ok)
+	}
+}
+
+// TestPartialObservationAlwaysIncluded pins the conservative rule for
+// opportunistically learned entries: they prove presence, not absence,
+// so the member is contacted even when the observation does not
+// intersect the query.
+func TestPartialObservationAlwaysIncluded(t *testing.T) {
+	sim := clock.NewSim(discT0)
+	x := New(sim, 10*time.Second)
+	members := []proto.Addr{"h1", "h2"}
+	x.ObserveAdvertise("h1", lbls("a"), nil)
+	x.ObservePartial("h2", lbls("z"), nil)
+	sel, ok := x.SelectByLabels(members, lbls("a"))
+	if !ok || !contains(sel, "h2") {
+		t.Fatalf("incomplete entry must always be included: %v (ok=%v)", sel, ok)
+	}
+	// A partial observation also refreshes liveness.
+	sim.Advance(8 * time.Second)
+	x.ObservePartial("h2", lbls("z"), nil)
+	sim.Advance(8 * time.Second)
+	if !x.Fresh("h2") {
+		t.Fatal("partial observation did not extend the TTL")
+	}
+}
+
+// TestNeverSeenMemberForcesBroadcast pins the fallback rule: a candidate
+// with no entry at all (cold start, a member that joined after the last
+// sweep, a Forget) makes the whole selection fall back.
+func TestNeverSeenMemberForcesBroadcast(t *testing.T) {
+	sim := clock.NewSim(discT0)
+	x := New(sim, 10*time.Second)
+	members := []proto.Addr{"h1", "h2"}
+
+	if sel, ok := x.SelectByLabels(members, lbls("a")); ok {
+		t.Fatalf("cold start must fall back, got %v", sel)
+	}
+	x.ObserveAdvertise("h1", lbls("a"), nil)
+	if sel, ok := x.SelectByLabels(members, lbls("a")); ok {
+		t.Fatalf("h2 never seen: must fall back, got %v", sel)
+	}
+	x.ObserveAdvertise("h2", nil, nil)
+	if _, ok := x.SelectByLabels(members, lbls("a")); !ok {
+		t.Fatal("all members known: selection should route")
+	}
+	x.Forget("h2")
+	if sel, ok := x.SelectByLabels(members, lbls("a")); ok {
+		t.Fatalf("forgotten member must force fallback, got %v", sel)
+	}
+	if st := x.Stats(); st.Misses != 3 {
+		t.Fatalf("want 3 fallback misses, got %+v", st)
+	}
+}
+
+// TestEmptySelectionFallsBack: "nobody advertises this" must never
+// become "ask nobody" — the caller broadcasts instead.
+func TestEmptySelectionFallsBack(t *testing.T) {
+	sim := clock.NewSim(discT0)
+	x := New(sim, 10*time.Second)
+	members := []proto.Addr{"h1", "h2"}
+	x.ObserveAdvertise("h1", lbls("a"), tsks("t1"))
+	x.ObserveAdvertise("h2", lbls("b"), nil)
+	if sel, ok := x.SelectByLabels(members, lbls("zzz")); ok {
+		t.Fatalf("no intersection anywhere: must fall back, got %v", sel)
+	}
+	if sel, ok := x.SelectByTasks(members, tsks("t9")); ok {
+		t.Fatalf("no capable host: must fall back, got %v", sel)
+	}
+	sel, ok := x.SelectByTasks(members, tsks("t1"))
+	if !ok || len(sel) != 1 || sel[0] != "h1" {
+		t.Fatalf("task selection: want [h1], got %v (ok=%v)", sel, ok)
+	}
+}
+
+// TestResetWipes pins crash semantics: a restart loses the index.
+func TestResetWipes(t *testing.T) {
+	sim := clock.NewSim(discT0)
+	x := New(sim, 10*time.Second)
+	x.ObserveAdvertise("h1", lbls("a"), nil)
+	x.Reset()
+	if n := len(x.Known()); n != 0 {
+		t.Fatalf("reset left %d entries", n)
+	}
+	if _, ok := x.SelectByLabels([]proto.Addr{"h1"}, lbls("a")); ok {
+		t.Fatal("reset index must fall back")
+	}
+}
+
+// TestCrashedHostNeverRoutedPastTTL runs seeded interleavings of
+// refreshes, partial observations, and clock advances against a
+// community where one host "crashes" (stops refreshing) at a random
+// instant and later "restarts" (advertises again). Invariants, checked
+// after every step:
+//
+//   - a selection never includes the crashed host once its last
+//     observation is a full TTL old (the stale entry never routes a
+//     solicitation past the TTL horizon);
+//   - a selection never includes any host whose entry has lapsed;
+//   - after the restart advertisement, the host is routable again.
+func TestCrashedHostNeverRoutedPastTTL(t *testing.T) {
+	const ttl = 10 * time.Second
+	members := []proto.Addr{"h0", "h1", "h2", "h3", "h4"}
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sim := clock.NewSim(discT0)
+		x := New(sim, ttl)
+		for _, m := range members {
+			x.ObserveAdvertise(m, lbls("a"), tsks("t"))
+		}
+		victim := members[rng.Intn(len(members))]
+		crashAt := sim.Now().Add(time.Duration(1+rng.Intn(20)) * time.Second)
+		restartAt := crashAt.Add(time.Duration(int(ttl/time.Second)+rng.Intn(20)) * time.Second)
+		lastSeen := sim.Now()
+		restarted := false
+
+		for step := 0; step < 200; step++ {
+			sim.Advance(time.Duration(100+rng.Intn(2000)) * time.Millisecond)
+			now := sim.Now()
+			// Live hosts refresh with jittered cadence; the victim only
+			// while not crashed, or after its restart.
+			for _, m := range members {
+				if rng.Intn(3) != 0 {
+					continue
+				}
+				if m == victim && now.After(crashAt) && now.Before(restartAt) {
+					continue
+				}
+				if m == victim && !now.Before(restartAt) {
+					restarted = true
+				}
+				if rng.Intn(4) == 0 {
+					x.ObservePartial(m, lbls("a"), nil)
+				} else {
+					x.ObserveAdvertise(m, lbls("a"), tsks("t"))
+				}
+				if m == victim {
+					lastSeen = now
+				}
+			}
+			sel, ok := x.SelectByLabels(members, lbls("a"))
+			if !ok {
+				continue
+			}
+			if contains(sel, victim) && !now.Before(lastSeen.Add(ttl)) {
+				t.Fatalf("seed %d step %d: crashed %q routed %v past its TTL horizon",
+					seed, step, victim, now.Sub(lastSeen))
+			}
+			for _, m := range sel {
+				if !x.Fresh(m) {
+					t.Fatalf("seed %d step %d: lapsed %q selected", seed, step, m)
+				}
+			}
+		}
+		if !restarted {
+			continue // interleaving ended before the restart; fine
+		}
+		// After restart the victim advertises again and must be routable.
+		x.ObserveAdvertise(victim, lbls("a"), tsks("t"))
+		sel, ok := x.SelectByLabels(members, lbls("a"))
+		if !ok || !contains(sel, victim) {
+			t.Fatalf("seed %d: restarted %q not routable: %v (ok=%v)", seed, victim, sel, ok)
+		}
+	}
+}

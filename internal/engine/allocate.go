@@ -23,7 +23,15 @@ func (sess *allocSession) allocate(ctx context.Context, res *core.Result, postpo
 	m := sess.m
 	w := res.Workflow
 	metas := m.taskMetas(w, postpone)
-	members := m.net.Members()
+	// Solicit bids only from members whose advertised service set
+	// intersects the tasks being auctioned (falls back to everyone when
+	// the capability index cannot restrict). Binding stays auction-based:
+	// the index narrows who is asked, never who wins.
+	taskIDs := make([]model.TaskID, len(metas))
+	for i, meta := range metas {
+		taskIDs[i] = meta.Task
+	}
+	members := m.routeByTasks(nil, taskIDs)
 	// Desynchronize concurrent sessions: rotate the solicitation order
 	// by the session ordinal so simultaneous sweeps start at different
 	// members. Without this, every session visits hosts in the same

@@ -322,7 +322,8 @@ var _ core.KnowledgeSource = (*communityKnowledge)(nil)
 func (ck *communityKnowledge) FragmentsConsuming(ctx context.Context, labels []model.LabelID) ([]*model.Fragment, error) {
 	var out []*model.Fragment
 	query := proto.FragmentQuery{Labels: labels}
-	replies, err := ck.m.queryMembers(ctx, ck.wfID, query, ck.members)
+	members := ck.m.routeByLabels(ck.members, labels)
+	replies, err := ck.m.queryMembers(ctx, ck.wfID, query, members)
 	if err != nil {
 		return nil, err
 	}
@@ -345,6 +346,47 @@ type memberReply struct {
 // defaultQueryWorkers bounds in-flight parallel queries when the
 // messenger does not expose its own worker count.
 const defaultQueryWorkers = 8
+
+// memberDirectory is implemented by messengers (internal/host) that keep
+// a capability index (internal/discovery). The engine consults it to
+// restrict community sweeps to members whose advertisements intersect
+// the query; ok=false means the directory cannot restrict (discovery
+// disabled, cold index, or a forced fallback) and the caller uses the
+// full candidate list, so plans are never lost to a stale index.
+type memberDirectory interface {
+	SelectByLabels(candidates []proto.Addr, labels []model.LabelID) ([]proto.Addr, bool)
+	SelectByTasks(candidates []proto.Addr, tasks []model.TaskID) ([]proto.Addr, bool)
+}
+
+// routeByLabels restricts candidates (nil = the full community view) to
+// the members worth asking a fragment query for labels. Falls back to
+// the unrestricted list whenever the messenger has no directory or the
+// directory declines.
+func (m *Manager) routeByLabels(candidates []proto.Addr, labels []model.LabelID) []proto.Addr {
+	if candidates == nil {
+		candidates = m.net.Members()
+	}
+	if dir, ok := m.net.(memberDirectory); ok {
+		if sel, ok := dir.SelectByLabels(candidates, labels); ok {
+			return sel
+		}
+	}
+	return candidates
+}
+
+// routeByTasks restricts candidates to the members worth soliciting for
+// tasks, with the same fallback contract as routeByLabels.
+func (m *Manager) routeByTasks(candidates []proto.Addr, tasks []model.TaskID) []proto.Addr {
+	if candidates == nil {
+		candidates = m.net.Members()
+	}
+	if dir, ok := m.net.(memberDirectory); ok {
+		if sel, ok := dir.SelectByTasks(candidates, tasks); ok {
+			return sel
+		}
+	}
+	return candidates
+}
 
 // queryWorkerCounter is implemented by messengers (internal/host) that
 // know how many inbound envelopes they can usefully have in flight; the
@@ -480,7 +522,8 @@ var _ core.FeasibilityChecker = (*communityFeasibility)(nil)
 // InfeasibleTasks implements core.FeasibilityChecker.
 func (cf *communityFeasibility) InfeasibleTasks(ctx context.Context, tasks []model.TaskID) ([]model.TaskID, error) {
 	capable := make(map[model.TaskID]struct{}, len(tasks))
-	replies, err := cf.m.queryMembers(ctx, cf.wfID, proto.FeasibilityQuery{Tasks: tasks}, cf.members)
+	members := cf.m.routeByTasks(cf.members, tasks)
+	replies, err := cf.m.queryMembers(ctx, cf.wfID, proto.FeasibilityQuery{Tasks: tasks}, members)
 	if err != nil {
 		return nil, err
 	}

@@ -189,7 +189,14 @@ func (m *Manager) repairPlan(ctx context.Context, ex *execution, dead []proto.Ad
 			}
 			metas := m.taskMetasFor(target, topoFilter(target, remaining), postpone)
 			alloc := make(map[model.TaskID]proto.Addr, len(metas))
-			failed, err := m.runAuction(ctx, wfID, survivors, metas, alloc)
+			// Route the re-auction through the capability index too:
+			// survivors whose advertisements lapsed (e.g. partitioned
+			// mid-round) must not be solicited during repair either.
+			taskIDs := make([]model.TaskID, len(metas))
+			for i, meta := range metas {
+				taskIDs[i] = meta.Task
+			}
+			failed, err := m.runAuction(ctx, wfID, m.routeByTasks(survivors, taskIDs), metas, alloc)
 			for t, host := range alloc {
 				won[t] = host
 			}

@@ -1,0 +1,114 @@
+package evalgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"openwf/internal/clock"
+	"openwf/internal/community"
+	"openwf/internal/host"
+	"openwf/internal/model"
+	"openwf/internal/proto"
+	"openwf/internal/service"
+	"openwf/internal/spec"
+)
+
+// discoveryT0 anchors the discovery grid's virtual clock (any fixed
+// instant works; runs are deterministic relative to it).
+var discoveryT0 = time.Date(2009, 11, 30, 12, 0, 0, 0, time.UTC)
+
+// DiscoverySetup builds the capability-routing grid fixture shared by
+// the root BenchmarkDiscoveryInitiate and cmd/benchjson's Discovery
+// grid: a community of `hosts` members on the instantaneous in-memory
+// network under a frozen virtual clock, where host00 initiates and
+// carries all knowhow for a `chain`-task problem, hosts 1..providers
+// offer every chain service, and every remaining member is "junk" —
+// fragments and services over labels and tasks disjoint from the
+// problem, the population an initiator should learn to skip.
+//
+// With indexed=true the community runs capability-index discovery and
+// the initiator's index is warmed (one pull sweep) before return, so
+// solicitation routes to the fixed provider set and Calls/Initiate
+// stays flat as `hosts` grows; with indexed=false every sweep
+// broadcasts and Calls/Initiate grows O(hosts). The returned
+// specification poses the chain problem; schedules should be reset
+// between measurements.
+func DiscoverySetup(ctx context.Context, hosts, providers, chain int, indexed bool, seed int64) (*community.Community, proto.Addr, spec.Spec, error) {
+	if hosts < providers+1 || providers < 1 || chain < 1 {
+		return nil, "", spec.Spec{}, fmt.Errorf("evalgen: invalid discovery grid hosts=%d providers=%d chain=%d", hosts, providers, chain)
+	}
+	var frags []*model.Fragment
+	var regs []service.Registration
+	for i := 0; i < chain; i++ {
+		task := model.Task{
+			ID:      model.TaskID(fmt.Sprintf("d-t%02d", i)),
+			Mode:    model.Conjunctive,
+			Inputs:  []model.LabelID{model.LabelID(fmt.Sprintf("d-l%02d", i))},
+			Outputs: []model.LabelID{model.LabelID(fmt.Sprintf("d-l%02d", i+1))},
+		}
+		f, err := model.NewFragment(fmt.Sprintf("know-d%02d", i), task)
+		if err != nil {
+			return nil, "", spec.Spec{}, err
+		}
+		frags = append(frags, f)
+		regs = append(regs, service.Registration{
+			Descriptor: service.Descriptor{Task: task.ID, Specialization: 0.5},
+		})
+	}
+
+	specs := make([]community.HostSpec, hosts)
+	for h := 0; h < hosts; h++ {
+		hs := community.HostSpec{ID: proto.Addr(fmt.Sprintf("host%02d", h))}
+		switch {
+		case h == 0:
+			hs.Fragments = frags
+		case h <= providers:
+			hs.Services = regs
+		default:
+			jt := model.Task{
+				ID:      model.TaskID(fmt.Sprintf("junk-t%04d", h)),
+				Mode:    model.Conjunctive,
+				Inputs:  []model.LabelID{model.LabelID(fmt.Sprintf("junk-l%04d", h))},
+				Outputs: []model.LabelID{model.LabelID(fmt.Sprintf("junk-m%04d", h))},
+			}
+			jf, err := model.NewFragment(fmt.Sprintf("junk-know-%04d", h), jt)
+			if err != nil {
+				return nil, "", spec.Spec{}, err
+			}
+			hs.Fragments = []*model.Fragment{jf}
+			hs.Services = []service.Registration{{
+				Descriptor: service.Descriptor{Task: jt.ID, Specialization: 0.5},
+			}}
+		}
+		specs[h] = hs
+	}
+
+	engCfg := EvalEngineConfig()
+	engCfg.ParallelQuery = true
+	opts := community.Options{
+		Clock:          clock.NewSim(discoveryT0),
+		Seed:           seed,
+		DisableMarshal: true,
+		Engine:         &engCfg,
+	}
+	if indexed {
+		opts.Discovery = &host.DiscoveryConfig{}
+	}
+	comm, err := community.New(opts, specs...)
+	if err != nil {
+		return nil, "", spec.Spec{}, err
+	}
+	initiator := specs[0].ID
+	if indexed {
+		if err := comm.WarmDiscovery(ctx, initiator); err != nil {
+			_ = comm.Close()
+			return nil, "", spec.Spec{}, err
+		}
+	}
+	s := spec.Must(
+		[]model.LabelID{"d-l00"},
+		[]model.LabelID{model.LabelID(fmt.Sprintf("d-l%02d", chain))},
+	)
+	return comm, initiator, s, nil
+}

@@ -126,6 +126,21 @@ func (m *Manager) All() []*model.Fragment {
 	return out
 }
 
+// ConsumedLabels returns every label consumed by any stored fragment,
+// sorted — the knowhow half of the host's capability advertisement
+// (internal/discovery): a frontier FragmentQuery for a label outside
+// this set would come back empty.
+func (m *Manager) ConsumedLabels() []model.LabelID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]model.LabelID, 0, len(m.consumerIdx))
+	for l := range m.consumerIdx {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Len returns the number of stored fragments.
 func (m *Manager) Len() int {
 	m.mu.RLock()

@@ -12,11 +12,13 @@ package host
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
 	"openwf/internal/auction"
 	"openwf/internal/clock"
+	"openwf/internal/discovery"
 	"openwf/internal/engine"
 	"openwf/internal/exec"
 	"openwf/internal/fragment"
@@ -62,6 +64,27 @@ type Config struct {
 	// Trace, when non-nil, records every message the host sends or
 	// receives.
 	Trace trace.Recorder
+	// Discovery, when non-nil, enables the capability index: the host
+	// answers and periodically pushes advertisements, and its engine
+	// routes solicitation by advertised capability (internal/discovery).
+	Discovery *DiscoveryConfig
+}
+
+// DiscoveryConfig tunes the capability index and the host's advertiser.
+type DiscoveryConfig struct {
+	// TTL is how long a received advertisement stays fresh (default
+	// discovery.DefaultTTL). A member silent for a full TTL is presumed
+	// dead and excluded from solicitation sweeps.
+	TTL time.Duration
+	// RefreshEvery is the advertiser's push cadence (default TTL/3, so
+	// a live member survives two lost refreshes before lapsing).
+	RefreshEvery time.Duration
+	// CallTimeout bounds the pull round trips of AdvertiseNow (default
+	// 5s).
+	CallTimeout time.Duration
+	// Seed seeds the advertiser's cadence jitter, desynchronizing the
+	// community's refresh bursts deterministically.
+	Seed int64
 }
 
 // Host is one participant device.
@@ -86,12 +109,21 @@ type Host struct {
 	// so concurrent allocation sessions multiplex over one host.
 	dispatch *dispatcher
 
+	// index is the host's capability index; nil when discovery is
+	// disabled.
+	index   *discovery.Index
+	discCfg DiscoveryConfig
+
 	mu       sync.Mutex
 	endpoint transport.Endpoint
 	members  []proto.Addr
 	nextReq  uint64
 	pending  map[uint64]chan proto.Envelope
 	closed   bool
+	// adRng jitters the advertiser cadence; adTimer is the pending
+	// refresh tick. Both are guarded by mu.
+	adRng   *rand.Rand
+	adTimer clock.Timer
 }
 
 // New builds a host from its configuration. The host is inert until
@@ -121,6 +153,21 @@ func New(cfg Config) (*Host, error) {
 	h.Exec = exec.NewManager(cfg.Addr, clk, h.Services, h.Schedule, h.sendEnvelope)
 	h.Engine = engine.NewManager(h, cfg.Engine)
 	h.dispatch = newDispatcher(h.process, cfg.Workers)
+	if cfg.Discovery != nil {
+		dc := *cfg.Discovery
+		if dc.TTL <= 0 {
+			dc.TTL = discovery.DefaultTTL
+		}
+		if dc.RefreshEvery <= 0 {
+			dc.RefreshEvery = dc.TTL / 3
+		}
+		if dc.CallTimeout <= 0 {
+			dc.CallTimeout = 5 * time.Second
+		}
+		h.discCfg = dc
+		h.index = discovery.New(clk, dc.TTL)
+		h.adRng = rand.New(rand.NewSource(dc.Seed))
+	}
 
 	for _, f := range cfg.Fragments {
 		if err := h.Fragments.Add(f); err != nil {
@@ -136,11 +183,15 @@ func New(cfg Config) (*Host, error) {
 }
 
 // Attach connects the host to its transport endpoint. The endpoint must
-// have been created with h.Handle as its handler.
+// have been created with h.Handle as its handler. With discovery
+// enabled, attaching also arms the periodic advertiser (its first tick
+// lands after one jittered refresh interval, by which time the
+// community view is installed).
 func (h *Host) Attach(ep transport.Endpoint) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.endpoint = ep
+	h.mu.Unlock()
+	h.scheduleAdvertise()
 }
 
 // SetMembers installs the community view (all hosts, including self).
@@ -165,6 +216,10 @@ func (h *Host) Close() error {
 	for id, ch := range h.pending {
 		close(ch)
 		delete(h.pending, id)
+	}
+	if h.adTimer != nil {
+		h.adTimer.Stop()
+		h.adTimer = nil
 	}
 	h.mu.Unlock()
 	h.cancel()
@@ -304,10 +359,47 @@ func (h *Host) Handle(env proto.Envelope) {
 	h.record(trace.Recv, env.From, env)
 	switch env.Body.(type) {
 	case proto.FragmentReply, proto.FeasibilityReply, proto.Bid, proto.BidBatch,
-		proto.Decline, proto.AwardAck, proto.LeaseRefreshAck, proto.Ack:
+		proto.Decline, proto.AwardAck, proto.LeaseRefreshAck, proto.AdvertiseAck, proto.Ack:
+		h.observeReply(env)
 		h.routeReply(env)
 	default:
 		h.dispatch.enqueue(env)
+	}
+}
+
+// observeReply opportunistically feeds the capability index from reply
+// traffic the host is receiving anyway: a member that just returned
+// fragments or capabilities proved it holds them and is alive, and an
+// AdvertiseAck piggybacks the replier's complete advertisement. Runs on
+// the transport pump; index updates are quick map operations.
+func (h *Host) observeReply(env proto.Envelope) {
+	if h.index == nil {
+		return
+	}
+	switch b := env.Body.(type) {
+	case proto.FragmentReply:
+		if len(b.Fragments) == 0 {
+			return
+		}
+		var labels []model.LabelID
+		seen := make(map[model.LabelID]struct{})
+		for _, f := range b.Fragments {
+			for _, t := range f.Tasks {
+				for _, in := range t.Inputs {
+					if _, dup := seen[in]; !dup {
+						seen[in] = struct{}{}
+						labels = append(labels, in)
+					}
+				}
+			}
+		}
+		h.index.ObservePartial(env.From, labels, nil)
+	case proto.FeasibilityReply:
+		if len(b.Capable) > 0 {
+			h.index.ObservePartial(env.From, nil, b.Capable)
+		}
+	case proto.AdvertiseAck:
+		h.index.ObserveAdvertise(env.From, b.Labels, b.Tasks)
 	}
 }
 
@@ -377,6 +469,21 @@ func (h *Host) process(env proto.Envelope) {
 
 	case proto.TaskDone:
 		h.Engine.OnTaskDone(env.Workflow, b)
+
+	case proto.Advertise:
+		if h.index != nil {
+			h.index.ObserveAdvertise(env.From, b.Labels, b.Tasks)
+		}
+		// A pulled advertisement (nonzero ReqID) is answered with this
+		// host's own capability set — anti-entropy, so one pull round
+		// trip refreshes both directions. One-way refreshes get no
+		// reply. Answer even with discovery disabled locally: the
+		// capability set exists regardless of whether this host keeps
+		// an index of its own.
+		if env.ReqID != 0 {
+			labels, tasks := h.capabilities()
+			h.reply(env, proto.AdvertiseAck{Labels: labels, Tasks: tasks})
+		}
 	}
 }
 
@@ -420,6 +527,9 @@ func (h *Host) Reset() {
 	h.Schedule.Clear()
 	h.Participant.ResetSessions()
 	h.Exec.Reset()
+	if h.index != nil {
+		h.index.Reset()
+	}
 }
 
 // reply echoes the request's correlation ID back to the sender. Replies
@@ -428,6 +538,137 @@ func (h *Host) Reset() {
 func (h *Host) reply(req proto.Envelope, body proto.Body) {
 	env := proto.Envelope{ReqID: req.ReqID, Workflow: req.Workflow, Body: body}
 	_ = h.sendEnvelope(h.ctx, req.From, env)
+}
+
+// --- capability advertisements (discovery) ---
+
+// Discovery returns the host's capability index, or nil when discovery
+// is disabled.
+func (h *Host) Discovery() *discovery.Index { return h.index }
+
+// capabilities snapshots what this host would advertise: the labels its
+// fragments consume and the tasks it offers services for.
+func (h *Host) capabilities() ([]model.LabelID, []model.TaskID) {
+	return h.Fragments.ConsumedLabels(), h.Services.Tasks()
+}
+
+// scheduleAdvertise arms the next periodic refresh tick, jittered ±10%
+// around the configured cadence by the seeded rng so community-wide
+// refresh bursts desynchronize deterministically.
+func (h *Host) scheduleAdvertise() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.index == nil || h.closed || h.endpoint == nil {
+		return
+	}
+	d := h.discCfg.RefreshEvery
+	if spread := int64(d / 5); spread > 0 {
+		d += time.Duration(h.adRng.Int63n(spread)) - d/10
+	}
+	h.adTimer = h.clk.AfterFunc(d, h.advertiseTick)
+}
+
+// advertiseTick is the refresh timer callback. On the simulated clock it
+// runs synchronously inside Advance, so the sends — whose delivery may
+// itself need clock progress — happen on their own goroutine; only the
+// cheap re-arm stays on the timer path.
+func (h *Host) advertiseTick() {
+	h.mu.Lock()
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		return
+	}
+	go h.advertiseOnce(h.ctx)
+	h.scheduleAdvertise()
+}
+
+// advertiseOnce pushes one one-way advertisement to every other member
+// (the write-side coalescer batches the burst per link) and refreshes
+// the host's own index entry. Push traffic is fire-and-forget: a lost
+// refresh costs nothing until a full TTL of them are lost, at which
+// point the receiver correctly presumes this host dead.
+func (h *Host) advertiseOnce(ctx context.Context) {
+	if h.index == nil {
+		return
+	}
+	labels, tasks := h.capabilities()
+	h.index.ObserveAdvertise(h.addr, labels, tasks)
+	ad := proto.Advertise{Labels: labels, Tasks: tasks}
+	for _, m := range h.Members() {
+		if m == h.addr {
+			continue
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		_ = h.Send(ctx, m, "", ad)
+	}
+}
+
+// AdvertiseSoon re-advertises asynchronously — the community layer calls
+// it after a restart so the member announces itself without waiting out
+// a refresh interval. Safe to call from clock timer callbacks.
+func (h *Host) AdvertiseSoon() {
+	h.mu.Lock()
+	closed := h.closed
+	h.mu.Unlock()
+	if closed || h.index == nil {
+		return
+	}
+	go h.advertiseOnce(h.ctx)
+}
+
+// AdvertiseNow warms discovery synchronously by pulling: it pushes this
+// host's advertisement to every other member as a request and folds each
+// AdvertiseAck's piggybacked capability set into the local index. One
+// O(members) sweep fully populates a cold initiator — the community
+// learns about this host, and this host learns about the community —
+// without waiting for the community's own refresh cadence. Members that
+// do not answer are skipped (their entries stay absent, so solicitation
+// involving them falls back to broadcast rather than losing plans).
+func (h *Host) AdvertiseNow(ctx context.Context) error {
+	if h.index == nil {
+		return fmt.Errorf("host %q: discovery disabled", h.addr)
+	}
+	labels, tasks := h.capabilities()
+	h.index.ObserveAdvertise(h.addr, labels, tasks)
+	ad := proto.Advertise{Labels: labels, Tasks: tasks}
+	for _, m := range h.Members() {
+		if m == h.addr {
+			continue
+		}
+		reply, err := h.Call(ctx, m, "", ad, h.discCfg.CallTimeout)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			continue
+		}
+		if ack, ok := reply.(proto.AdvertiseAck); ok {
+			h.index.ObserveAdvertise(m, ack.Labels, ack.Tasks)
+		}
+	}
+	return nil
+}
+
+// SelectByLabels implements the engine's member directory: the members
+// of candidates worth asking a fragment query for labels. ok is false
+// when the index cannot restrict and the caller must use the full list.
+func (h *Host) SelectByLabels(candidates []proto.Addr, labels []model.LabelID) ([]proto.Addr, bool) {
+	if h.index == nil || len(labels) == 0 {
+		return nil, false
+	}
+	return h.index.SelectByLabels(candidates, labels)
+}
+
+// SelectByTasks implements the engine's member directory for capability
+// and solicitation sweeps, with the same contract as SelectByLabels.
+func (h *Host) SelectByTasks(candidates []proto.Addr, tasks []model.TaskID) ([]proto.Addr, bool) {
+	if h.index == nil || len(tasks) == 0 {
+		return nil, false
+	}
+	return h.index.SelectByTasks(candidates, tasks)
 }
 
 // routeReply delivers a correlated reply to its waiting Call.

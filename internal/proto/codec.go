@@ -73,6 +73,8 @@ const (
 	kindEnvelopeBatch
 	kindLeaseRefresh
 	kindLeaseRefreshAck
+	kindAdvertise
+	kindAdvertiseAck
 )
 
 // encodeBinary appends the binary encoding of env to buf.
@@ -271,6 +273,14 @@ func (e *encoder) body(env Envelope) error {
 	case LeaseRefreshAck:
 		e.header(kindLeaseRefreshAck, env)
 		e.taskIDs(v.Missing)
+	case Advertise:
+		e.header(kindAdvertise, env)
+		e.labels(v.Labels)
+		e.taskIDs(v.Tasks)
+	case AdvertiseAck:
+		e.header(kindAdvertiseAck, env)
+		e.labels(v.Labels)
+		e.taskIDs(v.Tasks)
 	default:
 		return fmt.Errorf("unregistered body type %T", env.Body)
 	}
@@ -832,6 +842,26 @@ func (d *decoder) body(kind byte) (Body, error) {
 			return nil, err
 		}
 		return LeaseRefreshAck{Missing: missing}, nil
+	case kindAdvertise:
+		labels, err := d.labels()
+		if err != nil {
+			return nil, err
+		}
+		tasks, err := d.taskIDs()
+		if err != nil {
+			return nil, err
+		}
+		return Advertise{Labels: labels, Tasks: tasks}, nil
+	case kindAdvertiseAck:
+		labels, err := d.labels()
+		if err != nil {
+			return nil, err
+		}
+		tasks, err := d.taskIDs()
+		if err != nil {
+			return nil, err
+		}
+		return AdvertiseAck{Labels: labels, Tasks: tasks}, nil
 	case kindEnvelopeBatch:
 		n, err := d.count()
 		if err != nil {

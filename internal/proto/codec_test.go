@@ -156,6 +156,12 @@ func bodyEqual(a, b Body) bool {
 	case LeaseRefreshAck:
 		bv, ok := b.(LeaseRefreshAck)
 		return ok && taskIDsEq(av.Missing, bv.Missing)
+	case Advertise:
+		bv, ok := b.(Advertise)
+		return ok && labelsEq(av.Labels, bv.Labels) && taskIDsEq(av.Tasks, bv.Tasks)
+	case AdvertiseAck:
+		bv, ok := b.(AdvertiseAck)
+		return ok && labelsEq(av.Labels, bv.Labels) && taskIDsEq(av.Tasks, bv.Tasks)
 	default:
 		return false
 	}
@@ -303,11 +309,15 @@ func randMeta(rng *rand.Rand) TaskMeta {
 }
 
 func randBody(rng *rand.Rand) Body {
-	switch rng.Intn(19) {
+	switch rng.Intn(21) {
 	case 17:
 		return LeaseRefresh{Tasks: randTaskIDs(rng)}
 	case 18:
 		return LeaseRefreshAck{Missing: randTaskIDs(rng)}
+	case 19:
+		return Advertise{Labels: randLabels(rng), Tasks: randTaskIDs(rng)}
+	case 20:
+		return AdvertiseAck{Labels: randLabels(rng), Tasks: randTaskIDs(rng)}
 	case 14:
 		var metas []TaskMeta
 		for i, n := 0, rng.Intn(5); i < n; i++ {
@@ -769,6 +779,57 @@ func TestWireFormatGoldenLease(t *testing.T) {
 				"13" + // kind: lease-refresh-ack
 				"0162" + "0161" + "05" + "027766" + // header b, a, 5, wf
 				"01" + "027431", // missing ["t1"]
+		},
+	}
+	for _, row := range rows {
+		t.Run(row.name, func(t *testing.T) {
+			data, err := binEncode(row.env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hex.EncodeToString(data); got != row.want {
+				t.Fatalf("wire bytes changed:\ngot  %s\nwant %s", got, row.want)
+			}
+			back, err := binDecode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !envEqual(row.env, back) {
+				t.Fatalf("golden frame round trip lost information:\nwant %+v\ngot  %+v", row.env, back)
+			}
+		})
+	}
+}
+
+// TestWireFormatGoldenDiscovery pins the byte layout of the two
+// capability-advertisement bodies (PR 9) the same way
+// TestWireFormatGoldenLease pins the lease bodies. Update the constants
+// only with a wireVersion bump.
+func TestWireFormatGoldenDiscovery(t *testing.T) {
+	rows := []struct {
+		name string
+		env  Envelope
+		want string
+	}{
+		{
+			name: "advertise",
+			env: Envelope{From: "a", To: "b", ReqID: 5, Workflow: "wf",
+				Body: Advertise{Labels: []model.LabelID{"l1", "l2"}, Tasks: []model.TaskID{"t1"}}},
+			want: "01" + // version
+				"14" + // kind: advertise
+				"0161" + "0162" + "05" + "027766" + // header a, b, 5, wf
+				"02" + "026c31" + "026c32" + // labels ["l1","l2"]
+				"01" + "027431", // tasks ["t1"]
+		},
+		{
+			name: "advertise-ack",
+			env: Envelope{From: "b", To: "a", ReqID: 5, Workflow: "wf",
+				Body: AdvertiseAck{Labels: []model.LabelID{"l3"}, Tasks: nil}},
+			want: "01" + // version
+				"15" + // kind: advertise-ack
+				"0162" + "0161" + "05" + "027766" + // header b, a, 5, wf
+				"01" + "026c33" + // labels ["l3"]
+				"00", // tasks []
 		},
 	}
 	for _, row := range rows {

@@ -262,6 +262,41 @@ type LeaseRefreshAck struct {
 // Kind implements Body.
 func (LeaseRefreshAck) Kind() string { return "lease-refresh-ack" }
 
+// --- Capability advertisements (discovery) ---
+
+// Advertise announces a host's current capability set to the community:
+// the labels its fragments consume (the keys a frontier FragmentQuery
+// would match) and the tasks it offers services for. Members broadcast
+// it periodically on a seeded clock-timed cadence; initiators fold it
+// into their capability index (internal/discovery) so solicitation
+// sweeps contact only hosts whose advertisements intersect the open
+// labels. Sent one-way for the periodic refresh, or as a request
+// (nonzero ReqID) when an initiator pulls the community's capabilities
+// to warm a cold index.
+type Advertise struct {
+	// Labels are the labels consumed by the host's fragments.
+	Labels []model.LabelID
+	// Tasks are the tasks the host offers services for.
+	Tasks []model.TaskID
+}
+
+// Kind implements Body.
+func (Advertise) Kind() string { return "advertise" }
+
+// AdvertiseAck answers a pulled Advertise with the receiver's own
+// capability set — anti-entropy: one pull round trip refreshes both
+// directions, which is what lets a restarted or cold initiator
+// repopulate its index in O(members) calls.
+type AdvertiseAck struct {
+	// Labels are the labels consumed by the replying host's fragments.
+	Labels []model.LabelID
+	// Tasks are the tasks the replying host offers services for.
+	Tasks []model.TaskID
+}
+
+// Kind implements Body.
+func (AdvertiseAck) Kind() string { return "advertise-ack" }
+
 // EnvelopeBatch is a frame-level coalescing body: one wire frame carrying
 // several queued envelopes to the same destination, so a burst of
 // messages on one link pays the per-frame overhead (framing, syscall,
@@ -278,7 +313,11 @@ func (EnvelopeBatch) Kind() string { return "envelope-batch" }
 
 // IsRequest reports whether the body opens a Call round trip (a request
 // expecting a correlated reply). Transports use it for round-trip
-// accounting; see inmem's Stats.
+// accounting; see inmem's Stats. Advertise is deliberately absent even
+// though a pulled Advertise is answered: the Calls counter measures
+// solicitation round trips per Initiate, and discovery maintenance
+// traffic — amortized background refreshes and one-time index warming —
+// is accounted separately (community.DiscoveryStats).
 func IsRequest(b Body) bool {
 	switch b.(type) {
 	case FragmentQuery, FeasibilityQuery, CallForBids, CallForBidsBatch, Award, PlanSegment, LeaseRefresh:
