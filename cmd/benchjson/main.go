@@ -25,6 +25,19 @@
 // hosts with a fixed 5-provider relevant set, index-routed vs broadcast
 // — the RoundTrips column shows indexed rows flat in community size
 // while broadcast grows O(hosts)).
+//
+// PR 10 adds the contention dimension: the concurrency grids
+// (ConcurrentConstruct, ConcurrentInitiate, Discovery) sweep GOMAXPROCS
+// via the -cpu flag, every row stamps its effective parallelism into the
+// JSON, and the concurrency grids report a mutex-wait column sampled
+// from runtime/metrics (/sync/mutex/wait/total:seconds) — nanoseconds
+// all goroutines spent blocked on contended mutexes per operation, which
+// makes lock contention visible even on low-core CI runners where ns/op
+// cannot parallelize. ConcurrentInitiate also runs a sched=unsharded
+// control row (schedule.Tuning{Shards: 1}) so the per-band shard split
+// of the schedule manager is measured against the single-lock calendar
+// on identical workloads. -cpuprofile and -mutexprofile write pprof
+// profiles covering the whole grid for deeper digs (see CONTRIBUTING.md).
 package main
 
 import (
@@ -35,7 +48,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"regexp"
 	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -47,6 +65,7 @@ import (
 	"openwf/internal/evalgen"
 	"openwf/internal/model"
 	"openwf/internal/proto"
+	"openwf/internal/schedule"
 	"openwf/internal/service"
 	"openwf/internal/spec"
 )
@@ -63,14 +82,26 @@ type result struct {
 	// reported by the distributed grid points via b.ReportMetric. The
 	// batched CFB protocol (PR 5) is measured directly on this column.
 	RoundTrips float64 `json:"round_trips_per_op,omitempty"`
+	// GOMAXPROCS is the effective parallelism the row ran under (pinned
+	// by the run helper from the -cpu sweep), not the process default.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// MutexWaitNs is the nanoseconds all goroutines spent blocked on
+	// contended mutexes per operation over the row's timed region,
+	// sampled from runtime/metrics (/sync/mutex/wait/total:seconds).
+	// Reported by the concurrency grids; the column where lock sharding
+	// shows up even when a low-core runner cannot show wall-time scaling.
+	MutexWaitNs float64 `json:"mutex_wait_ns_per_op,omitempty"`
 }
 
 // report is the emitted file.
 type report struct {
-	GoVersion  string   `json:"go_version"`
-	GOARCH     string   `json:"goarch"`
-	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPUSweep is the -cpu flag's GOMAXPROCS grid; the concurrency rows
+	// run once per entry.
+	CPUSweep   []int    `json:"cpu_sweep"`
 	Benchmarks []result `json:"benchmarks"`
 	// Sustained holds the PR 7 daemon serving rows: closed-loop
 	// sustained load on the virtual clock, measured in throughput and
@@ -163,13 +194,111 @@ func repairCommunity(b *testing.B, hosts, chain int, cfg *engine.Config) (*commu
 	return comm, spec.Must([]model.LabelID{"r-l00"}, []model.LabelID{goal})
 }
 
+// mutexWaitSeconds reads the runtime's cumulative mutex wait: total
+// seconds all goroutines have spent blocked on contended sync.Mutex /
+// sync.RWMutex acquisitions since process start (always-on, no profile
+// rate needed).
+func mutexWaitSeconds() float64 {
+	sample := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() == metrics.KindFloat64 {
+		return sample[0].Value.Float64()
+	}
+	return 0
+}
+
+// sampleMutexWait starts a mutex-wait sample over a benchmark's timed
+// region; the returned func reports the per-op delta. Call it after
+// setup (next to ResetTimer) and defer the stop — the testing package
+// keeps the last invocation's Extra, which is also the invocation whose
+// b.N set the recorded ns/op, so the columns describe the same run.
+func sampleMutexWait(b *testing.B) func() {
+	start := mutexWaitSeconds()
+	return func() {
+		delta := mutexWaitSeconds() - start
+		b.ReportMetric(delta*1e9/float64(b.N), "mutexwait-ns/op")
+	}
+}
+
+// parseCPUList parses the -cpu flag ("1,2,4") into the GOMAXPROCS sweep.
+func parseCPUList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cpu entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -cpu list")
+	}
+	return out, nil
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR9.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_PR10.json", "output file (- for stdout)")
+	cpuFlag := flag.String("cpu", "1,2,4", "comma-separated GOMAXPROCS sweep for the concurrency grids")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the whole grid to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile covering the whole grid to this file")
+	benchFlag := flag.String("bench", "", "run only rows whose name matches this regexp (profiling workflow)")
 	flag.Parse()
 
+	cpus, err := parseCPUList(*cpuFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	var benchRe *regexp.Regexp
+	if *benchFlag != "" {
+		if benchRe, err = regexp.Compile(*benchFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -bench regexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer func() {
+			f, err := os.Create(*mutexProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			}
+		}()
+	}
+
 	var results []result
-	run := func(name string, fn func(b *testing.B)) {
+	// runAt pins GOMAXPROCS for the row's whole lifetime (setup included)
+	// and stamps the effective parallelism into the emitted row — the one
+	// place every grid's parallelism is controlled, replacing the per-row
+	// ad-hoc pinning earlier BENCH files used.
+	runAt := func(name string, cpu int, fn func(b *testing.B)) {
+		if benchRe != nil && !benchRe.MatchString(name) {
+			return
+		}
+		prev := runtime.GOMAXPROCS(cpu)
 		r := testing.Benchmark(fn)
+		runtime.GOMAXPROCS(prev)
 		res := result{
 			Name:        name,
 			Iterations:  r.N,
@@ -177,11 +306,17 @@ func main() {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 			RoundTrips:  r.Extra["roundtrips/op"],
+			GOMAXPROCS:  cpu,
+			MutexWaitNs: r.Extra["mutexwait-ns/op"],
 		}
 		results = append(results, res)
-		fmt.Fprintf(os.Stderr, "%-44s %10d iters %14.0f ns/op %10d B/op %8d allocs/op %8.0f rt/op\n",
-			name, r.N, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.RoundTrips)
+		fmt.Fprintf(os.Stderr, "%-60s %10d iters %14.0f ns/op %10d B/op %8d allocs/op %8.0f rt/op %12.0f mutexwait-ns/op\n",
+			name, r.N, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.RoundTrips, res.MutexWaitNs)
 	}
+	// run is the single-threaded default: the non-concurrency rows stay
+	// pinned at GOMAXPROCS=1 for comparability with the earlier 1-CPU
+	// BENCH files.
+	run := func(name string, fn func(b *testing.B)) { runAt(name, 1, fn) }
 
 	// The pure coloring algorithm against a fully assembled supergraph
 	// (BenchmarkConstructionAlgorithm's grid).
@@ -243,16 +378,18 @@ func main() {
 	}
 
 	// Concurrent construction against a shared immutable fragment store
-	// (the PR 2 Planner architecture): goroutines × supergraph size.
+	// (the PR 2 Planner architecture): GOMAXPROCS × supergraph size.
 	// ns/op is wall time per construction across all goroutines; on a
-	// multi-core host it drops as goroutines rise (the store is
+	// multi-core host it drops as the sweep widens (the store is
 	// read-only and every goroutine owns its workspace scratch), while
 	// on a single-core host it stays flat apart from scheduling
-	// overhead.
+	// overhead. RunParallel spawns GOMAXPROCS goroutines under
+	// SetParallelism(1), so the runAt pin is also the row's goroutine
+	// count (the unification of the old per-row goroutines pinning).
 	for _, tasks := range []int{100, 500} {
-		for _, goroutines := range []int{1, 2, 4, 8} {
-			tasks, goroutines := tasks, goroutines
-			run(fmt.Sprintf("ConcurrentConstruct/goroutines=%d/tasks=%d", goroutines, tasks), func(b *testing.B) {
+		for _, cpu := range cpus {
+			tasks, cpu := tasks, cpu
+			runAt(fmt.Sprintf("ConcurrentConstruct/cpu=%d/tasks=%d", cpu, tasks), cpu, func(b *testing.B) {
 				b.ReportAllocs()
 				pool, specs, err := evalgen.ConcurrentConstructSetup(tasks, 256, 6, 1)
 				if err != nil {
@@ -260,14 +397,10 @@ func main() {
 				}
 				ctx := context.Background()
 				var next atomic.Uint64
-				// RunParallel spawns GOMAXPROCS*p goroutines and
-				// SetParallelism cannot go below GOMAXPROCS, so pin
-				// GOMAXPROCS itself to make each row run exactly its
-				// labeled goroutine count regardless of the host.
-				prev := runtime.GOMAXPROCS(goroutines)
-				defer runtime.GOMAXPROCS(prev)
 				b.SetParallelism(1)
 				b.ResetTimer()
+				stop := sampleMutexWait(b)
+				defer stop()
 				b.RunParallel(func(pb *testing.PB) {
 					for pb.Next() {
 						s := specs[next.Add(1)%uint64(len(specs))]
@@ -400,47 +533,64 @@ func main() {
 	// session dispatchers. ns/op is per batch of K, so the acceptance
 	// bar — ≥2x aggregate throughput at 4 in-flight — reads directly as
 	// serial/inflight=4 ns/op ≥ 2 × concurrent/inflight=4 ns/op.
-	for _, row := range []struct {
-		inflight int
-		serial   bool
-	}{
-		{1, false}, {2, false}, {4, true}, {4, false}, {8, false},
-	} {
-		row := row
-		mode := "concurrent"
-		if row.serial {
-			mode = "serial"
-		}
-		run(fmt.Sprintf("ConcurrentInitiate/hosts=5/inflight=%d/mode=%s", row.inflight, mode), func(b *testing.B) {
-			b.ReportAllocs()
-			comm, hostAddrs, pool, err := evalgen.ConcurrentInitiateSetup(5, 32)
-			if err != nil {
-				b.Fatal(err)
+	// The grid sweeps GOMAXPROCS (PR 10): the same batch of sessions at
+	// every -cpu point, plus a sched=unsharded control row (the
+	// single-lock calendar, schedule.Tuning{Shards: 1}) at the contended
+	// inflight=4 point — the mutex-wait column reads the shard split
+	// directly as sharded vs unsharded on identical workloads.
+	for _, cpu := range cpus {
+		for _, row := range []struct {
+			inflight  int
+			serial    bool
+			unsharded bool
+		}{
+			{1, false, false}, {2, false, false}, {4, true, false},
+			{4, false, false}, {4, false, true}, {8, false, false},
+		} {
+			cpu, row := cpu, row
+			mode := "concurrent"
+			if row.serial {
+				mode = "serial"
 			}
-			defer comm.Close()
-			ctx := context.Background()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				comm.ResetSchedules()
-				batch := make([]spec.Spec, row.inflight)
-				for j := range batch {
-					batch[j] = pool[(i*row.inflight+j)%len(pool)]
+			sched := ""
+			tune := schedule.Tuning{}
+			if row.unsharded {
+				sched = "/sched=unsharded"
+				tune = schedule.Tuning{Shards: 1}
+			}
+			runAt(fmt.Sprintf("ConcurrentInitiate/hosts=5/inflight=%d/mode=%s%s/cpu=%d", row.inflight, mode, sched, cpu), cpu, func(b *testing.B) {
+				b.ReportAllocs()
+				comm, hostAddrs, pool, err := evalgen.ConcurrentInitiateSetupTuned(5, 32, tune)
+				if err != nil {
+					b.Fatal(err)
 				}
-				b.StartTimer()
-				if row.serial {
-					for _, s := range batch {
-						if _, err := comm.Initiate(ctx, hostAddrs[0], s); err != nil {
+				defer comm.Close()
+				ctx := context.Background()
+				b.ResetTimer()
+				stop := sampleMutexWait(b)
+				defer stop()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					comm.ResetSchedules()
+					batch := make([]spec.Spec, row.inflight)
+					for j := range batch {
+						batch[j] = pool[(i*row.inflight+j)%len(pool)]
+					}
+					b.StartTimer()
+					if row.serial {
+						for _, s := range batch {
+							if _, err := comm.Initiate(ctx, hostAddrs[0], s); err != nil {
+								b.Fatal(err)
+							}
+						}
+					} else {
+						if _, err := comm.InitiateAll(ctx, hostAddrs[0], batch); err != nil {
 							b.Fatal(err)
 						}
 					}
-				} else {
-					if _, err := comm.InitiateAll(ctx, hostAddrs[0], batch); err != nil {
-						b.Fatal(err)
-					}
 				}
-			}
-		})
+			})
+		}
 	}
 
 	// Repair-vs-replan grid (PR 6): a provider dies under a mid-execution
@@ -545,34 +695,47 @@ func main() {
 	// junk, index-routed vs broadcast. The RoundTrips column is the bar:
 	// indexed Calls/Initiate must stay within 2x of the 10-host figure all
 	// the way to 1000 hosts, while broadcast grows O(hosts).
-	for _, hosts := range []int{10, 100, 300, 1000} {
-		for _, mode := range []string{"indexed", "broadcast"} {
-			hosts, mode := hosts, mode
-			run(fmt.Sprintf("Discovery/hosts=%d/providers=5/mode=%s", hosts, mode), func(b *testing.B) {
-				b.ReportAllocs()
-				ctx := context.Background()
-				comm, initiator, s, err := evalgen.DiscoverySetup(ctx, hosts, 5, 6, mode == "indexed", 1)
-				if err != nil {
-					b.Fatal(err)
-				}
-				defer comm.Close()
-				comm.Network().ResetCounters()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					b.StopTimer()
-					comm.ResetSchedules()
-					b.StartTimer()
-					plan, err := comm.Initiate(ctx, initiator, s)
+	// The full host sweep runs at GOMAXPROCS=1 for comparability with the
+	// PR 9 rows; the multi-core -cpu points rerun the hosts=300 pair,
+	// where the PR 9 profile showed the network's global send lock was
+	// the simulator (the inmem fast path now touches only its link
+	// shard, so the mutex-wait column is the regression guard).
+	for _, cpu := range cpus {
+		hostGrid := []int{300}
+		if cpu == 1 {
+			hostGrid = []int{10, 100, 300, 1000}
+		}
+		for _, hosts := range hostGrid {
+			for _, mode := range []string{"indexed", "broadcast"} {
+				cpu, hosts, mode := cpu, hosts, mode
+				runAt(fmt.Sprintf("Discovery/hosts=%d/providers=5/mode=%s/cpu=%d", hosts, mode, cpu), cpu, func(b *testing.B) {
+					b.ReportAllocs()
+					ctx := context.Background()
+					comm, initiator, s, err := evalgen.DiscoverySetup(ctx, hosts, 5, 6, mode == "indexed", 1)
 					if err != nil {
 						b.Fatal(err)
 					}
-					if plan.Workflow.NumTasks() != 6 {
-						b.Fatalf("workflow has %d tasks", plan.Workflow.NumTasks())
+					defer comm.Close()
+					comm.Network().ResetCounters()
+					b.ResetTimer()
+					stop := sampleMutexWait(b)
+					defer stop()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						comm.ResetSchedules()
+						b.StartTimer()
+						plan, err := comm.Initiate(ctx, initiator, s)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if plan.Workflow.NumTasks() != 6 {
+							b.Fatalf("workflow has %d tasks", plan.Workflow.NumTasks())
+						}
 					}
-				}
-				b.StopTimer()
-				b.ReportMetric(float64(comm.Network().Stats().Calls)/float64(b.N), "roundtrips/op")
-			})
+					b.StopTimer()
+					b.ReportMetric(float64(comm.Network().Stats().Calls)/float64(b.N), "roundtrips/op")
+				})
+			}
 		}
 	}
 
@@ -603,6 +766,7 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
+		CPUSweep:   cpus,
 		Benchmarks: results,
 		Sustained:  sustained,
 	}

@@ -204,7 +204,9 @@ func (x *Index) SelectByTasks(candidates []proto.Addr, tasks []model.TaskID) ([]
 
 func (x *Index) selectBy(candidates []proto.Addr, intersects func(*entry) bool) ([]proto.Addr, bool) {
 	now := x.clk.Now()
-	var selected []proto.Addr
+	// Pre-size to the candidate list: one allocation per lookup, pinned
+	// by the route-lookup AllocBound test (this runs once per query hop).
+	selected := make([]proto.Addr, 0, len(candidates))
 	x.mu.Lock()
 	for _, c := range candidates {
 		e, ok := x.entries[c]

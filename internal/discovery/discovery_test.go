@@ -8,6 +8,7 @@ import (
 	"openwf/internal/clock"
 	"openwf/internal/model"
 	"openwf/internal/proto"
+	"openwf/internal/testutil"
 )
 
 var discT0 = time.Date(2026, 6, 12, 9, 0, 0, 0, time.UTC)
@@ -262,4 +263,31 @@ func TestCrashedHostNeverRoutedPastTTL(t *testing.T) {
 			t.Fatalf("seed %d: restarted %q not routable: %v (ok=%v)", seed, victim, sel, ok)
 		}
 	}
+}
+
+// TestSelectAllocBounds pins the route-lookup fast path: one pre-sized
+// result slice per call (plus the intersection closure) and nothing
+// proportional to hits. This path runs once per query hop in the
+// engine's capability routing, so regressions here multiply across a
+// whole construction.
+func TestSelectAllocBounds(t *testing.T) {
+	x := New(clock.NewSim(discT0), time.Minute)
+	candidates := make([]proto.Addr, 16)
+	for i := range candidates {
+		a := proto.Addr(string(rune('a' + i)))
+		candidates[i] = a
+		x.ObserveAdvertise(a, lbls("l0", "l1"), tsks("t0", "t1"))
+	}
+	labels := lbls("l1")
+	tasks := tsks("t1")
+	testutil.AllocBound(t, 2, func() {
+		if _, ok := x.SelectByLabels(candidates, labels); !ok {
+			t.Fatal("SelectByLabels fell back")
+		}
+	})
+	testutil.AllocBound(t, 2, func() {
+		if _, ok := x.SelectByTasks(candidates, tasks); !ok {
+			t.Fatal("SelectByTasks fell back")
+		}
+	})
 }

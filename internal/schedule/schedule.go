@@ -21,9 +21,34 @@
 //     overlaps several busy intervals, the reported blocker is the one
 //     with the lowest hold sequence (the first winner), so identical
 //     interleavings produce identical errors.
-//   - Readers never block each other: lookups (CanCommit, Get,
-//     Commitments, Holds) take a shared lock; only mutations
-//     (Hold/Commit/Release/ExpireHolds/Remove/Clear) serialize.
+//   - Readers never block writers of other time regions: the calendar
+//     is sharded (see below), so lookups and reservations contend only
+//     when they touch the same slice of the timeline.
+//
+// # Sharding
+//
+// The calendar is split two ways so concurrent sessions stop serializing
+// on one lock (DESIGN.md §14):
+//
+//   - Band shards partition the timeline: every busy interval
+//     [TravelStart, End) is registered in the shard of each time band it
+//     touches (band = start quantized to Tuning.BandWidth, band mod
+//     Tuning.Shards selects the shard). Two intervals can only overlap
+//     if they share a band, so a conflict scan locks exactly the shards
+//     the candidate interval spans — sessions bidding into different
+//     window bands proceed in parallel.
+//   - Key shards partition the (workflow, task) namespace for the
+//     bookkeeping that is keyed rather than timed: duplicate-hold
+//     checks, refreshes, conversions, releases, and lease state.
+//
+// Every operation acquires key shards before band shards, and shards of
+// each kind in ascending index order, so multi-shard operations
+// (HoldBatch, expiry sweeps, Clear) are deadlock-free by construction.
+// The arbitration sequence is a single atomic counter, so first-hold-wins
+// ordering and deterministic conflict attribution survive sharding: a
+// serial sequence of operations produces byte-identical results whatever
+// the shard count (the cross-shard property test pins a sharded manager
+// against a Tuning{Shards: 1} oracle).
 package schedule
 
 import (
@@ -31,6 +56,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openwf/internal/clock"
@@ -65,13 +91,21 @@ type key struct {
 	task     model.TaskID
 }
 
-// hold is a firm-bid reservation awaiting its award: the planned
-// commitment, the deadline after which it expires, and the arbitration
-// sequence number (lower = earlier = wins conflicts).
-type hold struct {
-	c      Commitment
+// record is one busy interval on the calendar — a firm-bid hold or a
+// commitment. The interval fields (c, seq, mask) are immutable after the
+// record is published to its band shards; the lifecycle fields (expiry,
+// lease) are guarded by the key shard that owns the record's key.
+type record struct {
+	c Commitment
+	// seq is the arbitration sequence (lower = earlier = wins conflicts).
+	seq uint64
+	// mask is the set of band shards the busy interval is registered in.
+	mask uint64
+	// expiry is the hold deadline (holds only).
 	expiry time.Time
-	seq    uint64
+	// lease is the commitment's lease expiry; zero means the commitment
+	// never expires (lease-less commit, kept for direct scheduling).
+	lease time.Time
 }
 
 // Preferences expresses a participant's willingness (§3.2, condition 5):
@@ -85,6 +119,62 @@ type Preferences struct {
 	MaxCommitments int
 }
 
+// DefaultBandWidth is the default time-band quantum for the calendar
+// shards: on the order of a task window, so sessions retrying into
+// postponed window bands land on different shards.
+const DefaultBandWidth = time.Minute
+
+// DefaultShards is the default shard count (bands and keys alike).
+const DefaultShards = 16
+
+// maxShards bounds the shard count so a band-shard set fits one uint64
+// bitmask (lock sets and registration masks stay allocation-free).
+const maxShards = 64
+
+// Tuning configures the calendar's sharding. The zero value selects the
+// defaults; Shards: 1 degenerates to a single lock (the unsharded
+// oracle used by differential tests and benchmark control rows).
+type Tuning struct {
+	// BandWidth is the time-band quantum busy intervals are bucketed by.
+	BandWidth time.Duration
+	// Shards is the number of band shards and key shards (rounded up to
+	// a power of two, capped at 64).
+	Shards int
+}
+
+func (t Tuning) normalized() Tuning {
+	if t.BandWidth <= 0 {
+		t.BandWidth = DefaultBandWidth
+	}
+	if t.Shards <= 0 {
+		t.Shards = DefaultShards
+	}
+	if t.Shards > maxShards {
+		t.Shards = maxShards
+	}
+	n := 1
+	for n < t.Shards {
+		n <<= 1
+	}
+	t.Shards = n
+	return t
+}
+
+// keyShard owns the keyed bookkeeping for a slice of the (workflow, task)
+// namespace.
+type keyShard struct {
+	mu      sync.RWMutex
+	holds   map[key]*record
+	commits map[key]*record
+}
+
+// bandShard owns the busy intervals registered in a slice of the
+// timeline's bands.
+type bandShard struct {
+	mu      sync.RWMutex
+	entries map[key]*record
+}
+
 // Manager tracks one host's calendar and position. It is safe for
 // concurrent use by any number of allocation sessions.
 type Manager struct {
@@ -92,38 +182,60 @@ type Manager struct {
 	mobility space.Mobility
 	prefs    Preferences
 
-	mu          sync.RWMutex
-	commitments map[key]Commitment
-	// commitSeq remembers the hold sequence a commitment was converted
-	// from (or a fresh sequence for hold-less commits) so conflict
-	// attribution stays deterministic after conversion.
-	commitSeq map[key]uint64
-	// commitLease holds each commitment's lease expiry. A missing entry
-	// means the commitment never expires (lease-less commit, the
-	// pre-fault-model behavior kept for direct scheduling).
-	commitLease map[key]time.Time
-	holds       map[key]hold
-	seq         uint64
+	bandWidth time.Duration
+	nshards   int
+	allMask   uint64
+
+	// seq is the arbitration counter; atomic so first-hold-wins survives
+	// sharding without a global lock.
+	seq atomic.Uint64
+	// busy counts holds plus commitments; MaxCommitments reserves
+	// against it with a CAS so the cap is never exceeded even when
+	// requests run on disjoint shards.
+	busy atomic.Int64
+
+	keys  []keyShard
+	bands []bandShard
 }
 
-// NewManager returns a schedule manager for a host with the given mobility
-// model and preferences. A nil mobility means a static host at the origin.
+// NewManager returns a schedule manager with default sharding for a host
+// with the given mobility model and preferences. A nil mobility means a
+// static host at the origin.
 func NewManager(clk clock.Clock, mobility space.Mobility, prefs Preferences) *Manager {
+	return NewManagerTuned(clk, mobility, prefs, Tuning{})
+}
+
+// NewManagerTuned is NewManager with explicit shard tuning.
+func NewManagerTuned(clk clock.Clock, mobility space.Mobility, prefs Preferences, tune Tuning) *Manager {
 	if clk == nil {
 		clk = clock.New()
 	}
 	if mobility == nil {
 		mobility = space.Static{}
 	}
-	return &Manager{
-		clk:         clk,
-		mobility:    mobility,
-		prefs:       prefs,
-		commitments: make(map[key]Commitment),
-		commitSeq:   make(map[key]uint64),
-		commitLease: make(map[key]time.Time),
-		holds:       make(map[key]hold),
+	tune = tune.normalized()
+	m := &Manager{
+		clk:       clk,
+		mobility:  mobility,
+		prefs:     prefs,
+		bandWidth: tune.BandWidth,
+		nshards:   tune.Shards,
+		keys:      make([]keyShard, tune.Shards),
+		bands:     make([]bandShard, tune.Shards),
 	}
+	if tune.Shards == maxShards {
+		m.allMask = ^uint64(0)
+	} else {
+		m.allMask = (uint64(1) << tune.Shards) - 1
+	}
+	for i := range m.keys {
+		m.keys[i].holds = make(map[key]*record)
+		m.keys[i].commits = make(map[key]*record)
+	}
+	for i := range m.bands {
+		m.bands[i].entries = make(map[key]*record)
+	}
+	return m
 }
 
 // Mobility returns the host's mobility model.
@@ -132,20 +244,159 @@ func (m *Manager) Mobility() space.Mobility { return m.mobility }
 // Position returns the host's current position.
 func (m *Manager) Position() space.Point { return m.mobility.Position(m.clk.Now()) }
 
+// --- shard selection ---
+
+// keyIndex hashes a key to its key shard (FNV-1a, allocation-free).
+func (m *Manager) keyIndex(k key) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.workflow); i++ {
+		h ^= uint64(k.workflow[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator so ("ab","c") and ("a","bc") differ
+	h *= prime64
+	for i := 0; i < len(k.task); i++ {
+		h ^= uint64(k.task[i])
+		h *= prime64
+	}
+	return int(h & uint64(m.nshards-1))
+}
+
+// bandOf quantizes an instant to its time band (floor division, so the
+// mapping is consistent on both sides of the epoch).
+func (m *Manager) bandOf(t time.Time) int64 {
+	ns := t.UnixNano()
+	w := int64(m.bandWidth)
+	b := ns / w
+	if ns%w != 0 && ns < 0 {
+		b--
+	}
+	return b
+}
+
+// bandMask returns the set of band shards a busy interval [start, end)
+// touches. An interval spanning at least nshards bands covers every
+// shard.
+func (m *Manager) bandMask(start, end time.Time) uint64 {
+	lo := m.bandOf(start)
+	hi := m.bandOf(end.Add(-time.Nanosecond))
+	if hi < lo {
+		hi = lo
+	}
+	if hi-lo+1 >= int64(m.nshards) {
+		return m.allMask
+	}
+	var mask uint64
+	for b := lo; b <= hi; b++ {
+		mask |= uint64(1) << (uint64(b) & uint64(m.nshards-1))
+	}
+	return mask
+}
+
+// lockBands write-locks the band shards in mask in ascending order.
+func (m *Manager) lockBands(mask uint64) {
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			m.bands[i].mu.Lock()
+		}
+		mask >>= 1
+	}
+}
+
+func (m *Manager) unlockBands(mask uint64) {
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			m.bands[i].mu.Unlock()
+		}
+		mask >>= 1
+	}
+}
+
+// rlockBands read-locks the band shards in mask in ascending order.
+func (m *Manager) rlockBands(mask uint64) {
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			m.bands[i].mu.RLock()
+		}
+		mask >>= 1
+	}
+}
+
+func (m *Manager) runlockBands(mask uint64) {
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			m.bands[i].mu.RUnlock()
+		}
+		mask >>= 1
+	}
+}
+
+// registerBands publishes a record to the band shards in its mask.
+// Callers hold every shard in the mask.
+func (m *Manager) registerBands(k key, r *record) {
+	mask := r.mask
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			m.bands[i].entries[k] = r
+		}
+		mask >>= 1
+	}
+}
+
+// dropBands acquires the record's band shards and unregisters it. Callers
+// hold the record's key shard (key locks always precede band locks).
+func (m *Manager) dropBands(k key, r *record) {
+	m.lockBands(r.mask)
+	mask := r.mask
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			delete(m.bands[i].entries, k)
+		}
+		mask >>= 1
+	}
+	m.unlockBands(r.mask)
+}
+
+// --- capacity ---
+
+// reserveCapacity claims one calendar slot against MaxCommitments with a
+// CAS, so the cap is exact even across disjoint shards. The reservation
+// must be returned with releaseCapacity if no record is inserted.
+func (m *Manager) reserveCapacity() error {
+	max := int64(m.prefs.MaxCommitments)
+	if max <= 0 {
+		m.busy.Add(1)
+		return nil
+	}
+	for {
+		cur := m.busy.Load()
+		if cur >= max {
+			return fmt.Errorf("at commitment capacity (%d)", max)
+		}
+		if m.busy.CompareAndSwap(cur, cur+1) {
+			return nil
+		}
+	}
+}
+
+func (m *Manager) releaseCapacity() { m.busy.Add(-1) }
+
+// --- planning ---
+
 // CanCommit evaluates whether the host could commit to the task described
 // by meta (§3.2 conditions 2–5: time available, travel feasible, inputs/
 // outputs deliverable, willing). On success it returns the planned
 // commitment (with its travel block). It does not reserve anything.
 func (m *Manager) CanCommit(meta proto.TaskMeta) (Commitment, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.planLocked(meta)
-}
-
-// busyEntry pairs a busy interval with its arbitration sequence.
-type busyEntry struct {
-	c   Commitment
-	seq uint64
+	lockMask := m.planMask(meta)
+	m.rlockBands(lockMask)
+	c, _, err := m.planUnder(meta, lockMask, false)
+	m.runlockBands(lockMask)
+	return c, err
 }
 
 // ErrSlotBusy is wrapped in errors returned when a requested slot
@@ -154,16 +405,44 @@ type busyEntry struct {
 // later session must bid elsewhere or retry with a different window.
 var ErrSlotBusy = errors.New("schedule: slot busy")
 
-func (m *Manager) planLocked(meta proto.TaskMeta) (Commitment, error) {
-	if m.prefs.Willing != nil && !m.prefs.Willing(meta) {
-		return Commitment{}, fmt.Errorf("unwilling to perform %q", meta.Task)
+// planMask returns the band shards a plan for meta must hold: the
+// candidate window's own span, or every shard when the meta is located —
+// travel planning scans the whole calendar for the host's origin and may
+// extend the busy interval into earlier bands.
+func (m *Manager) planMask(meta proto.TaskMeta) uint64 {
+	if meta.HasLocation || !meta.End.After(meta.Start) {
+		return m.allMask
 	}
-	if m.prefs.MaxCommitments > 0 &&
-		len(m.commitments)+len(m.holds) >= m.prefs.MaxCommitments {
-		return Commitment{}, fmt.Errorf("at commitment capacity (%d)", m.prefs.MaxCommitments)
+	return m.bandMask(meta.Start, meta.End)
+}
+
+// planUnder evaluates §3.2 for one meta. Callers hold every band shard in
+// lockMask, which must cover the busy interval of any feasible plan
+// (planMask guarantees it). With reserve set, a successful plan retains a
+// capacity reservation that the caller must either convert into an
+// inserted record or return with releaseCapacity; reserved reports
+// whether the reservation was taken (failed plans always return it).
+func (m *Manager) planUnder(meta proto.TaskMeta, lockMask uint64, reserve bool) (Commitment, bool, error) {
+	if m.prefs.Willing != nil && !m.prefs.Willing(meta) {
+		return Commitment{}, false, fmt.Errorf("unwilling to perform %q", meta.Task)
+	}
+	reserved := false
+	if reserve {
+		if err := m.reserveCapacity(); err != nil {
+			return Commitment{}, false, err
+		}
+		reserved = true
+	} else if max := int64(m.prefs.MaxCommitments); max > 0 && m.busy.Load() >= max {
+		return Commitment{}, false, fmt.Errorf("at commitment capacity (%d)", m.prefs.MaxCommitments)
+	}
+	fail := func(err error) (Commitment, bool, error) {
+		if reserved {
+			m.releaseCapacity()
+		}
+		return Commitment{}, false, err
 	}
 	if !meta.End.After(meta.Start) {
-		return Commitment{}, fmt.Errorf("task %q has an empty execution window", meta.Task)
+		return fail(fmt.Errorf("task %q has an empty execution window", meta.Task))
 	}
 
 	c := Commitment{
@@ -178,74 +457,78 @@ func (m *Manager) planLocked(meta proto.TaskMeta) (Commitment, error) {
 	}
 
 	if meta.HasLocation {
-		from, depart := m.originForLocked(meta.Start)
+		from, depart := m.originUnder(lockMask, meta.Start)
 		travel := space.TravelTime(from, meta.Location, m.mobility.Speed())
 		if travel == time.Duration(1<<63-1) { // immobile and not already there
 			if !space.Near(from, meta.Location, 1e-9) {
-				return Commitment{}, fmt.Errorf("cannot travel to %v for %q", meta.Location, meta.Task)
+				return fail(fmt.Errorf("cannot travel to %v for %q", meta.Location, meta.Task))
 			}
 			travel = 0
 		}
 		c.TravelStart = meta.Start.Add(-travel)
 		if c.TravelStart.Before(depart) {
-			return Commitment{}, fmt.Errorf(
+			return fail(fmt.Errorf(
 				"cannot reach %v by %v for %q (need to leave at %v, free at %v)",
-				meta.Location, meta.Start, meta.Task, c.TravelStart, depart)
+				meta.Location, meta.Start, meta.Task, c.TravelStart, depart))
 		}
 		if c.TravelStart.Before(m.clk.Now()) {
-			return Commitment{}, fmt.Errorf("too late to travel for %q", meta.Task)
+			return fail(fmt.Errorf("too late to travel for %q", meta.Task))
 		}
 	} else if meta.Start.Before(m.clk.Now()) {
-		return Commitment{}, fmt.Errorf("execution window for %q already started", meta.Task)
+		return fail(fmt.Errorf("execution window for %q already started", meta.Task))
 	}
 
 	// The busy interval is [TravelStart, End); it must not overlap any
-	// existing commitment or hold. When it overlaps several, report the
-	// earliest winner (lowest sequence) so arbitration is deterministic.
-	var blocker *busyEntry
-	for _, existing := range m.allBusyLocked() {
-		if !overlaps(c.TravelStart, c.End, existing.c.TravelStart, existing.c.End) {
-			continue
+	// existing commitment or hold. Two intervals can only overlap if they
+	// share a time band, so scanning the candidate's own band shards sees
+	// every possible blocker. When several overlap, report the earliest
+	// winner (lowest sequence) so arbitration is deterministic.
+	var blocker *record
+	scanMask := m.bandMask(c.TravelStart, c.End)
+	for i, mask := 0, scanMask; mask != 0; i++ {
+		if mask&1 != 0 {
+			for _, r := range m.bands[i].entries {
+				if !overlaps(c.TravelStart, c.End, r.c.TravelStart, r.c.End) {
+					continue
+				}
+				if blocker == nil || r.seq < blocker.seq {
+					blocker = r
+				}
+			}
 		}
-		if blocker == nil || existing.seq < blocker.seq {
-			e := existing
-			blocker = &e
-		}
+		mask >>= 1
 	}
 	if blocker != nil {
-		return Commitment{}, fmt.Errorf(
+		return fail(fmt.Errorf(
 			"%w: task %q conflicts with %q of workflow %q (%v–%v)",
 			ErrSlotBusy, meta.Task, blocker.c.Task, blocker.c.Workflow,
-			blocker.c.TravelStart, blocker.c.End)
+			blocker.c.TravelStart, blocker.c.End))
 	}
-	return c, nil
+	return c, reserved, nil
 }
 
-// originForLocked determines where the host will be (and from when it is
+// originUnder determines where the host will be (and from when it is
 // free to leave) just before a window starting at t: the location of its
 // latest commitment ending at or before t, or its current position.
-func (m *Manager) originForLocked(t time.Time) (space.Point, time.Time) {
+// Callers hold every band shard in lockMask (the whole calendar for
+// located plans). A record registered in several shards is visited more
+// than once; the latest-ending fold is idempotent.
+func (m *Manager) originUnder(lockMask uint64, t time.Time) (space.Point, time.Time) {
 	origin := m.mobility.Position(m.clk.Now())
 	free := m.clk.Now()
-	for _, e := range m.allBusyLocked() {
-		c := e.c
-		if !c.End.After(t) && c.End.After(free) && c.HasLocation {
-			origin = c.Location
-			free = c.End
+	for i, mask := 0, lockMask; mask != 0; i++ {
+		if mask&1 != 0 {
+			for _, r := range m.bands[i].entries {
+				c := r.c
+				if !c.End.After(t) && c.End.After(free) && c.HasLocation {
+					origin = c.Location
+					free = c.End
+				}
+			}
 		}
+		mask >>= 1
 	}
 	return origin, free
-}
-
-func (m *Manager) allBusyLocked() []busyEntry {
-	out := make([]busyEntry, 0, len(m.commitments)+len(m.holds))
-	for k, c := range m.commitments {
-		out = append(out, busyEntry{c: c, seq: m.commitSeq[k]})
-	}
-	for _, h := range m.holds {
-		out = append(out, busyEntry{c: h.c, seq: h.seq})
-	}
-	return out
 }
 
 func overlaps(aStart, aEnd, bStart, bEnd time.Time) bool {
@@ -263,29 +546,36 @@ var ErrAlreadyHeld = errors.New("schedule: already holding this task")
 // ExpireHolds. Holds are sequence-stamped in arrival order; an
 // overlapping later Hold fails with ErrSlotBusy (first-hold-wins).
 func (m *Manager) Hold(workflow string, meta proto.TaskMeta, deadline time.Time) (Commitment, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.holdLocked(workflow, meta, deadline)
+	k := key{workflow, meta.Task}
+	ks := &m.keys[m.keyIndex(k)]
+	lockMask := m.planMask(meta)
+	ks.mu.Lock()
+	m.lockBands(lockMask)
+	c, err := m.holdUnder(ks, k, workflow, meta, deadline, lockMask)
+	m.unlockBands(lockMask)
+	ks.mu.Unlock()
+	return c, err
 }
 
-// holdLocked is the single reservation body shared by Hold and
-// HoldBatch, so the per-task and batched protocols stay equivalent by
-// construction. Callers hold m.mu.
-func (m *Manager) holdLocked(workflow string, meta proto.TaskMeta, deadline time.Time) (Commitment, error) {
-	k := key{workflow, meta.Task}
-	if _, dup := m.holds[k]; dup {
+// holdUnder is the single reservation body shared by Hold and HoldBatch,
+// so the per-task and batched protocols stay equivalent by construction.
+// Callers hold the key shard ks (owning k) and every band shard in
+// lockMask.
+func (m *Manager) holdUnder(ks *keyShard, k key, workflow string, meta proto.TaskMeta, deadline time.Time, lockMask uint64) (Commitment, error) {
+	if _, dup := ks.holds[k]; dup {
 		return Commitment{}, fmt.Errorf("%w: %q in workflow %q", ErrAlreadyHeld, meta.Task, workflow)
 	}
-	if _, dup := m.commitments[k]; dup {
+	if _, dup := ks.commits[k]; dup {
 		return Commitment{}, fmt.Errorf("already committed to %q in workflow %q", meta.Task, workflow)
 	}
-	c, err := m.planLocked(meta)
+	c, _, err := m.planUnder(meta, lockMask, true)
 	if err != nil {
 		return Commitment{}, err
 	}
 	c.Workflow = workflow
-	m.seq++
-	m.holds[k] = hold{c: c, expiry: deadline, seq: m.seq}
+	r := &record{c: c, seq: m.seq.Add(1), mask: m.bandMask(c.TravelStart, c.End), expiry: deadline}
+	ks.holds[k] = r
+	m.registerBands(k, r)
 	return c, nil
 }
 
@@ -307,25 +597,48 @@ type HoldResult struct {
 // rest of the batch proceeds, so a partially-infeasible batch yields
 // partial declines, never leaked holds.
 //
-// Taking the lock once for the whole batch is what makes a participant's
-// answer to a CallForBidsBatch atomic: no competing session can
-// interleave a reservation between two tasks of the same batch.
+// The batch acquires every key and band shard it can touch up front, in
+// sorted order (keys before bands, ascending within each kind), which is
+// what makes a participant's answer to a CallForBidsBatch atomic: no
+// competing session can interleave a reservation between two tasks of
+// the same batch, and no lock-order cycle can arise against other
+// multi-shard operations.
 func (m *Manager) HoldBatch(workflow string, metas []proto.TaskMeta, deadline time.Time) []HoldResult {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	var keyMask, bandMask uint64
+	for _, meta := range metas {
+		keyMask |= uint64(1) << uint64(m.keyIndex(key{workflow, meta.Task}))
+		bandMask |= m.planMask(meta)
+	}
+	for i, mask := 0, keyMask; mask != 0; i++ {
+		if mask&1 != 0 {
+			m.keys[i].mu.Lock()
+		}
+		mask >>= 1
+	}
+	m.lockBands(bandMask)
+
 	out := make([]HoldResult, len(metas))
 	for i, meta := range metas {
+		k := key{workflow, meta.Task}
+		ks := &m.keys[m.keyIndex(k)]
 		// Refresh-on-existing-hold replaces the per-task path's
 		// Hold → ErrAlreadyHeld → RefreshHold round, keeping the
 		// original arbitration sequence.
-		if h, dup := m.holds[key{workflow, meta.Task}]; dup {
-			h.expiry = deadline
-			m.holds[key{workflow, meta.Task}] = h
-			out[i] = HoldResult{Commitment: h.c}
+		if r, dup := ks.holds[k]; dup {
+			r.expiry = deadline
+			out[i] = HoldResult{Commitment: r.c}
 			continue
 		}
-		c, err := m.holdLocked(workflow, meta, deadline)
+		c, err := m.holdUnder(ks, k, workflow, meta, deadline, bandMask)
 		out[i] = HoldResult{Commitment: c, Err: err}
+	}
+
+	m.unlockBands(bandMask)
+	for i, mask := 0, keyMask; mask != 0; i++ {
+		if mask&1 != 0 {
+			m.keys[i].mu.Unlock()
+		}
+		mask >>= 1
 	}
 	return out
 }
@@ -335,16 +648,16 @@ func (m *Manager) HoldBatch(workflow string, metas []proto.TaskMeta, deadline ti
 // sequence: refreshing never lets a session jump the queue. It fails if
 // no hold exists.
 func (m *Manager) RefreshHold(workflow string, task model.TaskID, deadline time.Time) (Commitment, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	k := key{workflow, task}
-	h, ok := m.holds[k]
+	ks := &m.keys[m.keyIndex(k)]
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	r, ok := ks.holds[k]
 	if !ok {
 		return Commitment{}, fmt.Errorf("no hold for %q in workflow %q", task, workflow)
 	}
-	h.expiry = deadline
-	m.holds[k] = h
-	return h.c, nil
+	r.expiry = deadline
+	return r.c, nil
 }
 
 // ErrNoHold is returned by CommitHeld when no live hold backs the
@@ -360,23 +673,25 @@ var ErrNoHold = errors.New("schedule: no live hold")
 // CommitHeld so a stale award cannot land on a slot whose hold expired —
 // but direct scheduling (tests, pre-planned calendars) keeps it.
 func (m *Manager) Commit(workflow string, meta proto.TaskMeta, lease time.Time) (Commitment, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	k := key{workflow, meta.Task}
-	if h, ok := m.holds[k]; ok {
-		return m.commitHoldLocked(k, h, lease), nil
+	ks := &m.keys[m.keyIndex(k)]
+	lockMask := m.planMask(meta)
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if r, ok := ks.holds[k]; ok {
+		return m.convertHold(ks, k, r, lease), nil
 	}
-	c, err := m.planLocked(meta)
+	m.lockBands(lockMask)
+	c, _, err := m.planUnder(meta, lockMask, true)
 	if err != nil {
+		m.unlockBands(lockMask)
 		return Commitment{}, err
 	}
 	c.Workflow = workflow
-	m.seq++
-	m.commitments[k] = c
-	m.commitSeq[k] = m.seq
-	if !lease.IsZero() {
-		m.commitLease[k] = lease
-	}
+	r := &record{c: c, seq: m.seq.Add(1), mask: m.bandMask(c.TravelStart, c.End), lease: lease}
+	ks.commits[k] = r
+	m.registerBands(k, r)
+	m.unlockBands(lockMask)
 	return c, nil
 }
 
@@ -387,26 +702,26 @@ func (m *Manager) Commit(workflow string, meta proto.TaskMeta, lease time.Time) 
 // still-free slot belongs to whoever holds it next, not to a stale
 // award).
 func (m *Manager) CommitHeld(workflow string, task model.TaskID, lease time.Time) (Commitment, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	k := key{workflow, task}
-	h, ok := m.holds[k]
+	ks := &m.keys[m.keyIndex(k)]
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	r, ok := ks.holds[k]
 	if !ok {
 		return Commitment{}, fmt.Errorf("%w for %q in workflow %q (bid window expired before the award)", ErrNoHold, task, workflow)
 	}
-	return m.commitHoldLocked(k, h, lease), nil
+	return m.convertHold(ks, k, r, lease), nil
 }
 
-// commitHoldLocked converts one live hold into a commitment with the
-// given lease. Callers hold m.mu.
-func (m *Manager) commitHoldLocked(k key, h hold, lease time.Time) Commitment {
-	delete(m.holds, k)
-	m.commitments[k] = h.c
-	m.commitSeq[k] = h.seq
-	if !lease.IsZero() {
-		m.commitLease[k] = lease
-	}
-	return h.c
+// convertHold converts one live hold into a commitment with the given
+// lease. The record keeps its band registrations (the busy interval is
+// unchanged) and its arbitration sequence. Callers hold ks.mu.
+func (m *Manager) convertHold(ks *keyShard, k key, r *record, lease time.Time) Commitment {
+	delete(ks.holds, k)
+	r.expiry = time.Time{}
+	r.lease = lease
+	ks.commits[k] = r
+	return r.c
 }
 
 // RefreshCommitLease extends a commitment's lease (the initiator's
@@ -415,17 +730,15 @@ func (m *Manager) commitHoldLocked(k key, h hold, lease time.Time) Commitment {
 // already expired and was swept, or the task was never committed here —
 // which tells the refresher that this executor no longer backs the task.
 func (m *Manager) RefreshCommitLease(workflow string, task model.TaskID, lease time.Time) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	k := key{workflow, task}
-	if _, ok := m.commitments[k]; !ok {
+	ks := &m.keys[m.keyIndex(k)]
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	r, ok := ks.commits[k]
+	if !ok {
 		return fmt.Errorf("no commitment for %q in workflow %q", task, workflow)
 	}
-	if !lease.IsZero() {
-		m.commitLease[k] = lease
-	} else {
-		delete(m.commitLease, k)
-	}
+	r.lease = lease
 	return nil
 }
 
@@ -434,19 +747,23 @@ func (m *Manager) RefreshCommitLease(workflow string, task model.TaskID, lease t
 // release dependent state (execution runs, buffered labels). Lease-less
 // commitments never expire. This is the sweep that returns a dead
 // initiator's slots to the pool: when nobody refreshes the lease, the
-// calendar heals by itself.
+// calendar heals by itself. Key shards are swept in ascending order and
+// each record's band shards are acquired in ascending order.
 func (m *Manager) ExpireCommitments(now time.Time) []Commitment {
-	m.mu.Lock()
 	var out []Commitment
-	for k, lease := range m.commitLease {
-		if now.After(lease) {
-			out = append(out, m.commitments[k])
-			delete(m.commitments, k)
-			delete(m.commitSeq, k)
-			delete(m.commitLease, k)
+	for i := range m.keys {
+		ks := &m.keys[i]
+		ks.mu.Lock()
+		for k, r := range ks.commits {
+			if !r.lease.IsZero() && now.After(r.lease) {
+				out = append(out, r.c)
+				delete(ks.commits, k)
+				m.dropBands(k, r)
+				m.releaseCapacity()
+			}
 		}
+		ks.mu.Unlock()
 	}
-	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Start.Equal(out[j].Start) {
 			return out[i].Start.Before(out[j].Start)
@@ -459,22 +776,33 @@ func (m *Manager) ExpireCommitments(now time.Time) []Commitment {
 // NextLeaseExpiry returns the earliest commitment lease expiry, if any
 // commitment carries a lease (the host uses it to arm its sweep timer).
 func (m *Manager) NextLeaseExpiry() (time.Time, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	var min time.Time
-	for _, lease := range m.commitLease {
-		if min.IsZero() || lease.Before(min) {
-			min = lease
+	for i := range m.keys {
+		ks := &m.keys[i]
+		ks.mu.RLock()
+		for _, r := range ks.commits {
+			if !r.lease.IsZero() && (min.IsZero() || r.lease.Before(min)) {
+				min = r.lease
+			}
 		}
+		ks.mu.RUnlock()
 	}
 	return min, !min.IsZero()
 }
 
 // Release drops a hold without committing (the auction was lost).
 func (m *Manager) Release(workflow string, task model.TaskID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.holds, key{workflow, task})
+	k := key{workflow, task}
+	ks := &m.keys[m.keyIndex(k)]
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	r, ok := ks.holds[k]
+	if !ok {
+		return
+	}
+	delete(ks.holds, k)
+	m.dropBands(k, r)
+	m.releaseCapacity()
 }
 
 // ReleaseWorkflow drops every hold of one workflow (session teardown,
@@ -482,29 +810,41 @@ func (m *Manager) Release(workflow string, task model.TaskID) {
 // were released. Commitments are untouched; they are revoked per task by
 // Remove on compensation.
 func (m *Manager) ReleaseWorkflow(workflow string) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	n := 0
-	for k := range m.holds {
-		if k.workflow == workflow {
-			delete(m.holds, k)
-			n++
+	for i := range m.keys {
+		ks := &m.keys[i]
+		ks.mu.Lock()
+		for k, r := range ks.holds {
+			if k.workflow == workflow {
+				delete(ks.holds, k)
+				m.dropBands(k, r)
+				m.releaseCapacity()
+				n++
+			}
 		}
+		ks.mu.Unlock()
 	}
 	return n
 }
 
 // ExpireHolds releases every hold whose deadline has passed and returns
-// how many were released.
+// how many were released. Key shards are swept in ascending order and
+// each record's band shards are acquired in ascending order, so the
+// sweep can never deadlock against in-flight reservations.
 func (m *Manager) ExpireHolds(now time.Time) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	n := 0
-	for k, h := range m.holds {
-		if now.After(h.expiry) {
-			delete(m.holds, k)
-			n++
+	for i := range m.keys {
+		ks := &m.keys[i]
+		ks.mu.Lock()
+		for k, r := range ks.holds {
+			if now.After(r.expiry) {
+				delete(ks.holds, k)
+				m.dropBands(k, r)
+				m.releaseCapacity()
+				n++
+			}
 		}
+		ks.mu.Unlock()
 	}
 	return n
 }
@@ -512,33 +852,42 @@ func (m *Manager) ExpireHolds(now time.Time) int {
 // Remove cancels a commitment (compensation during replanning). It
 // reports whether the commitment existed.
 func (m *Manager) Remove(workflow string, task model.TaskID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	k := key{workflow, task}
-	if _, ok := m.commitments[k]; !ok {
+	ks := &m.keys[m.keyIndex(k)]
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	r, ok := ks.commits[k]
+	if !ok {
 		return false
 	}
-	delete(m.commitments, k)
-	delete(m.commitSeq, k)
-	delete(m.commitLease, k)
+	delete(ks.commits, k)
+	m.dropBands(k, r)
+	m.releaseCapacity()
 	return true
 }
 
 // Get returns the commitment for a task, if any.
 func (m *Manager) Get(workflow string, task model.TaskID) (Commitment, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	c, ok := m.commitments[key{workflow, task}]
-	return c, ok
+	k := key{workflow, task}
+	ks := &m.keys[m.keyIndex(k)]
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	if r, ok := ks.commits[k]; ok {
+		return r.c, true
+	}
+	return Commitment{}, false
 }
 
 // Commitments returns all commitments ordered by start time (then task).
 func (m *Manager) Commitments() []Commitment {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]Commitment, 0, len(m.commitments))
-	for _, c := range m.commitments {
-		out = append(out, c)
+	var out []Commitment
+	for i := range m.keys {
+		ks := &m.keys[i]
+		ks.mu.RLock()
+		for _, r := range ks.commits {
+			out = append(out, r.c)
+		}
+		ks.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Start.Equal(out[j].Start) {
@@ -551,35 +900,55 @@ func (m *Manager) Commitments() []Commitment {
 
 // Holds returns the number of outstanding firm-bid reservations.
 func (m *Manager) Holds() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.holds)
+	n := 0
+	for i := range m.keys {
+		ks := &m.keys[i]
+		ks.mu.RLock()
+		n += len(ks.holds)
+		ks.mu.RUnlock()
+	}
+	return n
 }
 
 // HeldTasks returns the (workflow, task) pairs currently reserved,
 // ordered by arbitration sequence (first winner first). Diagnostic: the
 // stress harness uses it to attribute leaked holds.
 func (m *Manager) HeldTasks() []Commitment {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	hs := make([]hold, 0, len(m.holds))
-	for _, h := range m.holds {
-		hs = append(hs, h)
+	var hs []*record
+	for i := range m.keys {
+		ks := &m.keys[i]
+		ks.mu.RLock()
+		for _, r := range ks.holds {
+			hs = append(hs, r)
+		}
+		ks.mu.RUnlock()
 	}
 	sort.Slice(hs, func(i, j int) bool { return hs[i].seq < hs[j].seq })
 	out := make([]Commitment, len(hs))
-	for i, h := range hs {
-		out[i] = h.c
+	for i, r := range hs {
+		out[i] = r.c
 	}
 	return out
 }
 
 // Clear removes every commitment and hold (used between evaluation runs).
+// Every shard is acquired in the global order (keys ascending, then
+// bands ascending) so Clear is atomic against all other operations.
 func (m *Manager) Clear() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.commitments = make(map[key]Commitment)
-	m.commitSeq = make(map[key]uint64)
-	m.commitLease = make(map[key]time.Time)
-	m.holds = make(map[key]hold)
+	for i := range m.keys {
+		m.keys[i].mu.Lock()
+	}
+	m.lockBands(m.allMask)
+	for i := range m.keys {
+		m.keys[i].holds = make(map[key]*record)
+		m.keys[i].commits = make(map[key]*record)
+	}
+	for i := range m.bands {
+		m.bands[i].entries = make(map[key]*record)
+	}
+	m.busy.Store(0)
+	m.unlockBands(m.allMask)
+	for i := len(m.keys) - 1; i >= 0; i-- {
+		m.keys[i].mu.Unlock()
+	}
 }

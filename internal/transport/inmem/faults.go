@@ -26,15 +26,18 @@ func (n *Network) Crash(addr proto.Addr) {
 	}
 	n.crashed[addr] = true
 	n.crashEpoch[addr]++
+	n.publishLocked()
 	ep := n.endpoints[addr]
 	n.mu.Unlock()
 	if ep == nil {
 		return
 	}
-	// Purge the inbox: messages queued but not yet handled are lost with
-	// the host. Frames still waiting in link delay lines drop at delivery
-	// time (link.pump re-checks the crash flag).
-	for _, d := range ep.box.purge() {
+	// Mark the inbox dark and purge it: messages queued but not yet
+	// handled are lost with the host, and a send racing this crash on a
+	// stale snapshot is refused by the mailbox itself (push and purge
+	// serialize on its lock). Frames still waiting in link delay lines
+	// drop at delivery time (link.pump re-checks the crash state).
+	for _, d := range ep.box.setDark(true) {
 		n.dropped.Add(envelopeCount(d.env))
 		n.framesDropped.Add(1)
 	}
@@ -47,6 +50,13 @@ func (n *Network) Crash(addr proto.Addr) {
 func (n *Network) Restart(addr proto.Addr) {
 	n.mu.Lock()
 	delete(n.crashed, addr)
+	n.publishLocked()
+	ep := n.endpoints[addr]
+	if ep != nil {
+		// Lift the inbox's dark flag before flushing stored traffic, or
+		// the flush would bounce off the mailbox's own crash guard.
+		ep.box.setDark(false)
+	}
 	flush := n.collectFlushableLocked()
 	n.mu.Unlock()
 	n.deliverStored(flush)
@@ -63,19 +73,16 @@ func (n *Network) Crashed(addr proto.Addr) bool {
 // layered on top of the LinkModel (either may drop). Loss applies at
 // frame granularity: a dropped EnvelopeBatch loses every member envelope
 // and never delivers partially. p ≤ 0 removes the override. Draws come
-// from the network's seeded random source.
+// from the link's own deterministically seeded random source.
 func (n *Network) SetLinkLoss(from, to proto.Addr, p float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	key := linkKey{from, to}
+	ls := n.linkFor(from, to)
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	if p <= 0 {
-		delete(n.linkLoss, key)
+		ls.loss = 0
 		return
 	}
-	if n.linkLoss == nil {
-		n.linkLoss = make(map[linkKey]float64)
-	}
-	n.linkLoss[key] = p
+	ls.loss = p
 }
 
 // FaultKind names one scripted fault.

@@ -5,6 +5,20 @@
 // serialization at a configured bandwidth), jitter, random loss, and
 // community partitions. Delivery is FIFO per directed link, and each
 // endpoint processes messages sequentially, like a single device.
+//
+// # Concurrency structure
+//
+// The send path is link-local so concurrent senders scale with cores
+// (DESIGN.md §14): all per-directed-link state — the write coalescer,
+// the delay line, the loss override, and a deterministically seeded
+// random source — lives in a sharded map keyed by (from, to), and the
+// network-wide facts a send must consult (who is attached, partitions,
+// crash state) are published as an immutable copy-on-write snapshot
+// behind an atomic pointer. The common send therefore touches only its
+// link shard plus one atomic load. The global mutex remains the slow
+// path: fault injection, store-and-forward buffering, endpoint attach/
+// detach, and Close mutate the authoritative state under it and then
+// swap in a fresh snapshot.
 package inmem
 
 import (
@@ -24,7 +38,8 @@ import (
 // LinkModel computes the behavior of one message on a directed link:
 // the delivery latency and whether the medium drops the message. size is
 // the encoded message size in bytes (0 when marshaling is disabled). The
-// model is called with the network's lock held; it must not block.
+// model is called with its link's lock held (links draw from independent
+// per-link random sources); it must not block.
 type LinkModel func(from, to proto.Addr, size int, rng *rand.Rand) (latency time.Duration, drop bool)
 
 // FixedLatency returns a LinkModel with constant latency and no loss.
@@ -83,7 +98,10 @@ func WithLinkModel(m LinkModel) Option { return func(n *Network) { n.model = m }
 // it passes envelopes by value for maximum simulation throughput.
 func WithMarshal(enabled bool) Option { return func(n *Network) { n.marshal = enabled } }
 
-// WithSeed seeds the network's random source (jitter, loss). Default 1.
+// WithSeed seeds the network's randomness (jitter, loss). Each directed
+// link derives its own independent source from this seed and the link's
+// addresses, so the streams are deterministic per link regardless of how
+// sends interleave across links. Default 1.
 func WithSeed(seed int64) Option { return func(n *Network) { n.seed = seed } }
 
 // WithStoreAndForward buffers messages addressed to unreachable hosts
@@ -96,6 +114,55 @@ func WithStoreAndForward(enabled bool) Option {
 	return func(n *Network) { n.storeAndForward = enabled }
 }
 
+// linkShardCount is the number of link shards (power of two; bounds
+// cross-link lock contention, not link count).
+const linkShardCount = 64
+
+// linkShard owns the per-directed-link state for a slice of the link
+// keyspace.
+type linkShard struct {
+	mu    sync.Mutex
+	links map[linkKey]*linkState
+}
+
+// linkState is everything one directed link needs on the send path. The
+// coalescer has its own internal lock; mu guards the rest.
+type linkState struct {
+	outbox transport.Coalescer
+
+	mu sync.Mutex
+	// rng is this link's private random source (jitter, loss draws),
+	// derived deterministically from the network seed and the link key.
+	rng *rand.Rand
+	// loss is the per-link loss override (SetLinkLoss); 0 means none.
+	loss float64
+	// line is the link's delay line, created on the first latency-bearing
+	// delivery.
+	line *link
+}
+
+// netSnapshot is the immutable network-wide state the send fast path
+// consults: one atomic load answers "is the network up, is either end
+// crashed, is the recipient attached and reachable". Mutators rebuild
+// and swap it under the global lock (publishLocked); readers must treat
+// every map as read-only.
+type netSnapshot struct {
+	closed     bool
+	endpoints  map[proto.Addr]*endpoint
+	partition  map[proto.Addr]int
+	crashed    map[proto.Addr]bool
+	crashEpoch map[proto.Addr]uint64
+}
+
+func (s *netSnapshot) reachable(from, to proto.Addr) bool {
+	if s.partition == nil || from == to {
+		return true
+	}
+	gf, okf := s.partition[from]
+	gt, okt := s.partition[to]
+	return okf && okt && gf == gt
+}
+
 // Network is a simulated broadcast domain connecting endpoints. Create
 // endpoints with Endpoint; close the network to tear everything down.
 type Network struct {
@@ -105,22 +172,22 @@ type Network struct {
 	seed            int64
 	storeAndForward bool
 
+	// snap is the copy-on-write fast-path view; see netSnapshot.
+	snap atomic.Pointer[netSnapshot]
+	// linkShards hold all per-directed-link state; see linkShard.
+	linkShards [linkShardCount]linkShard
+
+	// mu guards the authoritative slow-path state below. Every mutation
+	// ends with publishLocked so the fast path observes it.
 	mu        sync.Mutex
-	rng       *rand.Rand
 	endpoints map[proto.Addr]*endpoint
-	links     map[linkKey]*link
 	partition map[proto.Addr]int
 	// crashed marks hosts that are dark (see Crash/Restart in faults.go);
 	// crashEpoch counts each host's crashes so frames in flight across a
-	// crash are severed even when the host restarts before their due time;
-	// linkLoss holds per-directed-link loss overrides (SetLinkLoss). All
-	// are nil until first used.
+	// crash are severed even when the host restarts before their due time.
+	// Both are nil until first used.
 	crashed    map[proto.Addr]bool
 	crashEpoch map[proto.Addr]uint64
-	linkLoss   map[linkKey]float64
-	// outboxes hold per-directed-link send queues for the write-side
-	// coalescer (see send).
-	outboxes map[linkKey]*transport.Coalescer
 	// stored holds store-and-forward messages awaiting reachability,
 	// in arrival order per (from, to) pair.
 	stored map[linkKey][]delivery
@@ -172,16 +239,102 @@ func NewNetwork(opts ...Option) *Network {
 		marshal:   true,
 		seed:      1,
 		endpoints: make(map[proto.Addr]*endpoint),
-		links:     make(map[linkKey]*link),
-		outboxes:  make(map[linkKey]*transport.Coalescer),
 		stored:    make(map[linkKey][]delivery),
 		done:      make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(n)
 	}
-	n.rng = rand.New(rand.NewSource(n.seed))
+	for i := range n.linkShards {
+		n.linkShards[i].links = make(map[linkKey]*linkState)
+	}
+	n.snap.Store(&netSnapshot{})
+	n.publishLocked() // no lock needed yet: the network is unshared
 	return n
+}
+
+// publishLocked rebuilds the fast-path snapshot from the authoritative
+// state. Callers hold n.mu (except NewNetwork, before the network is
+// shared). Faults and attach/detach are rare next to sends, so copying
+// the maps on every mutation is the cheap side of the trade.
+func (n *Network) publishLocked() {
+	s := &netSnapshot{closed: n.closed}
+	if len(n.endpoints) > 0 {
+		s.endpoints = make(map[proto.Addr]*endpoint, len(n.endpoints))
+		for a, ep := range n.endpoints {
+			s.endpoints[a] = ep
+		}
+	}
+	if len(n.partition) > 0 {
+		s.partition = make(map[proto.Addr]int, len(n.partition))
+		for a, g := range n.partition {
+			s.partition[a] = g
+		}
+	}
+	if len(n.crashed) > 0 {
+		s.crashed = make(map[proto.Addr]bool, len(n.crashed))
+		for a, c := range n.crashed {
+			s.crashed[a] = c
+		}
+	}
+	if len(n.crashEpoch) > 0 {
+		s.crashEpoch = make(map[proto.Addr]uint64, len(n.crashEpoch))
+		for a, e := range n.crashEpoch {
+			s.crashEpoch[a] = e
+		}
+	}
+	n.snap.Store(s)
+}
+
+// linkFor returns (creating on first use) the per-link state for a
+// directed link: one short shard-lock acquisition on the send path.
+func (n *Network) linkFor(from, to proto.Addr) *linkState {
+	k := linkKey{from, to}
+	sh := &n.linkShards[linkShardIndex(k)]
+	sh.mu.Lock()
+	ls, ok := sh.links[k]
+	if !ok {
+		ls = &linkState{rng: rand.New(rand.NewSource(linkSeed(n.seed, k)))}
+		sh.links[k] = ls
+	}
+	sh.mu.Unlock()
+	return ls
+}
+
+// outboxFor returns the write-side coalescer for a directed link (the
+// state machine itself is transport.Coalescer, shared with tcpnet).
+func (n *Network) outboxFor(from, to proto.Addr) *transport.Coalescer {
+	return &n.linkFor(from, to).outbox
+}
+
+// linkShardIndex hashes a link key to its shard (FNV-1a).
+func linkShardIndex(k linkKey) int {
+	return int(linkHash(k) & (linkShardCount - 1))
+}
+
+// linkSeed derives a link's private random seed from the network seed:
+// deterministic per (seed, from, to), independent across links.
+func linkSeed(seed int64, k linkKey) int64 {
+	return seed ^ int64(linkHash(k))
+}
+
+func linkHash(k linkKey) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.from); i++ {
+		h ^= uint64(k.from[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator
+	h *= prime64
+	for i := 0; i < len(k.to); i++ {
+		h ^= uint64(k.to[i])
+		h *= prime64
+	}
+	return h
 }
 
 // Endpoint attaches a host to the network. The handler is invoked
@@ -200,6 +353,7 @@ func (n *Network) Endpoint(addr proto.Addr, handler transport.Handler) (transpor
 	}
 	ep := &endpoint{net: n, addr: addr, handler: handler, box: newMailbox()}
 	n.endpoints[addr] = ep
+	n.publishLocked()
 	go ep.pump()
 	// A late joiner may have store-and-forward traffic waiting.
 	flush := n.collectFlushableLocked()
@@ -224,6 +378,7 @@ func (n *Network) SetPartition(groups ...[]proto.Addr) {
 			}
 		}
 	}
+	n.publishLocked()
 	flush := n.collectFlushableLocked()
 	n.mu.Unlock()
 	n.deliverStored(flush)
@@ -312,20 +467,26 @@ func (n *Network) Close() error {
 	}
 	n.closed = true
 	close(n.done)
+	n.publishLocked()
 	eps := make([]*endpoint, 0, len(n.endpoints))
 	for _, ep := range n.endpoints {
 		eps = append(eps, ep)
-	}
-	links := make([]*link, 0, len(n.links))
-	for _, l := range n.links {
-		links = append(links, l)
 	}
 	n.mu.Unlock()
 	for _, ep := range eps {
 		ep.closeLocal()
 	}
-	for _, l := range links {
-		l.box.close()
+	for i := range n.linkShards {
+		sh := &n.linkShards[i]
+		sh.mu.Lock()
+		for _, ls := range sh.links {
+			ls.mu.Lock()
+			if ls.line != nil {
+				ls.line.box.close()
+			}
+			ls.mu.Unlock()
+		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -335,21 +496,6 @@ func (n *Network) Close() error {
 // grown backing array is reused, so steady-state broadcast traffic stops
 // churning the GC with per-envelope buffer growth.
 var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
-
-// outboxFor returns (creating on first use) the write-side coalescer for
-// a directed link (the state machine itself is transport.Coalescer,
-// shared with tcpnet).
-func (n *Network) outboxFor(from, to proto.Addr) *transport.Coalescer {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	key := linkKey{from, to}
-	ob, ok := n.outboxes[key]
-	if !ok {
-		ob = &transport.Coalescer{}
-		n.outboxes[key] = ob
-	}
-	return ob
-}
 
 // send queues one envelope through the link's write coalescer: an idle
 // link transmits it immediately as its own frame (zero added latency when
@@ -361,8 +507,8 @@ func (n *Network) send(ctx context.Context, from *endpoint, to proto.Addr, env p
 	}
 	env.From = from.addr
 	env.To = to
-	ob := n.outboxFor(from.addr, to)
-	writer, dropped := ob.Admit(env)
+	ls := n.linkFor(from.addr, to)
+	writer, dropped := ls.outbox.Admit(env)
 	if dropped {
 		// Queue at capacity behind a stalled link: silent loss, like the
 		// wireless medium (counted on both sides of the Sent =
@@ -374,17 +520,18 @@ func (n *Network) send(ctx context.Context, from *endpoint, to proto.Addr, env p
 	if !writer {
 		return nil
 	}
-	err := n.transmit(from, to, env)
-	n.drainOutbox(from, to, ob)
+	err := n.transmit(from, to, env, ls)
+	n.drainOutbox(from, to, &ls.outbox)
 	return err
 }
 
 // drainOutbox flushes everything queued while the caller was
 // transmitting, one EnvelopeBatch frame per flush, until the queue is
-// empty.
+// empty. ob must be the coalescer of the from→to link.
 func (n *Network) drainOutbox(from *endpoint, to proto.Addr, ob *transport.Coalescer) {
+	ls := n.linkFor(from.addr, to)
 	ob.Drain(from.addr, to, func(env proto.Envelope) error {
-		return n.transmit(from, to, env)
+		return n.transmit(from, to, env, ls)
 	})
 }
 
@@ -399,8 +546,12 @@ func envelopeCount(env proto.Envelope) int64 {
 }
 
 // transmit implements the delivery decision for one frame (a single
-// envelope or a coalesced batch).
-func (n *Network) transmit(from *endpoint, to proto.Addr, env proto.Envelope) error {
+// envelope or a coalesced batch). The common case reads only the
+// atomic snapshot and the link's own state; the global lock is taken
+// only when the snapshot says the recipient is missing or unreachable
+// (the store-and-forward / late-joiner slow path, which must consult
+// authoritative state so no flush is missed).
+func (n *Network) transmit(from *endpoint, to proto.Addr, env proto.Envelope, ls *linkState) error {
 	count := envelopeCount(env)
 	callCount := int64(0)
 	if batch, ok := env.Body.(proto.EnvelopeBatch); ok {
@@ -427,15 +578,13 @@ func (n *Network) transmit(from *endpoint, to proto.Addr, env proto.Envelope) er
 		encPool.Put(buf)
 	}
 
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	snap := n.snap.Load()
+	if snap.closed {
 		return fmt.Errorf("inmem: network closed")
 	}
-	if n.crashed[from.addr] {
+	if snap.crashed[from.addr] {
 		// A crashed host cannot transmit: the failure is loud on the
 		// sender's side (its own Call fails) rather than silent loss.
-		n.mu.Unlock()
 		return fmt.Errorf("inmem: host %q crashed", from.addr)
 	}
 	n.sent.Add(count)
@@ -446,31 +595,65 @@ func (n *Network) transmit(from *endpoint, to proto.Addr, env proto.Envelope) er
 	n.calls.Add(callCount)
 	n.bytes.Add(int64(size))
 
-	if n.crashed[to] {
+	if snap.crashed[to] {
 		// Dark recipient: the frame is lost, never stored — a crash is
 		// loss, unlike a partition.
-		n.mu.Unlock()
 		n.dropped.Add(count)
 		n.framesDropped.Add(1)
 		return nil
 	}
-	target, ok := n.endpoints[to]
-	if !ok || !n.reachableLocked(from.addr, to) {
-		if n.storeAndForward {
-			key := linkKey{from.addr, to}
-			n.stored[key] = append(n.stored[key], delivery{
-				env: env, payload: payload, due: n.clock.Now(),
-			})
-			n.mu.Unlock()
-			return nil
+	target, ok := snap.endpoints[to]
+	epoch := snap.crashEpoch[to]
+	if !ok || !snap.reachable(from.addr, to) {
+		target, epoch, ok = n.resolveSlow(from.addr, to, env, payload, count)
+		if !ok {
+			return nil // stored or dropped; already accounted
 		}
+	}
+	return n.deliver(target, to, env, payload, size, count, epoch, ls)
+}
+
+// resolveSlow re-checks a recipient the snapshot called missing or
+// unreachable against the authoritative state: an endpoint attaching (or
+// a partition healing) concurrently with the send must not lose the
+// message to a stale snapshot, and store-and-forward buffering must
+// append under the same lock the flush runs under, or a buffered message
+// could miss its flush forever. Returns ok=false when the message was
+// consumed here (stored or counted dropped).
+func (n *Network) resolveSlow(from, to proto.Addr, env proto.Envelope, payload []byte, count int64) (*endpoint, uint64, bool) {
+	n.mu.Lock()
+	if n.crashed[to] {
 		n.mu.Unlock()
 		n.dropped.Add(count)
 		n.framesDropped.Add(1)
-		return nil // silent loss, like a wireless medium
+		return nil, 0, false
 	}
-	if p, ok := n.linkLoss[linkKey{from.addr, to}]; ok && n.rng.Float64() < p {
+	if target, ok := n.endpoints[to]; ok && n.reachableLocked(from, to) {
+		epoch := n.crashEpoch[to]
 		n.mu.Unlock()
+		return target, epoch, true
+	}
+	if n.storeAndForward {
+		key := linkKey{from, to}
+		n.stored[key] = append(n.stored[key], delivery{
+			env: env, payload: payload, due: n.clock.Now(),
+		})
+		n.mu.Unlock()
+		return nil, 0, false
+	}
+	n.mu.Unlock()
+	n.dropped.Add(count)
+	n.framesDropped.Add(1)
+	return nil, 0, false // silent loss, like a wireless medium
+}
+
+// deliver runs the link-local half of a transmit: loss draw, latency
+// model, and hand-off to the recipient's inbox or the link's delay line.
+// Only the link's own lock is held.
+func (n *Network) deliver(target *endpoint, to proto.Addr, env proto.Envelope, payload []byte, size int, count int64, epoch uint64, ls *linkState) error {
+	ls.mu.Lock()
+	if ls.loss > 0 && ls.rng.Float64() < ls.loss {
+		ls.mu.Unlock()
 		n.dropped.Add(count)
 		n.framesDropped.Add(1)
 		return nil
@@ -478,25 +661,30 @@ func (n *Network) transmit(from *endpoint, to proto.Addr, env proto.Envelope) er
 	var latency time.Duration
 	if n.model != nil {
 		var drop bool
-		latency, drop = n.model(from.addr, to, size, n.rng)
+		latency, drop = n.model(env.From, to, size, ls.rng)
 		if drop {
-			n.mu.Unlock()
+			ls.mu.Unlock()
 			n.dropped.Add(count)
 			n.framesDropped.Add(1)
 			return nil
 		}
 	}
-	d := delivery{env: env, payload: payload, due: n.clock.Now().Add(latency), epoch: n.crashEpoch[to]}
+	d := delivery{env: env, payload: payload, due: n.clock.Now().Add(latency), epoch: epoch}
 	if latency <= 0 {
-		n.mu.Unlock()
+		ls.mu.Unlock()
 		if !target.box.push(d) {
 			n.dropped.Add(count)
 			n.framesDropped.Add(1)
 		}
 		return nil
 	}
-	l := n.linkLocked(from.addr, to, target)
-	n.mu.Unlock()
+	l := ls.line
+	if l == nil {
+		l = &link{net: n, target: target, box: newMailbox()}
+		ls.line = l
+		go l.pump()
+	}
+	ls.mu.Unlock()
 	if !l.box.push(d) {
 		n.dropped.Add(count)
 		n.framesDropped.Add(1)
@@ -513,22 +701,11 @@ func (n *Network) reachableLocked(from, to proto.Addr) bool {
 	return okf && okt && gf == gt
 }
 
-// linkLocked returns (creating on first use) the FIFO delay line for a
-// directed link. Each link has a goroutine that holds messages until
-// their due time, preserving per-link ordering while letting latencies
-// overlap (propagation is concurrent; ordering is not violated because
-// every message on a link has the same base model).
-func (n *Network) linkLocked(from, to proto.Addr, target *endpoint) *link {
-	key := linkKey{from, to}
-	l, ok := n.links[key]
-	if !ok {
-		l = &link{net: n, target: target, box: newMailbox()}
-		n.links[key] = l
-		go l.pump()
-	}
-	return l
-}
-
+// link is the FIFO delay line for a directed link. Each link has a
+// goroutine that holds messages until their due time, preserving
+// per-link ordering while letting latencies overlap (propagation is
+// concurrent; ordering is not violated because every message on a link
+// has the same base model).
 type link struct {
 	net    *Network
 	target *endpoint
@@ -551,9 +728,10 @@ func (l *link) pump() {
 		// Re-check at delivery time: a frame is lost if its recipient is
 		// dark now, or crashed at any point since the frame was sent (the
 		// epoch moved) — a restart never resurrects in-flight traffic.
-		l.net.mu.Lock()
-		dark := l.net.crashed[l.target.addr] || l.net.crashEpoch[l.target.addr] != d.epoch
-		l.net.mu.Unlock()
+		// The inbox's own dark flag backstops this check: a push racing a
+		// crash is refused by the mailbox itself (see Crash).
+		snap := l.net.snap.Load()
+		dark := snap.crashed[l.target.addr] || snap.crashEpoch[l.target.addr] != d.epoch
 		if dark || !l.target.box.push(d) {
 			l.net.dropped.Add(envelopeCount(d.env))
 			l.net.framesDropped.Add(1)
@@ -592,6 +770,7 @@ func (e *endpoint) Send(ctx context.Context, to proto.Addr, env proto.Envelope) 
 func (e *endpoint) Close() error {
 	e.net.mu.Lock()
 	delete(e.net.endpoints, e.addr)
+	e.net.publishLocked()
 	e.net.mu.Unlock()
 	e.closeLocal()
 	return nil
@@ -632,12 +811,16 @@ func (e *endpoint) pump() {
 }
 
 // mailbox is an unbounded FIFO queue; push never blocks, pop blocks until
-// an item arrives or the mailbox closes.
+// an item arrives or the mailbox closes. A dark mailbox (its host has
+// crashed) refuses pushes until Restart lifts the flag: push and crash
+// purge serialize on the mailbox's own lock, so no frame can slip into a
+// crashed host's inbox behind a stale snapshot.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []delivery
 	closed bool
+	dark   bool
 }
 
 func newMailbox() *mailbox {
@@ -646,11 +829,12 @@ func newMailbox() *mailbox {
 	return m
 }
 
-// push enqueues an item; it reports false if the mailbox is closed.
+// push enqueues an item; it reports false if the mailbox is closed or
+// dark.
 func (m *mailbox) push(d delivery) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed || m.dark {
 		return false
 	}
 	m.items = append(m.items, d)
@@ -658,11 +842,16 @@ func (m *mailbox) push(d delivery) bool {
 	return true
 }
 
-// purge drops every queued item, returning them for loss accounting; the
-// mailbox stays open (a crashed host's endpoint survives to be restarted).
-func (m *mailbox) purge() []delivery {
+// setDark flips the crash flag. Going dark drops every queued item,
+// returning them for loss accounting; the mailbox stays open (a crashed
+// host's endpoint survives to be restarted).
+func (m *mailbox) setDark(dark bool) []delivery {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.dark = dark
+	if !dark {
+		return nil
+	}
 	out := m.items
 	m.items = nil
 	return out
