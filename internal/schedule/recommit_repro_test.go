@@ -1,0 +1,23 @@
+package schedule
+
+import (
+	"testing"
+	"time"
+
+	"openwf/internal/clock"
+)
+
+func TestRecommitStaleBandRecord(t *testing.T) {
+	for _, shards := range []int{1, 16} {
+		m := NewManagerTuned(clock.NewSim(t0), nil, Preferences{}, Tuning{Shards: shards, BandWidth: time.Minute})
+		if _, err := m.Commit("wf", meta("a", t0.Add(time.Hour), t0.Add(time.Hour+2*time.Minute)), time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Commit("wf", meta("a", t0.Add(2*time.Hour), t0.Add(2*time.Hour+2*time.Minute)), time.Time{}); err != nil {
+			t.Fatalf("shards=%d re-commit: %v", shards, err)
+		}
+		if _, err := m.CanCommit(meta("b", t0.Add(time.Hour), t0.Add(time.Hour+time.Minute))); err != nil {
+			t.Errorf("shards=%d: old slot still busy after re-commit: %v", shards, err)
+		}
+	}
+}
